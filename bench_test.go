@@ -1,0 +1,392 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (scaled down so one benchmark iteration stays in the seconds range), plus
+// micro-benchmarks of the performance-critical kernels. The custom metric
+// "err/op" reports the median estimation error an iteration observed, so
+// quality regressions surface alongside runtime regressions.
+package kdesel_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/core"
+	"kdesel/internal/datagen"
+	"kdesel/internal/experiments"
+	"kdesel/internal/gpu"
+	"kdesel/internal/kde"
+	"kdesel/internal/loss"
+	"kdesel/internal/query"
+	"kdesel/internal/sample"
+	"kdesel/internal/stholes"
+	"kdesel/internal/table"
+	"kdesel/internal/workload"
+)
+
+// --- Experiment benchmarks: one per table/figure --------------------------
+
+func qualityBenchConfig(dims int, seed int64) experiments.QualityConfig {
+	return experiments.QualityConfig{
+		Dims:         dims,
+		Datasets:     []string{"synthetic", "forest"},
+		Workloads:    []workload.Kind{workload.DT, workload.UV},
+		Rows:         1500,
+		TrainQueries: 20,
+		TestQueries:  30,
+		Repetitions:  2,
+		Seed:         seed,
+	}
+}
+
+func medianOfCells(res *experiments.QualityResult) float64 {
+	sum, n := 0.0, 0
+	for _, c := range res.Cells {
+		sum += c.Summary.Median
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// BenchmarkFigure4 regenerates the 3-D static-quality experiment (§6.2).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Quality(qualityBenchConfig(3, int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(medianOfCells(res), "err/op")
+	}
+}
+
+// BenchmarkFigure5 regenerates the 8-D static-quality experiment (§6.2).
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Quality(qualityBenchConfig(8, int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(medianOfCells(res), "err/op")
+	}
+}
+
+// BenchmarkTable1 regenerates the pairwise win matrix from paired 3-D and
+// 8-D quality runs.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r3, err := experiments.Quality(qualityBenchConfig(3, int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r8, err := experiments.Quality(qualityBenchConfig(8, int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := experiments.ComputeWinMatrix(r3, r8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report Batch's win rate over Heuristic — the headline number.
+		for r, name := range m.Estimators {
+			if name != "Batch" {
+				continue
+			}
+			for c, other := range m.Estimators {
+				if other == "Heuristic" {
+					b.ReportMetric(m.Percent[r][c], "batch-beats-heuristic-%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the model-size sweep (§6.3).
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ModelSize(experiments.ModelSizeConfig{
+			Sizes:        []int{512, 2048},
+			Estimators:   []string{"Heuristic", "Batch"},
+			Rows:         6000,
+			TrainQueries: 20,
+			TestQueries:  30,
+			Repetitions:  2,
+			Seed:         int64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.Summary.Median, "err/op")
+	}
+}
+
+// BenchmarkFigure7 regenerates the runtime sweep (§6.4) on the simulated
+// devices.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Runtime(experiments.RuntimeConfig{
+			Sizes:   []int{1024, 16384},
+			Queries: 15,
+			Rows:    20000,
+			Seed:    int64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if p.Estimator == "Heuristic" && p.Device == "gpu" && p.Size == 16384 {
+				b.ReportMetric(float64(p.PerQuery.Nanoseconds()), "gpu-ns/query")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the changing-data experiment (§6.5).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Changing(experiments.ChangingConfig{
+			Dims:        3,
+			Estimators:  []string{"Heuristic", "Adaptive"},
+			Repetitions: 1,
+			Evolving: workload.EvolvingConfig{
+				Dims: 3, Cycles: 3, InitialTuples: 1500,
+				TuplesPerCluster: 500, QueriesPerCycle: 30,
+			},
+			Seed: int64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if final, ok := res.FinalError("Adaptive", 2); ok {
+			b.ReportMetric(final, "err/op")
+		}
+	}
+}
+
+// BenchmarkWorkloadShift regenerates the workload-change extension
+// experiment (§4.1 motivation, evaluated in this repo beyond the paper).
+func BenchmarkWorkloadShift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WorkloadShift(experiments.WorkloadShiftConfig{
+			Rows:            2500,
+			QueriesPerPhase: 100,
+			SampleSize:      256,
+			Window:          25,
+			Repetitions:     1,
+			Seed:            int64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if final, ok := res.WindowError("Adaptive", len(res.QueryIndex)-1); ok {
+			b.ReportMetric(final, "err/op")
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) ------------------------------------
+
+func ablationBenchConfig(seed int64) experiments.AblationConfig {
+	return experiments.AblationConfig{
+		Rows: 2000, TrainQueries: 20, TestQueries: 25,
+		Repetitions: 2, SampleSize: 128, Seed: seed,
+	}
+}
+
+func runAblationBench(b *testing.B, fn func(experiments.AblationConfig) (*experiments.AblationResult, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := fn(ablationBenchConfig(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].Summary.Median, "err/op")
+	}
+}
+
+func BenchmarkAblationLogUpdates(b *testing.B) {
+	runAblationBench(b, experiments.AblationLogUpdates)
+}
+
+func BenchmarkAblationBatchSize(b *testing.B) {
+	runAblationBench(b, experiments.AblationMiniBatch)
+}
+
+func BenchmarkAblationGlobal(b *testing.B) {
+	runAblationBench(b, experiments.AblationGlobal)
+}
+
+func BenchmarkAblationKernel(b *testing.B) {
+	runAblationBench(b, experiments.AblationKernel)
+}
+
+func BenchmarkAblationKarma(b *testing.B) {
+	runAblationBench(b, func(cfg experiments.AblationConfig) (*experiments.AblationResult, error) {
+		cfg.Dims = 3
+		return experiments.AblationKarma(cfg)
+	})
+}
+
+// --- Micro-benchmarks of the hot paths -------------------------------------
+
+func benchEstimatorAndQueries(b *testing.B, d, s int) (*kde.Estimator, []query.Range) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	flat := make([]float64, s*d)
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+	}
+	e, err := kde.New(d, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.SetSampleFlat(flat); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.SetBandwidth(kde.ScottBandwidth(flat, d)); err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]query.Range, 64)
+	for i := range qs {
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			c, w := rng.NormFloat64(), 0.2+rng.Float64()
+			lo[j], hi[j] = c-w, c+w
+		}
+		qs[i] = query.Range{Lo: lo, Hi: hi}
+	}
+	return e, qs
+}
+
+// BenchmarkKDEEstimate measures one selectivity estimate on an 8-D model
+// with 4096 sample points (the host math behind Figures 4–7).
+func BenchmarkKDEEstimate(b *testing.B) {
+	e, qs := benchEstimatorAndQueries(b, 8, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Selectivity(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKDEGradient measures one estimate-plus-gradient pass (eq. 17),
+// the adaptive estimator's per-query extra work.
+func BenchmarkKDEGradient(b *testing.B) {
+	e, qs := benchEstimatorAndQueries(b, 8, 4096)
+	grad := make([]float64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.SelectivityGradient(qs[i%len(qs)], grad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKarmaUpdate measures one karma maintenance pass over 4096
+// contributions (eqs. 6–8).
+func BenchmarkKarmaUpdate(b *testing.B) {
+	const s = 4096
+	k, err := sample.NewKarma(s, sample.KarmaConfig{Loss: loss.Absolute{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	contrib := make([]float64, s)
+	for i := range contrib {
+		contrib[i] = rng.Float64() * 0.1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Update(contrib, 0.05, 0.04, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSTHolesEstimate measures one histogram estimate after training.
+func BenchmarkSTHolesEstimate(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	ds := datagen.Synthetic(rng, 5000, 3, 5, 0.1)
+	tab, _ := table.New(3)
+	if err := tab.InsertMany(ds.Rows); err != nil {
+		b.Fatal(err)
+	}
+	bounds, _ := tab.Bounds()
+	hist, err := stholes.New(3, bounds, float64(tab.Len()), 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := workload.Generate(tab, workload.DT, 64, workload.Config{}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := func(r query.Range) (float64, error) {
+		c, err := tab.Count(r)
+		return float64(c), err
+	}
+	for _, q := range qs {
+		if err := hist.Refine(q, oracle); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hist.EstimateCount(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceEstimate measures one accounted device-side estimate
+// (simulated GPU) including the contribution kernel and reduction.
+func BenchmarkDeviceEstimate(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	const d, s = 8, 4096
+	flat := make([]float64, s*d)
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+	}
+	dev, err := gpu.NewDevice(gpu.GTX460())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := gpu.NewEngine(dev, d, nil, flat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.ScottBandwidth(); err != nil {
+		b.Fatal(err)
+	}
+	q := query.NewRange(
+		[]float64{-1, -1, -1, -1, -1, -1, -1, -1},
+		[]float64{1, 1, 1, 1, 1, 1, 1, 1},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Estimate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildAdaptive measures full estimator construction (ANALYZE +
+// Scott initialization) over a 10K-row table.
+func BenchmarkBuildAdaptive(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	ds := datagen.Synthetic(rng, 10000, 5, 5, 0.1)
+	tab, _ := table.New(5)
+	if err := tab.InsertMany(ds.Rows); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(tab, core.Config{
+			Mode: core.Adaptive, SampleSize: 1024, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

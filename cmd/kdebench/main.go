@@ -1,0 +1,236 @@
+// Command kdebench regenerates the paper's tables and figures (see
+// DESIGN.md for the experiment index) and runs the design-choice ablations.
+//
+// Usage:
+//
+//	kdebench -exp fig4|fig5|table1|fig6|fig7|fig8|ablations|all [flags]
+//
+// Results print as the rows/series the paper reports. The -quick flag
+// shrinks dataset sizes and repetition counts for a fast smoke run; the
+// defaults run a faithful scaled-down version of the paper's protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kdesel/internal/experiments"
+	"kdesel/internal/workload"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig4, fig5, table1, fig6, fig7, fig8, shift, ablations, all")
+		seed  = flag.Int64("seed", 42, "random seed")
+		quick = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
+		rows  = flag.Int("rows", 0, "override dataset rows (0 = experiment default)")
+		reps  = flag.Int("reps", 0, "override repetitions (0 = experiment default)")
+		ests  = flag.String("estimators", "", "comma-separated estimator subset for fig4/fig5 "+
+			"(STHoles, Heuristic, SCV, Batch, Adaptive, plus extras AVI, GenHist); empty = the paper's five")
+	)
+	flag.Parse()
+	var estimators []string
+	if *ests != "" {
+		for _, name := range strings.Split(*ests, ",") {
+			estimators = append(estimators, strings.TrimSpace(name))
+		}
+	}
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		fmt.Printf("==> %s\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "kdebench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("<== %s done in %s\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	qualityCfg := func(dims int) experiments.QualityConfig {
+		cfg := experiments.QualityConfig{
+			Dims: dims, Seed: *seed, Rows: *rows, Repetitions: *reps,
+			Estimators: estimators,
+		}
+		if *quick {
+			cfg.Rows = pick(*rows, 2000)
+			cfg.Repetitions = pick(*reps, 3)
+			cfg.TrainQueries = 30
+			cfg.TestQueries = 60
+		} else {
+			cfg.Rows = pick(*rows, 8000)
+			cfg.Repetitions = pick(*reps, 5)
+		}
+		return cfg
+	}
+
+	var fig4Res, fig5Res *experiments.QualityResult
+
+	runFig4 := func() error {
+		var err error
+		fig4Res, err = experiments.Quality(qualityCfg(3))
+		if err != nil {
+			return err
+		}
+		fig4Res.WriteTable(os.Stdout)
+		return nil
+	}
+	runFig5 := func() error {
+		var err error
+		fig5Res, err = experiments.Quality(qualityCfg(8))
+		if err != nil {
+			return err
+		}
+		fig5Res.WriteTable(os.Stdout)
+		return nil
+	}
+	runTable1 := func() error {
+		if fig4Res == nil {
+			if err := runFig4(); err != nil {
+				return err
+			}
+		}
+		if fig5Res == nil {
+			if err := runFig5(); err != nil {
+				return err
+			}
+		}
+		m, err := experiments.ComputeWinMatrix(fig4Res, fig5Res)
+		if err != nil {
+			return err
+		}
+		m.WriteTable(os.Stdout)
+		return nil
+	}
+	runFig6 := func() error {
+		cfg := experiments.ModelSizeConfig{Seed: *seed, Rows: pick(*rows, 40000), Repetitions: pick(*reps, 5)}
+		if *quick {
+			cfg.Sizes = []int{1024, 4096, 16384}
+			cfg.Rows = pick(*rows, 12000)
+			cfg.Repetitions = pick(*reps, 3)
+			cfg.TrainQueries = 40
+			cfg.TestQueries = 50
+		}
+		res, err := experiments.ModelSize(cfg)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	}
+	runFig7 := func() error {
+		cfg := experiments.RuntimeConfig{Seed: *seed}
+		if *quick {
+			cfg.Sizes = []int{1024, 8192, 65536}
+			cfg.Queries = 25
+		} else {
+			cfg.Sizes = []int{1024, 4096, 16384, 65536, 262144}
+		}
+		res, err := experiments.Runtime(cfg)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	}
+	runFig8 := func() error {
+		for _, dims := range []int{5, 8} {
+			cfg := experiments.ChangingConfig{Dims: dims, Seed: *seed, Repetitions: pick(*reps, 5)}
+			if *quick {
+				cfg.Repetitions = pick(*reps, 2)
+				cfg.Evolving = workload.EvolvingConfig{
+					Dims: dims, Cycles: 5, InitialTuples: 3000, TuplesPerCluster: 1000,
+				}
+			}
+			res, err := experiments.Changing(cfg)
+			if err != nil {
+				return err
+			}
+			res.WriteTable(os.Stdout)
+		}
+		return nil
+	}
+	runShift := func() error {
+		cfg := experiments.WorkloadShiftConfig{Seed: *seed, Repetitions: pick(*reps, 5)}
+		if *quick {
+			cfg.Rows = 3000
+			cfg.QueriesPerPhase = 150
+			cfg.Repetitions = pick(*reps, 2)
+		}
+		res, err := experiments.WorkloadShift(cfg)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	}
+	runAblations := func() error {
+		cfg := experiments.AblationConfig{Seed: *seed}
+		if *quick {
+			cfg.Rows = 2500
+			cfg.Repetitions = 3
+			cfg.TrainQueries = 40
+			cfg.TestQueries = 60
+			cfg.SampleSize = 256
+		}
+		type study struct {
+			name string
+			fn   func(experiments.AblationConfig) (*experiments.AblationResult, error)
+		}
+		for _, s := range []study{
+			{"ablation-log", experiments.AblationLogUpdates},
+			{"ablation-batchsize", experiments.AblationMiniBatch},
+			{"ablation-global", experiments.AblationGlobal},
+			{"ablation-kernel", experiments.AblationKernel},
+			{"ablation-karma", experiments.AblationKarma},
+		} {
+			res, err := s.fn(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", s.name, err)
+			}
+			res.WriteTable(os.Stdout)
+		}
+		return nil
+	}
+
+	switch *exp {
+	case "fig4":
+		run("figure 4 (static quality, 3D)", runFig4)
+	case "fig5":
+		run("figure 5 (static quality, 8D)", runFig5)
+	case "table1":
+		run("table 1 (win matrix)", runTable1)
+	case "fig6":
+		run("figure 6 (model size)", runFig6)
+	case "fig7":
+		run("figure 7 (runtime)", runFig7)
+	case "fig8":
+		run("figure 8 (changing data)", runFig8)
+	case "shift":
+		run("workload shift (extension)", runShift)
+	case "ablations":
+		run("ablations", runAblations)
+	case "all":
+		run("figure 4 (static quality, 3D)", runFig4)
+		run("figure 5 (static quality, 8D)", runFig5)
+		run("table 1 (win matrix)", runTable1)
+		run("figure 6 (model size)", runFig6)
+		run("figure 7 (runtime)", runFig7)
+		run("figure 8 (changing data)", runFig8)
+		run("workload shift (extension)", runShift)
+		run("ablations", runAblations)
+	default:
+		fmt.Fprintf(os.Stderr, "kdebench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func pick(override, def int) int {
+	if override > 0 {
+		return override
+	}
+	return def
+}

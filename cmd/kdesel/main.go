@@ -1,0 +1,225 @@
+// Command kdesel builds a KDE selectivity estimator over a CSV table and
+// answers range queries from the command line — the library's ANALYZE +
+// EXPLAIN workflow in miniature.
+//
+// Usage:
+//
+//	kdesel -data table.csv [-mode batch] [-sample 1024] [-train 100] \
+//	       [-save model.kde | -load model.kde] [-truth] \
+//	       "lo1,lo2,...:hi1,hi2,..." ...
+//
+// The CSV must be all-numeric; pass -header to skip a header row. Each
+// positional argument is one range query, written as the lower corner and
+// upper corner separated by a colon. Batch mode self-trains on -train
+// random data-centered queries with exact feedback. -save/-load persist the
+// fitted model with encoding/gob.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"kdesel"
+	"kdesel/internal/core"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "CSV file with numeric columns (required)")
+		header   = flag.Bool("header", false, "skip the first CSV row")
+		mode     = flag.String("mode", "batch", "heuristic | scv | batch | adaptive")
+		sampleN  = flag.Int("sample", 1024, "KDE sample size")
+		trainN   = flag.Int("train", 100, "self-generated training queries for batch mode")
+		seed     = flag.Int64("seed", 1, "random seed")
+		truth    = flag.Bool("truth", false, "also compute and print the exact selectivity")
+		savePath = flag.String("save", "", "save the fitted model to this file")
+		loadPath = flag.String("load", "", "load a fitted model instead of building one")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fail("missing -data")
+	}
+
+	tab, err := loadCSV(*dataPath, *header)
+	if err != nil {
+		fail("loading %s: %v", *dataPath, err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d rows x %d attributes\n", tab.Len(), tab.Dims())
+
+	var est *kdesel.Estimator
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fail("opening model: %v", err)
+		}
+		est, err = core.Load(f, tab, nil)
+		closeErr := f.Close()
+		if err != nil {
+			fail("loading model: %v", err)
+		}
+		if closeErr != nil {
+			fail("closing model: %v", closeErr)
+		}
+	} else {
+		cfg := kdesel.Config{SampleSize: *sampleN, Seed: *seed}
+		switch *mode {
+		case "heuristic":
+			cfg.Mode = kdesel.Heuristic
+		case "scv":
+			cfg.Mode = kdesel.SCV
+		case "batch":
+			cfg.Mode = kdesel.Batch
+			cfg.Training = selfTrain(tab, *trainN, *seed)
+		case "adaptive":
+			cfg.Mode = kdesel.Adaptive
+		default:
+			fail("unknown mode %q", *mode)
+		}
+		est, err = kdesel.Build(tab, cfg)
+		if err != nil {
+			fail("building estimator: %v", err)
+		}
+	}
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fail("creating model file: %v", err)
+		}
+		if err := est.Save(f); err != nil {
+			fail("saving model: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("closing model file: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "model saved to %s\n", *savePath)
+	}
+
+	for _, arg := range flag.Args() {
+		q, err := parseQuery(arg, tab.Dims())
+		if err != nil {
+			fail("query %q: %v", arg, err)
+		}
+		sel, err := est.Estimate(q)
+		if err != nil {
+			fail("estimating %q: %v", arg, err)
+		}
+		line := fmt.Sprintf("%s  estimate=%.6f  rows~%.0f", q, sel, sel*float64(tab.Len()))
+		if *truth {
+			actual, _ := tab.Selectivity(q)
+			line += fmt.Sprintf("  actual=%.6f", actual)
+			// Close the feedback loop so adaptive models keep learning.
+			if err := est.Feedback(q, actual); err != nil {
+				fail("feedback: %v", err)
+			}
+		}
+		fmt.Println(line)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kdesel: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// loadCSV reads an all-numeric CSV into a table.
+func loadCSV(path string, skipHeader bool) (*kdesel.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if skipHeader && len(records) > 0 {
+		records = records[1:]
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("no data rows")
+	}
+	d := len(records[0])
+	tab, err := kdesel.NewTable(d)
+	if err != nil {
+		return nil, err
+	}
+	for i, rec := range records {
+		row := make([]float64, d)
+		for j, field := range rec {
+			v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return nil, fmt.Errorf("row %d col %d: %w", i+1, j+1, err)
+			}
+			row[j] = v
+		}
+		if err := tab.Insert(row); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i+1, err)
+		}
+	}
+	return tab, nil
+}
+
+// parseQuery parses "lo1,lo2,...:hi1,hi2,..." into a validated range.
+func parseQuery(s string, dims int) (kdesel.Range, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return kdesel.Range{}, fmt.Errorf("want lo...:hi...")
+	}
+	lo, err := parseVector(parts[0])
+	if err != nil {
+		return kdesel.Range{}, fmt.Errorf("lower corner: %w", err)
+	}
+	hi, err := parseVector(parts[1])
+	if err != nil {
+		return kdesel.Range{}, fmt.Errorf("upper corner: %w", err)
+	}
+	if len(lo) != dims || len(hi) != dims {
+		return kdesel.Range{}, fmt.Errorf("query has %d/%d dims, table has %d", len(lo), len(hi), dims)
+	}
+	q := kdesel.NewRange(lo, hi)
+	if err := q.Validate(); err != nil {
+		return kdesel.Range{}, err
+	}
+	return q, nil
+}
+
+func parseVector(s string) ([]float64, error) {
+	fields := strings.Split(s, ",")
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// selfTrain draws data-centered queries with exact feedback, standing in
+// for a recorded user workload.
+func selfTrain(tab *kdesel.Table, n int, seed int64) []kdesel.Feedback {
+	rng := rand.New(rand.NewSource(seed + 77))
+	bounds, _ := tab.Bounds()
+	d := tab.Dims()
+	out := make([]kdesel.Feedback, n)
+	for i := range out {
+		c := tab.Row(rng.Intn(tab.Len()))
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			half := bounds.Width(j) * (0.02 + rng.Float64()*0.2)
+			lo[j], hi[j] = c[j]-half, c[j]+half
+		}
+		q := kdesel.NewRange(lo, hi)
+		actual, _ := tab.Selectivity(q)
+		out[i] = kdesel.Feedback{Query: q, Actual: actual}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseQuery(t *testing.T) {
+	q, err := parseQuery("0,1:2,3", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Lo[0] != 0 || q.Lo[1] != 1 || q.Hi[0] != 2 || q.Hi[1] != 3 {
+		t.Errorf("parsed %v", q)
+	}
+	cases := []struct {
+		s    string
+		dims int
+	}{
+		{"0,1", 2},         // missing colon
+		{"0:1,2", 2},       // arity mismatch
+		{"a,b:c,d", 2},     // not numeric
+		{"2,2:1,1", 2},     // inverted
+		{"0,1:2,3", 3},     // wrong table dims
+		{"0,1:2,3:4,5", 2}, // too many colons
+	}
+	for _, c := range cases {
+		if _, err := parseQuery(c.s, c.dims); err == nil {
+			t.Errorf("parseQuery(%q, %d) should fail", c.s, c.dims)
+		}
+	}
+}
+
+func TestParseVector(t *testing.T) {
+	v, err := parseVector(" 1.5 , -2 ,3e2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 1.5 || v[1] != -2 || v[2] != 300 {
+		t.Errorf("parsed %v", v)
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(path, []byte("a,b\n1,2\n3,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := loadCSV(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 || tab.Dims() != 2 || tab.Row(1)[1] != 4 {
+		t.Errorf("table = %d x %d", tab.Len(), tab.Dims())
+	}
+	// Without -header the header row breaks parsing.
+	if _, err := loadCSV(path, false); err == nil {
+		t.Error("non-numeric header should fail without -header")
+	}
+	empty := filepath.Join(dir, "e.csv")
+	_ = os.WriteFile(empty, nil, 0o644)
+	if _, err := loadCSV(empty, false); err == nil {
+		t.Error("empty CSV should fail")
+	}
+}
+
+func TestSelfTrain(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(path, []byte("1,1\n2,2\n3,3\n4,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := loadCSV(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbs := selfTrain(tab, 10, 1)
+	if len(fbs) != 10 {
+		t.Fatalf("got %d feedback records", len(fbs))
+	}
+	for _, fb := range fbs {
+		if err := fb.Query.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if fb.Actual < 0 || fb.Actual > 1 {
+			t.Fatalf("actual = %g", fb.Actual)
+		}
+	}
+}

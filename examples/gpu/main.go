@@ -1,0 +1,89 @@
+// GPU: the co-processor story of paper §5 — the same estimator runs on a
+// simulated GPU and a simulated multi-core CPU, and the device accounting
+// shows where the time goes: the one-time sample transfer, the tiny
+// per-query traffic (bounds in, scalars out), and the latency floor that
+// dominates small models before linear scaling takes over.
+//
+// Run with: go run ./examples/gpu
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"kdesel"
+	"kdesel/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(23))
+	tab, err := kdesel.NewTable(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 140000; i++ {
+		row := make([]float64, 8)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		if err := tab.Insert(row); err != nil {
+			log.Fatal(err)
+		}
+	}
+	qs, err := workload.Generate(tab, workload.UV, 50, workload.Config{}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-query estimation overhead (simulated device clock), 8-D model:")
+	fmt.Printf("%10s %14s %14s %9s\n", "points", "gpu", "cpu", "speedup")
+	for _, size := range []int{1024, 4096, 16384, 65536, 131072} {
+		gpuTime := measure(tab, qs, size, kdesel.GPUProfile())
+		cpuTime := measure(tab, qs, size, kdesel.CPUProfile())
+		fmt.Printf("%10d %14s %14s %8.1fx\n",
+			size, gpuTime, cpuTime, float64(cpuTime)/float64(gpuTime))
+	}
+
+	// Transfer accounting: the sample moves once; queries move bytes, not
+	// buffers.
+	dev, _ := kdesel.NewDevice(kdesel.GPUProfile())
+	est, err := kdesel.Build(tab, kdesel.Config{SampleSize: 65536, Seed: 1, Device: dev})
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded := dev.Stats()
+	for _, q := range qs {
+		if _, err := est.Estimate(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	after := dev.Stats()
+	fmt.Printf("\ntransfer accounting (65536-point model, %d queries):\n", len(qs))
+	fmt.Printf("  sample upload:        %10d bytes (once, at ANALYZE)\n", loaded.BytesToDevice)
+	fmt.Printf("  query-time to device: %10d bytes (%d per query — just the bounds)\n",
+		after.BytesToDevice-loaded.BytesToDevice,
+		(after.BytesToDevice-loaded.BytesToDevice)/int64(len(qs)))
+	fmt.Printf("  query-time from dev:  %10d bytes (the estimates)\n",
+		after.BytesFromDevice-loaded.BytesFromDevice)
+	fmt.Printf("  kernel launches:      %10d\n", after.KernelLaunches-loaded.KernelLaunches)
+}
+
+func measure(tab *kdesel.Table, qs []kdesel.Range, size int, profile kdesel.DeviceProfile) time.Duration {
+	dev, err := kdesel.NewDevice(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := kdesel.Build(tab, kdesel.Config{SampleSize: size, Seed: 1, Device: dev})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev.ResetStats()
+	for _, q := range qs {
+		if _, err := est.Estimate(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return dev.Clock() / time.Duration(len(qs))
+}

@@ -1,0 +1,179 @@
+// Optimizer: why selectivity estimates matter — a miniature cost-based
+// query optimizer chooses between an index scan (cheap for selective
+// predicates) and a sequential scan (cheap for broad predicates). Plan
+// choices driven by the batch-optimized KDE estimator are compared against
+// choices driven by the attribute-value-independence (AVI) baseline that
+// multiplies per-column histogram estimates — the assumption the paper's
+// introduction argues against.
+//
+// Run with: go run ./examples/optimizer
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"kdesel"
+)
+
+// avi is the attribute-value-independence baseline: one equi-depth
+// histogram per column, multiplied together.
+type avi struct {
+	edges [][]float64 // per column: sorted bucket edges
+}
+
+func buildAVI(tab *kdesel.Table, buckets int) *avi {
+	d := tab.Dims()
+	n := tab.Len()
+	a := &avi{edges: make([][]float64, d)}
+	for j := 0; j < d; j++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = tab.Row(i)[j]
+		}
+		sort.Float64s(col)
+		edges := make([]float64, buckets+1)
+		for b := 0; b <= buckets; b++ {
+			idx := b * (n - 1) / buckets
+			edges[b] = col[idx]
+		}
+		a.edges[j] = edges
+	}
+	return a
+}
+
+func (a *avi) estimate(q kdesel.Range) float64 {
+	sel := 1.0
+	for j, edges := range a.edges {
+		sel *= columnFraction(edges, q.Lo[j], q.Hi[j])
+	}
+	return sel
+}
+
+// columnFraction estimates the fraction of values in [lo, hi] from
+// equi-depth bucket edges with linear interpolation inside buckets.
+func columnFraction(edges []float64, lo, hi float64) float64 {
+	buckets := len(edges) - 1
+	frac := 0.0
+	for b := 0; b < buckets; b++ {
+		l, u := edges[b], edges[b+1]
+		if u < lo || l > hi {
+			continue
+		}
+		if u == l {
+			frac += 1.0 / float64(buckets)
+			continue
+		}
+		overlap := (minF(u, hi) - maxF(l, lo)) / (u - l)
+		if overlap > 0 {
+			frac += overlap / float64(buckets)
+		}
+	}
+	return frac
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// planCost models the optimizer's choice: an index scan costs per matching
+// tuple (random I/O), a sequential scan costs per stored tuple.
+func planCost(sel float64, rows int, index bool) float64 {
+	if index {
+		return 4.0 * sel * float64(rows) // random access penalty
+	}
+	return 1.0 * float64(rows)
+}
+
+func choosePlan(sel float64, rows int) string {
+	if planCost(sel, rows, true) < planCost(sel, rows, false) {
+		return "index"
+	}
+	return "seqscan"
+}
+
+func main() {
+	// Strongly correlated columns: AVI's independence assumption is
+	// exactly wrong here.
+	rng := rand.New(rand.NewSource(17))
+	tab, err := kdesel.NewTable(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 30000; i++ {
+		x := rng.Float64() * 100
+		if err := tab.Insert([]float64{x, x + rng.NormFloat64()*2}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	training := make([]kdesel.Feedback, 100)
+	for i := range training {
+		q := randomQuery(tab, rng)
+		actual, _ := tab.Selectivity(q)
+		training[i] = kdesel.Feedback{Query: q, Actual: actual}
+	}
+	kdeEst, err := kdesel.Build(tab, kdesel.Config{
+		Mode: kdesel.Batch, SampleSize: 1024, Seed: 5, Training: training,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aviEst := buildAVI(tab, 64)
+
+	rows := tab.Len()
+	var kdeCorrect, aviCorrect, kdeRegret, aviRegret float64
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		q := randomQuery(tab, rng)
+		actual, _ := tab.Selectivity(q)
+		best := choosePlan(actual, rows)
+		bestCost := planCost(actual, rows, best == "index")
+
+		kdeSel, _ := kdeEst.Estimate(q)
+		kdePlan := choosePlan(kdeSel, rows)
+		if kdePlan == best {
+			kdeCorrect++
+		}
+		kdeRegret += planCost(actual, rows, kdePlan == "index") - bestCost
+
+		aviPlan := choosePlan(aviEst.estimate(q), rows)
+		if aviPlan == best {
+			aviCorrect++
+		}
+		aviRegret += planCost(actual, rows, aviPlan == "index") - bestCost
+	}
+
+	fmt.Printf("plan decisions over %d queries on correlated data:\n\n", trials)
+	fmt.Printf("%-22s %14s %18s\n", "estimator", "correct plans", "total cost regret")
+	fmt.Printf("%-22s %13.1f%% %18.0f\n", "KDE (batch-optimized)", 100*kdeCorrect/trials, kdeRegret)
+	fmt.Printf("%-22s %13.1f%% %18.0f\n", "AVI histograms", 100*aviCorrect/trials, aviRegret)
+	fmt.Println("\nthe multidimensional KDE model sees the column correlation that")
+	fmt.Println("independent per-column histograms structurally cannot represent.")
+}
+
+// randomQuery draws diagonal band queries whose true selectivity straddles
+// the index/seqscan cost crossover (selectivity 0.25). Because the box
+// follows the correlation, AVI's independence assumption underestimates it
+// badly — exactly the failure mode that flips plan choices.
+func randomQuery(tab *kdesel.Table, rng *rand.Rand) kdesel.Range {
+	c := tab.Row(rng.Intn(tab.Len()))
+	wx := 6 + rng.Float64()*34
+	wy := wx + 6 // the band tracks y ≈ x, so the box captures the diagonal
+	return kdesel.NewRange(
+		[]float64{c[0] - wx, c[1] - wy},
+		[]float64{c[0] + wx, c[1] + wy},
+	)
+}

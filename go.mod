@@ -1,0 +1,3 @@
+module kdesel
+
+go 1.22

@@ -1,0 +1,137 @@
+package avi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/query"
+	"kdesel/internal/table"
+)
+
+func uniformTable(t *testing.T, n int, seed int64) *table.Table {
+	t.Helper()
+	tab, err := table.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		_ = tab.Insert([]float64{rng.Float64(), rng.Float64()})
+	}
+	return tab
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 8); err == nil {
+		t.Error("nil table should be rejected")
+	}
+	empty, _ := table.New(2)
+	if _, err := Build(empty, 8); err == nil {
+		t.Error("empty table should be rejected")
+	}
+	tab := uniformTable(t, 10, 1)
+	if _, err := Build(tab, 0); err == nil {
+		t.Error("zero buckets should be rejected")
+	}
+}
+
+func TestBucketsForBudget(t *testing.T) {
+	if got := BucketsForBudget(8*4096, 8); got != 512 {
+		t.Errorf("BucketsForBudget = %d, want 512", got)
+	}
+	if BucketsForBudget(1, 8) != 1 {
+		t.Error("bucket floor should be 1")
+	}
+}
+
+func TestIndependentDataIsAccurate(t *testing.T) {
+	// On truly independent uniform data, AVI is nearly exact.
+	tab := uniformTable(t, 20000, 2)
+	h, err := Build(tab, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		lo := []float64{rng.Float64() * 0.5, rng.Float64() * 0.5}
+		hi := []float64{lo[0] + rng.Float64()*0.4, lo[1] + rng.Float64()*0.4}
+		q := query.Range{Lo: lo, Hi: hi}
+		est, err := h.Selectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual, _ := tab.Selectivity(q)
+		if math.Abs(est-actual) > 0.03 {
+			t.Errorf("independent data: est %g vs actual %g", est, actual)
+		}
+	}
+}
+
+func TestCorrelatedDataUnderestimated(t *testing.T) {
+	// On a tight diagonal, AVI multiplies two marginals and drastically
+	// underestimates diagonal boxes — the motivating failure of §1.
+	tab, _ := table.New(2)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		x := rng.Float64()
+		_ = tab.Insert([]float64{x, x + rng.NormFloat64()*0.01})
+	}
+	h, err := Build(tab, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewRange([]float64{0.4, 0.38}, []float64{0.6, 0.62})
+	est, _ := h.Selectivity(q)
+	actual, _ := tab.Selectivity(q)
+	if actual < 0.15 {
+		t.Fatalf("test setup: actual = %g too small", actual)
+	}
+	if est > actual/2 {
+		t.Errorf("AVI should badly underestimate the diagonal box: est %g vs actual %g", est, actual)
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	tab := uniformTable(t, 1000, 5)
+	h, _ := Build(tab, 16)
+	// Query covering everything: selectivity 1 (within interpolation).
+	full := query.NewRange([]float64{-10, -10}, []float64{10, 10})
+	if est, _ := h.Selectivity(full); math.Abs(est-1) > 1e-9 {
+		t.Errorf("full-space selectivity = %g, want 1", est)
+	}
+	// Disjoint query: 0.
+	off := query.NewRange([]float64{5, 5}, []float64{6, 6})
+	if est, _ := h.Selectivity(off); est != 0 {
+		t.Errorf("disjoint selectivity = %g, want 0", est)
+	}
+	if _, err := h.Selectivity(query.NewRange([]float64{0}, []float64{1})); err == nil {
+		t.Error("dim mismatch should be rejected")
+	}
+}
+
+func TestDegenerateColumn(t *testing.T) {
+	// A constant attribute yields degenerate buckets; estimates must stay
+	// finite and sane.
+	tab, _ := table.New(2)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		_ = tab.Insert([]float64{rng.Float64(), 7})
+	}
+	h, err := Build(tab, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewRange([]float64{0, 6.5}, []float64{1, 7.5})
+	est, err := h.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-1) > 0.05 {
+		t.Errorf("degenerate column: est %g, want ~1", est)
+	}
+	miss := query.NewRange([]float64{0, 8}, []float64{1, 9})
+	if est, _ := h.Selectivity(miss); est != 0 {
+		t.Errorf("query missing the constant value: est %g, want 0", est)
+	}
+}

@@ -1,0 +1,233 @@
+package bandwidth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/kde"
+	"kdesel/internal/loss"
+	"kdesel/internal/query"
+)
+
+func normalSample(rng *rand.Rand, n, d int, sigma float64) []float64 {
+	data := make([]float64, n*d)
+	for i := range data {
+		data[i] = rng.NormFloat64() * sigma
+	}
+	return data
+}
+
+func TestScottDelegates(t *testing.T) {
+	data := []float64{0, 2}
+	got := Scott(data, 1)
+	want := kde.ScottBandwidth(data, 1)
+	if got[0] != want[0] {
+		t.Errorf("Scott = %v, want %v", got, want)
+	}
+}
+
+func TestLSCVCriterionGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := normalSample(rng, 40, 2, 1)
+	obj := LSCVCriterion(data, 2)
+	h := []float64{0.4, 0.7}
+	grad := make([]float64, 2)
+	v := obj(h, grad)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("criterion = %g", v)
+	}
+	const eps = 1e-6
+	for k := 0; k < 2; k++ {
+		hp := append([]float64(nil), h...)
+		hm := append([]float64(nil), h...)
+		hp[k] += eps
+		hm[k] -= eps
+		numeric := (obj(hp, nil) - obj(hm, nil)) / (2 * eps)
+		if math.Abs(numeric-grad[k]) > 1e-4*(1+math.Abs(grad[k])) {
+			t.Errorf("LSCV grad dim %d: analytic %g vs numeric %g", k, grad[k], numeric)
+		}
+	}
+	if v2 := obj([]float64{-1, 1}, grad); !math.IsInf(v2, 1) {
+		t.Errorf("invalid bandwidth should give +Inf, got %g", v2)
+	}
+}
+
+func TestSCVCriterionGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := normalSample(rng, 40, 2, 1)
+	pilot := Scott(data, 2)
+	obj := SCVCriterion(data, 2, pilot)
+	h := []float64{0.5, 0.9}
+	grad := make([]float64, 2)
+	v := obj(h, grad)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("criterion = %g", v)
+	}
+	const eps = 1e-6
+	for k := 0; k < 2; k++ {
+		hp := append([]float64(nil), h...)
+		hm := append([]float64(nil), h...)
+		hp[k] += eps
+		hm[k] -= eps
+		numeric := (obj(hp, nil) - obj(hm, nil)) / (2 * eps)
+		if math.Abs(numeric-grad[k]) > 1e-4*(1+math.Abs(grad[k])) {
+			t.Errorf("SCV grad dim %d: analytic %g vs numeric %g", k, grad[k], numeric)
+		}
+	}
+}
+
+// On a standard normal sample the AMISE-optimal Gaussian-kernel bandwidth
+// is about 1.06·σ·n^(-1/5) in 1D. CV selectors are noisy but must land
+// within a small factor of it.
+func TestCVSelectorsNearTheoreticalOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 200
+	data := normalSample(rng, n, 1, 1)
+	want := 1.06 * math.Pow(n, -0.2)
+
+	hLSCV, err := LSCV(data, 1, CVConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := hLSCV[0] / want; ratio < 0.25 || ratio > 4 {
+		t.Errorf("LSCV h = %g, want within 4x of %g", hLSCV[0], want)
+	}
+
+	hSCV, err := SCV(data, 1, CVConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := hSCV[0] / want; ratio < 0.25 || ratio > 4 {
+		t.Errorf("SCV h = %g, want within 4x of %g", hSCV[0], want)
+	}
+}
+
+func TestCVValidation(t *testing.T) {
+	if _, err := LSCV(nil, 2, CVConfig{}); err == nil {
+		t.Error("empty sample should be rejected")
+	}
+	if _, err := SCV([]float64{1, 2}, 2, CVConfig{}); err == nil {
+		t.Error("single-point sample should be rejected")
+	}
+	if _, err := LSCV([]float64{1, 2, 3}, 2, CVConfig{}); err == nil {
+		t.Error("misaligned sample should be rejected")
+	}
+}
+
+// trueSelectivity counts the fraction of rows inside q.
+func trueSelectivity(rows [][]float64, q query.Range) float64 {
+	in := 0
+	for _, r := range rows {
+		if q.Contains(r) {
+			in++
+		}
+	}
+	return float64(in) / float64(len(rows))
+}
+
+func clusteredDataset(rng *rand.Rand, n int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		c := float64(rng.Intn(2)) * 5 // two clusters at 0 and 5
+		rows[i] = []float64{c + rng.NormFloat64()*0.3, c + rng.NormFloat64()*0.3}
+	}
+	return rows
+}
+
+func TestOptimalBeatsScott(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows := clusteredDataset(rng, 2000)
+
+	// Small sample, as the estimator would draw.
+	sampleRows := rows[:128]
+	data := make([]float64, 0, len(sampleRows)*2)
+	for _, r := range sampleRows {
+		data = append(data, r...)
+	}
+
+	// Training and test feedback with exact selectivities.
+	makeFeedback := func(n int) []query.Feedback {
+		fbs := make([]query.Feedback, n)
+		for i := range fbs {
+			c := rows[rng.Intn(len(rows))]
+			w := 0.5 + rng.Float64()*2
+			q := query.NewRange(
+				[]float64{c[0] - w/2, c[1] - w/2},
+				[]float64{c[0] + w/2, c[1] + w/2},
+			)
+			fbs[i] = query.Feedback{Query: q, Actual: trueSelectivity(rows, q)}
+		}
+		return fbs
+	}
+	train := makeFeedback(60)
+	test := makeFeedback(100)
+
+	h, err := Optimal(data, 2, train, OptimalConfig{Rand: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range h {
+		if !(v > 0) {
+			t.Fatalf("optimal bandwidth[%d] = %g not positive", k, v)
+		}
+	}
+
+	evalLoss := func(bw []float64) float64 {
+		obj := kde.Objective(data, 2, nil, test, loss.Quadratic{})
+		return obj(bw, nil)
+	}
+	scottLoss := evalLoss(Scott(data, 2))
+	optLoss := evalLoss(h)
+	if optLoss > scottLoss {
+		t.Errorf("optimal bandwidth test loss %g worse than Scott %g", optLoss, scottLoss)
+	}
+	// On training data the optimized bandwidth must not be worse than the
+	// starting point: the optimizer only accepts improvements.
+	objTrain := kde.Objective(data, 2, nil, train, loss.Quadratic{})
+	if objTrain(h, nil) > objTrain(Scott(data, 2), nil)+1e-12 {
+		t.Error("optimizer returned a training loss worse than its starting point")
+	}
+}
+
+func TestOptimalLinearSpaceAlsoImproves(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rows := clusteredDataset(rng, 1000)
+	data := make([]float64, 0, 64*2)
+	for _, r := range rows[:64] {
+		data = append(data, r...)
+	}
+	fbs := make([]query.Feedback, 40)
+	for i := range fbs {
+		c := rows[rng.Intn(len(rows))]
+		q := query.NewRange([]float64{c[0] - 1, c[1] - 1}, []float64{c[0] + 1, c[1] + 1})
+		fbs[i] = query.Feedback{Query: q, Actual: trueSelectivity(rows, q)}
+	}
+	h, err := Optimal(data, 2, fbs, OptimalConfig{LinearSpace: true, SkipGlobal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := kde.Objective(data, 2, nil, fbs, loss.Quadratic{})
+	if obj(h, nil) > obj(Scott(data, 2), nil)+1e-12 {
+		t.Error("linear-space optimization worse than Scott start on training data")
+	}
+}
+
+func TestOptimalValidation(t *testing.T) {
+	data := []float64{0, 0, 1, 1}
+	if _, err := Optimal(data, 2, nil, OptimalConfig{}); err == nil {
+		t.Error("no feedback should be rejected")
+	}
+	bad := []query.Feedback{{Query: query.NewRange([]float64{0}, []float64{1})}}
+	if _, err := Optimal(data, 2, bad, OptimalConfig{}); err == nil {
+		t.Error("dimension-mismatched feedback should be rejected")
+	}
+	inv := []query.Feedback{{Query: query.NewRange([]float64{0, 0}, []float64{1, 1})}}
+	inv[0].Query.Hi[0] = -5
+	if _, err := Optimal(data, 2, inv, OptimalConfig{}); err == nil {
+		t.Error("invalid feedback query should be rejected")
+	}
+	if _, err := Optimal(nil, 2, inv, OptimalConfig{}); err == nil {
+		t.Error("empty sample should be rejected")
+	}
+}

@@ -1,0 +1,483 @@
+// Package core implements the paper's primary contribution: a self-tuning,
+// optionally GPU-accelerated KDE-based selectivity estimator. It composes
+// the substrate packages into the full estimator lifecycle:
+//
+//   - construction from a table sample with Scott's-rule initialization
+//     (§3.4 step 2, §5.2);
+//   - one-shot bandwidth optimization over training feedback — the "Batch"
+//     estimator of §3 — or sample-driven cross-validation — the "SCV"
+//     baseline;
+//   - continuous adaptive bandwidth maintenance via mini-batch RMSprop over
+//     query feedback, with optional logarithmic updates (§4.1, Appendix D);
+//   - karma-based sample maintenance plus reservoir sampling for inserts
+//     (§4.2, §5.6);
+//   - offload of all per-query computation to a simulated device (§5).
+//
+// The intended protocol per query mirrors Listing 1: call Estimate, let the
+// database run the query, then call Feedback with the true selectivity.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"kdesel/internal/bandwidth"
+	"kdesel/internal/gpu"
+	"kdesel/internal/kde"
+	"kdesel/internal/kernel"
+	"kdesel/internal/learner"
+	"kdesel/internal/loss"
+	"kdesel/internal/query"
+	"kdesel/internal/sample"
+	"kdesel/internal/table"
+)
+
+// Mode selects how the estimator picks and maintains its bandwidth,
+// matching the compared estimators of §6.1.1.
+type Mode int
+
+const (
+	// Heuristic keeps the Scott's-rule bandwidth (the naïve baseline).
+	Heuristic Mode = iota
+	// SCV picks the bandwidth by smoothed cross-validation on the sample.
+	SCV
+	// Batch optimizes the bandwidth once over training feedback (§3).
+	Batch
+	// Adaptive starts from Scott's rule and continuously adjusts the
+	// bandwidth from query feedback, with karma sample maintenance (§4).
+	Adaptive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Heuristic:
+		return "heuristic"
+	case SCV:
+		return "scv"
+	case Batch:
+		return "batch"
+	case Adaptive:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config assembles an estimator. The zero value is a usable Heuristic
+// configuration with paper defaults.
+type Config struct {
+	// Mode selects the bandwidth strategy.
+	Mode Mode
+	// SampleSize is the number of sample points s (default 1024). The
+	// actual sample is capped at the table size.
+	SampleSize int
+	// Kernel defaults to the Gaussian.
+	Kernel kernel.Kernel
+	// Loss is the error metric optimized by Batch and Adaptive and used by
+	// the karma maintenance (default quadratic, the paper's L2 default).
+	Loss loss.Function
+	// Device, when non-nil, hosts the sample and runs all per-query
+	// computation through the accounted engine of internal/gpu.
+	Device *gpu.Device
+	// Training is the feedback set the Batch mode optimizes over.
+	Training []query.Feedback
+	// Learner tunes the adaptive RMSprop updates (Listing 1 defaults).
+	Learner learner.Config
+	// Karma tunes the sample maintenance (defaults per §4.2).
+	Karma sample.KarmaConfig
+	// DisableMaintenance turns off reservoir+karma sample maintenance
+	// (maintenance is active only in Adaptive mode to begin with).
+	DisableMaintenance bool
+	// BatchOptions tunes the Batch optimizer.
+	BatchOptions bandwidth.OptimalConfig
+	// Seed drives all randomness (sampling, optimizer restarts).
+	Seed int64
+}
+
+func (c Config) sampleSize() int {
+	if c.SampleSize > 0 {
+		return c.SampleSize
+	}
+	return 1024
+}
+
+func (c Config) kernel() kernel.Kernel {
+	if c.Kernel != nil {
+		return c.Kernel
+	}
+	return kernel.Gaussian{}
+}
+
+func (c Config) loss() loss.Function {
+	if c.Loss != nil {
+		return c.Loss
+	}
+	return loss.Quadratic{}
+}
+
+// Estimator is a self-tuning KDE selectivity estimator bound to a table.
+// It retains per-query state between Estimate and Feedback, matching the
+// single query-optimizer thread it serves; it is not safe for concurrent
+// use.
+type Estimator struct {
+	cfg  Config
+	tab  *table.Table
+	d    int
+	s    int
+	kern kernel.Kernel
+	lf   loss.Function
+	rng  *rand.Rand
+
+	// Exactly one of host/eng is active: eng when a device is configured.
+	host *kde.Estimator
+	eng  *gpu.Engine
+
+	learn *learner.RMSprop
+	karma *sample.Karma
+	res   *sample.Reservoir
+
+	maintain bool
+
+	// Host-path feedback cache (the engine retains its own buffers).
+	lastQ       query.Range
+	lastEst     float64
+	lastContrib []float64
+	hasEst      bool
+
+	queries      int
+	replacements int
+}
+
+// Build constructs an estimator over tab — the ANALYZE step. For Batch
+// mode, cfg.Training must hold the training feedback.
+func Build(tab *table.Table, cfg Config) (*Estimator, error) {
+	if tab == nil {
+		return nil, errors.New("core: nil table")
+	}
+	if tab.Len() == 0 {
+		return nil, errors.New("core: cannot build an estimator over an empty table")
+	}
+	if cfg.Mode == Batch && len(cfg.Training) == 0 {
+		return nil, errors.New("core: batch mode requires training feedback")
+	}
+	d := tab.Dims()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	s := cfg.sampleSize()
+	if s > tab.Len() {
+		s = tab.Len()
+	}
+	flat, err := tab.SampleFlat(s, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Estimator{
+		cfg:  cfg,
+		tab:  tab,
+		d:    d,
+		s:    s,
+		kern: cfg.kernel(),
+		lf:   cfg.loss(),
+		rng:  rng,
+	}
+
+	// Initial bandwidth per mode.
+	var h []float64
+	switch cfg.Mode {
+	case Heuristic, Adaptive:
+		h = kde.ScottBandwidth(flat, d)
+	case SCV:
+		// Cross-validation runs on the host exactly like the paper's use
+		// of the external R selector.
+		h, err = bandwidth.SCV(flat, d, bandwidth.CVConfig{Rand: rng})
+		if err != nil {
+			return nil, fmt.Errorf("core: scv bandwidth selection: %w", err)
+		}
+	case Batch:
+		opts := cfg.BatchOptions
+		if opts.Kernel == nil {
+			opts.Kernel = e.kern
+		}
+		if opts.Loss == nil {
+			opts.Loss = e.lf
+		}
+		if opts.Rand == nil {
+			opts.Rand = rng
+		}
+		h, err = bandwidth.Optimal(flat, d, cfg.Training, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch bandwidth optimization: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", int(cfg.Mode))
+	}
+
+	// Model placement: device engine or host estimator.
+	if cfg.Device != nil {
+		e.eng, err = gpu.NewEngine(cfg.Device, d, e.kern, flat)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.eng.SetBandwidth(h); err != nil {
+			return nil, err
+		}
+	} else {
+		e.host, err = kde.New(d, e.kern)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.host.SetSampleFlat(flat); err != nil {
+			return nil, err
+		}
+		if err := e.host.SetBandwidth(h); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.Mode == Adaptive {
+		e.learn, err = learner.NewRMSprop(d, cfg.Learner)
+		if err != nil {
+			return nil, err
+		}
+		if !cfg.DisableMaintenance {
+			e.maintain = true
+			kcfg := cfg.Karma
+			if kcfg.Loss == nil {
+				kcfg.Loss = e.lf
+			}
+			e.karma, err = sample.NewKarma(s, kcfg)
+			if err != nil {
+				return nil, err
+			}
+			e.res, err = sample.NewReservoir(s, tab.Len(), rng)
+			if err != nil {
+				return nil, err
+			}
+			tab.Subscribe(e)
+		}
+	}
+	return e, nil
+}
+
+// Mode returns the estimator's mode.
+func (e *Estimator) Mode() Mode { return e.cfg.Mode }
+
+// Dims returns the dimensionality.
+func (e *Estimator) Dims() int { return e.d }
+
+// SampleSize returns the model size s.
+func (e *Estimator) SampleSize() int { return e.s }
+
+// Queries returns the number of estimates served.
+func (e *Estimator) Queries() int { return e.queries }
+
+// Replacements returns the number of sample points replaced by maintenance.
+func (e *Estimator) Replacements() int { return e.replacements }
+
+// Bandwidth returns a copy of the current bandwidth vector.
+func (e *Estimator) Bandwidth() []float64 {
+	if e.eng != nil {
+		return e.eng.Bandwidth()
+	}
+	return e.host.Bandwidth()
+}
+
+// SetBandwidth installs a new bandwidth.
+func (e *Estimator) SetBandwidth(h []float64) error {
+	if e.eng != nil {
+		return e.eng.SetBandwidth(h)
+	}
+	return e.host.SetBandwidth(h)
+}
+
+// Device returns the simulated device, or nil for host execution.
+func (e *Estimator) Device() *gpu.Device {
+	if e.eng != nil {
+		return e.eng.Device()
+	}
+	return nil
+}
+
+// Estimate returns the estimated selectivity of q (step 1-4 of Figure 3 on
+// a device; the closed form of eq. 13 on the host). Contributions are
+// retained for the subsequent Feedback call.
+func (e *Estimator) Estimate(q query.Range) (float64, error) {
+	e.queries++
+	if e.eng != nil {
+		est, err := e.eng.Estimate(q)
+		if err != nil {
+			return 0, err
+		}
+		e.lastQ = q.Clone()
+		e.lastEst = est
+		e.hasEst = true
+		return est, nil
+	}
+	contrib, est, err := e.host.Contributions(q, e.lastContrib)
+	if err != nil {
+		return 0, err
+	}
+	e.lastContrib = contrib
+	e.lastQ = q.Clone()
+	e.lastEst = est
+	e.hasEst = true
+	return est, nil
+}
+
+// Feedback delivers the true selectivity observed after the database
+// executed q. In Adaptive mode it performs the Listing-1 learning step and
+// the karma maintenance pass; in all other modes it is a no-op so callers
+// can drive every estimator uniformly.
+func (e *Estimator) Feedback(q query.Range, actual float64) error {
+	if e.cfg.Mode != Adaptive {
+		return nil
+	}
+	if !e.hasEst || !e.lastQ.Equal(q) {
+		if _, err := e.Estimate(q); err != nil {
+			return err
+		}
+		e.queries-- // re-estimation for feedback is not a user query
+	}
+
+	// Bandwidth learning step: ∇_H L = ∂L/∂p̂ · ∂p̂/∂H (eq. 14).
+	h := e.Bandwidth()
+	var grad []float64
+	var est float64
+	var err error
+	if e.eng != nil {
+		est, grad, err = e.eng.Gradient(q)
+	} else {
+		grad = make([]float64, e.d)
+		est, err = e.host.SelectivityGradient(q, grad)
+	}
+	if err != nil {
+		return err
+	}
+	dl := e.lf.Deriv(est, actual)
+	for j := range grad {
+		grad[j] *= dl
+	}
+
+	// Karma maintenance runs first: it consumes the contributions retained
+	// under the current bandwidth, which the learning step may invalidate.
+	if err := e.maintainSample(q, actual); err != nil {
+		return err
+	}
+
+	updated, err := e.learn.Observe(grad, h)
+	if err != nil {
+		return err
+	}
+	if updated {
+		if err := e.SetBandwidth(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maintainSample performs the karma update and point replacements of §4.2.
+func (e *Estimator) maintainSample(q query.Range, actual float64) error {
+	if e.maintain {
+		var idx []int
+		var err error
+		if e.eng != nil {
+			idx, err = e.eng.UpdateKarma(e.karma, actual)
+		} else {
+			bound := 0.0
+			if actual == 0 {
+				if _, ok := e.kern.(kernel.Gaussian); ok {
+					bound = sample.EmptyRegionBound(q, e.Bandwidth())
+				}
+			}
+			idx, err = e.karma.Update(e.lastContrib, e.lastEst, actual, bound)
+		}
+		if err != nil {
+			return err
+		}
+		for _, i := range idx {
+			row, ok := e.tab.RandomRow(e.rng)
+			if !ok {
+				break // empty table: nothing to replace with
+			}
+			if err := e.replacePoint(i, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Estimator) replacePoint(i int, row []float64) error {
+	e.replacements++
+	e.hasEst = false
+	if e.eng != nil {
+		return e.eng.ReplacePoint(i, row)
+	}
+	return e.host.ReplacePoint(i, row)
+}
+
+// Reoptimize re-runs the batch bandwidth optimization over fresh feedback,
+// usable from any mode (e.g. periodic re-tuning of a Batch estimator).
+func (e *Estimator) Reoptimize(fbs []query.Feedback) error {
+	flat, err := e.sampleHost()
+	if err != nil {
+		return err
+	}
+	opts := e.cfg.BatchOptions
+	if opts.Kernel == nil {
+		opts.Kernel = e.kern
+	}
+	if opts.Loss == nil {
+		opts.Loss = e.lf
+	}
+	if opts.Rand == nil {
+		opts.Rand = e.rng
+	}
+	h, err := bandwidth.Optimal(flat, e.d, fbs, opts)
+	if err != nil {
+		return err
+	}
+	return e.SetBandwidth(h)
+}
+
+func (e *Estimator) sampleHost() ([]float64, error) {
+	if e.eng != nil {
+		return e.eng.SampleHost()
+	}
+	flat := e.host.SampleFlat()
+	out := make([]float64, len(flat))
+	copy(out, flat)
+	return out, nil
+}
+
+// OnInsert implements table.Listener: reservoir sampling over the insert
+// stream (§4.2). Accepted tuples replace a random sample slot and reset
+// its karma.
+func (e *Estimator) OnInsert(row []float64) {
+	if e.res == nil {
+		return
+	}
+	slot, accept := e.res.Offer()
+	if !accept {
+		return
+	}
+	r := make([]float64, len(row))
+	copy(r, row)
+	if err := e.replacePoint(slot, r); err != nil {
+		return // row shape mismatch cannot happen for a subscribed table
+	}
+	if e.karma != nil {
+		e.karma.Reset(slot)
+	}
+}
+
+// OnDelete implements table.Listener. Deletions are handled lazily by the
+// karma maintenance (§4.2), so no immediate action is taken.
+func (e *Estimator) OnDelete([]float64) {}
+
+// OnUpdate implements table.Listener. Updates are handled lazily by the
+// karma maintenance, like deletions.
+func (e *Estimator) OnUpdate(_, _ []float64) {}

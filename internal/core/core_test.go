@@ -1,0 +1,408 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/gpu"
+	"kdesel/internal/kde"
+	"kdesel/internal/loss"
+	"kdesel/internal/query"
+	"kdesel/internal/table"
+)
+
+// buildClusteredTable creates a 2-D table with two tight clusters.
+func buildClusteredTable(t *testing.T, n int, seed int64) *table.Table {
+	t.Helper()
+	tab, err := table.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		c := float64(rng.Intn(2)) * 6
+		if err := tab.Insert([]float64{c + rng.NormFloat64()*0.4, c + rng.NormFloat64()*0.4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func dataQuery(tab *table.Table, rng *rand.Rand, width float64) query.Range {
+	row := tab.Row(rng.Intn(tab.Len()))
+	return query.NewRange(
+		[]float64{row[0] - width/2, row[1] - width/2},
+		[]float64{row[0] + width/2, row[1] + width/2},
+	)
+}
+
+func feedbackSet(t *testing.T, tab *table.Table, rng *rand.Rand, n int, width float64) []query.Feedback {
+	t.Helper()
+	fbs := make([]query.Feedback, n)
+	for i := range fbs {
+		q := dataQuery(tab, rng, width)
+		actual, err := tab.Selectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fbs[i] = query.Feedback{Query: q, Actual: actual}
+	}
+	return fbs
+}
+
+func avgAbsError(t *testing.T, e *Estimator, tab *table.Table, fbs []query.Feedback) float64 {
+	t.Helper()
+	sum := 0.0
+	for _, fb := range fbs {
+		est, err := e.Estimate(fb.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += math.Abs(est - fb.Actual)
+	}
+	return sum / float64(len(fbs))
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Config{}); err == nil {
+		t.Error("nil table should be rejected")
+	}
+	empty, _ := table.New(2)
+	if _, err := Build(empty, Config{}); err == nil {
+		t.Error("empty table should be rejected")
+	}
+	tab := buildClusteredTable(t, 100, 1)
+	if _, err := Build(tab, Config{Mode: Batch}); err == nil {
+		t.Error("batch mode without training feedback should be rejected")
+	}
+	if _, err := Build(tab, Config{Mode: Mode(99)}); err == nil {
+		t.Error("unknown mode should be rejected")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	want := map[Mode]string{Heuristic: "heuristic", SCV: "scv", Batch: "batch", Adaptive: "adaptive"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+	if Mode(42).String() != "mode(42)" {
+		t.Error("unknown mode should format distinctly")
+	}
+}
+
+func TestHeuristicUsesScottBandwidth(t *testing.T) {
+	tab := buildClusteredTable(t, 500, 2)
+	e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := e.sampleHost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := kde.ScottBandwidth(flat, 2)
+	got := e.Bandwidth()
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-12 {
+			t.Errorf("bandwidth[%d] = %g, want Scott %g", j, got[j], want[j])
+		}
+	}
+	if e.SampleSize() != 64 || e.Dims() != 2 {
+		t.Errorf("shape = (%d, %d)", e.SampleSize(), e.Dims())
+	}
+}
+
+func TestSampleCappedAtTableSize(t *testing.T) {
+	tab := buildClusteredTable(t, 10, 3)
+	e, err := Build(tab, Config{SampleSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SampleSize() != 10 {
+		t.Errorf("sample size = %d, want 10", e.SampleSize())
+	}
+}
+
+func TestEstimateReasonableOnClusters(t *testing.T) {
+	tab := buildClusteredTable(t, 2000, 4)
+	e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A box around one cluster holds about half the data.
+	q := query.NewRange([]float64{-2, -2}, []float64{2, 2})
+	est, err := e.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual, _ := tab.Selectivity(q)
+	if math.Abs(est-actual) > 0.15 {
+		t.Errorf("estimate %g vs actual %g", est, actual)
+	}
+	if e.Queries() != 1 {
+		t.Errorf("Queries = %d", e.Queries())
+	}
+}
+
+func TestFeedbackNoopOutsideAdaptive(t *testing.T) {
+	tab := buildClusteredTable(t, 200, 5)
+	e, _ := Build(tab, Config{Mode: Heuristic, SampleSize: 64})
+	h0 := e.Bandwidth()
+	q := dataQuery(tab, rand.New(rand.NewSource(1)), 1)
+	if _, err := e.Estimate(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Feedback(q, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	h1 := e.Bandwidth()
+	for j := range h0 {
+		if h0[j] != h1[j] {
+			t.Error("feedback must not change a heuristic estimator")
+		}
+	}
+}
+
+func TestBatchImprovesOverHeuristic(t *testing.T) {
+	tab := buildClusteredTable(t, 3000, 6)
+	rng := rand.New(rand.NewSource(10))
+	train := feedbackSet(t, tab, rng, 60, 1.5)
+	test := feedbackSet(t, tab, rng, 120, 1.5)
+
+	heur, err := Build(tab, Config{Mode: Heuristic, SampleSize: 128, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Build(tab, Config{Mode: Batch, SampleSize: 128, Seed: 11, Training: train})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errHeur := avgAbsError(t, heur, tab, test)
+	errBatch := avgAbsError(t, batch, tab, test)
+	if errBatch > errHeur*1.05 {
+		t.Errorf("batch error %.4f should beat heuristic %.4f", errBatch, errHeur)
+	}
+}
+
+func TestSCVBuilds(t *testing.T) {
+	tab := buildClusteredTable(t, 500, 7)
+	e, err := Build(tab, Config{Mode: SCV, SampleSize: 96, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range e.Bandwidth() {
+		if !(v > 0) {
+			t.Errorf("scv bandwidth[%d] = %g", j, v)
+		}
+	}
+}
+
+func TestAdaptiveLearnsFromFeedback(t *testing.T) {
+	tab := buildClusteredTable(t, 3000, 8)
+	rng := rand.New(rand.NewSource(20))
+	test := feedbackSet(t, tab, rng, 100, 1.5)
+
+	adaptive, err := Build(tab, Config{Mode: Adaptive, SampleSize: 128, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errBefore := avgAbsError(t, adaptive, tab, test)
+	// Drive the feedback loop.
+	for i := 0; i < 400; i++ {
+		q := dataQuery(tab, rng, 1.5)
+		if _, err := adaptive.Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+		actual, _ := tab.Selectivity(q)
+		if err := adaptive.Feedback(q, actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errAfter := avgAbsError(t, adaptive, tab, test)
+	if errAfter > errBefore {
+		t.Errorf("adaptive error rose from %.4f to %.4f after feedback", errBefore, errAfter)
+	}
+	// The bandwidth must have moved and stayed positive.
+	moved := false
+	flat, _ := adaptive.sampleHost()
+	scott := kde.ScottBandwidth(flat, 2)
+	for j, v := range adaptive.Bandwidth() {
+		if !(v > 0) {
+			t.Fatalf("bandwidth[%d] = %g", j, v)
+		}
+		if math.Abs(v-scott[j]) > 1e-9 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("adaptive bandwidth never moved from initialization")
+	}
+}
+
+func TestKarmaRecoversFromDeletions(t *testing.T) {
+	// Two clusters; one is deleted. Karma maintenance must purge outdated
+	// sample points so estimates over the deleted region approach zero.
+	tab := buildClusteredTable(t, 2000, 9)
+	adaptive, err := Build(tab, Config{Mode: Adaptive, SampleSize: 128, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := query.NewRange([]float64{4, 4}, []float64{8, 8})
+	if _, err := tab.DeleteWhere(dead); err != nil {
+		t.Fatal(err)
+	}
+	estBefore, _ := adaptive.Estimate(dead)
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 300; i++ {
+		var q query.Range
+		if i%3 == 0 {
+			q = dead.Clone() // users still probe the archived region
+		} else {
+			q = dataQuery(tab, rng, 1.5)
+		}
+		if _, err := adaptive.Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+		actual, _ := tab.Selectivity(q)
+		if err := adaptive.Feedback(q, actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+	estAfter, _ := adaptive.Estimate(dead)
+	if estAfter > estBefore/4 {
+		t.Errorf("deleted-region estimate %g did not decay (was %g)", estAfter, estBefore)
+	}
+	if adaptive.Replacements() == 0 {
+		t.Error("karma maintenance never replaced a point")
+	}
+}
+
+func TestReservoirPicksUpInserts(t *testing.T) {
+	tab := buildClusteredTable(t, 400, 10)
+	adaptive, err := Build(tab, Config{Mode: Adaptive, SampleSize: 64, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a new cluster as large as the table: roughly half the sample
+	// should eventually represent it.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 400; i++ {
+		_ = tab.Insert([]float64{20 + rng.NormFloat64()*0.2, 20 + rng.NormFloat64()*0.2})
+	}
+	if adaptive.Replacements() == 0 {
+		t.Fatal("reservoir never injected an inserted tuple")
+	}
+	flat, _ := adaptive.sampleHost()
+	inNew := 0
+	for i := 0; i < len(flat); i += 2 {
+		if flat[i] > 15 && flat[i+1] > 15 {
+			inNew++
+		}
+	}
+	frac := float64(inNew) / 64
+	if frac < 0.2 || frac > 0.8 {
+		t.Errorf("new-cluster sample fraction = %.2f, want near 0.5", frac)
+	}
+}
+
+func TestDeviceModeMatchesHostMode(t *testing.T) {
+	tab := buildClusteredTable(t, 1000, 11)
+	dev, err := gpu.NewDevice(gpu.GTX460())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed → same sample; estimates must agree to fp noise.
+	hostE, err := Build(tab, Config{Mode: Heuristic, SampleSize: 128, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devE, err := Build(tab, Config{Mode: Heuristic, SampleSize: 128, Seed: 51, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(52))
+	for i := 0; i < 20; i++ {
+		q := dataQuery(tab, rng, 2)
+		a, err := hostE.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := devE.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-9 {
+			t.Errorf("query %d: host %g vs device %g", i, a, b)
+		}
+	}
+	if devE.Device() == nil || devE.Device().Clock() == 0 {
+		t.Error("device clock should have advanced")
+	}
+	if hostE.Device() != nil {
+		t.Error("host estimator should report a nil device")
+	}
+}
+
+func TestAdaptiveOnDeviceRuns(t *testing.T) {
+	tab := buildClusteredTable(t, 800, 12)
+	dev, _ := gpu.NewDevice(gpu.XeonE5620())
+	e, err := Build(tab, Config{Mode: Adaptive, SampleSize: 64, Seed: 61, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 50; i++ {
+		q := dataQuery(tab, rng, 1.5)
+		if _, err := e.Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+		actual, _ := tab.Selectivity(q)
+		if err := e.Feedback(q, actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j, v := range e.Bandwidth() {
+		if !(v > 0) || math.IsNaN(v) {
+			t.Errorf("bandwidth[%d] = %g", j, v)
+		}
+	}
+}
+
+func TestReoptimize(t *testing.T) {
+	tab := buildClusteredTable(t, 1500, 13)
+	rng := rand.New(rand.NewSource(70))
+	e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 96, Seed: 71, Loss: loss.Quadratic{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := feedbackSet(t, tab, rng, 80, 1.5)
+	before := avgAbsError(t, e, tab, test)
+	train := feedbackSet(t, tab, rng, 50, 1.5)
+	if err := e.Reoptimize(train); err != nil {
+		t.Fatal(err)
+	}
+	after := avgAbsError(t, e, tab, test)
+	if after > before*1.05 {
+		t.Errorf("reoptimized error %.4f should not exceed heuristic %.4f", after, before)
+	}
+}
+
+func TestFeedbackWithoutPriorEstimate(t *testing.T) {
+	tab := buildClusteredTable(t, 300, 14)
+	e, err := Build(tab, Config{Mode: Adaptive, SampleSize: 32, Seed: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dataQuery(tab, rand.New(rand.NewSource(82)), 1)
+	actual, _ := tab.Selectivity(q)
+	// Feedback for a query never estimated must self-heal, not fail.
+	if err := e.Feedback(q, actual); err != nil {
+		t.Fatal(err)
+	}
+	if e.Queries() != 0 {
+		t.Errorf("internal re-estimation counted as user query: %d", e.Queries())
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/gpu"
+	"kdesel/internal/kernel"
+	"kdesel/internal/learner"
+	"kdesel/internal/loss"
+	"kdesel/internal/sample"
+)
+
+// Adaptive mode with the Epanechnikov kernel: the empty-region shortcut is
+// Gaussian-only, so feedback on empty queries must fall back to plain karma
+// without errors, and the learner must still adapt.
+func TestAdaptiveEpanechnikov(t *testing.T) {
+	tab := buildClusteredTable(t, 1200, 31)
+	e, err := Build(tab, Config{
+		Mode: Adaptive, SampleSize: 96, Seed: 32, Kernel: kernel.Epanechnikov{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 150; i++ {
+		var q = dataQuery(tab, rng, 1.5)
+		if i%5 == 0 {
+			// An empty region far from the data.
+			q = dataQuery(tab, rng, 1)
+			for j := range q.Lo {
+				q.Lo[j] += 100
+				q.Hi[j] += 100
+			}
+		}
+		if _, err := e.Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+		actual, _ := tab.Selectivity(q)
+		if err := e.Feedback(q, actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j, v := range e.Bandwidth() {
+		if !(v > 0) || math.IsNaN(v) {
+			t.Errorf("bandwidth[%d] = %g", j, v)
+		}
+	}
+}
+
+// Logarithmic adaptive updates (Appendix D) through the full estimator.
+func TestAdaptiveLogarithmicUpdates(t *testing.T) {
+	tab := buildClusteredTable(t, 1500, 34)
+	e, err := Build(tab, Config{
+		Mode: Adaptive, SampleSize: 128, Seed: 35,
+		Learner: learner.Config{Logarithmic: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(36))
+	test := feedbackSet(t, tab, rng, 60, 1.5)
+	before := avgAbsError(t, e, tab, test)
+	for i := 0; i < 300; i++ {
+		q := dataQuery(tab, rng, 1.5)
+		if _, err := e.Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+		actual, _ := tab.Selectivity(q)
+		if err := e.Feedback(q, actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := avgAbsError(t, e, tab, test)
+	if after > before {
+		t.Errorf("log-update adaptive error rose: %.4f -> %.4f", before, after)
+	}
+}
+
+// Custom loss functions flow through the whole adaptive pipeline.
+func TestAdaptiveWithQError(t *testing.T) {
+	tab := buildClusteredTable(t, 800, 37)
+	e, err := Build(tab, Config{
+		Mode: Adaptive, SampleSize: 64, Seed: 38, Loss: loss.SquaredQ{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(39))
+	for i := 0; i < 60; i++ {
+		q := dataQuery(tab, rng, 1.5)
+		if _, err := e.Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+		actual, _ := tab.Selectivity(q)
+		if err := e.Feedback(q, actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range e.Bandwidth() {
+		if !(v > 0) {
+			t.Fatal("bandwidth degenerated under q-error loss")
+		}
+	}
+}
+
+// DisableMaintenance keeps the learner but never touches the sample.
+func TestAdaptiveWithoutMaintenance(t *testing.T) {
+	tab := buildClusteredTable(t, 800, 40)
+	e, err := Build(tab, Config{
+		Mode: Adaptive, SampleSize: 64, Seed: 41, DisableMaintenance: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	// Deletions plus feedback: without maintenance, no replacements ever.
+	_, _ = tab.DeleteWhere(dataQuery(tab, rng, 3))
+	for i := 0; i < 100; i++ {
+		q := dataQuery(tab, rng, 1.5)
+		_, _ = e.Estimate(q)
+		actual, _ := tab.Selectivity(q)
+		if err := e.Feedback(q, actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ { // inserts must be ignored too
+		_ = tab.Insert([]float64{50, 50})
+	}
+	if e.Replacements() != 0 {
+		t.Errorf("maintenance disabled but %d replacements happened", e.Replacements())
+	}
+}
+
+// Reoptimize works against a device-resident sample too (the sample is
+// transferred back once, optimized on the host, and the new bandwidth
+// shipped to the device).
+func TestReoptimizeOnDevice(t *testing.T) {
+	tab := buildClusteredTable(t, 900, 46)
+	dev, err := gpu.NewDevice(gpu.XeonE5620())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 96, Seed: 47, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(48))
+	train := feedbackSet(t, tab, rng, 40, 1.5)
+	test := feedbackSet(t, tab, rng, 60, 1.5)
+	before := avgAbsError(t, e, tab, test)
+	if err := e.Reoptimize(train); err != nil {
+		t.Fatal(err)
+	}
+	after := avgAbsError(t, e, tab, test)
+	if after > before*1.05 {
+		t.Errorf("device reoptimize worsened error: %.4f -> %.4f", before, after)
+	}
+}
+
+// Karma config overrides reach the maintenance layer.
+func TestKarmaConfigOverride(t *testing.T) {
+	tab := buildClusteredTable(t, 600, 43)
+	e, err := Build(tab, Config{
+		Mode: Adaptive, SampleSize: 64, Seed: 44,
+		Karma: sample.KarmaConfig{Threshold: -1e12}, // effectively never replace
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(45))
+	_, _ = tab.DeleteWhere(dataQuery(tab, rng, 4))
+	for i := 0; i < 120; i++ {
+		q := dataQuery(tab, rng, 1.5)
+		_, _ = e.Estimate(q)
+		actual, _ := tab.Selectivity(q)
+		_ = e.Feedback(q, actual)
+	}
+	// The empty-region shortcut can still fire, but the karma threshold
+	// path cannot; with clustered queries over live data, replacements
+	// should be rare or zero.
+	if e.Replacements() > 5 {
+		t.Errorf("threshold override ignored: %d replacements", e.Replacements())
+	}
+}

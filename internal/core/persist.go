@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"kdesel/internal/gpu"
+	"kdesel/internal/kde"
+	"kdesel/internal/kernel"
+	"kdesel/internal/learner"
+	"kdesel/internal/loss"
+	"kdesel/internal/sample"
+	"kdesel/internal/table"
+)
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// snapshot is the serialized essence of an estimator: the model (sample +
+// bandwidth), its configuration identity, and the karma state of the
+// maintenance layer. Transient learning-rate state is rebuilt on load (the
+// RMSprop averages re-warm within one mini-batch).
+type snapshot struct {
+	Version      int
+	Mode         int
+	Dims         int
+	Sample       []float64
+	Bandwidth    []float64
+	KernelName   string
+	LossName     string
+	Seed         int64
+	Maintained   bool
+	KarmaScores  []float64
+	Queries      int
+	Replacements int
+	LearnerCfg   learner.Config
+	KarmaCfg     karmaCfgSnapshot
+}
+
+// karmaCfgSnapshot mirrors sample.KarmaConfig without the non-serializable
+// loss function (carried by name in LossName).
+type karmaCfgSnapshot struct {
+	Max        float64
+	Threshold  float64
+	NoScale    bool
+	NoShortcut bool
+}
+
+// Save serializes the estimator's model state with encoding/gob. The
+// estimator remains usable afterwards.
+func (e *Estimator) Save(w io.Writer) error {
+	flat, err := e.sampleHost()
+	if err != nil {
+		return err
+	}
+	snap := snapshot{
+		Version:      snapshotVersion,
+		Mode:         int(e.cfg.Mode),
+		Dims:         e.d,
+		Sample:       flat,
+		Bandwidth:    e.Bandwidth(),
+		KernelName:   e.kern.Name(),
+		LossName:     e.lf.Name(),
+		Seed:         e.cfg.Seed,
+		Maintained:   e.maintain,
+		Queries:      e.queries,
+		Replacements: e.replacements,
+		LearnerCfg:   e.cfg.Learner,
+		KarmaCfg: karmaCfgSnapshot{
+			Max:        e.cfg.Karma.Max,
+			Threshold:  e.cfg.Karma.Threshold,
+			NoScale:    e.cfg.Karma.NoScale,
+			NoShortcut: e.cfg.Karma.NoShortcut,
+		},
+	}
+	if e.karma != nil {
+		snap.KarmaScores = e.karma.Scores()
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reconstructs a saved estimator bound to tab (which supplies future
+// replacement rows and change notifications) and, when dev is non-nil,
+// places the model on that device. The saved sample is reinstated verbatim
+// rather than redrawn, so estimates are identical to the saved model's.
+func Load(r io.Reader, tab *table.Table, dev *gpu.Device) (*Estimator, error) {
+	if tab == nil {
+		return nil, errors.New("core: nil table")
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", snap.Version)
+	}
+	if snap.Dims != tab.Dims() {
+		return nil, fmt.Errorf("core: snapshot has %d dims, table has %d", snap.Dims, tab.Dims())
+	}
+	if len(snap.Sample) == 0 || len(snap.Sample)%snap.Dims != 0 {
+		return nil, errors.New("core: snapshot sample is malformed")
+	}
+	kern, ok := kernel.ByName(snap.KernelName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown kernel %q in snapshot", snap.KernelName)
+	}
+	lf, ok := loss.ByName(snap.LossName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown loss %q in snapshot", snap.LossName)
+	}
+
+	e := &Estimator{
+		cfg: Config{
+			Mode:       Mode(snap.Mode),
+			SampleSize: len(snap.Sample) / snap.Dims,
+			Kernel:     kern,
+			Loss:       lf,
+			Device:     dev,
+			Learner:    snap.LearnerCfg,
+			Karma: sample.KarmaConfig{
+				Max:        snap.KarmaCfg.Max,
+				Threshold:  snap.KarmaCfg.Threshold,
+				NoScale:    snap.KarmaCfg.NoScale,
+				NoShortcut: snap.KarmaCfg.NoShortcut,
+				Loss:       lf,
+			},
+			Seed: snap.Seed,
+		},
+		tab:          tab,
+		d:            snap.Dims,
+		s:            len(snap.Sample) / snap.Dims,
+		kern:         kern,
+		lf:           lf,
+		rng:          rand.New(rand.NewSource(snap.Seed + 1)),
+		queries:      snap.Queries,
+		replacements: snap.Replacements,
+	}
+
+	var err error
+	if dev != nil {
+		e.eng, err = gpu.NewEngine(dev, e.d, kern, snap.Sample)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.eng.SetBandwidth(snap.Bandwidth); err != nil {
+			return nil, err
+		}
+	} else {
+		e.host, err = kde.New(e.d, kern)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.host.SetSampleFlat(snap.Sample); err != nil {
+			return nil, err
+		}
+		if err := e.host.SetBandwidth(snap.Bandwidth); err != nil {
+			return nil, err
+		}
+	}
+
+	if e.cfg.Mode == Adaptive {
+		e.learn, err = learner.NewRMSprop(e.d, e.cfg.Learner)
+		if err != nil {
+			return nil, err
+		}
+		if snap.Maintained {
+			e.maintain = true
+			e.karma, err = sample.NewKarma(e.s, e.cfg.Karma)
+			if err != nil {
+				return nil, err
+			}
+			if snap.KarmaScores != nil {
+				if err := e.karma.RestoreScores(snap.KarmaScores); err != nil {
+					return nil, err
+				}
+			}
+			e.res, err = sample.NewReservoir(e.s, tab.Len(), e.rng)
+			if err != nil {
+				return nil, err
+			}
+			tab.Subscribe(e)
+		}
+	}
+	return e, nil
+}

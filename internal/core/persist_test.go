@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kdesel/internal/gpu"
+	"kdesel/internal/query"
+	"kdesel/internal/table"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tab := buildClusteredTable(t, 1500, 21)
+	orig, err := Build(tab, Config{Mode: Adaptive, SampleSize: 128, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exercise the model so there is state worth saving.
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 60; i++ {
+		q := dataQuery(tab, rng, 1.5)
+		if _, err := orig.Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+		actual, _ := tab.Selectivity(q)
+		if err := orig.Feedback(q, actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, tab, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identity checks: mode, shape, counters, bandwidth, estimates.
+	if loaded.Mode() != Adaptive || loaded.Dims() != 2 || loaded.SampleSize() != orig.SampleSize() {
+		t.Errorf("shape mismatch: %v/%d/%d", loaded.Mode(), loaded.Dims(), loaded.SampleSize())
+	}
+	if loaded.Queries() != orig.Queries() || loaded.Replacements() != orig.Replacements() {
+		t.Errorf("counters: %d/%d vs %d/%d",
+			loaded.Queries(), loaded.Replacements(), orig.Queries(), orig.Replacements())
+	}
+	ho, hl := orig.Bandwidth(), loaded.Bandwidth()
+	for j := range ho {
+		if ho[j] != hl[j] {
+			t.Fatalf("bandwidth[%d]: %g vs %g", j, ho[j], hl[j])
+		}
+	}
+	for i := 0; i < 20; i++ {
+		q := dataQuery(tab, rng, 1.5)
+		a, err := orig.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("estimates diverge after load: %g vs %g", a, b)
+		}
+	}
+	// The loaded estimator keeps learning.
+	q := dataQuery(tab, rng, 1.5)
+	if _, err := loaded.Estimate(q); err != nil {
+		t.Fatal(err)
+	}
+	actual, _ := tab.Selectivity(q)
+	if err := loaded.Feedback(q, actual); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadOntoDevice(t *testing.T) {
+	tab := buildClusteredTable(t, 800, 23)
+	orig, err := Build(tab, Config{Mode: Heuristic, SampleSize: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := gpu.NewDevice(gpu.GTX460())
+	loaded, err := Load(&buf, tab, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewRange([]float64{-1, -1}, []float64{1, 1})
+	a, _ := orig.Estimate(q)
+	b, _ := loaded.Estimate(q)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("host/device estimates diverge after load: %g vs %g", a, b)
+	}
+	if loaded.Device() == nil {
+		t.Error("loaded estimator should report its device")
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	tab := buildClusteredTable(t, 300, 24)
+	orig, _ := Build(tab, Config{SampleSize: 32, Seed: 1})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()), nil, nil); err == nil {
+		t.Error("nil table should be rejected")
+	}
+	if _, err := Load(strings.NewReader("garbage"), tab, nil); err == nil {
+		t.Error("corrupt snapshot should be rejected")
+	}
+}
+
+func TestLoadDimsMismatch(t *testing.T) {
+	tab := buildClusteredTable(t, 300, 26)
+	orig, _ := Build(tab, Config{SampleSize: 32, Seed: 1})
+	var buf bytes.Buffer
+	_ = orig.Save(&buf)
+	oneD, err := table.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = oneD.Insert([]float64{1})
+	if _, err := Load(&buf, oneD, nil); err == nil {
+		t.Error("dimension-mismatched table should be rejected")
+	}
+}

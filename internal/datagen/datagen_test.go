@@ -1,0 +1,224 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/stats"
+)
+
+func column(rows [][]float64, j int) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r[j]
+	}
+	return out
+}
+
+func TestAllDatasetsShapeAndFiniteness(t *testing.T) {
+	wantDims := map[string]int{
+		"bike": 16, "forest": 10, "power": 9, "protein": 9, "synthetic": 8,
+	}
+	for _, name := range Names() {
+		rng := rand.New(rand.NewSource(1))
+		ds, err := ByName(name, rng, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds.Rows) != 500 {
+			t.Errorf("%s: %d rows, want 500", name, len(ds.Rows))
+		}
+		if ds.Dims() != wantDims[name] {
+			t.Errorf("%s: %d dims, want %d", name, ds.Dims(), wantDims[name])
+		}
+		for i, r := range ds.Rows {
+			for j, v := range r {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: row %d attr %d = %g", name, i, j, v)
+				}
+			}
+		}
+	}
+	if _, err := ByName("census", rand.New(rand.NewSource(1)), 10); err == nil {
+		t.Error("unknown dataset should be rejected")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := ByName(name, rand.New(rand.NewSource(9)), 100)
+		b, _ := ByName(name, rand.New(rand.NewSource(9)), 100)
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if a.Rows[i][j] != b.Rows[i][j] {
+					t.Fatalf("%s: row %d differs across identical seeds", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBikeCorrelations(t *testing.T) {
+	ds := Bike(rand.New(rand.NewSource(2)), 5000)
+	temp := column(ds.Rows, 9)
+	atemp := column(ds.Rows, 10)
+	humidity := column(ds.Rows, 11)
+	casual := column(ds.Rows, 13)
+	registered := column(ds.Rows, 14)
+	count := column(ds.Rows, 15)
+
+	if c := stats.Correlation(temp, atemp); c < 0.85 {
+		t.Errorf("temp/atemp correlation = %.2f, want strong", c)
+	}
+	if c := stats.Correlation(temp, humidity); c > -0.3 {
+		t.Errorf("temp/humidity correlation = %.2f, want negative", c)
+	}
+	// count = casual + registered must hold exactly: a functional
+	// dependency a correlated real dataset exhibits.
+	for i := range count {
+		if math.Abs(count[i]-casual[i]-registered[i]) > 1e-9 {
+			t.Fatal("count != casual + registered")
+		}
+	}
+}
+
+func TestForestRanges(t *testing.T) {
+	ds := Forest(rand.New(rand.NewSource(3)), 3000)
+	for _, r := range ds.Rows {
+		if r[1] < 0 || r[1] > 360 {
+			t.Fatalf("aspect %g outside [0,360]", r[1])
+		}
+		for _, hillIdx := range []int{6, 7, 8} {
+			if r[hillIdx] < 0 || r[hillIdx] > 255 {
+				t.Fatalf("hillshade %g outside [0,255]", r[hillIdx])
+			}
+		}
+	}
+	// Road distance correlates with elevation by construction.
+	if c := stats.Correlation(column(ds.Rows, 0), column(ds.Rows, 5)); c < 0.2 {
+		t.Errorf("elevation/road-distance correlation = %.2f, want positive", c)
+	}
+}
+
+func TestPowerDiscreteChannels(t *testing.T) {
+	ds := Power(rand.New(rand.NewSource(4)), 5000)
+	zeros := 0
+	for _, r := range ds.Rows {
+		for _, subIdx := range []int{6, 7, 8} {
+			v := r[subIdx]
+			if v < 0 || v != math.Trunc(v) {
+				t.Fatalf("sub-metering value %g not a non-negative integer", v)
+			}
+			if v == 0 {
+				zeros++
+			}
+		}
+		if r[2] <= 0 {
+			t.Fatalf("active power %g not positive", r[2])
+		}
+	}
+	if frac := float64(zeros) / float64(3*len(ds.Rows)); frac < 0.4 {
+		t.Errorf("sub-metering zero fraction = %.2f, want spiky/mostly-zero", frac)
+	}
+	// Voltage anti-correlates with load.
+	if c := stats.Correlation(column(ds.Rows, 2), column(ds.Rows, 4)); c > -0.3 {
+		t.Errorf("load/voltage correlation = %.2f, want negative", c)
+	}
+}
+
+func TestProteinSkewAndCorrelation(t *testing.T) {
+	ds := Protein(rand.New(rand.NewSource(5)), 5000)
+	area := column(ds.Rows, 1)
+	if stats.Mean(area) < stats.Median(area) {
+		t.Error("surface area should be right-skewed (mean > median)")
+	}
+	if c := stats.Correlation(column(ds.Rows, 1), column(ds.Rows, 2)); c < 0.5 {
+		t.Errorf("total/non-polar area correlation = %.2f, want strong", c)
+	}
+}
+
+func TestSyntheticClustering(t *testing.T) {
+	ds := Synthetic(rand.New(rand.NewSource(6)), 20000, 3, 5, 0.1)
+	// All points in the unit cube.
+	for _, r := range ds.Rows {
+		for _, v := range r {
+			if v < 0 || v > 1 {
+				t.Fatalf("synthetic point %v escapes the unit cube", r)
+			}
+		}
+	}
+	// Clustered data is much denser than uniform somewhere: the max count
+	// over a coarse grid must far exceed the uniform expectation.
+	const g = 4
+	counts := map[[3]int]int{}
+	for _, r := range ds.Rows {
+		var cell [3]int
+		for j := 0; j < 3; j++ {
+			c := int(r[j] * g)
+			if c == g {
+				c = g - 1
+			}
+			cell[j] = c
+		}
+		counts[cell]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	uniformExp := float64(len(ds.Rows)) / (g * g * g)
+	if float64(maxCount) < 3*uniformExp {
+		t.Errorf("max cell count %d vs uniform expectation %.0f: no clustering visible", maxCount, uniformExp)
+	}
+}
+
+func TestProject(t *testing.T) {
+	ds := Dataset{Name: "x", Rows: [][]float64{{1, 2, 3}, {4, 5, 6}}}
+	p, err := ds.Project([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dims() != 2 || p.Rows[0][0] != 3 || p.Rows[0][1] != 1 || p.Rows[1][0] != 6 {
+		t.Errorf("projection = %v", p.Rows)
+	}
+	if _, err := ds.Project([]int{5}); err == nil {
+		t.Error("out-of-range projection should be rejected")
+	}
+	rp, err := ds.RandomProjection(2, rand.New(rand.NewSource(1)))
+	if err != nil || rp.Dims() != 2 {
+		t.Errorf("random projection = %v, %v", rp, err)
+	}
+	if _, err := ds.RandomProjection(9, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("oversized random projection should be rejected")
+	}
+}
+
+// No generated dataset may contain a constant column at experiment sizes:
+// a zero-extent dimension poisons every volume-based estimator.
+func TestNoConstantColumns(t *testing.T) {
+	for _, name := range Names() {
+		for _, n := range []int{2000, 8000} {
+			ds, err := ByName(name, rand.New(rand.NewSource(11)), n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := ds.Dims()
+			for j := 0; j < d; j++ {
+				first := ds.Rows[0][j]
+				constant := true
+				for _, r := range ds.Rows[1:] {
+					if r[j] != first {
+						constant = false
+						break
+					}
+				}
+				if constant {
+					t.Errorf("%s (n=%d): column %d is constant", name, n, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"kdesel/internal/core"
+	"kdesel/internal/kernel"
+	"kdesel/internal/stats"
+	"kdesel/internal/table"
+	"kdesel/internal/workload"
+)
+
+// AblationConfig is the shared setup for the design-choice ablations listed
+// in DESIGN.md §5.
+type AblationConfig struct {
+	// Dataset and Dims for the static ablations (default forest, 5).
+	Dataset string
+	Dims    int
+	// Rows in the table (default 8000).
+	Rows int
+	// TrainQueries/TestQueries per repetition (default 100/150).
+	TrainQueries int
+	TestQueries  int
+	// Repetitions (default 7).
+	Repetitions int
+	// SampleSize of the KDE models (default 512).
+	SampleSize int
+	// Workload kind (default DT).
+	Workload workload.Kind
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c AblationConfig) withDefaults() AblationConfig {
+	if c.Dataset == "" {
+		c.Dataset = "forest"
+	}
+	if c.Dims <= 0 {
+		c.Dims = 5
+	}
+	if c.Rows <= 0 {
+		c.Rows = 8000
+	}
+	if c.TrainQueries <= 0 {
+		c.TrainQueries = 100
+	}
+	if c.TestQueries <= 0 {
+		c.TestQueries = 150
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 7
+	}
+	if c.SampleSize <= 0 {
+		c.SampleSize = 512
+	}
+	return c
+}
+
+// AblationRow is one variant's outcome.
+type AblationRow struct {
+	Label   string
+	Errors  []float64
+	Summary stats.Summary
+}
+
+// AblationResult is the outcome of one ablation study.
+type AblationResult struct {
+	Name string
+	Rows []AblationRow
+}
+
+// WriteTable renders the ablation as one row per variant.
+func (r *AblationResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "# Ablation: %s (avg absolute error)\n", r.Name)
+	fmt.Fprintf(w, "%-24s %10s %10s %10s\n", "variant", "q1", "median", "q3")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-24s %10.5f %10.5f %10.5f\n",
+			row.Label, row.Summary.Q1, row.Summary.Median, row.Summary.Q3)
+	}
+}
+
+// runVariants executes the static protocol once per repetition per variant,
+// all variants seeing identical queries and samples.
+func runVariants(cfg AblationConfig, name string, variants []struct {
+	label string
+	build func(*core.Config)
+}) (*AblationResult, error) {
+	cfg = cfg.withDefaults()
+	tab, err := loadDataset(cfg.Dataset, cfg.Dims, cfg.Rows, cfg.Seed+17)
+	if err != nil {
+		return nil, err
+	}
+	errsByVariant := make([][]float64, len(variants))
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		repSeed := cfg.Seed + int64(rep)*6151
+		train, test, err := makeWorkload(tab, cfg.Workload, cfg.TrainQueries, cfg.TestQueries, repSeed)
+		if err != nil {
+			return nil, err
+		}
+		for vi, v := range variants {
+			e, err := buildEstimator(buildSpec{
+				name:          "Adaptive", // overridden freely by v.build
+				tab:           tab,
+				budget:        cfg.SampleSize * 8 * cfg.Dims,
+				train:         train,
+				seed:          repSeed,
+				coreOverrides: v.build,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := trainEstimator(e, train); err != nil {
+				return nil, err
+			}
+			avg, err := testError(e, test)
+			if err != nil {
+				return nil, err
+			}
+			errsByVariant[vi] = append(errsByVariant[vi], avg)
+		}
+	}
+	res := &AblationResult{Name: name}
+	for vi, v := range variants {
+		res.Rows = append(res.Rows, AblationRow{
+			Label:   v.label,
+			Errors:  errsByVariant[vi],
+			Summary: stats.Summarize(errsByVariant[vi]),
+		})
+	}
+	return res, nil
+}
+
+type variant = struct {
+	label string
+	build func(*core.Config)
+}
+
+// AblationLogUpdates compares logarithmic (Appendix D) against linear
+// adaptive bandwidth updates. The paper observed log updates winning in
+// 68% of experiments.
+func AblationLogUpdates(cfg AblationConfig) (*AblationResult, error) {
+	return runVariants(cfg, "logarithmic vs linear bandwidth updates", []variant{
+		{"adaptive-linear", func(c *core.Config) {
+			c.SampleSize = cfg.withDefaults().SampleSize
+			c.Learner.Logarithmic = false
+		}},
+		{"adaptive-log", func(c *core.Config) {
+			c.SampleSize = cfg.withDefaults().SampleSize
+			c.Learner.Logarithmic = true
+		}},
+	})
+}
+
+// AblationMiniBatch sweeps the mini-batch size N of Listing 1 (paper: ~10
+// works well).
+func AblationMiniBatch(cfg AblationConfig) (*AblationResult, error) {
+	sizes := []int{1, 5, 10, 20, 50}
+	vs := make([]variant, 0, len(sizes))
+	for _, n := range sizes {
+		n := n
+		vs = append(vs, variant{
+			label: fmt.Sprintf("mini-batch N=%d", n),
+			build: func(c *core.Config) {
+				c.SampleSize = cfg.withDefaults().SampleSize
+				c.Learner.BatchSize = n
+			},
+		})
+	}
+	return runVariants(cfg, "mini-batch size", vs)
+}
+
+// AblationGlobal compares the full global+local bandwidth optimization
+// pipeline against local-only refinement (§3.4 step 3).
+func AblationGlobal(cfg AblationConfig) (*AblationResult, error) {
+	mkBatch := func(skipGlobal bool) func(*core.Config) {
+		return func(c *core.Config) {
+			c.Mode = core.Batch
+			c.SampleSize = cfg.withDefaults().SampleSize
+			c.BatchOptions.SkipGlobal = skipGlobal
+		}
+	}
+	return runVariants(cfg, "global+local vs local-only optimization", []variant{
+		{"batch-global+local", mkBatch(false)},
+		{"batch-local-only", mkBatch(true)},
+	})
+}
+
+// AblationKernel compares the Gaussian against the Epanechnikov kernel
+// (§3.1.2: the kernel shape should barely matter).
+func AblationKernel(cfg AblationConfig) (*AblationResult, error) {
+	mk := func(k kernel.Kernel) func(*core.Config) {
+		return func(c *core.Config) {
+			c.Mode = core.Batch
+			c.SampleSize = cfg.withDefaults().SampleSize
+			c.Kernel = k
+		}
+	}
+	return runVariants(cfg, "gaussian vs epanechnikov kernel", []variant{
+		{"batch-gaussian", mk(kernel.Gaussian{})},
+		{"batch-epanechnikov", mk(kernel.Epanechnikov{})},
+	})
+}
+
+// AblationKarma compares the sample maintenance variants on the evolving
+// workload of §6.5: full karma + shortcut, karma without the Appendix-E
+// shortcut, and no maintenance at all. Lower steady-state error is better.
+func AblationKarma(cfg AblationConfig) (*AblationResult, error) {
+	cfg = cfg.withDefaults()
+	variants := []struct {
+		label string
+		mod   func(*core.Config)
+	}{
+		{"karma+shortcut", func(c *core.Config) {}},
+		{"karma-no-shortcut", func(c *core.Config) { c.Karma.NoShortcut = true }},
+		{"no-maintenance", func(c *core.Config) { c.DisableMaintenance = true }},
+	}
+	res := &AblationResult{Name: "karma maintenance variants (evolving data, steady-state error)"}
+	for _, v := range variants {
+		var finals []float64
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			repSeed := cfg.Seed + int64(rep)*7877
+			ev, err := workload.NewEvolving(workload.EvolvingConfig{
+				Dims: cfg.Dims, Cycles: 4, QueriesPerCycle: 40,
+			}, repSeed)
+			if err != nil {
+				return nil, err
+			}
+			errSum, errN, err := runEvolvingAdaptive(ev, cfg, repSeed, v.mod)
+			if err != nil {
+				return nil, err
+			}
+			finals = append(finals, errSum/float64(errN))
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label: v.label, Errors: finals, Summary: stats.Summarize(finals),
+		})
+	}
+	return res, nil
+}
+
+// runEvolvingAdaptive streams an evolving workload through one adaptive
+// estimator variant and returns the error accumulated over the second half
+// of the queries (steady state).
+func runEvolvingAdaptive(ev *workload.Evolving, cfg AblationConfig, seed int64, mod func(*core.Config)) (float64, int, error) {
+	tab, err := newTableFrom(ev)
+	if err != nil {
+		return 0, 0, err
+	}
+	e, err := buildEstimator(buildSpec{
+		name:   "Adaptive",
+		tab:    tab,
+		budget: cfg.SampleSize * 8 * cfg.Dims,
+		seed:   seed,
+		coreOverrides: func(c *core.Config) {
+			c.SampleSize = cfg.SampleSize
+			mod(c)
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	totalQueries := 0
+	for _, op := range ev.Ops {
+		if op.Kind == workload.OpQuery {
+			totalQueries++
+		}
+	}
+	half := totalQueries / 2
+	qi, errSum, errN := 0, 0.0, 0
+	for _, op := range ev.Ops {
+		switch op.Kind {
+		case workload.OpInsert:
+			if err := tab.Insert(op.Row); err != nil {
+				return 0, 0, err
+			}
+		case workload.OpDeleteRegion:
+			if _, err := tab.DeleteWhere(op.Region); err != nil {
+				return 0, 0, err
+			}
+		case workload.OpQuery:
+			actual, err := tab.Selectivity(op.Query)
+			if err != nil {
+				return 0, 0, err
+			}
+			est, err := e.Estimate(op.Query)
+			if err != nil {
+				return 0, 0, err
+			}
+			if qi >= half {
+				if est > actual {
+					errSum += est - actual
+				} else {
+					errSum += actual - est
+				}
+				errN++
+			}
+			if err := e.Feedback(op.Query, actual); err != nil {
+				return 0, 0, err
+			}
+			qi++
+		}
+	}
+	if errN == 0 {
+		return 0, 0, fmt.Errorf("experiments: evolving workload produced no steady-state queries")
+	}
+	return errSum, errN, nil
+}
+
+func newTableFrom(ev *workload.Evolving) (*table.Table, error) {
+	tab, err := table.New(ev.Config.Dims)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range ev.Initial {
+		if err := tab.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"kdesel/internal/table"
+	"kdesel/internal/workload"
+)
+
+// ChangingConfig parameterizes the §6.5 experiment (Figure 8): estimation
+// quality under an evolving database with interleaved inserts, deletions,
+// and recency-biased queries.
+type ChangingConfig struct {
+	// Dims is the dimensionality (paper: 5 and 8).
+	Dims int
+	// Estimators to compare (paper: STHoles, Heuristic, Adaptive).
+	Estimators []string
+	// Repetitions (paper: 10).
+	Repetitions int
+	// BudgetBytesPerDim is the per-dimension memory budget (paper: 4 kB).
+	BudgetBytesPerDim int
+	// Evolving tunes the workload (§6.5 defaults).
+	Evolving workload.EvolvingConfig
+	// Window is the number of queries aggregated per progression point.
+	Window int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c ChangingConfig) withDefaults() ChangingConfig {
+	if c.Dims <= 0 {
+		c.Dims = 5
+	}
+	if len(c.Estimators) == 0 {
+		c.Estimators = []string{"STHoles", "Heuristic", "Adaptive"}
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 10
+	}
+	if c.BudgetBytesPerDim <= 0 {
+		c.BudgetBytesPerDim = 4096
+	}
+	if c.Window <= 0 {
+		c.Window = 25
+	}
+	c.Evolving.Dims = c.Dims
+	return c
+}
+
+// ChangingSeries is the error progression of one estimator: one value per
+// window of queries, averaged over repetitions.
+type ChangingSeries struct {
+	Estimator string
+	Error     []float64
+}
+
+// ChangingResult aggregates the Figure 8 run.
+type ChangingResult struct {
+	Config ChangingConfig
+	// QueryIndex holds the last query index of each window.
+	QueryIndex []int
+	// Tuples is the table cardinality at each window end (averaged over
+	// repetitions) — the black line on top of Figure 8.
+	Tuples []float64
+	Series []ChangingSeries
+}
+
+// Changing runs the Figure 8 protocol: per repetition, load the initial
+// clusters, build each estimator, then stream the evolving workload,
+// recording every query's absolute estimation error for every estimator.
+func Changing(cfg ChangingConfig) (*ChangingResult, error) {
+	cfg = cfg.withDefaults()
+	budget := cfg.Dims * cfg.BudgetBytesPerDim
+
+	var perQueryErr map[string][]float64 // accumulated across reps
+	var tupleAt []float64
+	queries := 0
+
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		repSeed := cfg.Seed + int64(rep)*104729
+		ev, err := workload.NewEvolving(cfg.Evolving, repSeed)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := table.New(cfg.Dims)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range ev.Initial {
+			if err := tab.Insert(row); err != nil {
+				return nil, err
+			}
+		}
+		ests := make([]estimator, 0, len(cfg.Estimators))
+		for _, name := range cfg.Estimators {
+			e, err := buildEstimator(buildSpec{
+				name: name, tab: tab, budget: budget, seed: repSeed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ests = append(ests, e)
+		}
+
+		qi := 0
+		for _, op := range ev.Ops {
+			switch op.Kind {
+			case workload.OpInsert:
+				if err := tab.Insert(op.Row); err != nil {
+					return nil, err
+				}
+			case workload.OpDeleteRegion:
+				if _, err := tab.DeleteWhere(op.Region); err != nil {
+					return nil, err
+				}
+			case workload.OpQuery:
+				actual, err := tab.Selectivity(op.Query)
+				if err != nil {
+					return nil, err
+				}
+				if rep == 0 {
+					tupleAt = append(tupleAt, 0)
+				}
+				tupleAt[qi] += float64(tab.Len()) / float64(cfg.Repetitions)
+				for _, e := range ests {
+					est, err := e.Estimate(op.Query)
+					if err != nil {
+						return nil, err
+					}
+					if perQueryErr == nil {
+						perQueryErr = map[string][]float64{}
+					}
+					if rep == 0 && len(perQueryErr[e.Name()]) <= qi {
+						perQueryErr[e.Name()] = append(perQueryErr[e.Name()], 0)
+					}
+					perQueryErr[e.Name()][qi] += math.Abs(est-actual) / float64(cfg.Repetitions)
+					if err := e.Feedback(op.Query, actual); err != nil {
+						return nil, err
+					}
+				}
+				qi++
+			}
+		}
+		if rep == 0 {
+			queries = qi
+		} else if qi != queries {
+			return nil, fmt.Errorf("experiments: query count drifted across repetitions (%d vs %d)", qi, queries)
+		}
+	}
+
+	res := &ChangingResult{Config: cfg}
+	for start := 0; start < queries; start += cfg.Window {
+		end := start + cfg.Window
+		if end > queries {
+			end = queries
+		}
+		res.QueryIndex = append(res.QueryIndex, end-1)
+		sum := 0.0
+		for i := start; i < end; i++ {
+			sum += tupleAt[i]
+		}
+		res.Tuples = append(res.Tuples, sum/float64(end-start))
+	}
+	for _, name := range cfg.Estimators {
+		errs := perQueryErr[name]
+		series := ChangingSeries{Estimator: name}
+		for start := 0; start < queries; start += cfg.Window {
+			end := start + cfg.Window
+			if end > queries {
+				end = queries
+			}
+			sum := 0.0
+			for i := start; i < end; i++ {
+				sum += errs[i]
+			}
+			series.Error = append(series.Error, sum/float64(end-start))
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// FinalError returns an estimator's average error over the last k windows,
+// the steady-state comparison the §6.5 discussion makes.
+func (r *ChangingResult) FinalError(estimator string, k int) (float64, bool) {
+	for _, s := range r.Series {
+		if s.Estimator != estimator {
+			continue
+		}
+		n := len(s.Error)
+		if k > n {
+			k = n
+		}
+		if k == 0 {
+			return 0, false
+		}
+		sum := 0.0
+		for _, e := range s.Error[n-k:] {
+			sum += e
+		}
+		return sum / float64(k), true
+	}
+	return 0, false
+}
+
+// WriteTable renders the progression series of Figure 8.
+func (r *ChangingResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "# Estimation quality on changing data (%dD)\n", r.Config.Dims)
+	fmt.Fprintf(w, "%-8s %10s", "query", "tuples")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, " %10s", s.Estimator)
+	}
+	fmt.Fprintln(w)
+	for i, qi := range r.QueryIndex {
+		fmt.Fprintf(w, "%-8d %10.0f", qi, r.Tuples[i])
+		for _, s := range r.Series {
+			fmt.Fprintf(w, " %10.5f", s.Error[i])
+		}
+		fmt.Fprintln(w)
+	}
+}

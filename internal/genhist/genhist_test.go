@@ -1,0 +1,146 @@
+package genhist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/datagen"
+	"kdesel/internal/query"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 2, Config{MaxBuckets: 4}); err == nil {
+		t.Error("empty data should be rejected")
+	}
+	rows := [][]float64{{1, 2}}
+	if _, err := Build(rows, 3, Config{MaxBuckets: 4}); err == nil {
+		t.Error("dimension mismatch should be rejected")
+	}
+	if _, err := Build(rows, 2, Config{}); err == nil {
+		t.Error("missing bucket budget should be rejected")
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := datagen.Synthetic(rng, 5000, 3, 6, 0.1)
+	for _, budget := range []int{1, 4, 16, 64} {
+		h, err := Build(ds.Rows, 3, Config{MaxBuckets: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Buckets() > budget {
+			t.Errorf("budget %d: built %d buckets", budget, h.Buckets())
+		}
+	}
+}
+
+func TestFullSpaceMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := datagen.Synthetic(rng, 3000, 2, 4, 0.1)
+	h, err := Build(ds.Rows, 2, Config{MaxBuckets: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := query.NewRange([]float64{-10, -10}, []float64{10, 10})
+	est, err := h.Selectivity(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-1) > 1e-6 {
+		t.Errorf("full-space selectivity = %g, want 1", est)
+	}
+	off := query.NewRange([]float64{50, 50}, []float64{60, 60})
+	if est, _ := h.Selectivity(off); est != 0 {
+		t.Errorf("disjoint selectivity = %g, want 0", est)
+	}
+}
+
+func trueSel(rows [][]float64, q query.Range) float64 {
+	in := 0
+	for _, r := range rows {
+		if q.Contains(r) {
+			in++
+		}
+	}
+	return float64(in) / float64(len(rows))
+}
+
+func TestBeatsUniformOnClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := datagen.Synthetic(rng, 20000, 3, 5, 0.05)
+	h, err := Build(ds.Rows, 3, Config{MaxBuckets: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() == 0 {
+		t.Fatal("no buckets built on clustered data")
+	}
+	// Uniform baseline: whole-space single bucket.
+	space := query.NewRange(ds.Rows[0], ds.Rows[0])
+	for _, r := range ds.Rows[1:] {
+		space.ExpandToInclude(r)
+	}
+	var errGH, errUni float64
+	const tests = 80
+	for i := 0; i < tests; i++ {
+		c := ds.Rows[rng.Intn(len(ds.Rows))]
+		w := 0.05 + rng.Float64()*0.15
+		q := query.NewRange(
+			[]float64{c[0] - w, c[1] - w, c[2] - w},
+			[]float64{c[0] + w, c[1] + w, c[2] + w},
+		)
+		actual := trueSel(ds.Rows, q)
+		est, err := h.Selectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter, _ := q.Intersect(space)
+		uni := inter.Volume() / space.Volume()
+		errGH += math.Abs(est - actual)
+		errUni += math.Abs(uni - actual)
+	}
+	if errGH > errUni*0.7 {
+		t.Errorf("GenHist error %.4f should clearly beat uniform %.4f", errGH/tests, errUni/tests)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := datagen.Synthetic(rng, 2000, 2, 3, 0.1)
+	h1, _ := Build(ds.Rows, 2, Config{MaxBuckets: 16})
+	h2, _ := Build(ds.Rows, 2, Config{MaxBuckets: 16})
+	q := query.NewRange([]float64{0.2, 0.2}, []float64{0.6, 0.6})
+	a, _ := h1.Selectivity(q)
+	b, _ := h2.Selectivity(q)
+	if a != b {
+		t.Errorf("construction not deterministic: %g vs %g", a, b)
+	}
+}
+
+func TestDegenerateDimension(t *testing.T) {
+	rows := make([][]float64, 200)
+	rng := rand.New(rand.NewSource(5))
+	for i := range rows {
+		rows[i] = []float64{rng.Float64(), 3.0} // constant second dim
+	}
+	h, err := Build(rows, 2, Config{MaxBuckets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewRange([]float64{0, 2.9}, []float64{1, 3.1})
+	est, err := h.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-1) > 0.05 {
+		t.Errorf("degenerate dimension: est %g, want ~1", est)
+	}
+}
+
+func TestBucketBytes(t *testing.T) {
+	if BucketBytes(8) != 136 {
+		t.Errorf("BucketBytes(8) = %d", BucketBytes(8))
+	}
+}

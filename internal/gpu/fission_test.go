@@ -1,0 +1,64 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFissionValidation(t *testing.T) {
+	dev := newTestDevice(t)
+	for _, f := range []float64{0, -0.5, 1.5} {
+		if _, err := dev.Fission(f); err != nil {
+			continue
+		}
+		t.Errorf("fraction %g should be rejected", f)
+	}
+}
+
+func TestFissionScalesParallelism(t *testing.T) {
+	dev := newTestDevice(t)
+	sub, err := dev.Fission(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dev.Profile().Parallelism / 10
+	if got := sub.Profile().Parallelism; got != want {
+		t.Errorf("sub-device parallelism = %d, want %d", got, want)
+	}
+	if !strings.Contains(sub.Profile().Name, "10%") {
+		t.Errorf("sub-device name = %q", sub.Profile().Name)
+	}
+	// Latencies and bandwidth are inherited.
+	if sub.Profile().LaunchLatency != dev.Profile().LaunchLatency ||
+		sub.Profile().TransferBandwidth != dev.Profile().TransferBandwidth {
+		t.Error("sub-device should inherit latencies and bandwidth")
+	}
+	// Tiny fractions floor at one lane.
+	one, err := dev.Fission(1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Profile().Parallelism != 1 {
+		t.Errorf("floor parallelism = %d, want 1", one.Profile().Parallelism)
+	}
+}
+
+func TestFissionIndependentAccounting(t *testing.T) {
+	dev := newTestDevice(t)
+	sub, _ := dev.Fission(0.5)
+	sub.Launch(1000, 1, func(int) {})
+	if dev.Clock() != 0 {
+		t.Error("parent clock advanced from sub-device work")
+	}
+	if sub.Clock() == 0 {
+		t.Error("sub-device clock did not advance")
+	}
+	// Same work takes longer on the smaller slice.
+	full := newTestDevice(t)
+	full.Launch(10000, 4, func(int) {})
+	half, _ := newTestDevice(t).Fission(0.5)
+	half.Launch(10000, 4, func(int) {})
+	if half.Clock() <= full.Clock() {
+		t.Errorf("half-device (%v) should be slower than full device (%v)", half.Clock(), full.Clock())
+	}
+}

@@ -1,0 +1,402 @@
+package gpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"kdesel/internal/kde"
+	"kdesel/internal/query"
+	"kdesel/internal/sample"
+)
+
+func newTestDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(GTX460())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	if _, err := NewDevice(Profile{}); err == nil {
+		t.Error("zero profile should be rejected")
+	}
+	p := GTX460()
+	p.Parallelism = 0
+	if _, err := NewDevice(p); err == nil {
+		t.Error("zero parallelism should be rejected")
+	}
+}
+
+func TestLaunchCostFormula(t *testing.T) {
+	dev := newTestDevice(t)
+	p := dev.Profile()
+	n := p.Parallelism*3 + 1 // forces 4 waves
+	dev.Launch(n, 2, func(int) {})
+	want := p.LaunchLatency + time.Duration(4*2*float64(p.ItemCost))
+	if got := dev.Clock(); got != want {
+		t.Errorf("clock = %v, want %v", got, want)
+	}
+	if dev.Stats().KernelLaunches != 1 {
+		t.Errorf("launches = %d", dev.Stats().KernelLaunches)
+	}
+}
+
+func TestTransferCostFormula(t *testing.T) {
+	dev := newTestDevice(t)
+	p := dev.Profile()
+	buf := dev.Alloc(1000)
+	src := make([]float64, 1000)
+	if err := dev.CopyToDevice(buf, 0, src); err != nil {
+		t.Fatal(err)
+	}
+	want := p.TransferLatency + time.Duration(8000/p.TransferBandwidth*float64(time.Second))
+	if got := dev.Clock(); got != want {
+		t.Errorf("clock = %v, want %v", got, want)
+	}
+	st := dev.Stats()
+	if st.BytesToDevice != 8000 || st.Transfers != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTransferBoundsChecked(t *testing.T) {
+	dev := newTestDevice(t)
+	buf := dev.Alloc(4)
+	if err := dev.CopyToDevice(buf, 2, make([]float64, 4)); err == nil {
+		t.Error("overflowing write should be rejected")
+	}
+	if err := dev.CopyFromDevice(make([]float64, 8), buf, 0); err == nil {
+		t.Error("overflowing read should be rejected")
+	}
+	other := newTestDevice(t)
+	if err := other.CopyToDevice(buf, 0, make([]float64, 1)); err == nil {
+		t.Error("cross-device buffer use should be rejected")
+	}
+}
+
+func TestReduceCorrectness(t *testing.T) {
+	dev := newTestDevice(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 1023} {
+		buf := dev.Alloc(n)
+		vals := make([]float64, n)
+		want := 0.0
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+			want += vals[i]
+		}
+		if err := dev.CopyToDevice(buf, 0, vals); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dev.Reduce(buf, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("n=%d: Reduce = %g, want %g", n, got, want)
+		}
+		// Reduce must not clobber the source buffer.
+		check := make([]float64, n)
+		_ = dev.CopyFromDevice(check, buf, 0)
+		for i := range check {
+			if check[i] != vals[i] {
+				t.Fatalf("n=%d: Reduce mutated source at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestReducePassCount(t *testing.T) {
+	dev := newTestDevice(t)
+	buf := dev.Alloc(1024)
+	dev.ResetStats()
+	if _, err := dev.Reduce(buf, 1024); err != nil {
+		t.Fatal(err)
+	}
+	// Binary reduction of 1024 elements takes exactly 10 passes.
+	if got := dev.Stats().KernelLaunches; got != 10 {
+		t.Errorf("reduction passes = %d, want 10", got)
+	}
+}
+
+func TestProfilesThroughputGap(t *testing.T) {
+	g, c := GTX460(), XeonE5620()
+	ratio := g.EstimateThroughput() / c.EstimateThroughput()
+	if ratio < 3 || ratio > 6 {
+		t.Errorf("GPU/CPU throughput ratio = %.1f, want ~4", ratio)
+	}
+}
+
+func TestTimeForLatencyFloorThenLinear(t *testing.T) {
+	p := GTX460()
+	small := p.TimeFor(256, 8)
+	smaller := p.TimeFor(16, 8)
+	// In the latency-dominated regime doubling the size barely changes cost.
+	if float64(small) > 2*float64(smaller) {
+		t.Errorf("latency floor missing: %v vs %v", smaller, small)
+	}
+	big := p.TimeFor(1<<20, 8)
+	half := p.TimeFor(1<<19, 8)
+	if r := float64(big) / float64(half); r < 1.8 || r > 2.2 {
+		t.Errorf("large-model scaling ratio = %.2f, want ~2", r)
+	}
+}
+
+func buildEngine(t *testing.T, d, s int, seed int64) (*Engine, *kde.Estimator) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	flat := make([]float64, s*d)
+	for i := range flat {
+		flat[i] = rng.NormFloat64() * 2
+	}
+	dev := newTestDevice(t)
+	eng, err := NewEngine(dev, d, nil, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := kde.New(d, nil)
+	refFlat := make([]float64, len(flat))
+	copy(refFlat, flat)
+	_ = ref.SetSampleFlat(refFlat)
+	return eng, ref
+}
+
+func randQuery(rng *rand.Rand, d int) query.Range {
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for j := 0; j < d; j++ {
+		a, b := rng.NormFloat64()*2, rng.NormFloat64()*2
+		lo[j], hi[j] = math.Min(a, b), math.Max(a, b)
+	}
+	return query.Range{Lo: lo, Hi: hi}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	dev := newTestDevice(t)
+	if _, err := NewEngine(nil, 2, nil, []float64{1, 2}); err == nil {
+		t.Error("nil device should be rejected")
+	}
+	if _, err := NewEngine(dev, 0, nil, []float64{1}); err == nil {
+		t.Error("d=0 should be rejected")
+	}
+	if _, err := NewEngine(dev, 2, nil, []float64{1, 2, 3}); err == nil {
+		t.Error("misaligned sample should be rejected")
+	}
+}
+
+func TestEngineEstimateMatchesHostKDE(t *testing.T) {
+	const d, s = 3, 200
+	eng, ref := buildEngine(t, d, s, 2)
+	h := []float64{0.5, 1.0, 1.5}
+	if err := eng.SetBandwidth(h); err != nil {
+		t.Fatal(err)
+	}
+	_ = ref.SetBandwidth(h)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		q := randQuery(rng, d)
+		got, err := eng.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := ref.Selectivity(q)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("query %d: engine %g vs host %g", i, got, want)
+		}
+	}
+}
+
+func TestEngineGradientMatchesHostKDE(t *testing.T) {
+	const d, s = 3, 100
+	eng, ref := buildEngine(t, d, s, 4)
+	h := []float64{0.4, 0.9, 1.7}
+	_ = eng.SetBandwidth(h)
+	_ = ref.SetBandwidth(h)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		q := randQuery(rng, d)
+		est, grad, err := eng.Gradient(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantGrad := make([]float64, d)
+		wantEst, _ := ref.SelectivityGradient(q, wantGrad)
+		if math.Abs(est-wantEst) > 1e-12 {
+			t.Errorf("query %d: est %g vs %g", i, est, wantEst)
+		}
+		for j := 0; j < d; j++ {
+			if math.Abs(grad[j]-wantGrad[j]) > 1e-9*(1+math.Abs(wantGrad[j])) {
+				t.Errorf("query %d dim %d: grad %g vs %g", i, j, grad[j], wantGrad[j])
+			}
+		}
+	}
+}
+
+func TestEngineScottMatchesHost(t *testing.T) {
+	const d, s = 4, 300
+	eng, ref := buildEngine(t, d, s, 6)
+	got, err := eng.ScottBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, _ := eng.SampleHost()
+	_ = ref
+	want := kde.ScottBandwidth(flat, d)
+	for j := 0; j < d; j++ {
+		if math.Abs(got[j]-want[j]) > 1e-9*(1+want[j]) {
+			t.Errorf("dim %d: device Scott %g vs host %g", j, got[j], want[j])
+		}
+	}
+}
+
+func TestEngineSetBandwidthValidation(t *testing.T) {
+	eng, _ := buildEngine(t, 2, 10, 7)
+	if err := eng.SetBandwidth([]float64{1}); err == nil {
+		t.Error("wrong dims should be rejected")
+	}
+	if err := eng.SetBandwidth([]float64{1, -1}); err == nil {
+		t.Error("negative bandwidth should be rejected")
+	}
+}
+
+func TestEngineKarmaMatchesHost(t *testing.T) {
+	const d, s = 2, 50
+	eng, ref := buildEngine(t, d, s, 8)
+	h := []float64{0.5, 0.5}
+	_ = eng.SetBandwidth(h)
+	_ = ref.SetBandwidth(h)
+
+	devKarma, _ := sample.NewKarma(s, sample.KarmaConfig{})
+	hostKarma, _ := sample.NewKarma(s, sample.KarmaConfig{})
+
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 30; i++ {
+		q := randQuery(rng, d)
+		est, err := eng.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := rng.Float64() * 0.2
+		if i%4 == 0 {
+			actual = 0
+		}
+		gotIdx, err := eng.UpdateKarma(devKarma, actual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contrib, hostEst, _ := ref.Contributions(q, nil)
+		bound := 0.0
+		if actual == 0 {
+			bound = sample.EmptyRegionBound(q, h)
+		}
+		wantIdx, _ := hostKarma.Update(contrib, hostEst, actual, bound)
+		if math.Abs(est-hostEst) > 1e-12 {
+			t.Fatalf("estimates diverged: %g vs %g", est, hostEst)
+		}
+		if len(gotIdx) != len(wantIdx) {
+			t.Fatalf("query %d: device replaced %v, host %v", i, gotIdx, wantIdx)
+		}
+		for j := range gotIdx {
+			if gotIdx[j] != wantIdx[j] {
+				t.Fatalf("query %d: device replaced %v, host %v", i, gotIdx, wantIdx)
+			}
+		}
+		// Apply identical replacements so the models stay in lockstep.
+		for _, idx := range gotIdx {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			if err := eng.ReplacePoint(idx, row); err != nil {
+				t.Fatal(err)
+			}
+			_ = ref.ReplacePoint(idx, row)
+		}
+	}
+}
+
+func TestEngineKarmaRequiresEstimate(t *testing.T) {
+	eng, _ := buildEngine(t, 2, 10, 10)
+	_ = eng.SetBandwidth([]float64{1, 1})
+	k, _ := sample.NewKarma(10, sample.KarmaConfig{})
+	if _, err := eng.UpdateKarma(k, 0.5); err == nil {
+		t.Error("karma update without retained contributions should error")
+	}
+	k2, _ := sample.NewKarma(5, sample.KarmaConfig{})
+	q := query.NewRange([]float64{0, 0}, []float64{1, 1})
+	if _, err := eng.Estimate(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.UpdateKarma(k2, 0.5); err == nil {
+		t.Error("karma size mismatch should error")
+	}
+}
+
+func TestEngineReplacePointChangesEstimates(t *testing.T) {
+	eng, _ := buildEngine(t, 1, 4, 11)
+	_ = eng.SetBandwidth([]float64{1e-9})
+	flat, _ := eng.SampleHost()
+	// Move every point inside [100, 101].
+	for i := 0; i < 4; i++ {
+		if err := eng.ReplacePoint(i, []float64{100.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = flat
+	got, err := eng.Estimate(query.NewRange([]float64{100}, []float64{101}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("estimate after replacement = %g, want 1", got)
+	}
+	if err := eng.ReplacePoint(9, []float64{0}); err == nil {
+		t.Error("out-of-range replacement should error")
+	}
+	if err := eng.ReplacePoint(0, []float64{0, 0}); err == nil {
+		t.Error("wrong-arity replacement should error")
+	}
+}
+
+// The transfer-efficiency property of §5: after initialization, the steady
+// state query loop moves only bounds, scalars, gradients, and bitmaps —
+// never the sample.
+func TestEngineSteadyStateTransfersAreSmall(t *testing.T) {
+	const d, s = 8, 4096
+	eng, _ := buildEngine(t, d, s, 12)
+	_, err := eng.ScottBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := eng.Device()
+	base := dev.Stats()
+	k, _ := sample.NewKarma(s, sample.KarmaConfig{})
+	rng := rand.New(rand.NewSource(13))
+	const queries = 50
+	for i := 0; i < queries; i++ {
+		q := randQuery(rng, d)
+		if _, err := eng.Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := eng.Gradient(q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.UpdateKarma(k, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := dev.Stats()
+	toDev := st.BytesToDevice - base.BytesToDevice
+	sampleBytes := int64(s * d * 8)
+	if toDev > sampleBytes/4 {
+		t.Errorf("steady-state host→device traffic %d bytes rivals the sample (%d bytes)", toDev, sampleBytes)
+	}
+	perQuery := float64(toDev) / queries
+	if perQuery > 1024 {
+		t.Errorf("per-query host→device traffic = %.0f bytes, want bounds-sized", perQuery)
+	}
+}

@@ -1,0 +1,88 @@
+package gpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kdesel/internal/query"
+)
+
+// Property: device estimates are always valid probabilities and the device
+// clock is monotone non-decreasing across arbitrary operation sequences.
+func TestEngineEstimatesAreProbabilities(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(4)
+		s := 4 + rng.Intn(60)
+		flat := make([]float64, s*d)
+		for i := range flat {
+			flat[i] = rng.NormFloat64() * 3
+		}
+		dev, err := NewDevice(GTX460())
+		if err != nil {
+			return false
+		}
+		eng, err := NewEngine(dev, d, nil, flat)
+		if err != nil {
+			return false
+		}
+		if _, err := eng.ScottBandwidth(); err != nil {
+			return false
+		}
+		prevClock := dev.Clock()
+		for i := 0; i < 10; i++ {
+			lo := make([]float64, d)
+			hi := make([]float64, d)
+			for j := 0; j < d; j++ {
+				a, b := rng.NormFloat64()*4, rng.NormFloat64()*4
+				lo[j], hi[j] = math.Min(a, b), math.Max(a, b)
+			}
+			est, err := eng.Estimate(query.Range{Lo: lo, Hi: hi})
+			if err != nil {
+				return false
+			}
+			if est < 0 || est > 1+1e-12 || math.IsNaN(est) {
+				return false
+			}
+			if dev.Clock() < prevClock {
+				return false
+			}
+			prevClock = dev.Clock()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a narrower query never gets a larger estimate than a query
+// enclosing it (kernel masses are monotone in the interval).
+func TestEngineEstimateMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const d, s = 2, 32
+		flat := make([]float64, s*d)
+		for i := range flat {
+			flat[i] = rng.NormFloat64()
+		}
+		dev, _ := NewDevice(XeonE5620())
+		eng, err := NewEngine(dev, d, nil, flat)
+		if err != nil {
+			return false
+		}
+		if err := eng.SetBandwidth([]float64{0.5, 0.5}); err != nil {
+			return false
+		}
+		inner := query.NewRange([]float64{-0.5, -0.5}, []float64{0.5, 0.5})
+		outer := query.NewRange([]float64{-2, -2}, []float64{2, 2})
+		ei, err1 := eng.Estimate(inner)
+		eo, err2 := eng.Estimate(outer)
+		return err1 == nil && err2 == nil && eo >= ei-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,285 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/kde"
+	"kdesel/internal/kernel"
+	"kdesel/internal/query"
+	"kdesel/internal/table"
+)
+
+// buildPKFK creates a key table (id, weight) and a fact table (fk, value)
+// with value correlated to the referenced weight.
+func buildPKFK(t *testing.T, keys, facts int, seed int64) (fk, pk *table.Table) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pk, err := table.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, keys)
+	for i := 0; i < keys; i++ {
+		weights[i] = rng.Float64() * 10
+		if err := pk.Insert([]float64{float64(i), weights[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fk, err = table.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < facts; i++ {
+		k := rng.Intn(keys)
+		if err := fk.Insert([]float64{float64(k), weights[k] + rng.NormFloat64()*0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fk, pk
+}
+
+func TestSampleResultValidation(t *testing.T) {
+	fk, pk := buildPKFK(t, 10, 100, 1)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := SampleResult(nil, pk, 0, 0, 10, rng); err == nil {
+		t.Error("nil table should be rejected")
+	}
+	if _, err := SampleResult(fk, pk, 0, 0, 10, nil); err == nil {
+		t.Error("nil rng should be rejected")
+	}
+	if _, err := SampleResult(fk, pk, 5, 0, 10, rng); err == nil {
+		t.Error("fk column out of range should be rejected")
+	}
+	if _, err := SampleResult(fk, pk, 0, 5, 10, rng); err == nil {
+		t.Error("pk column out of range should be rejected")
+	}
+	// Duplicate keys on the key side must be rejected.
+	dup, _ := table.New(1)
+	_ = dup.Insert([]float64{1})
+	_ = dup.Insert([]float64{1})
+	if _, err := SampleResult(fk, dup, 0, 0, 10, rng); err == nil {
+		t.Error("duplicate keys should be rejected")
+	}
+	// No matches at all.
+	orphan, _ := table.New(1)
+	_ = orphan.Insert([]float64{-99})
+	if _, err := SampleResult(orphan, pk, 0, 0, 10, rng); err == nil {
+		t.Error("joinless inputs should be rejected")
+	}
+}
+
+func TestSampleResultShapeAndJoinCorrectness(t *testing.T) {
+	fk, pk := buildPKFK(t, 20, 500, 3)
+	rng := rand.New(rand.NewSource(4))
+	rows, err := SampleResult(fk, pk, 0, 0, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 64 {
+		t.Fatalf("sample size = %d, want 64", len(rows))
+	}
+	for _, r := range rows {
+		if len(r) != 4 {
+			t.Fatalf("joined arity = %d, want 4", len(r))
+		}
+		// Join key equality: fk col 0 == pk col 0 (position 2 in output).
+		if r[0] != r[2] {
+			t.Fatalf("join key mismatch in sampled row %v", r)
+		}
+	}
+}
+
+func TestJoinEstimatorAccuracy(t *testing.T) {
+	fk, pk := buildPKFK(t, 20, 4000, 5)
+	rng := rand.New(rand.NewSource(6))
+	est, err := BuildEstimator(fk, pk, 0, 0, 512, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Dims() != 4 {
+		t.Fatalf("dims = %d, want 4", est.Dims())
+	}
+
+	// Materialize the exact join for ground truth.
+	pkByKey := map[float64][]float64{}
+	for i := 0; i < pk.Len(); i++ {
+		pkByKey[pk.Row(i)[0]] = pk.Row(i)
+	}
+	var joined [][]float64
+	for i := 0; i < fk.Len(); i++ {
+		r := fk.Row(i)
+		if p, ok := pkByKey[r[0]]; ok {
+			joined = append(joined, []float64{r[0], r[1], p[0], p[1]})
+		}
+	}
+
+	// Range query over the combined space: facts whose value is in [3,7]
+	// joined to keys whose weight is in [3,7].
+	q := query.NewRange(
+		[]float64{-1e9, 3, -1e9, 3},
+		[]float64{1e9, 7, 1e9, 7},
+	)
+	actualIn := 0
+	for _, r := range joined {
+		if q.Contains(r) {
+			actualIn++
+		}
+	}
+	actual := float64(actualIn) / float64(len(joined))
+	got, err := est.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-actual) > 0.1 {
+		t.Errorf("join selectivity %g vs actual %g", got, actual)
+	}
+	if est.KDE() == nil {
+		t.Error("underlying KDE should be exposed for tuning")
+	}
+}
+
+// exactBandSelectivity counts matching pairs directly.
+func exactBandSelectivity(a, b []float64, eps float64) float64 {
+	matches := 0
+	for _, x := range a {
+		for _, y := range b {
+			if math.Abs(x-y) <= eps {
+				matches++
+			}
+		}
+	}
+	return float64(matches) / float64(len(a)*len(b))
+}
+
+func TestBandSelectivityMatchesExactCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nR, nS = 3000, 2500
+	aVals := make([]float64, nR)
+	bVals := make([]float64, nS)
+	rRows := make([][]float64, nR)
+	sRows := make([][]float64, nS)
+	for i := range rRows {
+		aVals[i] = rng.NormFloat64() * 2
+		rRows[i] = []float64{aVals[i]}
+	}
+	for i := range sRows {
+		bVals[i] = rng.NormFloat64()*2 + 1
+		sRows[i] = []float64{bVals[i]}
+	}
+	buildKDE := func(rows [][]float64, sample int) *kde.Estimator {
+		e, _ := kde.New(1, nil)
+		sub := rows[:sample]
+		if err := e.SetSampleRows(sub); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.UseScottBandwidth(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	r := buildKDE(rRows, 400)
+	s := buildKDE(sRows, 400)
+	for _, eps := range []float64{0.1, 0.5, 1.5} {
+		got, err := BandSelectivity(r, s, 0, 0, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exactBandSelectivity(aVals, bVals, eps)
+		if math.Abs(got-want) > 0.25*want+0.01 {
+			t.Errorf("eps=%g: band selectivity %g vs exact %g", eps, got, want)
+		}
+	}
+}
+
+func TestBandSelectivityMonotoneInEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	mk := func() *kde.Estimator {
+		rows := make([][]float64, 100)
+		for i := range rows {
+			rows[i] = []float64{rng.NormFloat64()}
+		}
+		e, _ := kde.New(1, nil)
+		_ = e.SetSampleRows(rows)
+		_ = e.UseScottBandwidth()
+		return e
+	}
+	r, s := mk(), mk()
+	prev := -1.0
+	for _, eps := range []float64{0, 0.1, 0.5, 1, 5, 100} {
+		got, err := BandSelectivity(r, s, 0, 0, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev-1e-12 {
+			t.Fatalf("band selectivity not monotone at eps=%g: %g < %g", eps, got, prev)
+		}
+		prev = got
+	}
+	// Huge band captures everything.
+	if prev < 0.999 {
+		t.Errorf("wide-band selectivity = %g, want ~1", prev)
+	}
+}
+
+func TestBandSelectivityValidation(t *testing.T) {
+	e, _ := kde.New(1, nil)
+	_ = e.SetSampleRows([][]float64{{0}, {1}})
+	_ = e.UseScottBandwidth()
+	if _, err := BandSelectivity(nil, e, 0, 0, 1); err == nil {
+		t.Error("nil estimator should be rejected")
+	}
+	if _, err := BandSelectivity(e, e, 3, 0, 1); err == nil {
+		t.Error("column out of range should be rejected")
+	}
+	if _, err := BandSelectivity(e, e, 0, 0, -1); err == nil {
+		t.Error("negative eps should be rejected")
+	}
+	ep, _ := kde.New(1, kernel.Epanechnikov{})
+	_ = ep.SetSampleRows([][]float64{{0}, {1}})
+	_ = ep.UseScottBandwidth()
+	if _, err := BandSelectivity(ep, e, 0, 0, 1); err == nil {
+		t.Error("non-Gaussian kernel should be rejected")
+	}
+}
+
+func TestEquiJoinSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Both relations uniform over [0,10]; pair-match probability for
+	// tolerance w is about w/10 (for w << 10), so the expected equi-join
+	// size under tolerance w is nR·nS·w/10.
+	mk := func(n int) ([]float64, *kde.Estimator) {
+		vals := make([]float64, n)
+		rows := make([][]float64, n)
+		for i := range rows {
+			vals[i] = rng.Float64() * 10
+			rows[i] = []float64{vals[i]}
+		}
+		e, _ := kde.New(1, nil)
+		_ = e.SetSampleRows(rows[:min(400, n)])
+		_ = e.UseScottBandwidth()
+		return vals, e
+	}
+	aVals, r := mk(2000)
+	bVals, s := mk(2000)
+	const tol = 0.2
+	got, err := EquiJoinSize(r, s, 0, 0, len(aVals), len(bVals), tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactBandSelectivity(aVals, bVals, tol/2) * float64(len(aVals)*len(bVals))
+	if math.Abs(got-exact) > 0.5*exact {
+		t.Errorf("equi-join size %g vs exact %g", got, exact)
+	}
+	if _, err := EquiJoinSize(r, s, 0, 0, 10, 10, 0); err == nil {
+		t.Error("zero tolerance should be rejected")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

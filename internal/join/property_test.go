@@ -1,0 +1,52 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kdesel/internal/query"
+	"kdesel/internal/table"
+)
+
+// Property: join-estimator selectivities are probabilities and monotone
+// under query enclosure.
+func TestJoinEstimatorProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pk, _ := table.New(1)
+		keys := 5 + rng.Intn(20)
+		for i := 0; i < keys; i++ {
+			if pk.Insert([]float64{float64(i)}) != nil {
+				return false
+			}
+		}
+		fk, _ := table.New(2)
+		for i := 0; i < 300; i++ {
+			if fk.Insert([]float64{float64(rng.Intn(keys)), rng.NormFloat64()}) != nil {
+				return false
+			}
+		}
+		est, err := BuildEstimator(fk, pk, 0, 0, 64, rng)
+		if err != nil {
+			return false
+		}
+		inner := query.NewRange(
+			[]float64{-5, -1, -5},
+			[]float64{5, 1, 5},
+		)
+		outer := query.NewRange(
+			[]float64{-100, -10, -100},
+			[]float64{100, 10, 100},
+		)
+		si, err1 := est.Selectivity(inner)
+		so, err2 := est.Selectivity(outer)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return si >= 0 && si <= 1 && so >= 0 && so <= 1 && so >= si-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,418 @@
+// Package kde implements the mathematical core of multivariate Kernel
+// Density Estimation for range selectivity estimation (paper §3.1 and
+// Appendices B–C): the closed-form selectivity estimate for rectangular
+// regions (eq. 13), the gradient of the estimate with respect to the
+// diagonal bandwidth (eq. 17), the gradient of a loss function over query
+// feedback (eq. 14), and Scott's rule of thumb (eq. 3).
+//
+// The sample is held in row-major order (paper §5.1) so that a single point
+// occupies one contiguous block, mirroring the single-transfer update path
+// of the GPU implementation.
+package kde
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"kdesel/internal/kernel"
+	"kdesel/internal/loss"
+	"kdesel/internal/query"
+	"kdesel/internal/stats"
+)
+
+// degenerateBandwidth replaces a zero Scott bandwidth on a degenerate
+// (constant) sample dimension; any tiny positive value keeps the estimator
+// well defined and makes the kernel behave like a point indicator.
+const degenerateBandwidth = 1e-3
+
+// Estimator is a multivariate KDE model over a data sample with a diagonal
+// bandwidth matrix. It is a plain value holder plus math; concurrency
+// control, sample maintenance, and device offload live in higher layers.
+type Estimator struct {
+	d     int
+	kern  kernel.Kernel
+	kerns []kernel.Kernel // optional per-dimension kernels (mixed data)
+	data  []float64       // row-major s×d
+	h     []float64
+}
+
+// New returns an empty estimator for d-dimensional data using kernel k.
+// A nil kernel defaults to the Gaussian.
+func New(d int, k kernel.Kernel) (*Estimator, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("kde: dimensionality must be positive, got %d", d)
+	}
+	if k == nil {
+		k = kernel.Gaussian{}
+	}
+	return &Estimator{d: d, kern: k}, nil
+}
+
+// Dims returns the dimensionality of the model.
+func (e *Estimator) Dims() int { return e.d }
+
+// Size returns the number of sample points s.
+func (e *Estimator) Size() int {
+	if e.d == 0 {
+		return 0
+	}
+	return len(e.data) / e.d
+}
+
+// Kernel returns the kernel function in use. When per-dimension kernels
+// are set, this is only the default for dimensions without an override.
+func (e *Estimator) Kernel() kernel.Kernel { return e.kern }
+
+// SetDimensionKernels installs one kernel per dimension, enabling mixed
+// continuous/discrete models (future work §8): e.g. Gaussian kernels on
+// continuous attributes and Categorical kernels on discrete ones. A nil
+// entry keeps the estimator's default kernel for that dimension.
+func (e *Estimator) SetDimensionKernels(ks []kernel.Kernel) error {
+	if len(ks) != e.d {
+		return fmt.Errorf("kde: %d kernels for %d dimensions", len(ks), e.d)
+	}
+	e.kerns = make([]kernel.Kernel, e.d)
+	copy(e.kerns, ks)
+	return nil
+}
+
+// kernelFor returns the kernel used for dimension j.
+func (e *Estimator) kernelFor(j int) kernel.Kernel {
+	if e.kerns != nil && e.kerns[j] != nil {
+		return e.kerns[j]
+	}
+	return e.kern
+}
+
+// SetSampleRows loads the sample from a slice of points, each of length d.
+// The data is copied into the estimator's row-major buffer.
+func (e *Estimator) SetSampleRows(rows [][]float64) error {
+	data := make([]float64, 0, len(rows)*e.d)
+	for i, row := range rows {
+		if len(row) != e.d {
+			return fmt.Errorf("kde: sample row %d has %d dims, want %d", i, len(row), e.d)
+		}
+		data = append(data, row...)
+	}
+	return e.SetSampleFlat(data)
+}
+
+// SetSampleFlat loads a row-major sample buffer. The buffer is retained, not
+// copied; callers that need isolation should pass a copy.
+func (e *Estimator) SetSampleFlat(data []float64) error {
+	if len(data) == 0 || len(data)%e.d != 0 {
+		return fmt.Errorf("kde: flat sample length %d is not a positive multiple of d=%d", len(data), e.d)
+	}
+	e.data = data
+	return nil
+}
+
+// SampleFlat exposes the retained row-major sample buffer. Mutating it
+// mutates the model; the sample-maintenance layer relies on this to replace
+// points in place.
+func (e *Estimator) SampleFlat() []float64 { return e.data }
+
+// Point returns the i-th sample point as a subslice of the retained buffer.
+func (e *Estimator) Point(i int) []float64 { return e.data[i*e.d : (i+1)*e.d] }
+
+// ReplacePoint overwrites sample point i with p (length d).
+func (e *Estimator) ReplacePoint(i int, p []float64) error {
+	if len(p) != e.d {
+		return fmt.Errorf("kde: replacement point has %d dims, want %d", len(p), e.d)
+	}
+	if i < 0 || i >= e.Size() {
+		return fmt.Errorf("kde: point index %d out of range [0,%d)", i, e.Size())
+	}
+	copy(e.data[i*e.d:(i+1)*e.d], p)
+	return nil
+}
+
+// Bandwidth returns a copy of the current bandwidth vector.
+func (e *Estimator) Bandwidth() []float64 {
+	h := make([]float64, len(e.h))
+	copy(h, e.h)
+	return h
+}
+
+// SetBandwidth sets the diagonal bandwidth. All entries must be positive
+// and finite.
+func (e *Estimator) SetBandwidth(h []float64) error {
+	if len(h) != e.d {
+		return fmt.Errorf("kde: bandwidth has %d dims, want %d", len(h), e.d)
+	}
+	for i, v := range h {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("kde: bandwidth[%d] = %g is not positive and finite", i, v)
+		}
+	}
+	if e.h == nil {
+		e.h = make([]float64, e.d)
+	}
+	copy(e.h, h)
+	return nil
+}
+
+// UseScottBandwidth initializes the bandwidth with Scott's rule (eq. 3) from
+// the loaded sample.
+func (e *Estimator) UseScottBandwidth() error {
+	if e.Size() == 0 {
+		return errors.New("kde: cannot apply Scott's rule to an empty sample")
+	}
+	return e.SetBandwidth(ScottBandwidth(e.data, e.d))
+}
+
+// ScottBandwidth computes Scott's rule h_i = s^(-1/(d+4))·σ_i (paper eq. 3)
+// from a row-major sample. Degenerate dimensions (σ = 0) receive a tiny
+// positive bandwidth to keep the model valid.
+func ScottBandwidth(data []float64, d int) []float64 {
+	s := len(data) / d
+	factor := math.Pow(float64(s), -1.0/float64(d+4))
+	stds := stats.ColumnStds(data, d)
+	h := make([]float64, d)
+	for i, sd := range stds {
+		h[i] = factor * sd
+		if !(h[i] > 0) {
+			h[i] = degenerateBandwidth
+		}
+	}
+	return h
+}
+
+func (e *Estimator) checkReady(q query.Range) error {
+	if e.Size() == 0 {
+		return errors.New("kde: no sample loaded")
+	}
+	if e.h == nil {
+		return errors.New("kde: no bandwidth set")
+	}
+	if q.Dims() != e.d {
+		return fmt.Errorf("kde: query has %d dims, want %d", q.Dims(), e.d)
+	}
+	return e.checkQuery(q)
+}
+
+func (e *Estimator) checkQuery(q query.Range) error { return q.Validate() }
+
+// pointMass returns the individual probability mass contribution
+// p̂_H^(i)(Ω) of sample point row (eq. 13): the product over dimensions of
+// the one-dimensional kernel masses.
+func (e *Estimator) pointMass(row []float64, q query.Range) float64 {
+	m := 1.0
+	for j := 0; j < e.d; j++ {
+		m *= e.kernelFor(j).Mass(q.Lo[j], q.Hi[j], row[j], e.h[j])
+		if m == 0 {
+			return 0
+		}
+	}
+	return m
+}
+
+// PointContribution returns the individual probability mass contribution of
+// sample point i to query q (eq. 13, before averaging).
+func (e *Estimator) PointContribution(i int, q query.Range) float64 {
+	return e.pointMass(e.Point(i), q)
+}
+
+// Selectivity estimates the selectivity of q as the average individual
+// contribution over all sample points (eq. 2 with eq. 13).
+func (e *Estimator) Selectivity(q query.Range) (float64, error) {
+	if err := e.checkReady(q); err != nil {
+		return 0, err
+	}
+	s := e.Size()
+	sum := 0.0
+	for i := 0; i < s; i++ {
+		sum += e.pointMass(e.data[i*e.d:(i+1)*e.d], q)
+	}
+	return sum / float64(s), nil
+}
+
+// Contributions fills buf (length ≥ s, allocated if nil or short) with the
+// per-point contributions to q and returns the buffer and the resulting
+// selectivity estimate. The retained buffer is what the GPU implementation
+// keeps resident for the karma-based sample maintenance (paper §5.4).
+func (e *Estimator) Contributions(q query.Range, buf []float64) ([]float64, float64, error) {
+	if err := e.checkReady(q); err != nil {
+		return nil, 0, err
+	}
+	s := e.Size()
+	if cap(buf) < s {
+		buf = make([]float64, s)
+	}
+	buf = buf[:s]
+	sum := 0.0
+	for i := 0; i < s; i++ {
+		c := e.pointMass(e.data[i*e.d:(i+1)*e.d], q)
+		buf[i] = c
+		sum += c
+	}
+	return buf, sum / float64(s), nil
+}
+
+// SelectivityGradient computes the estimate for q and the gradient
+// ∂p̂/∂h_i of the estimate with respect to each bandwidth component
+// (eqs. 15–17), written into grad (length d). It returns the estimate.
+//
+// The leave-one-dimension-out products ∏_{k≠i} are formed with prefix and
+// suffix products so no division by a possibly-zero mass occurs.
+func (e *Estimator) SelectivityGradient(q query.Range, grad []float64) (float64, error) {
+	if len(grad) != e.d {
+		return 0, fmt.Errorf("kde: gradient buffer has %d dims, want %d", len(grad), e.d)
+	}
+	if err := e.checkReady(q); err != nil {
+		return 0, err
+	}
+	s := e.Size()
+	d := e.d
+	for i := range grad {
+		grad[i] = 0
+	}
+	masses := make([]float64, d)
+	mgrads := make([]float64, d)
+	suffix := make([]float64, d+1)
+	sum := 0.0
+	for p := 0; p < s; p++ {
+		row := e.data[p*d : (p+1)*d]
+		for j := 0; j < d; j++ {
+			k := e.kernelFor(j)
+			masses[j] = k.Mass(q.Lo[j], q.Hi[j], row[j], e.h[j])
+			mgrads[j] = k.MassGrad(q.Lo[j], q.Hi[j], row[j], e.h[j])
+		}
+		suffix[d] = 1
+		for j := d - 1; j >= 0; j-- {
+			suffix[j] = suffix[j+1] * masses[j]
+		}
+		sum += suffix[0]
+		prefix := 1.0
+		for j := 0; j < d; j++ {
+			grad[j] += mgrads[j] * prefix * suffix[j+1]
+			prefix *= masses[j]
+		}
+	}
+	inv := 1 / float64(s)
+	for j := range grad {
+		grad[j] *= inv
+	}
+	return sum * inv, nil
+}
+
+// LossGradient computes, for one feedback record, the estimate, the loss,
+// and the gradient ∇_H L of the loss with respect to the bandwidth
+// (eq. 14: the loss derivative times the estimator derivative), written
+// into grad (length d).
+func (e *Estimator) LossGradient(fb query.Feedback, lf loss.Function, grad []float64) (est, lval float64, err error) {
+	est, err = e.SelectivityGradient(fb.Query, grad)
+	if err != nil {
+		return 0, 0, err
+	}
+	lval = lf.Loss(est, fb.Actual)
+	dl := lf.Deriv(est, fb.Actual)
+	for j := range grad {
+		grad[j] *= dl
+	}
+	return est, lval, nil
+}
+
+// Objective returns the training objective of optimization problem (5) for
+// a fixed sample, kernel, and feedback set: a function that evaluates the
+// average loss at bandwidth h and, when grad is non-nil, writes the average
+// loss gradient into it. The returned closure is what the numerical
+// optimizers consume.
+func Objective(data []float64, d int, k kernel.Kernel, fbs []query.Feedback, lf loss.Function) func(h, grad []float64) float64 {
+	if k == nil {
+		k = kernel.Gaussian{}
+	}
+	scratch, _ := New(d, k)
+	// The closure reuses one estimator and swaps bandwidths; data is shared.
+	_ = scratch.SetSampleFlat(data)
+	pgrad := make([]float64, d)
+	return func(h, grad []float64) float64 {
+		if err := scratch.SetBandwidth(h); err != nil {
+			// Out-of-domain bandwidths get an infinite objective so bounded
+			// optimizers reject the step.
+			if grad != nil {
+				for j := range grad {
+					grad[j] = 0
+				}
+			}
+			return math.Inf(1)
+		}
+		if grad != nil {
+			for j := range grad {
+				grad[j] = 0
+			}
+		}
+		total := 0.0
+		for _, fb := range fbs {
+			if grad == nil {
+				est, err := scratch.Selectivity(fb.Query)
+				if err != nil {
+					return math.Inf(1)
+				}
+				total += lf.Loss(est, fb.Actual)
+				continue
+			}
+			_, lval, err := scratch.LossGradient(fb, lf, pgrad)
+			if err != nil {
+				return math.Inf(1)
+			}
+			total += lval
+			for j := range grad {
+				grad[j] += pgrad[j]
+			}
+		}
+		n := float64(len(fbs))
+		if grad != nil {
+			for j := range grad {
+				grad[j] /= n
+			}
+		}
+		return total / n
+	}
+}
+
+// Density evaluates the probability density p̂_H(x) at point x (eq. 1),
+// useful for validating the model against known distributions.
+func (e *Estimator) Density(x []float64) (float64, error) {
+	if e.Size() == 0 {
+		return 0, errors.New("kde: no sample loaded")
+	}
+	if e.h == nil {
+		return 0, errors.New("kde: no bandwidth set")
+	}
+	if len(x) != e.d {
+		return 0, fmt.Errorf("kde: point has %d dims, want %d", len(x), e.d)
+	}
+	s := e.Size()
+	sum := 0.0
+	for i := 0; i < s; i++ {
+		row := e.data[i*e.d : (i+1)*e.d]
+		dens := 1.0
+		for j := 0; j < e.d; j++ {
+			dens *= e.kernelFor(j).Density(x[j], row[j], e.h[j])
+			if dens == 0 {
+				break
+			}
+		}
+		sum += dens
+	}
+	return sum / float64(s), nil
+}
+
+// Clone returns a deep copy of the estimator (sample and bandwidth buffers
+// are copied).
+func (e *Estimator) Clone() *Estimator {
+	out := &Estimator{d: e.d, kern: e.kern}
+	if e.kerns != nil {
+		out.kerns = make([]kernel.Kernel, len(e.kerns))
+		copy(out.kerns, e.kerns)
+	}
+	out.data = make([]float64, len(e.data))
+	copy(out.data, e.data)
+	if e.h != nil {
+		out.h = make([]float64, len(e.h))
+		copy(out.h, e.h)
+	}
+	return out
+}

@@ -1,0 +1,435 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kdesel/internal/kernel"
+	"kdesel/internal/loss"
+	"kdesel/internal/query"
+)
+
+func mustEstimator(t *testing.T, rows [][]float64, h []float64) *Estimator {
+	t.Helper()
+	e, err := New(len(rows[0]), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetSampleRows(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetBandwidth(h); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Error("d=0 should be rejected")
+	}
+	e, err := New(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetSampleRows([][]float64{{1, 2, 3}}); err == nil {
+		t.Error("row with wrong dimensionality should be rejected")
+	}
+	if err := e.SetSampleFlat([]float64{1, 2, 3}); err == nil {
+		t.Error("flat sample with wrong length should be rejected")
+	}
+	if err := e.SetBandwidth([]float64{1}); err == nil {
+		t.Error("bandwidth with wrong length should be rejected")
+	}
+	if err := e.SetBandwidth([]float64{1, 0}); err == nil {
+		t.Error("non-positive bandwidth should be rejected")
+	}
+	if err := e.SetBandwidth([]float64{1, math.Inf(1)}); err == nil {
+		t.Error("infinite bandwidth should be rejected")
+	}
+}
+
+func TestSelectivityErrorsWhenUnready(t *testing.T) {
+	e, _ := New(2, nil)
+	q := query.NewRange([]float64{0, 0}, []float64{1, 1})
+	if _, err := e.Selectivity(q); err == nil {
+		t.Error("selectivity on empty estimator should error")
+	}
+	_ = e.SetSampleRows([][]float64{{0.5, 0.5}})
+	if _, err := e.Selectivity(q); err == nil {
+		t.Error("selectivity without bandwidth should error")
+	}
+	_ = e.SetBandwidth([]float64{1, 1})
+	bad := query.NewRange([]float64{0}, []float64{1})
+	if _, err := e.Selectivity(bad); err == nil {
+		t.Error("dimension-mismatched query should error")
+	}
+}
+
+func TestTinyBandwidthActsAsIndicator(t *testing.T) {
+	// With a minuscule bandwidth, each point contributes ~1 if inside the
+	// query and ~0 otherwise, so the estimate is the sample fraction inside.
+	rows := [][]float64{{0.1, 0.1}, {0.2, 0.8}, {0.9, 0.9}, {0.5, 0.4}}
+	e := mustEstimator(t, rows, []float64{1e-9, 1e-9})
+	q := query.NewRange([]float64{0, 0}, []float64{0.6, 0.6})
+	got, err := e.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-9 { // two of four points inside
+		t.Errorf("Selectivity = %g, want 0.5", got)
+	}
+}
+
+func TestWholeSpaceHasFullMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 50)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	e := mustEstimator(t, rows, []float64{0.5, 1.0, 2.0})
+	q := query.NewRange([]float64{-1e6, -1e6, -1e6}, []float64{1e6, 1e6, 1e6})
+	got, err := e.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("whole-space selectivity = %g, want 1", got)
+	}
+}
+
+func TestUniformDataEstimate(t *testing.T) {
+	// Uniform data on [0,1]^2; a query covering a quarter of the space away
+	// from the boundary should estimate near 0.25 of the interior mass.
+	rng := rand.New(rand.NewSource(11))
+	rows := make([][]float64, 4000)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	e := mustEstimator(t, rows, ScottBandwidth(flatten(rows), 2))
+	q := query.NewRange([]float64{0.25, 0.25}, []float64{0.75, 0.75})
+	got, err := e.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.25) > 0.05 {
+		t.Errorf("uniform-data estimate = %g, want about 0.25", got)
+	}
+}
+
+func flatten(rows [][]float64) []float64 {
+	out := make([]float64, 0, len(rows)*len(rows[0]))
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}
+
+func TestContributionsMatchSelectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, 64)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64() * 4, rng.Float64() * 4}
+	}
+	e := mustEstimator(t, rows, []float64{0.3, 0.7})
+	q := query.NewRange([]float64{1, 1}, []float64{3, 2})
+	contrib, est, err := e.Contributions(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contrib) != len(rows) {
+		t.Fatalf("contributions length = %d, want %d", len(contrib), len(rows))
+	}
+	sum := 0.0
+	for i, c := range contrib {
+		if c < 0 || c > 1 {
+			t.Fatalf("contribution %d = %g out of [0,1]", i, c)
+		}
+		if got := e.PointContribution(i, q); got != c {
+			t.Fatalf("PointContribution(%d) = %g, buffer has %g", i, got, c)
+		}
+		sum += c
+	}
+	if want := sum / float64(len(rows)); math.Abs(est-want) > 1e-12 {
+		t.Errorf("estimate %g does not equal mean contribution %g", est, want)
+	}
+	direct, _ := e.Selectivity(q)
+	if math.Abs(est-direct) > 1e-12 {
+		t.Errorf("Contributions estimate %g != Selectivity %g", est, direct)
+	}
+}
+
+func TestContributionsReusesBuffer(t *testing.T) {
+	rows := [][]float64{{0}, {1}, {2}}
+	e := mustEstimator(t, rows, []float64{0.5})
+	buf := make([]float64, 8)
+	q := query.NewRange([]float64{0}, []float64{1})
+	out, _, err := e.Contributions(q, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[0] {
+		t.Error("Contributions should reuse a sufficiently large buffer")
+	}
+	if len(out) != 3 {
+		t.Errorf("len(out) = %d, want 3", len(out))
+	}
+}
+
+func TestScottBandwidthFormula(t *testing.T) {
+	// Two points {0},{2}: population σ = 1, s = 2, d = 1 → h = 2^(-1/5).
+	h := ScottBandwidth([]float64{0, 2}, 1)
+	want := math.Pow(2, -0.2)
+	if math.Abs(h[0]-want) > 1e-12 {
+		t.Errorf("Scott h = %g, want %g", h[0], want)
+	}
+}
+
+func TestScottBandwidthDegenerateDimension(t *testing.T) {
+	// Second dimension constant: must fall back to a tiny positive value.
+	data := []float64{0, 5, 1, 5, 2, 5, 3, 5}
+	h := ScottBandwidth(data, 2)
+	if !(h[0] > 0) || !(h[1] > 0) {
+		t.Fatalf("Scott bandwidths must be positive, got %v", h)
+	}
+	if h[1] != degenerateBandwidth {
+		t.Errorf("degenerate dimension bandwidth = %g, want fallback %g", h[1], degenerateBandwidth)
+	}
+}
+
+func TestUseScottBandwidth(t *testing.T) {
+	e, _ := New(1, nil)
+	if err := e.UseScottBandwidth(); err == nil {
+		t.Error("Scott's rule on empty sample should error")
+	}
+	_ = e.SetSampleRows([][]float64{{0}, {2}})
+	if err := e.UseScottBandwidth(); err != nil {
+		t.Fatal(err)
+	}
+	if h := e.Bandwidth(); math.Abs(h[0]-math.Pow(2, -0.2)) > 1e-12 {
+		t.Errorf("bandwidth = %v", h)
+	}
+}
+
+// numericalGradient estimates ∂p̂/∂h_i by central differences.
+func numericalGradient(e *Estimator, q query.Range) []float64 {
+	h0 := e.Bandwidth()
+	grad := make([]float64, len(h0))
+	const eps = 1e-6
+	for i := range h0 {
+		hp := append([]float64(nil), h0...)
+		hm := append([]float64(nil), h0...)
+		hp[i] += eps
+		hm[i] -= eps
+		_ = e.SetBandwidth(hp)
+		up, _ := e.Selectivity(q)
+		_ = e.SetBandwidth(hm)
+		down, _ := e.Selectivity(q)
+		grad[i] = (up - down) / (2 * eps)
+	}
+	_ = e.SetBandwidth(h0)
+	return grad
+}
+
+func TestSelectivityGradientMatchesNumerical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(4)
+		n := 5 + rng.Intn(40)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64() * 2
+			}
+		}
+		h := make([]float64, d)
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			h[j] = 0.2 + rng.Float64()*2
+			a, b := rng.NormFloat64()*2, rng.NormFloat64()*2
+			lo[j], hi[j] = math.Min(a, b), math.Max(a, b)
+		}
+		e, err := New(d, nil)
+		if err != nil {
+			return false
+		}
+		if err := e.SetSampleRows(rows); err != nil {
+			return false
+		}
+		if err := e.SetBandwidth(h); err != nil {
+			return false
+		}
+		q := query.Range{Lo: lo, Hi: hi}
+		grad := make([]float64, d)
+		est, err := e.SelectivityGradient(q, grad)
+		if err != nil {
+			return false
+		}
+		direct, _ := e.Selectivity(q)
+		if math.Abs(est-direct) > 1e-12 {
+			return false
+		}
+		numeric := numericalGradient(e, q)
+		for j := range grad {
+			if math.Abs(grad[j]-numeric[j]) > 1e-4*(1+math.Abs(grad[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectivityGradientEpanechnikov(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rows := make([][]float64, 30)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	e, _ := New(2, kernel.Epanechnikov{})
+	_ = e.SetSampleRows(rows)
+	_ = e.SetBandwidth([]float64{0.8, 1.2})
+	q := query.NewRange([]float64{-0.5, -0.5}, []float64{0.7, 1.0})
+	grad := make([]float64, 2)
+	if _, err := e.SelectivityGradient(q, grad); err != nil {
+		t.Fatal(err)
+	}
+	numeric := numericalGradient(e, q)
+	for j := range grad {
+		if math.Abs(grad[j]-numeric[j]) > 1e-3*(1+math.Abs(grad[j])) {
+			t.Errorf("dim %d: analytic %g vs numeric %g", j, grad[j], numeric[j])
+		}
+	}
+}
+
+func TestLossGradientChainRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rows := make([][]float64, 40)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	e := mustEstimator(t, rows, []float64{0.2, 0.3})
+	fb := query.Feedback{
+		Query:  query.NewRange([]float64{0.2, 0.2}, []float64{0.7, 0.8}),
+		Actual: 0.31,
+	}
+	lf := loss.Quadratic{}
+	lgrad := make([]float64, 2)
+	est, lval, err := e.LossGradient(fb, lf, lgrad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := lf.Loss(est, fb.Actual); math.Abs(lval-want) > 1e-15 {
+		t.Errorf("loss value = %g, want %g", lval, want)
+	}
+	sgrad := make([]float64, 2)
+	_, _ = e.SelectivityGradient(fb.Query, sgrad)
+	dl := lf.Deriv(est, fb.Actual)
+	for j := range lgrad {
+		if math.Abs(lgrad[j]-dl*sgrad[j]) > 1e-15 {
+			t.Errorf("chain rule violated in dim %d", j)
+		}
+	}
+}
+
+func TestObjectiveGradientMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	const d, n, q = 3, 50, 8
+	data := make([]float64, n*d)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	fbs := make([]query.Feedback, q)
+	for i := range fbs {
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			a, b := rng.NormFloat64(), rng.NormFloat64()
+			lo[j], hi[j] = math.Min(a, b), math.Max(a, b)
+		}
+		fbs[i] = query.Feedback{Query: query.Range{Lo: lo, Hi: hi}, Actual: rng.Float64() * 0.3}
+	}
+	obj := Objective(data, d, nil, fbs, loss.Quadratic{})
+	h := []float64{0.5, 1.0, 1.5}
+	grad := make([]float64, d)
+	val := obj(h, grad)
+	if math.IsInf(val, 0) || math.IsNaN(val) {
+		t.Fatalf("objective value = %g", val)
+	}
+	const eps = 1e-6
+	for j := 0; j < d; j++ {
+		hp := append([]float64(nil), h...)
+		hm := append([]float64(nil), h...)
+		hp[j] += eps
+		hm[j] -= eps
+		numeric := (obj(hp, nil) - obj(hm, nil)) / (2 * eps)
+		if math.Abs(numeric-grad[j]) > 1e-4*(1+math.Abs(grad[j])) {
+			t.Errorf("objective grad dim %d: analytic %g vs numeric %g", j, grad[j], numeric)
+		}
+	}
+	// Invalid bandwidth must yield +Inf, not a crash.
+	if v := obj([]float64{-1, 1, 1}, grad); !math.IsInf(v, 1) {
+		t.Errorf("objective at invalid bandwidth = %g, want +Inf", v)
+	}
+}
+
+func TestDensityIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rows := make([][]float64, 25)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64()}
+	}
+	e := mustEstimator(t, rows, []float64{0.5})
+	const steps = 4000
+	lo, hi := -10.0, 10.0
+	dx := (hi - lo) / steps
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		x := lo + (float64(i)+0.5)*dx
+		dens, err := e.Density([]float64{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += dens
+	}
+	if integral := sum * dx; math.Abs(integral-1) > 1e-3 {
+		t.Errorf("∫density = %g, want 1", integral)
+	}
+}
+
+func TestReplacePoint(t *testing.T) {
+	e := mustEstimator(t, [][]float64{{0, 0}, {1, 1}}, []float64{1e-9, 1e-9})
+	if err := e.ReplacePoint(5, []float64{2, 2}); err == nil {
+		t.Error("out-of-range index should error")
+	}
+	if err := e.ReplacePoint(0, []float64{2}); err == nil {
+		t.Error("wrong dimensionality should error")
+	}
+	if err := e.ReplacePoint(0, []float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewRange([]float64{0.4, 0.4}, []float64{0.6, 0.6})
+	got, _ := e.Selectivity(q)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("after replacement selectivity = %g, want 0.5", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	e := mustEstimator(t, [][]float64{{0}, {1}}, []float64{0.5})
+	c := e.Clone()
+	_ = c.ReplacePoint(0, []float64{100})
+	_ = c.SetBandwidth([]float64{2})
+	if e.Point(0)[0] != 0 {
+		t.Error("clone shares sample storage")
+	}
+	if e.Bandwidth()[0] != 0.5 {
+		t.Error("clone shares bandwidth storage")
+	}
+}

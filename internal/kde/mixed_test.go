@@ -1,0 +1,255 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/kernel"
+	"kdesel/internal/query"
+)
+
+// TestMixedContinuousDiscrete exercises the future-work §8 path: a model
+// with a Gaussian kernel on the continuous dimension and a Categorical
+// kernel on the discrete one.
+func TestMixedContinuousDiscrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 2000
+	rows := make([][]float64, n)
+	for i := range rows {
+		cat := float64(rng.Intn(3))
+		// Continuous value depends on the category: mixed correlation.
+		rows[i] = []float64{cat*2 + rng.NormFloat64()*0.3, cat}
+	}
+	e, err := New(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetSampleRows(rows[:400]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetDimensionKernels([]kernel.Kernel{nil, kernel.Categorical{Categories: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// Continuous dim gets Scott; discrete dim gets a small smoothing λ.
+	h := ScottBandwidth(flatten(rows[:400]), 2)
+	h[1] = 0.05
+	if err := e.SetBandwidth(h); err != nil {
+		t.Fatal(err)
+	}
+
+	trueSel := func(q query.Range) float64 {
+		in := 0
+		for _, r := range rows {
+			if q.Contains(r) {
+				in++
+			}
+		}
+		return float64(in) / float64(n)
+	}
+	// Query: category 1 and its continuous band — about a third of data.
+	q := query.NewRange([]float64{1, 0.5}, []float64{3, 1.5})
+	got, err := e.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trueSel(q)
+	if math.Abs(got-want) > 0.08 {
+		t.Errorf("mixed estimate %g vs actual %g", got, want)
+	}
+	// Cross-category query (category 0 with category-2's band): near zero.
+	qc := query.NewRange([]float64{3.5, -0.5}, []float64{4.5, 0.5})
+	got, _ = e.Selectivity(qc)
+	if got > 0.05 {
+		t.Errorf("cross-category estimate %g, want near 0 (actual %g)", got, trueSel(qc))
+	}
+}
+
+func TestSetDimensionKernelsValidation(t *testing.T) {
+	e, _ := New(2, nil)
+	if err := e.SetDimensionKernels([]kernel.Kernel{nil}); err == nil {
+		t.Error("kernel count mismatch should be rejected")
+	}
+}
+
+func TestMixedGradientMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := make([][]float64, 50)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), float64(rng.Intn(4))}
+	}
+	e, _ := New(2, nil)
+	_ = e.SetSampleRows(rows)
+	_ = e.SetDimensionKernels([]kernel.Kernel{nil, kernel.Categorical{Categories: 4}})
+	_ = e.SetBandwidth([]float64{0.5, 0.2})
+	q := query.NewRange([]float64{-1, 0.5}, []float64{1, 2.5})
+	grad := make([]float64, 2)
+	if _, err := e.SelectivityGradient(q, grad); err != nil {
+		t.Fatal(err)
+	}
+	numeric := numericalGradient(e, q)
+	for j := range grad {
+		if math.Abs(grad[j]-numeric[j]) > 1e-4*(1+math.Abs(grad[j])) {
+			t.Errorf("dim %d: analytic %g vs numeric %g", j, grad[j], numeric[j])
+		}
+	}
+}
+
+func TestCloneCopiesDimensionKernels(t *testing.T) {
+	e, _ := New(2, nil)
+	_ = e.SetSampleRows([][]float64{{0, 0}, {1, 1}})
+	_ = e.SetDimensionKernels([]kernel.Kernel{nil, kernel.Categorical{Categories: 2}})
+	_ = e.SetBandwidth([]float64{1, 0.1})
+	c := e.Clone()
+	q := query.NewRange([]float64{-1, -0.5}, []float64{2, 0.5})
+	a, _ := e.Selectivity(q)
+	b, _ := c.Selectivity(q)
+	if a != b {
+		t.Errorf("clone diverges: %g vs %g", a, b)
+	}
+}
+
+func TestVariableValidation(t *testing.T) {
+	if _, err := NewVariable(nil, 0.5); err == nil {
+		t.Error("nil base should be rejected")
+	}
+	e, _ := New(1, nil)
+	if _, err := NewVariable(e, 0.5); err == nil {
+		t.Error("unfitted base should be rejected")
+	}
+	_ = e.SetSampleRows([][]float64{{0}, {1}})
+	_ = e.UseScottBandwidth()
+	if _, err := NewVariable(e, -1); err == nil {
+		t.Error("alpha outside [0,1] should be rejected")
+	}
+}
+
+func TestVariableAlphaZeroMatchesFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 100)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64()}
+	}
+	e, _ := New(1, nil)
+	_ = e.SetSampleRows(rows)
+	_ = e.UseScottBandwidth()
+	v, err := NewVariable(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range v.Scales() {
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("alpha=0 scale = %g, want 1", s)
+		}
+	}
+	q := query.NewRange([]float64{-1}, []float64{1})
+	a, _ := e.Selectivity(q)
+	b, _ := v.Selectivity(q)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("alpha=0 variable %g != fixed %g", b, a)
+	}
+}
+
+func TestVariableScalesReflectDensity(t *testing.T) {
+	// Dense cluster plus one far outlier: the outlier gets a larger scale.
+	rows := make([][]float64, 0, 51)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		rows = append(rows, []float64{rng.NormFloat64() * 0.1})
+	}
+	rows = append(rows, []float64{25})
+	e, _ := New(1, nil)
+	_ = e.SetSampleRows(rows)
+	_ = e.SetBandwidth([]float64{0.2})
+	v, err := NewVariable(e, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales := v.Scales()
+	outlier := scales[len(scales)-1]
+	clusterMean := 0.0
+	for _, s := range scales[:50] {
+		clusterMean += s
+	}
+	clusterMean /= 50
+	if outlier <= clusterMean {
+		t.Errorf("outlier scale %g should exceed cluster mean %g", outlier, clusterMean)
+	}
+}
+
+func TestVariableTotalMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, 80)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64() * (1 + rng.Float64()*3)}
+	}
+	e, _ := New(1, nil)
+	_ = e.SetSampleRows(rows)
+	_ = e.UseScottBandwidth()
+	v, _ := NewVariable(e, 0.5)
+	q := query.NewRange([]float64{-1e6}, []float64{1e6})
+	got, err := v.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("whole-space variable selectivity = %g, want 1", got)
+	}
+}
+
+func TestVariableImprovesOnUnevenDensity(t *testing.T) {
+	// A sharp spike plus a wide slab: fixed bandwidth must compromise;
+	// variable bandwidth should match or beat it on spike queries.
+	rng := rand.New(rand.NewSource(6))
+	const n = 6000
+	all := make([][]float64, n)
+	for i := range all {
+		if i%2 == 0 {
+			all[i] = []float64{rng.NormFloat64() * 0.05} // spike at 0
+		} else {
+			all[i] = []float64{rng.Float64()*40 - 20} // wide slab
+		}
+	}
+	trueSel := func(q query.Range) float64 {
+		in := 0
+		for _, r := range all {
+			if q.Contains(r) {
+				in++
+			}
+		}
+		return float64(in) / float64(n)
+	}
+	e, _ := New(1, nil)
+	_ = e.SetSampleRows(all[:512])
+	_ = e.UseScottBandwidth()
+	v, _ := NewVariable(e, 0.5)
+
+	var errFixed, errVar float64
+	for i := 0; i < 60; i++ {
+		c := rng.NormFloat64() * 0.1
+		w := 0.02 + rng.Float64()*0.2
+		q := query.NewRange([]float64{c - w}, []float64{c + w})
+		actual := trueSel(q)
+		f, _ := e.Selectivity(q)
+		vv, _ := v.Selectivity(q)
+		errFixed += math.Abs(f - actual)
+		errVar += math.Abs(vv - actual)
+	}
+	if errVar > errFixed*1.4 {
+		t.Errorf("variable KDE error %.4f much worse than fixed %.4f on spike queries", errVar/60, errFixed/60)
+	}
+}
+
+func TestVariableDensity(t *testing.T) {
+	e, _ := New(1, nil)
+	_ = e.SetSampleRows([][]float64{{0}, {1}, {2}})
+	_ = e.UseScottBandwidth()
+	v, _ := NewVariable(e, 0.5)
+	if _, err := v.Density([]float64{0, 1}); err == nil {
+		t.Error("dim mismatch should be rejected")
+	}
+	d, err := v.Density([]float64{1})
+	if err != nil || !(d > 0) {
+		t.Errorf("density = %g, %v", d, err)
+	}
+}

@@ -1,0 +1,113 @@
+package kde
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"kdesel/internal/query"
+)
+
+// VariableEstimator is the variable (adaptive) KDE model of Terrell & Scott
+// [41] that the paper lists as future work (§8): every sample point i
+// carries its own bandwidth scale λ_i, so the effective bandwidth in
+// dimension j is λ_i·h_j. Points in sparse regions get wider kernels and
+// points in dense regions narrower ones, which improves estimates on very
+// uneven densities.
+//
+// The scales follow the classic pilot recipe: λ_i = (ĝ(t_i)/G)^(−α) with ĝ
+// the fixed-bandwidth pilot density at the sample points, G their geometric
+// mean, and sensitivity α (typically ½).
+type VariableEstimator struct {
+	base   *Estimator
+	scales []float64
+}
+
+// NewVariable derives a variable-bandwidth model from a fitted fixed-
+// bandwidth estimator (sample and bandwidth must be set). alpha is the
+// sensitivity parameter in [0, 1]; 0 reproduces the fixed model.
+func NewVariable(base *Estimator, alpha float64) (*VariableEstimator, error) {
+	if base == nil {
+		return nil, errors.New("kde: nil base estimator")
+	}
+	if base.Size() == 0 || base.h == nil {
+		return nil, errors.New("kde: base estimator needs a sample and bandwidth")
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("kde: sensitivity alpha = %g outside [0,1]", alpha)
+	}
+	s := base.Size()
+	scales := make([]float64, s)
+	logSum := 0.0
+	for i := 0; i < s; i++ {
+		dens, err := base.Density(base.Point(i))
+		if err != nil {
+			return nil, err
+		}
+		if !(dens > 0) {
+			dens = math.SmallestNonzeroFloat64
+		}
+		scales[i] = dens
+		logSum += math.Log(dens)
+	}
+	geoMean := math.Exp(logSum / float64(s))
+	for i := range scales {
+		scales[i] = math.Pow(scales[i]/geoMean, -alpha)
+	}
+	return &VariableEstimator{base: base, scales: scales}, nil
+}
+
+// Scales returns a copy of the per-point bandwidth scales λ_i.
+func (v *VariableEstimator) Scales() []float64 {
+	out := make([]float64, len(v.scales))
+	copy(out, v.scales)
+	return out
+}
+
+// Selectivity estimates the selectivity of q with per-point bandwidths
+// λ_i·h_j (the variable-KDE analogue of eq. 13).
+func (v *VariableEstimator) Selectivity(q query.Range) (float64, error) {
+	e := v.base
+	if err := e.checkReady(q); err != nil {
+		return 0, err
+	}
+	s := e.Size()
+	sum := 0.0
+	for i := 0; i < s; i++ {
+		row := e.Point(i)
+		m := 1.0
+		for j := 0; j < e.d; j++ {
+			m *= e.kernelFor(j).Mass(q.Lo[j], q.Hi[j], row[j], v.scales[i]*e.h[j])
+			if m == 0 {
+				break
+			}
+		}
+		sum += m
+	}
+	return sum / float64(s), nil
+}
+
+// Density evaluates the variable-bandwidth density at x.
+func (v *VariableEstimator) Density(x []float64) (float64, error) {
+	e := v.base
+	if len(x) != e.d {
+		return 0, fmt.Errorf("kde: point has %d dims, want %d", len(x), e.d)
+	}
+	if e.Size() == 0 || e.h == nil {
+		return 0, errors.New("kde: base estimator not ready")
+	}
+	s := e.Size()
+	sum := 0.0
+	for i := 0; i < s; i++ {
+		row := e.Point(i)
+		dens := 1.0
+		for j := 0; j < e.d; j++ {
+			dens *= e.kernelFor(j).Density(x[j], row[j], v.scales[i]*e.h[j])
+			if dens == 0 {
+				break
+			}
+		}
+		sum += dens
+	}
+	return sum / float64(s), nil
+}

@@ -1,0 +1,109 @@
+package kernel
+
+import "math"
+
+// Categorical is an Aitchison–Aitken style kernel for discrete attributes
+// coded as integers 0..Categories-1, supporting the mixed
+// continuous/discrete data direction of the paper's future work (§8,
+// following Li & Racine [27]). The bandwidth parameter plays the role of
+// the smoothing weight λ: the kernel puts mass 1−λ on the sample's own
+// category and spreads λ uniformly over the other categories.
+//
+// λ is clamped to (0, (c−1)/c]: at the upper end the kernel is uniform
+// over all categories (maximal smoothing); as λ→0 it degenerates to exact
+// counting — precisely the behaviour §8 predicts the bandwidth
+// optimization discovers for discrete attributes.
+type Categorical struct {
+	// Categories is the domain size c (must be >= 2).
+	Categories int
+}
+
+// Name implements Kernel.
+func (k Categorical) Name() string { return "categorical" }
+
+func (k Categorical) clampLambda(h float64) float64 {
+	c := float64(k.Categories)
+	maxLambda := (c - 1) / c
+	if h > maxLambda {
+		return maxLambda
+	}
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// categoriesIn counts the integer categories inside [l, u] clipped to the
+// domain, and whether t itself is inside.
+func (k Categorical) categoriesIn(l, u, t float64) (m float64, inside bool) {
+	lo := math.Ceil(l)
+	hi := math.Floor(u)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > float64(k.Categories-1) {
+		hi = float64(k.Categories - 1)
+	}
+	if hi < lo {
+		return 0, false
+	}
+	m = hi - lo + 1
+	inside = t >= l && t <= u
+	return m, inside
+}
+
+// Mass implements Kernel: the probability the kernel centered at category
+// t assigns to the categories inside [l, u].
+func (k Categorical) Mass(l, u, t, h float64) float64 {
+	if k.Categories < 2 {
+		// A single-category domain is deterministic.
+		if t >= l && t <= u {
+			return 1
+		}
+		return 0
+	}
+	lambda := k.clampLambda(h)
+	m, inside := k.categoriesIn(l, u, t)
+	others := m
+	own := 0.0
+	if inside {
+		others--
+		own = 1 - lambda
+	}
+	return own + others*lambda/float64(k.Categories-1)
+}
+
+// MassGrad implements Kernel: ∂Mass/∂λ, zero beyond the clamp.
+func (k Categorical) MassGrad(l, u, t, h float64) float64 {
+	if k.Categories < 2 {
+		return 0
+	}
+	c := float64(k.Categories)
+	if h <= 0 || h >= (c-1)/c {
+		return 0 // clamped region
+	}
+	m, inside := k.categoriesIn(l, u, t)
+	others := m
+	grad := 0.0
+	if inside {
+		others--
+		grad = -1
+	}
+	return grad + others/(c-1)
+}
+
+// Density implements Kernel: the probability mass at the category nearest
+// to x (a pmf, so no 1/h scaling).
+func (k Categorical) Density(x, t, h float64) float64 {
+	if k.Categories < 2 {
+		if math.Round(x) == math.Round(t) {
+			return 1
+		}
+		return 0
+	}
+	lambda := k.clampLambda(h)
+	if math.Round(x) == math.Round(t) {
+		return 1 - lambda
+	}
+	return lambda / float64(k.Categories-1)
+}

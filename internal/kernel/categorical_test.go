@@ -1,0 +1,88 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCategoricalMassBasics(t *testing.T) {
+	k := Categorical{Categories: 4}
+	const lambda = 0.3
+	// Query covering all categories: total mass 1.
+	if m := k.Mass(-0.5, 3.5, 2, lambda); math.Abs(m-1) > 1e-12 {
+		t.Errorf("full-domain mass = %g, want 1", m)
+	}
+	// Query covering only the center category: 1−λ.
+	if m := k.Mass(1.5, 2.5, 2, lambda); math.Abs(m-(1-lambda)) > 1e-12 {
+		t.Errorf("own-category mass = %g, want %g", m, 1-lambda)
+	}
+	// Query covering one other category: λ/(c−1).
+	if m := k.Mass(0.5, 1.5, 2, lambda); math.Abs(m-lambda/3) > 1e-12 {
+		t.Errorf("other-category mass = %g, want %g", m, lambda/3)
+	}
+	// Empty integer range.
+	if m := k.Mass(1.2, 1.4, 2, lambda); m != 0 {
+		t.Errorf("empty-range mass = %g, want 0", m)
+	}
+}
+
+func TestCategoricalLambdaClamp(t *testing.T) {
+	k := Categorical{Categories: 4}
+	// λ beyond (c−1)/c clamps to the uniform kernel.
+	uniform := k.Mass(1.5, 2.5, 2, 10)
+	if math.Abs(uniform-0.25) > 1e-12 {
+		t.Errorf("clamped own-category mass = %g, want 0.25", uniform)
+	}
+	// Tiny λ degenerates to exact counting, the §8 prediction.
+	if m := k.Mass(1.5, 2.5, 2, 1e-12); math.Abs(m-1) > 1e-9 {
+		t.Errorf("λ→0 own-category mass = %g, want ~1", m)
+	}
+	if m := k.Mass(0.5, 1.5, 2, 1e-12); m > 1e-9 {
+		t.Errorf("λ→0 other-category mass = %g, want ~0", m)
+	}
+}
+
+func TestCategoricalMassGrad(t *testing.T) {
+	k := Categorical{Categories: 5}
+	const eps = 1e-7
+	cases := []struct{ l, u, tt, h float64 }{
+		{-0.5, 4.5, 2, 0.3}, // all categories
+		{1.5, 2.5, 2, 0.3},  // own only
+		{0.5, 2.5, 2, 0.3},  // own + one other
+		{2.5, 4.5, 1, 0.5},  // others only
+	}
+	for _, c := range cases {
+		analytic := k.MassGrad(c.l, c.u, c.tt, c.h)
+		numeric := (k.Mass(c.l, c.u, c.tt, c.h+eps) - k.Mass(c.l, c.u, c.tt, c.h-eps)) / (2 * eps)
+		if math.Abs(analytic-numeric) > 1e-5 {
+			t.Errorf("case %+v: analytic %g vs numeric %g", c, analytic, numeric)
+		}
+	}
+	// Clamped region: zero gradient.
+	if g := k.MassGrad(1.5, 2.5, 2, 5); g != 0 {
+		t.Errorf("clamped gradient = %g, want 0", g)
+	}
+}
+
+func TestCategoricalDensity(t *testing.T) {
+	k := Categorical{Categories: 3}
+	if d := k.Density(1, 1, 0.2); math.Abs(d-0.8) > 1e-12 {
+		t.Errorf("own density = %g, want 0.8", d)
+	}
+	if d := k.Density(0, 1, 0.2); math.Abs(d-0.1) > 1e-12 {
+		t.Errorf("other density = %g, want 0.1", d)
+	}
+}
+
+func TestCategoricalSingleCategory(t *testing.T) {
+	k := Categorical{Categories: 1}
+	if m := k.Mass(-0.5, 0.5, 0, 0.3); m != 1 {
+		t.Errorf("single-category mass = %g, want 1", m)
+	}
+	if m := k.Mass(1, 2, 0, 0.3); m != 0 {
+		t.Errorf("out-of-range mass = %g, want 0", m)
+	}
+	if g := k.MassGrad(-0.5, 0.5, 0, 0.3); g != 0 {
+		t.Errorf("single-category gradient = %g, want 0", g)
+	}
+}

@@ -1,0 +1,120 @@
+// Package kernel implements the kernel functions used by the KDE-based
+// selectivity estimators. A multivariate product kernel is assembled from
+// one-dimensional kernels, so the interface exposes one-dimensional
+// operations: the probability mass a kernel centered at a sample value
+// assigns to an interval, and the derivative of that mass with respect to
+// the bandwidth (needed for the gradient of the estimation error, paper
+// Appendix C.2).
+//
+// The Gaussian kernel is the paper's default (Appendix A); the Epanechnikov
+// kernel is provided as the cheaper, compactly supported alternative the
+// paper mentions in §3.1.2.
+package kernel
+
+import "math"
+
+// Kernel is a one-dimensional, symmetric, differentiable kernel.
+type Kernel interface {
+	// Name identifies the kernel in logs and experiment output.
+	Name() string
+	// Mass returns the probability mass that the kernel centered at t with
+	// bandwidth h > 0 assigns to the interval [l, u].
+	Mass(l, u, t, h float64) float64
+	// MassGrad returns the partial derivative of Mass with respect to h.
+	MassGrad(l, u, t, h float64) float64
+	// Density returns the kernel density (1/h)·K((x-t)/h) at point x.
+	Density(x, t, h float64) float64
+}
+
+// Gaussian is the standard normal kernel K(x) = (2π)^(-1/2)·exp(-x²/2)
+// (paper eq. 9, reduced to one dimension of the product kernel).
+type Gaussian struct{}
+
+// Name implements Kernel.
+func (Gaussian) Name() string { return "gaussian" }
+
+const (
+	invSqrt2   = 0.7071067811865476  // 1/√2
+	invSqrt2Pi = 0.39894228040143276 // 1/√(2π)
+)
+
+// Mass implements Kernel using the closed form of paper eq. (13):
+// ½·[erf((u-t)/(√2·h)) − erf((l-t)/(√2·h))].
+func (Gaussian) Mass(l, u, t, h float64) float64 {
+	return 0.5 * (math.Erf((u-t)*invSqrt2/h) - math.Erf((l-t)*invSqrt2/h))
+}
+
+// MassGrad implements Kernel. Differentiating eq. (13) with
+// d/dh erf(c/h) = −2c/(√π·h²)·exp(−(c/h)²) yields
+// (1/(√(2π)·h²))·[(l−t)·exp(−(l−t)²/(2h²)) − (u−t)·exp(−(u−t)²/(2h²))],
+// the per-dimension factor of paper eq. (17).
+func (Gaussian) MassGrad(l, u, t, h float64) float64 {
+	dl := l - t
+	du := u - t
+	h2 := 2 * h * h
+	return invSqrt2Pi / (h * h) * (dl*math.Exp(-dl*dl/h2) - du*math.Exp(-du*du/h2))
+}
+
+// Density implements Kernel.
+func (Gaussian) Density(x, t, h float64) float64 {
+	z := (x - t) / h
+	return invSqrt2Pi / h * math.Exp(-z*z/2)
+}
+
+// Epanechnikov is the truncated second-order polynomial kernel
+// K(x) = ¾·(1−x²) on [−1, 1]. It is cheaper to evaluate than the Gaussian
+// but has compact support, so its mass gradient is only piecewise smooth.
+type Epanechnikov struct{}
+
+// Name implements Kernel.
+func (Epanechnikov) Name() string { return "epanechnikov" }
+
+// epanCDF is the kernel CDF at z clamped to the support [-1, 1].
+func epanCDF(z float64) float64 {
+	if z <= -1 {
+		return 0
+	}
+	if z >= 1 {
+		return 1
+	}
+	return 0.5 + 0.75*(z-z*z*z/3)
+}
+
+// Mass implements Kernel.
+func (Epanechnikov) Mass(l, u, t, h float64) float64 {
+	return epanCDF((u-t)/h) - epanCDF((l-t)/h)
+}
+
+// MassGrad implements Kernel. For z = (b−t)/h inside the support,
+// d/dh CDF(z) = K(z)·(−z/h); outside the support the derivative is zero.
+func (Epanechnikov) MassGrad(l, u, t, h float64) float64 {
+	grad := 0.0
+	if zl := (l - t) / h; zl > -1 && zl < 1 {
+		grad += 0.75 * (1 - zl*zl) * zl / h
+	}
+	if zu := (u - t) / h; zu > -1 && zu < 1 {
+		grad -= 0.75 * (1 - zu*zu) * zu / h
+	}
+	return grad
+}
+
+// Density implements Kernel.
+func (Epanechnikov) Density(x, t, h float64) float64 {
+	z := (x - t) / h
+	if z <= -1 || z >= 1 {
+		return 0
+	}
+	return 0.75 * (1 - z*z) / h
+}
+
+// ByName returns the kernel registered under name ("gaussian" or
+// "epanechnikov") and whether it exists.
+func ByName(name string) (Kernel, bool) {
+	switch name {
+	case "gaussian":
+		return Gaussian{}, true
+	case "epanechnikov":
+		return Epanechnikov{}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,140 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var kernels = []Kernel{Gaussian{}, Epanechnikov{}}
+
+func TestTotalMassIsOne(t *testing.T) {
+	for _, k := range kernels {
+		// A wide enough interval captures essentially all mass.
+		if m := k.Mass(-100, 100, 0.3, 0.7); math.Abs(m-1) > 1e-12 {
+			t.Errorf("%s: total mass = %g, want 1", k.Name(), m)
+		}
+	}
+}
+
+func TestMassMonotoneAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tt := rng.NormFloat64()
+		h := 0.1 + rng.Float64()*3
+		a := rng.NormFloat64() * 3
+		b := a + rng.Float64()*5
+		c := b + rng.Float64()*5
+		for _, k := range kernels {
+			m1 := k.Mass(a, b, tt, h)
+			m2 := k.Mass(a, c, tt, h)
+			if m1 < -1e-15 || m1 > 1+1e-15 {
+				return false
+			}
+			if m2 < m1-1e-12 { // widening the interval cannot lose mass
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMassSymmetry(t *testing.T) {
+	// Mass of [t-w, t] equals mass of [t, t+w] for symmetric kernels.
+	for _, k := range kernels {
+		for _, w := range []float64{0.1, 1, 3} {
+			left := k.Mass(2-w, 2, 2, 0.8)
+			right := k.Mass(2, 2+w, 2, 0.8)
+			if math.Abs(left-right) > 1e-12 {
+				t.Errorf("%s: asymmetric mass: %g vs %g", k.Name(), left, right)
+			}
+		}
+	}
+}
+
+func TestMassMatchesDensityIntegral(t *testing.T) {
+	// Numerically integrate Density over [l, u] and compare with Mass.
+	for _, k := range kernels {
+		l, u, center, h := -0.4, 1.3, 0.25, 0.6
+		const steps = 20000
+		dx := (u - l) / steps
+		sum := 0.0
+		for i := 0; i < steps; i++ {
+			x := l + (float64(i)+0.5)*dx
+			sum += k.Density(x, center, h)
+		}
+		integral := sum * dx
+		mass := k.Mass(l, u, center, h)
+		if math.Abs(integral-mass) > 1e-6 {
+			t.Errorf("%s: ∫density = %g, Mass = %g", k.Name(), integral, mass)
+		}
+	}
+}
+
+func numericalMassGrad(k Kernel, l, u, tt, h float64) float64 {
+	const eps = 1e-6
+	return (k.Mass(l, u, tt, h+eps) - k.Mass(l, u, tt, h-eps)) / (2 * eps)
+}
+
+func TestMassGradMatchesNumerical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tt := rng.NormFloat64() * 2
+		h := 0.2 + rng.Float64()*2
+		l := rng.NormFloat64() * 3
+		u := l + rng.Float64()*4
+		for _, k := range kernels {
+			analytic := k.MassGrad(l, u, tt, h)
+			numeric := numericalMassGrad(k, l, u, tt, h)
+			if math.Abs(analytic-numeric) > 1e-4*(1+math.Abs(analytic)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpanechnikovCompactSupport(t *testing.T) {
+	k := Epanechnikov{}
+	if d := k.Density(3, 0, 1); d != 0 {
+		t.Errorf("density outside support = %g, want 0", d)
+	}
+	if m := k.Mass(2, 5, 0, 1); m != 0 {
+		t.Errorf("mass outside support = %g, want 0", m)
+	}
+	if m := k.Mass(-1, 1, 0, 1); math.Abs(m-1) > 1e-12 {
+		t.Errorf("mass over exact support = %g, want 1", m)
+	}
+}
+
+func TestGaussianDensityPeak(t *testing.T) {
+	k := Gaussian{}
+	got := k.Density(0, 0, 1)
+	want := 1 / math.Sqrt(2*math.Pi)
+	if math.Abs(got-want) > 1e-14 {
+		t.Errorf("peak density = %g, want %g", got, want)
+	}
+	// Scaling: density at center with bandwidth h is peak/h.
+	if got := k.Density(5, 5, 2); math.Abs(got-want/2) > 1e-14 {
+		t.Errorf("scaled peak = %g, want %g", got, want/2)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"gaussian", "epanechnikov"} {
+		k, ok := ByName(name)
+		if !ok || k.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, k, ok)
+		}
+	}
+	if _, ok := ByName("triweight"); ok {
+		t.Error("unknown kernel should not resolve")
+	}
+}

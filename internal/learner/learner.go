@@ -1,0 +1,265 @@
+// Package learner implements the online learning algorithms behind the
+// adaptive bandwidth maintenance of paper §4.1 (Listing 1): mini-batch
+// RMSprop [42] with Rprop-style [36] per-dimension learning-rate adaptation,
+// the positivity safeguard, and the logarithmic-update variant of
+// Appendix D.
+package learner
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config carries the tuning parameters of Listing 1. Zero values select the
+// paper's defaults.
+type Config struct {
+	// BatchSize is the mini-batch size N (paper: around 10).
+	BatchSize int
+	// Alpha is the smoothing rate for the running average of squared
+	// gradient magnitudes (paper: 0.9).
+	Alpha float64
+	// EtaMin and EtaMax bound the per-dimension learning rates
+	// (paper/[42]: 1e-6 and 50).
+	EtaMin float64
+	EtaMax float64
+	// Inc and Dec are the multiplicative learning-rate adjustments applied
+	// on gradient sign agreement/disagreement (paper/[42]: 1.2 and 0.5).
+	Inc float64
+	Dec float64
+	// InitialRate is the starting per-dimension learning rate (default 1).
+	InitialRate float64
+	// Logarithmic switches to Appendix-D updates of ln(h): the gradient is
+	// scaled by h (eq. 18), the update is applied in log space, and the
+	// positivity safeguard is dropped since exp keeps h positive.
+	Logarithmic bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 10
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.9
+	}
+	if c.EtaMin <= 0 {
+		c.EtaMin = 1e-6
+	}
+	if c.EtaMax <= 0 {
+		c.EtaMax = 50
+	}
+	if c.Inc <= 0 {
+		c.Inc = 1.2
+	}
+	if c.Dec <= 0 {
+		c.Dec = 0.5
+	}
+	if c.InitialRate <= 0 {
+		c.InitialRate = 1
+	}
+	return c
+}
+
+// RMSprop is the mini-batch adaptive learner of Listing 1. It accumulates
+// per-query loss gradients; once a mini-batch is full it rescales the
+// averaged gradient by the running magnitude average, adapts per-dimension
+// learning rates by sign agreement with the previous batch, and applies the
+// update to the bandwidth.
+type RMSprop struct {
+	cfg      Config
+	d        int
+	batch    []float64 // accumulated gradient sum
+	batchN   int
+	msAvg    []float64 // running average of squared gradient magnitudes
+	prevSign []int8    // sign of the previous averaged gradient
+	rates    []float64 // per-dimension learning rates
+	steps    int       // completed mini-batch updates
+}
+
+// NewRMSprop returns a learner for d-dimensional bandwidths.
+func NewRMSprop(d int, cfg Config) (*RMSprop, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("learner: dimensionality must be positive, got %d", d)
+	}
+	cfg = cfg.withDefaults()
+	r := &RMSprop{
+		cfg:      cfg,
+		d:        d,
+		batch:    make([]float64, d),
+		msAvg:    make([]float64, d),
+		prevSign: make([]int8, d),
+		rates:    make([]float64, d),
+	}
+	for i := range r.rates {
+		r.rates[i] = cfg.InitialRate
+	}
+	return r, nil
+}
+
+// BatchSize returns the configured mini-batch size.
+func (r *RMSprop) BatchSize() int { return r.cfg.BatchSize }
+
+// Steps returns the number of completed mini-batch updates.
+func (r *RMSprop) Steps() int { return r.steps }
+
+// Pending returns the number of gradients accumulated in the open batch.
+func (r *RMSprop) Pending() int { return r.batchN }
+
+// Rates returns a copy of the current per-dimension learning rates.
+func (r *RMSprop) Rates() []float64 {
+	out := make([]float64, r.d)
+	copy(out, r.rates)
+	return out
+}
+
+// Observe folds one query's loss gradient (with respect to the bandwidth h)
+// into the open mini-batch and, when the batch is full, applies the update
+// to h in place. It reports whether an update was applied. In logarithmic
+// mode the chain-rule factor of eq. 18 (multiplication by h) is applied
+// internally; callers always pass the plain ∇_H L.
+func (r *RMSprop) Observe(grad, h []float64) (bool, error) {
+	if len(grad) != r.d || len(h) != r.d {
+		return false, fmt.Errorf("learner: gradient/bandwidth dims (%d,%d), want %d", len(grad), len(h), r.d)
+	}
+	for j, gj := range grad {
+		if math.IsNaN(gj) || math.IsInf(gj, 0) {
+			return false, fmt.Errorf("learner: non-finite gradient component %d: %g", j, gj)
+		}
+		if r.cfg.Logarithmic {
+			gj *= h[j] // ∂L/∂ln(h) = ∂L/∂h · h (eq. 18)
+		}
+		r.batch[j] += gj
+	}
+	r.batchN++
+	if r.batchN < r.cfg.BatchSize {
+		return false, nil
+	}
+	r.apply(h)
+	return true, nil
+}
+
+// Flush applies a partial mini-batch immediately, used when the caller
+// wants the model updated before the batch fills (e.g. at shutdown or in
+// tests). It reports whether any gradients were pending.
+func (r *RMSprop) Flush(h []float64) bool {
+	if r.batchN == 0 {
+		return false
+	}
+	r.apply(h)
+	return true
+}
+
+func (r *RMSprop) apply(h []float64) {
+	const eps = 1e-8
+	n := float64(r.batchN)
+	for j := 0; j < r.d; j++ {
+		g := r.batch[j] / n
+
+		// Running average of squared magnitudes (line 14 of Listing 1).
+		r.msAvg[j] = r.cfg.Alpha*r.msAvg[j] + (1-r.cfg.Alpha)*g*g
+
+		// Rprop-style learning-rate adaptation (lines 15-16).
+		s := signOf(g)
+		if r.steps > 0 && s != 0 && r.prevSign[j] != 0 {
+			if s == r.prevSign[j] {
+				r.rates[j] *= r.cfg.Inc
+			} else {
+				r.rates[j] *= r.cfg.Dec
+			}
+			r.rates[j] = math.Min(math.Max(r.rates[j], r.cfg.EtaMin), r.cfg.EtaMax)
+		}
+		r.prevSign[j] = s
+
+		// Scaled update (line 17).
+		delta := r.rates[j] * g / math.Sqrt(r.msAvg[j]+eps)
+		if r.cfg.Logarithmic {
+			h[j] = math.Exp(math.Log(h[j]) - delta)
+		} else {
+			next := h[j] - delta
+			// Positivity safeguard: restrict updates toward zero to at
+			// most half the current value (§4.1).
+			if next < h[j]/2 {
+				next = h[j] / 2
+			}
+			h[j] = next
+		}
+
+		r.batch[j] = 0
+	}
+	r.batchN = 0
+	r.steps++
+}
+
+func signOf(v float64) int8 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Rprop is the batch ancestor of RMSprop [36]: per-dimension step sizes
+// adapted by gradient sign agreement, with the update magnitude independent
+// of the gradient magnitude. It is provided for the ablation comparing
+// learning rules.
+type Rprop struct {
+	cfg      Config
+	d        int
+	steps    []float64
+	prevSign []int8
+	applied  int
+}
+
+// NewRprop returns an Rprop learner for d-dimensional bandwidths. The
+// Config fields EtaMin/EtaMax bound the step sizes and InitialRate is the
+// starting step.
+func NewRprop(d int, cfg Config) (*Rprop, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("learner: dimensionality must be positive, got %d", d)
+	}
+	cfg = cfg.withDefaults()
+	r := &Rprop{cfg: cfg, d: d, steps: make([]float64, d), prevSign: make([]int8, d)}
+	for i := range r.steps {
+		r.steps[i] = cfg.InitialRate
+	}
+	return r, nil
+}
+
+// Observe applies one sign-based update of h from grad. Unlike RMSprop it
+// updates on every observation (Rprop is a full-batch method; callers
+// average gradients themselves if desired).
+func (r *Rprop) Observe(grad, h []float64) error {
+	if len(grad) != r.d || len(h) != r.d {
+		return fmt.Errorf("learner: gradient/bandwidth dims (%d,%d), want %d", len(grad), len(h), r.d)
+	}
+	for j := 0; j < r.d; j++ {
+		g := grad[j]
+		if r.cfg.Logarithmic {
+			g *= h[j]
+		}
+		s := signOf(g)
+		if r.applied > 0 && s != 0 && r.prevSign[j] != 0 {
+			if s == r.prevSign[j] {
+				r.steps[j] *= r.cfg.Inc
+			} else {
+				r.steps[j] *= r.cfg.Dec
+			}
+			r.steps[j] = math.Min(math.Max(r.steps[j], r.cfg.EtaMin), r.cfg.EtaMax)
+		}
+		r.prevSign[j] = s
+		delta := float64(s) * r.steps[j]
+		if r.cfg.Logarithmic {
+			h[j] = math.Exp(math.Log(h[j]) - delta)
+		} else {
+			next := h[j] - delta
+			if next < h[j]/2 {
+				next = h[j] / 2
+			}
+			h[j] = next
+		}
+	}
+	r.applied++
+	return nil
+}

@@ -1,0 +1,229 @@
+package learner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.BatchSize != 10 || c.Alpha != 0.9 || c.EtaMin != 1e-6 || c.EtaMax != 50 ||
+		c.Inc != 1.2 || c.Dec != 0.5 || c.InitialRate != 1 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestNewRMSpropValidation(t *testing.T) {
+	if _, err := NewRMSprop(0, Config{}); err == nil {
+		t.Error("d=0 should be rejected")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	r, _ := NewRMSprop(2, Config{})
+	if _, err := r.Observe([]float64{1}, []float64{1, 1}); err == nil {
+		t.Error("gradient dim mismatch should be rejected")
+	}
+	if _, err := r.Observe([]float64{math.NaN(), 0}, []float64{1, 1}); err == nil {
+		t.Error("NaN gradient should be rejected")
+	}
+	if _, err := r.Observe([]float64{math.Inf(1), 0}, []float64{1, 1}); err == nil {
+		t.Error("infinite gradient should be rejected")
+	}
+}
+
+func TestMiniBatchTiming(t *testing.T) {
+	r, _ := NewRMSprop(1, Config{BatchSize: 3})
+	h := []float64{1.0}
+	for i := 0; i < 2; i++ {
+		updated, err := r.Observe([]float64{0.5}, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if updated {
+			t.Fatalf("update fired after %d observations, batch size 3", i+1)
+		}
+		if h[0] != 1.0 {
+			t.Fatal("bandwidth changed before batch was full")
+		}
+	}
+	updated, err := r.Observe([]float64{0.5}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !updated {
+		t.Fatal("update should fire on the third observation")
+	}
+	if h[0] >= 1.0 {
+		t.Errorf("positive gradient should shrink h, got %g", h[0])
+	}
+	if r.Steps() != 1 || r.Pending() != 0 {
+		t.Errorf("Steps=%d Pending=%d", r.Steps(), r.Pending())
+	}
+}
+
+func TestPositivitySafeguard(t *testing.T) {
+	// Huge positive gradients must never push h to zero or below: the
+	// update toward zero is capped at half the current value (§4.1).
+	r, _ := NewRMSprop(1, Config{BatchSize: 1, InitialRate: 50})
+	h := []float64{1.0}
+	for i := 0; i < 50; i++ {
+		if _, err := r.Observe([]float64{1e6}, h); err != nil {
+			t.Fatal(err)
+		}
+		if h[0] <= 0 {
+			t.Fatalf("bandwidth became non-positive at step %d: %g", i, h[0])
+		}
+	}
+	// Exactly halving each step: after k steps h = 2^-k (within fp error).
+	if h[0] > math.Pow(0.5, 49) {
+		t.Errorf("safeguard should allow halving per step, h = %g", h[0])
+	}
+}
+
+func TestLogarithmicModeKeepsPositive(t *testing.T) {
+	r, _ := NewRMSprop(2, Config{BatchSize: 1, Logarithmic: true, InitialRate: 10})
+	h := []float64{0.5, 2}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		g := []float64{rng.NormFloat64() * 100, rng.NormFloat64() * 100}
+		if _, err := r.Observe(g, h); err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range h {
+			if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("h[%d] = %g at step %d", j, v, i)
+			}
+		}
+	}
+}
+
+func TestRateAdaptation(t *testing.T) {
+	r, _ := NewRMSprop(1, Config{BatchSize: 1})
+	h := []float64{10.0}
+	// Consistent gradient direction: rate should grow (up to the cap).
+	for i := 0; i < 5; i++ {
+		_, _ = r.Observe([]float64{1}, h)
+	}
+	grew := r.Rates()[0]
+	if grew <= 1 {
+		t.Errorf("rate should grow under sign agreement, got %g", grew)
+	}
+	// Direction flip: rate should shrink.
+	_, _ = r.Observe([]float64{-1}, h)
+	if r.Rates()[0] >= grew {
+		t.Errorf("rate should shrink on sign flip: %g -> %g", grew, r.Rates()[0])
+	}
+}
+
+func TestRateClamping(t *testing.T) {
+	cfg := Config{BatchSize: 1, EtaMax: 2, InitialRate: 1}
+	r, _ := NewRMSprop(1, cfg)
+	h := []float64{100.0}
+	for i := 0; i < 30; i++ {
+		_, _ = r.Observe([]float64{1}, h)
+	}
+	if rate := r.Rates()[0]; rate > 2 {
+		t.Errorf("rate %g exceeds EtaMax 2", rate)
+	}
+	cfg = Config{BatchSize: 1, EtaMin: 0.25, InitialRate: 1}
+	r, _ = NewRMSprop(1, cfg)
+	h = []float64{100.0}
+	sign := 1.0
+	for i := 0; i < 30; i++ {
+		_, _ = r.Observe([]float64{sign}, h)
+		sign = -sign
+	}
+	if rate := r.Rates()[0]; rate < 0.25 {
+		t.Errorf("rate %g fell below EtaMin 0.25", rate)
+	}
+}
+
+func TestFlushPartialBatch(t *testing.T) {
+	r, _ := NewRMSprop(1, Config{BatchSize: 10})
+	h := []float64{1.0}
+	if r.Flush(h) {
+		t.Error("flush with no pending gradients should be a no-op")
+	}
+	_, _ = r.Observe([]float64{1}, h)
+	if !r.Flush(h) {
+		t.Error("flush with pending gradients should apply")
+	}
+	if h[0] >= 1.0 {
+		t.Error("flush should have applied the pending update")
+	}
+	if r.Pending() != 0 {
+		t.Error("flush should clear the batch")
+	}
+}
+
+// Online convergence: minimize E[(h-2)^2] from noisy gradients. The learner
+// should move h near 2 and keep it there.
+func TestRMSpropConvergesOnNoisyQuadratic(t *testing.T) {
+	r, _ := NewRMSprop(1, Config{BatchSize: 5, InitialRate: 0.5})
+	h := []float64{8.0}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		g := 2*(h[0]-2) + rng.NormFloat64()*0.5
+		if _, err := r.Observe([]float64{g}, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(h[0]-2) > 0.5 {
+		t.Errorf("h = %g, want near 2", h[0])
+	}
+}
+
+func TestRMSpropLogModeConverges(t *testing.T) {
+	r, _ := NewRMSprop(1, Config{BatchSize: 5, InitialRate: 0.5, Logarithmic: true})
+	h := []float64{8.0}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		g := 2*(h[0]-2) + rng.NormFloat64()*0.5
+		if _, err := r.Observe([]float64{g}, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(h[0]-2) > 0.5 {
+		t.Errorf("log-mode h = %g, want near 2", h[0])
+	}
+}
+
+func TestRpropConverges(t *testing.T) {
+	r, err := NewRprop(1, Config{InitialRate: 0.5, EtaMax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := []float64{8.0}
+	for i := 0; i < 500; i++ {
+		g := 2 * (h[0] - 2)
+		if err := r.Observe([]float64{g}, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(h[0]-2) > 0.3 {
+		t.Errorf("Rprop h = %g, want near 2", h[0])
+	}
+}
+
+func TestRpropValidation(t *testing.T) {
+	if _, err := NewRprop(-1, Config{}); err == nil {
+		t.Error("negative d should be rejected")
+	}
+	r, _ := NewRprop(2, Config{})
+	if err := r.Observe([]float64{1}, []float64{1, 1}); err == nil {
+		t.Error("dim mismatch should be rejected")
+	}
+}
+
+func TestRpropKeepsPositive(t *testing.T) {
+	r, _ := NewRprop(1, Config{InitialRate: 10})
+	h := []float64{1.0}
+	for i := 0; i < 100; i++ {
+		_ = r.Observe([]float64{1e9}, h)
+		if h[0] <= 0 {
+			t.Fatalf("h became non-positive at step %d", i)
+		}
+	}
+}

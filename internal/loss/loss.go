@@ -1,0 +1,164 @@
+// Package loss implements the differentiable error metrics of paper
+// Appendix C.1. Each metric exposes the loss between an estimated and an
+// actual selectivity together with its partial derivative with respect to
+// the estimate — the estimator-independent factor of the bandwidth gradient
+// (paper eq. 14).
+package loss
+
+import "math"
+
+// DefaultLambda is the smoothing constant that guards the relative and
+// Q-error metrics against divisions by (or logarithms of) zero. One over a
+// large table cardinality is a natural scale; 1e-6 corresponds to a
+// million-row relation.
+const DefaultLambda = 1e-6
+
+// Function is a differentiable loss between an estimated and an actual
+// selectivity, both fractions in [0, 1].
+type Function interface {
+	// Name identifies the metric in experiment output.
+	Name() string
+	// Loss returns L(est, actual).
+	Loss(est, actual float64) float64
+	// Deriv returns ∂L/∂est at (est, actual).
+	Deriv(est, actual float64) float64
+}
+
+// Quadratic is the squared (L2) error (est − actual)².
+type Quadratic struct{}
+
+// Name implements Function.
+func (Quadratic) Name() string { return "quadratic" }
+
+// Loss implements Function.
+func (Quadratic) Loss(est, actual float64) float64 {
+	d := est - actual
+	return d * d
+}
+
+// Deriv implements Function.
+func (Quadratic) Deriv(est, actual float64) float64 { return 2 * (est - actual) }
+
+// Absolute is the absolute (L1) error |est − actual|.
+type Absolute struct{}
+
+// Name implements Function.
+func (Absolute) Name() string { return "absolute" }
+
+// Loss implements Function.
+func (Absolute) Loss(est, actual float64) float64 { return math.Abs(est - actual) }
+
+// Deriv implements Function. The subgradient at est == actual is 0.
+func (Absolute) Deriv(est, actual float64) float64 {
+	switch {
+	case est < actual:
+		return -1
+	case est > actual:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Relative is the smoothed relative error |est − actual| / (λ + actual).
+type Relative struct {
+	// Lambda is the positive smoothing constant; zero means DefaultLambda.
+	Lambda float64
+}
+
+func (r Relative) lambda() float64 {
+	if r.Lambda > 0 {
+		return r.Lambda
+	}
+	return DefaultLambda
+}
+
+// Name implements Function.
+func (Relative) Name() string { return "relative" }
+
+// Loss implements Function.
+func (r Relative) Loss(est, actual float64) float64 {
+	return math.Abs(est-actual) / (r.lambda() + actual)
+}
+
+// Deriv implements Function.
+func (r Relative) Deriv(est, actual float64) float64 {
+	return Absolute{}.Deriv(est, actual) / (r.lambda() + actual)
+}
+
+// SquaredRelative is the squared smoothed relative error
+// ((est − actual)/(λ + actual))².
+type SquaredRelative struct {
+	// Lambda is the positive smoothing constant; zero means DefaultLambda.
+	Lambda float64
+}
+
+func (r SquaredRelative) lambda() float64 {
+	if r.Lambda > 0 {
+		return r.Lambda
+	}
+	return DefaultLambda
+}
+
+// Name implements Function.
+func (SquaredRelative) Name() string { return "squared-relative" }
+
+// Loss implements Function.
+func (r SquaredRelative) Loss(est, actual float64) float64 {
+	d := (est - actual) / (r.lambda() + actual)
+	return d * d
+}
+
+// Deriv implements Function.
+func (r SquaredRelative) Deriv(est, actual float64) float64 {
+	l := r.lambda() + actual
+	return 2 * (est - actual) / (l * l)
+}
+
+// SquaredQ is the squared Q-error of Moerkotte et al. [31]:
+// (log(λ + est) − log(λ + actual))².
+type SquaredQ struct {
+	// Lambda is the positive smoothing constant; zero means DefaultLambda.
+	Lambda float64
+}
+
+func (q SquaredQ) lambda() float64 {
+	if q.Lambda > 0 {
+		return q.Lambda
+	}
+	return DefaultLambda
+}
+
+// Name implements Function.
+func (SquaredQ) Name() string { return "squared-q" }
+
+// Loss implements Function.
+func (q SquaredQ) Loss(est, actual float64) float64 {
+	l := q.lambda()
+	d := math.Log(l+est) - math.Log(l+actual)
+	return d * d
+}
+
+// Deriv implements Function.
+func (q SquaredQ) Deriv(est, actual float64) float64 {
+	l := q.lambda()
+	return 2 * (math.Log(l+est) - math.Log(l+actual)) / (l + est)
+}
+
+// ByName returns the loss function registered under name and whether it
+// exists. Names: quadratic, absolute, relative, squared-relative, squared-q.
+func ByName(name string) (Function, bool) {
+	switch name {
+	case "quadratic", "l2":
+		return Quadratic{}, true
+	case "absolute", "l1":
+		return Absolute{}, true
+	case "relative":
+		return Relative{}, true
+	case "squared-relative":
+		return SquaredRelative{}, true
+	case "squared-q", "q2":
+		return SquaredQ{}, true
+	}
+	return nil, false
+}

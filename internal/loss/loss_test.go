@@ -1,0 +1,123 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var all = []Function{
+	Quadratic{}, Absolute{}, Relative{}, SquaredRelative{}, SquaredQ{},
+}
+
+func TestZeroAtPerfectEstimate(t *testing.T) {
+	for _, f := range all {
+		for _, v := range []float64{0, 0.01, 0.5, 1} {
+			if l := f.Loss(v, v); l != 0 {
+				t.Errorf("%s: Loss(%g,%g) = %g, want 0", f.Name(), v, v, l)
+			}
+		}
+	}
+}
+
+func TestNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		est, act := rng.Float64(), rng.Float64()
+		for _, f := range all {
+			if l := f.Loss(est, act); l < 0 {
+				t.Fatalf("%s: Loss(%g,%g) = %g < 0", f.Name(), est, act, l)
+			}
+		}
+	}
+}
+
+func TestQuadraticKnownValues(t *testing.T) {
+	q := Quadratic{}
+	if l := q.Loss(0.3, 0.1); math.Abs(l-0.04) > 1e-15 {
+		t.Errorf("Loss = %g, want 0.04", l)
+	}
+	if d := q.Deriv(0.3, 0.1); math.Abs(d-0.4) > 1e-15 {
+		t.Errorf("Deriv = %g, want 0.4", d)
+	}
+}
+
+func TestAbsoluteSignStructure(t *testing.T) {
+	a := Absolute{}
+	if a.Deriv(0.1, 0.5) != -1 || a.Deriv(0.5, 0.1) != 1 || a.Deriv(0.2, 0.2) != 0 {
+		t.Error("Absolute derivative sign structure wrong")
+	}
+}
+
+func TestRelativeSmoothing(t *testing.T) {
+	r := Relative{}
+	// With actual = 0 the loss is est/λ, finite thanks to smoothing.
+	l := r.Loss(0.5, 0)
+	if math.IsInf(l, 0) || math.IsNaN(l) {
+		t.Fatalf("smoothed relative loss should be finite, got %g", l)
+	}
+	if want := 0.5 / DefaultLambda; math.Abs(l-want) > 1e-6*want {
+		t.Errorf("Loss = %g, want %g", l, want)
+	}
+	custom := Relative{Lambda: 0.1}
+	if got, want := custom.Loss(0.2, 0), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("custom lambda loss = %g, want %g", got, want)
+	}
+}
+
+func TestSquaredQPenalizesRatio(t *testing.T) {
+	q := SquaredQ{Lambda: 1e-9}
+	// Over- and underestimation by the same *factor* incur the same loss.
+	over := q.Loss(0.4, 0.1)
+	under := q.Loss(0.1, 0.4)
+	if math.Abs(over-under) > 1e-9 {
+		t.Errorf("q-error should be symmetric in ratio: %g vs %g", over, under)
+	}
+	// log(4)^2
+	want := math.Pow(math.Log(4), 2)
+	if math.Abs(over-want) > 1e-6 {
+		t.Errorf("Loss = %g, want about %g", over, want)
+	}
+}
+
+// Property: every analytic derivative matches central differences where the
+// loss is differentiable.
+func TestDerivMatchesNumerical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		est := rng.Float64()
+		act := rng.Float64()
+		if math.Abs(est-act) < 1e-4 {
+			return true // skip the L1 kink neighborhood
+		}
+		const eps = 1e-7
+		for _, fn := range all {
+			numeric := (fn.Loss(est+eps, act) - fn.Loss(est-eps, act)) / (2 * eps)
+			analytic := fn.Deriv(est, act)
+			if math.Abs(numeric-analytic) > 1e-3*(1+math.Abs(analytic)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	names := []string{"quadratic", "absolute", "relative", "squared-relative", "squared-q"}
+	for _, n := range names {
+		f, ok := ByName(n)
+		if !ok || f.Name() != n {
+			t.Errorf("ByName(%q) = %v, %v", n, f, ok)
+		}
+	}
+	if f, ok := ByName("l2"); !ok || f.Name() != "quadratic" {
+		t.Error("alias l2 should resolve to quadratic")
+	}
+	if _, ok := ByName("hinge"); ok {
+		t.Error("unknown loss should not resolve")
+	}
+}

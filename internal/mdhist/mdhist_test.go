@@ -1,0 +1,146 @@
+package mdhist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/datagen"
+	"kdesel/internal/query"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 2, 8); err == nil {
+		t.Error("empty data should be rejected")
+	}
+	rows := [][]float64{{1, 2}}
+	if _, err := Build(rows, 3, 8); err == nil {
+		t.Error("dimension mismatch should be rejected")
+	}
+	if _, err := Build(rows, 2, 0); err == nil {
+		t.Error("zero budget should be rejected")
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := datagen.Synthetic(rng, 3000, 3, 5, 0.1)
+	for _, budget := range []int{1, 7, 32, 100} {
+		h, err := Build(ds.Rows, 3, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Buckets() > budget {
+			t.Errorf("budget %d: built %d buckets", budget, h.Buckets())
+		}
+	}
+}
+
+func TestEquiDepthBalance(t *testing.T) {
+	// On continuous data every split is possible, so bucket counts should
+	// be roughly balanced: max/min bounded by a small factor.
+	rng := rand.New(rand.NewSource(2))
+	rows := make([][]float64, 4096)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64(), rng.NormFloat64()}
+	}
+	h, err := Build(rows, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != 16 {
+		t.Fatalf("buckets = %d, want 16", h.Buckets())
+	}
+	minF, maxF := math.Inf(1), 0.0
+	for _, b := range h.buckets {
+		if b.freq < minF {
+			minF = b.freq
+		}
+		if b.freq > maxF {
+			maxF = b.freq
+		}
+	}
+	if maxF > 4*minF {
+		t.Errorf("bucket sizes unbalanced: min %g, max %g", minF, maxF)
+	}
+}
+
+func TestFullAndDisjointQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := datagen.Synthetic(rng, 2000, 2, 4, 0.1)
+	h, _ := Build(ds.Rows, 2, 32)
+	full := query.NewRange([]float64{-10, -10}, []float64{10, 10})
+	if sel, _ := h.Selectivity(full); math.Abs(sel-1) > 1e-9 {
+		t.Errorf("full-space selectivity = %g", sel)
+	}
+	off := query.NewRange([]float64{50, 50}, []float64{60, 60})
+	if sel, _ := h.Selectivity(off); sel != 0 {
+		t.Errorf("disjoint selectivity = %g", sel)
+	}
+	if _, err := h.Selectivity(query.NewRange([]float64{0}, []float64{1})); err == nil {
+		t.Error("dim mismatch should be rejected")
+	}
+}
+
+func TestBeatsUniformOnClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := datagen.Synthetic(rng, 20000, 3, 5, 0.05)
+	h, err := Build(ds.Rows, 3, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := query.NewRange(ds.Rows[0], ds.Rows[0])
+	for _, r := range ds.Rows[1:] {
+		space.ExpandToInclude(r)
+	}
+	trueSel := func(q query.Range) float64 {
+		in := 0
+		for _, r := range ds.Rows {
+			if q.Contains(r) {
+				in++
+			}
+		}
+		return float64(in) / float64(len(ds.Rows))
+	}
+	var errH, errU float64
+	const tests = 60
+	for i := 0; i < tests; i++ {
+		c := ds.Rows[rng.Intn(len(ds.Rows))]
+		w := 0.05 + rng.Float64()*0.15
+		q := query.NewRange(
+			[]float64{c[0] - w, c[1] - w, c[2] - w},
+			[]float64{c[0] + w, c[1] + w, c[2] + w},
+		)
+		actual := trueSel(q)
+		est, err := h.Selectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter, _ := q.Intersect(space)
+		errH += math.Abs(est - actual)
+		errU += math.Abs(inter.Volume()/space.Volume() - actual)
+	}
+	if errH > errU*0.6 {
+		t.Errorf("mdhist error %.4f should clearly beat uniform %.4f", errH/tests, errU/tests)
+	}
+}
+
+func TestDuplicateHeavyData(t *testing.T) {
+	// Many duplicates: splitting must terminate and estimates stay sane.
+	rows := make([][]float64, 500)
+	for i := range rows {
+		rows[i] = []float64{float64(i % 3), 1}
+	}
+	h, err := Build(rows, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewRange([]float64{-0.5, 0.5}, []float64{0.5, 1.5})
+	sel, err := h.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel < 0 || sel > 1 {
+		t.Errorf("selectivity = %g", sel)
+	}
+}

@@ -1,0 +1,95 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+// The bandwidth objectives return +Inf outside their domain; the local
+// optimizer must treat such regions as walls rather than diverging.
+func TestLBFGSBHandlesInfiniteRegions(t *testing.T) {
+	f := func(x, grad []float64) float64 {
+		if x[0] <= 0 {
+			if grad != nil {
+				grad[0] = 0
+			}
+			return math.Inf(1)
+		}
+		d := x[0] - 2
+		if grad != nil {
+			grad[0] = 2 * d
+		}
+		return d * d
+	}
+	b := Bounds{Lo: []float64{-10}, Hi: []float64{10}}
+	res, err := LBFGSB{}.Minimize(f, []float64{5}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-5 {
+		t.Errorf("X = %v, want 2", res.X)
+	}
+}
+
+func TestNelderMeadHandlesInfiniteRegions(t *testing.T) {
+	f := func(x, _ []float64) float64 {
+		if x[0] <= 0 {
+			return math.Inf(1)
+		}
+		d := x[0] - 2
+		return d * d
+	}
+	b := Bounds{Lo: []float64{-10}, Hi: []float64{10}}
+	res, err := NelderMead{MaxIter: 500}.Minimize(f, []float64{5}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-3 {
+		t.Errorf("X = %v, want 2", res.X)
+	}
+}
+
+// A NaN at the starting point must error rather than loop.
+func TestLBFGSBNaNStart(t *testing.T) {
+	f := func(x, grad []float64) float64 {
+		if grad != nil {
+			grad[0] = 0
+		}
+		return math.NaN()
+	}
+	if _, err := (LBFGSB{}).Minimize(f, []float64{1}, Unbounded(1)); err == nil {
+		t.Error("NaN objective at start should error")
+	}
+}
+
+// Fixed degenerate box: lo == hi pins the variable.
+func TestDegenerateBox(t *testing.T) {
+	f := quadratic([]float64{5, 5})
+	b := Bounds{Lo: []float64{1, -10}, Hi: []float64{1, 10}}
+	res, err := LBFGSB{}.Minimize(f, []float64{1, 0}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] != 1 {
+		t.Errorf("pinned variable moved: %v", res.X)
+	}
+	if math.Abs(res.X[1]-5) > 1e-5 {
+		t.Errorf("free variable = %g, want 5", res.X[1])
+	}
+}
+
+// Evaluations must be counted (budget accounting for callers).
+func TestEvaluationCounting(t *testing.T) {
+	count := 0
+	f := func(x, grad []float64) float64 {
+		count++
+		return quadratic([]float64{1})(x, grad)
+	}
+	res, err := LBFGSB{}.Minimize(f, []float64{0}, Unbounded(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != count {
+		t.Errorf("reported %d evaluations, actual %d", res.Evaluations, count)
+	}
+}

@@ -1,0 +1,209 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// LBFGSB is a bound-constrained limited-memory BFGS minimizer. It plays the
+// role NLopt's L-BFGS-B implementation plays in the paper (§3.4, §5.3):
+// local refinement of the bandwidth after the global phase.
+//
+// The implementation is the projected-gradient variant: search directions
+// come from the standard two-loop recursion over recent curvature pairs,
+// with components pushing against active bounds zeroed out; steps are
+// projected onto the box and accepted under an Armijo condition along the
+// projected path.
+type LBFGSB struct {
+	// Memory is the number of curvature pairs retained (default 8).
+	Memory int
+	// MaxIter caps the number of outer iterations (default 200).
+	MaxIter int
+	// GradTol stops when the projected gradient infinity norm falls below
+	// it (default 1e-7).
+	GradTol float64
+	// FTol stops when the relative objective decrease falls below it
+	// (default 1e-10).
+	FTol float64
+}
+
+func (o LBFGSB) memory() int {
+	if o.Memory > 0 {
+		return o.Memory
+	}
+	return 8
+}
+
+func (o LBFGSB) maxIter() int {
+	if o.MaxIter > 0 {
+		return o.MaxIter
+	}
+	return 200
+}
+
+func (o LBFGSB) gradTol() float64 {
+	if o.GradTol > 0 {
+		return o.GradTol
+	}
+	return 1e-7
+}
+
+func (o LBFGSB) fTol() float64 {
+	if o.FTol > 0 {
+		return o.FTol
+	}
+	return 1e-10
+}
+
+// Minimize implements Minimizer.
+func (o LBFGSB) Minimize(f Objective, x0 []float64, b Bounds) (Result, error) {
+	d := len(x0)
+	if d == 0 {
+		return Result{}, fmt.Errorf("optimize: empty starting point")
+	}
+	if err := b.Validate(d); err != nil {
+		return Result{}, err
+	}
+
+	x := cloneVec(x0)
+	b.Clamp(x)
+	g := make([]float64, d)
+	evals := 0
+	fx := f(x, g)
+	evals++
+	if math.IsNaN(fx) {
+		return Result{}, fmt.Errorf("optimize: objective is NaN at the starting point")
+	}
+
+	type pair struct{ s, y []float64 }
+	var hist []pair
+	dir := make([]float64, d)
+	xNew := make([]float64, d)
+	gNew := make([]float64, d)
+	alphaBuf := make([]float64, o.memory())
+
+	best := Result{X: cloneVec(x), F: fx}
+	converged := false
+
+	for iter := 0; iter < o.maxIter(); iter++ {
+		best.Iterations = iter + 1
+		if projectedGradientNorm(x, g, b) <= o.gradTol() {
+			converged = true
+			break
+		}
+
+		// Two-loop recursion for dir = -H·g.
+		copy(dir, g)
+		m := len(hist)
+		for i := m - 1; i >= 0; i-- {
+			p := hist[i]
+			rho := 1 / dot(p.y, p.s)
+			alphaBuf[i] = rho * dot(p.s, dir)
+			for j := range dir {
+				dir[j] -= alphaBuf[i] * p.y[j]
+			}
+		}
+		if m > 0 {
+			last := hist[m-1]
+			gamma := dot(last.s, last.y) / dot(last.y, last.y)
+			for j := range dir {
+				dir[j] *= gamma
+			}
+		}
+		for i := 0; i < m; i++ {
+			p := hist[i]
+			rho := 1 / dot(p.y, p.s)
+			beta := rho * dot(p.y, dir)
+			for j := range dir {
+				dir[j] += (alphaBuf[i] - beta) * p.s[j]
+			}
+		}
+		for j := range dir {
+			dir[j] = -dir[j]
+		}
+		// Zero direction components that push against an active bound.
+		for j := range dir {
+			if (x[j] <= b.Lo[j] && dir[j] < 0) || (x[j] >= b.Hi[j] && dir[j] > 0) {
+				dir[j] = 0
+			}
+		}
+		// Fall back to steepest descent if the direction is not a descent
+		// direction (can happen after aggressive bound clipping).
+		if dot(g, dir) >= 0 {
+			hist = hist[:0]
+			for j := range dir {
+				dir[j] = -g[j]
+				if (x[j] <= b.Lo[j] && dir[j] < 0) || (x[j] >= b.Hi[j] && dir[j] > 0) {
+					dir[j] = 0
+				}
+			}
+			if dot(g, dir) >= 0 {
+				converged = true // stationary on the active set
+				break
+			}
+		}
+
+		// Backtracking Armijo line search along the projected path.
+		const c1 = 1e-4
+		alpha := 1.0
+		var fNew float64
+		accepted := false
+		for ls := 0; ls < 40; ls++ {
+			for j := range xNew {
+				xNew[j] = x[j] + alpha*dir[j]
+			}
+			b.Clamp(xNew)
+			fNew = f(xNew, gNew)
+			evals++
+			// Directional decrease measured against the actual (projected)
+			// displacement.
+			desc := 0.0
+			for j := range xNew {
+				desc += g[j] * (xNew[j] - x[j])
+			}
+			if !math.IsNaN(fNew) && fNew <= fx+c1*desc && desc < 0 {
+				accepted = true
+				break
+			}
+			alpha *= 0.5
+		}
+		if !accepted {
+			break // cannot make progress; report best so far
+		}
+
+		// Curvature update.
+		s := make([]float64, d)
+		y := make([]float64, d)
+		for j := range s {
+			s[j] = xNew[j] - x[j]
+			y[j] = gNew[j] - g[j]
+		}
+		if sy := dot(s, y); sy > 1e-12*math.Sqrt(dot(s, s)*dot(y, y)) {
+			hist = append(hist, pair{s, y})
+			if len(hist) > o.memory() {
+				hist = hist[1:]
+			}
+		}
+
+		prevF := fx
+		copy(x, xNew)
+		copy(g, gNew)
+		fx = fNew
+		if fx < best.F {
+			best.F = fx
+			copy(best.X, x)
+		}
+		if math.Abs(prevF-fx) <= o.fTol()*(1+math.Abs(fx)) {
+			converged = true
+			break
+		}
+	}
+
+	best.Evaluations = evals
+	best.Converged = converged
+	if fx < best.F {
+		best.F = fx
+		copy(best.X, x)
+	}
+	return best, nil
+}

@@ -1,0 +1,152 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// MLSL is a multi-level single-linkage style global minimizer [24]: it
+// samples candidate starting points in the box, discards candidates that
+// cluster around already-explored basins (single-linkage rule), and runs a
+// local minimizer from the survivors. This is the coarse global phase the
+// paper runs before L-BFGS-B refinement (§3.4, §5.3).
+type MLSL struct {
+	// Samples is the number of random candidates drawn (default 64).
+	Samples int
+	// MaxLocal caps the number of local searches launched (default 5).
+	MaxLocal int
+	// ClusterRadius is the fraction of the box diagonal within which a
+	// candidate is considered part of an already-explored basin
+	// (default 0.1).
+	ClusterRadius float64
+	// Local is the local minimizer (default LBFGSB{}).
+	Local Minimizer
+	// Rand supplies randomness; nil means a fixed-seed source, keeping
+	// the optimizer deterministic by default.
+	Rand *rand.Rand
+}
+
+func (o MLSL) samples() int {
+	if o.Samples > 0 {
+		return o.Samples
+	}
+	return 64
+}
+
+func (o MLSL) maxLocal() int {
+	if o.MaxLocal > 0 {
+		return o.MaxLocal
+	}
+	return 5
+}
+
+func (o MLSL) clusterRadius() float64 {
+	if o.ClusterRadius > 0 {
+		return o.ClusterRadius
+	}
+	return 0.1
+}
+
+func (o MLSL) local() Minimizer {
+	if o.Local != nil {
+		return o.Local
+	}
+	return LBFGSB{}
+}
+
+// Minimize searches the box globally. Unlike local methods it needs finite
+// bounds to sample from; x0 is included as one of the candidates so the
+// caller's best known point is never lost.
+func (o MLSL) Minimize(f Objective, x0 []float64, b Bounds) (Result, error) {
+	d := len(x0)
+	if d == 0 {
+		return Result{}, fmt.Errorf("optimize: empty starting point")
+	}
+	if err := b.Validate(d); err != nil {
+		return Result{}, err
+	}
+	if !b.Finite() {
+		return Result{}, fmt.Errorf("optimize: MLSL requires finite bounds to sample candidates")
+	}
+	rng := o.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0x5eed))
+	}
+
+	diag := 0.0
+	for i := 0; i < d; i++ {
+		w := b.Hi[i] - b.Lo[i]
+		diag += w * w
+	}
+	diag = math.Sqrt(diag)
+	radius := o.clusterRadius() * diag
+
+	type cand struct {
+		x []float64
+		f float64
+	}
+	cands := make([]cand, 0, o.samples()+1)
+	evals := 0
+	start := cloneVec(x0)
+	b.Clamp(start)
+	cands = append(cands, cand{start, f(start, nil)})
+	evals++
+	for i := 0; i < o.samples(); i++ {
+		x := make([]float64, d)
+		for j := 0; j < d; j++ {
+			x[j] = b.Lo[j] + rng.Float64()*(b.Hi[j]-b.Lo[j])
+		}
+		cands = append(cands, cand{x, f(x, nil)})
+		evals++
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].f < cands[j].f })
+
+	var explored [][]float64
+	best := Result{X: cloneVec(cands[0].x), F: cands[0].f}
+	locals := 0
+	for _, c := range cands {
+		if locals >= o.maxLocal() {
+			break
+		}
+		if math.IsInf(c.f, 1) || math.IsNaN(c.f) {
+			continue
+		}
+		// Single-linkage rule: skip candidates near an explored basin.
+		near := false
+		for _, e := range explored {
+			if euclid(c.x, e) < radius {
+				near = true
+				break
+			}
+		}
+		if near {
+			continue
+		}
+		res, err := o.local().Minimize(f, c.x, b)
+		if err != nil {
+			continue
+		}
+		locals++
+		evals += res.Evaluations
+		explored = append(explored, cloneVec(res.X))
+		if res.F < best.F {
+			best.F = res.F
+			best.X = cloneVec(res.X)
+		}
+	}
+	best.Iterations = locals
+	best.Evaluations = evals
+	best.Converged = locals > 0
+	return best, nil
+}
+
+func euclid(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

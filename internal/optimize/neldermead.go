@@ -1,0 +1,183 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NelderMead is a derivative-free simplex minimizer with box constraints
+// enforced by projection. It backs the sample-driven bandwidth selectors
+// whose criteria (SCV/LSCV) are cheaper to evaluate than to differentiate,
+// and serves as a fallback local method in the global phase.
+type NelderMead struct {
+	// MaxIter caps the number of iterations (default 400).
+	MaxIter int
+	// Tol stops when the simplex function-value spread falls below it
+	// (default 1e-10).
+	Tol float64
+	// Step is the relative size of the initial simplex (default 0.1).
+	Step float64
+}
+
+func (o NelderMead) maxIter() int {
+	if o.MaxIter > 0 {
+		return o.MaxIter
+	}
+	return 400
+}
+
+func (o NelderMead) tol() float64 {
+	if o.Tol > 0 {
+		return o.Tol
+	}
+	return 1e-10
+}
+
+func (o NelderMead) step() float64 {
+	if o.Step > 0 {
+		return o.Step
+	}
+	return 0.1
+}
+
+// Minimize implements Minimizer. The objective is always called with a nil
+// gradient.
+func (o NelderMead) Minimize(f Objective, x0 []float64, b Bounds) (Result, error) {
+	d := len(x0)
+	if d == 0 {
+		return Result{}, fmt.Errorf("optimize: empty starting point")
+	}
+	if err := b.Validate(d); err != nil {
+		return Result{}, err
+	}
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		b.Clamp(x)
+		evals++
+		v := f(x, nil)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+
+	// Initial simplex: x0 plus a perturbation along each axis.
+	verts := make([][]float64, d+1)
+	vals := make([]float64, d+1)
+	verts[0] = cloneVec(x0)
+	vals[0] = eval(verts[0])
+	for i := 0; i < d; i++ {
+		v := cloneVec(x0)
+		h := o.step() * math.Max(math.Abs(v[i]), 1)
+		v[i] += h
+		if v[i] > b.Hi[i] {
+			v[i] = x0[i] - h
+		}
+		verts[i+1] = v
+		vals[i+1] = eval(v)
+	}
+
+	order := make([]int, d+1)
+	centroid := make([]float64, d)
+	trial := make([]float64, d)
+	trial2 := make([]float64, d)
+
+	const (
+		reflect  = 1.0
+		expand   = 2.0
+		contract = 0.5
+		shrink   = 0.5
+	)
+
+	iters := 0
+	converged := false
+	for ; iters < o.maxIter(); iters++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, c int) bool { return vals[order[a]] < vals[order[c]] })
+		bestI, worstI := order[0], order[d]
+		if math.Abs(vals[worstI]-vals[bestI]) <= o.tol()*(1+math.Abs(vals[bestI])) {
+			converged = true
+			break
+		}
+
+		// Centroid of all but the worst vertex.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for _, i := range order[:d] {
+			for j := range centroid {
+				centroid[j] += verts[i][j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(d)
+		}
+
+		// Reflection.
+		for j := range trial {
+			trial[j] = centroid[j] + reflect*(centroid[j]-verts[worstI][j])
+		}
+		fr := eval(trial)
+		switch {
+		case fr < vals[bestI]:
+			// Expansion.
+			for j := range trial2 {
+				trial2[j] = centroid[j] + expand*(centroid[j]-verts[worstI][j])
+			}
+			fe := eval(trial2)
+			if fe < fr {
+				copy(verts[worstI], trial2)
+				vals[worstI] = fe
+			} else {
+				copy(verts[worstI], trial)
+				vals[worstI] = fr
+			}
+		case fr < vals[order[d-1]]:
+			copy(verts[worstI], trial)
+			vals[worstI] = fr
+		default:
+			// Contraction (outside if the reflected point improved on the
+			// worst, inside otherwise).
+			if fr < vals[worstI] {
+				for j := range trial2 {
+					trial2[j] = centroid[j] + contract*(trial[j]-centroid[j])
+				}
+			} else {
+				for j := range trial2 {
+					trial2[j] = centroid[j] - contract*(centroid[j]-verts[worstI][j])
+				}
+			}
+			fc := eval(trial2)
+			if fc < math.Min(fr, vals[worstI]) {
+				copy(verts[worstI], trial2)
+				vals[worstI] = fc
+			} else {
+				// Shrink toward the best vertex.
+				for _, i := range order[1:] {
+					for j := range verts[i] {
+						verts[i][j] = verts[bestI][j] + shrink*(verts[i][j]-verts[bestI][j])
+					}
+					vals[i] = eval(verts[i])
+				}
+			}
+		}
+	}
+
+	bestI := 0
+	for i := 1; i <= d; i++ {
+		if vals[i] < vals[bestI] {
+			bestI = i
+		}
+	}
+	return Result{
+		X:           cloneVec(verts[bestI]),
+		F:           vals[bestI],
+		Iterations:  iters,
+		Evaluations: evals,
+		Converged:   converged,
+	}, nil
+}

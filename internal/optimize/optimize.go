@@ -1,0 +1,136 @@
+// Package optimize provides the numerical optimization substrate the
+// bandwidth selection methods need (paper §3.4): a bound-constrained
+// limited-memory quasi-Newton method filling the role of L-BFGS-B [8], a
+// derivative-free Nelder-Mead simplex, and an MLSL-style multistart global
+// optimizer [24] that combines random sampling with cluster filtering and
+// local refinement.
+//
+// All methods minimize an Objective over a box. The implementations are
+// from scratch on the standard library, as the substitution notes in
+// DESIGN.md describe.
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Objective evaluates the target function at x and, when grad is non-nil,
+// writes the gradient into grad. Implementations must not retain x or grad.
+type Objective func(x, grad []float64) float64
+
+// Bounds is a box constraint lo[i] <= x[i] <= hi[i]. Entries may be
+// infinite for unconstrained dimensions.
+type Bounds struct {
+	Lo []float64
+	Hi []float64
+}
+
+// Validate reports an error if the bounds are malformed for dimension d.
+func (b Bounds) Validate(d int) error {
+	if len(b.Lo) != d || len(b.Hi) != d {
+		return fmt.Errorf("optimize: bounds have dims (%d,%d), want %d", len(b.Lo), len(b.Hi), d)
+	}
+	for i := range b.Lo {
+		if b.Hi[i] < b.Lo[i] {
+			return fmt.Errorf("optimize: inverted bounds in dimension %d", i)
+		}
+	}
+	return nil
+}
+
+// Clamp projects x onto the box in place.
+func (b Bounds) Clamp(x []float64) {
+	for i := range x {
+		if x[i] < b.Lo[i] {
+			x[i] = b.Lo[i]
+		}
+		if x[i] > b.Hi[i] {
+			x[i] = b.Hi[i]
+		}
+	}
+}
+
+// Finite reports whether every bound is finite, a requirement for random
+// sampling in the global phase.
+func (b Bounds) Finite() bool {
+	for i := range b.Lo {
+		if math.IsInf(b.Lo[i], 0) || math.IsInf(b.Hi[i], 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Unbounded returns bounds of (-inf, +inf) in every dimension.
+func Unbounded(d int) Bounds {
+	b := Bounds{Lo: make([]float64, d), Hi: make([]float64, d)}
+	for i := 0; i < d; i++ {
+		b.Lo[i] = math.Inf(-1)
+		b.Hi[i] = math.Inf(1)
+	}
+	return b
+}
+
+// Result reports the outcome of a minimization.
+type Result struct {
+	// X is the best point found.
+	X []float64
+	// F is the objective value at X.
+	F float64
+	// Iterations is the number of outer iterations performed.
+	Iterations int
+	// Evaluations is the number of objective evaluations.
+	Evaluations int
+	// Converged reports whether a tolerance-based stopping rule fired
+	// (as opposed to exhausting the iteration budget).
+	Converged bool
+}
+
+// Minimizer is a local optimization algorithm over a box.
+type Minimizer interface {
+	Minimize(f Objective, x0 []float64, b Bounds) (Result, error)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func infNorm(a []float64) float64 {
+	m := 0.0
+	for _, v := range a {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+func cloneVec(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// projectedGradientNorm measures first-order optimality on a box:
+// the infinity norm of x - P(x - g).
+func projectedGradientNorm(x, g []float64, b Bounds) float64 {
+	m := 0.0
+	for i := range x {
+		xi := x[i] - g[i]
+		if xi < b.Lo[i] {
+			xi = b.Lo[i]
+		}
+		if xi > b.Hi[i] {
+			xi = b.Hi[i]
+		}
+		if d := math.Abs(x[i] - xi); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,236 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadratic builds a separable quadratic with minimum at center.
+func quadratic(center []float64) Objective {
+	return func(x, grad []float64) float64 {
+		v := 0.0
+		for i := range x {
+			d := x[i] - center[i]
+			v += d * d
+			if grad != nil {
+				grad[i] = 2 * d
+			}
+		}
+		return v
+	}
+}
+
+// rosenbrock is the classic banana function with minimum (1,1).
+func rosenbrock(x, grad []float64) float64 {
+	a, b := x[0], x[1]
+	v := (1-a)*(1-a) + 100*(b-a*a)*(b-a*a)
+	if grad != nil {
+		grad[0] = -2*(1-a) - 400*a*(b-a*a)
+		grad[1] = 200 * (b - a*a)
+	}
+	return v
+}
+
+// doubleWell has a local minimum near +1.02 and the global minimum near
+// -1.18 (f(x) = x^4 - 2x^2 + 0.3x).
+func doubleWell(x, grad []float64) float64 {
+	v := 0.0
+	for i := range x {
+		xi := x[i]
+		v += xi*xi*xi*xi - 2*xi*xi + 0.3*xi
+		if grad != nil {
+			grad[i] = 4*xi*xi*xi - 4*xi + 0.3
+		}
+	}
+	return v
+}
+
+func TestBoundsValidate(t *testing.T) {
+	b := Bounds{Lo: []float64{0, 0}, Hi: []float64{1, 1}}
+	if err := b.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(3); err == nil {
+		t.Error("dimension mismatch should be rejected")
+	}
+	bad := Bounds{Lo: []float64{1}, Hi: []float64{0}}
+	if err := bad.Validate(1); err == nil {
+		t.Error("inverted bounds should be rejected")
+	}
+}
+
+func TestBoundsClampAndFinite(t *testing.T) {
+	b := Bounds{Lo: []float64{0, -1}, Hi: []float64{1, 1}}
+	x := []float64{-5, 0.5}
+	b.Clamp(x)
+	if x[0] != 0 || x[1] != 0.5 {
+		t.Errorf("Clamp = %v", x)
+	}
+	if !b.Finite() {
+		t.Error("finite bounds reported infinite")
+	}
+	if Unbounded(2).Finite() {
+		t.Error("Unbounded reported finite")
+	}
+}
+
+func TestLBFGSBQuadratic(t *testing.T) {
+	center := []float64{3, -2, 0.5}
+	res, err := LBFGSB{}.Minimize(quadratic(center), []float64{0, 0, 0}, Unbounded(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range center {
+		if math.Abs(res.X[i]-center[i]) > 1e-5 {
+			t.Errorf("X[%d] = %g, want %g", i, res.X[i], center[i])
+		}
+	}
+	if !res.Converged {
+		t.Error("quadratic minimization should converge")
+	}
+}
+
+func TestLBFGSBRosenbrock(t *testing.T) {
+	res, err := LBFGSB{MaxIter: 1000}.Minimize(rosenbrock, []float64{-1.2, 1}, Unbounded(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-4 || math.Abs(res.X[1]-1) > 1e-4 {
+		t.Errorf("Rosenbrock minimum = %v (f=%g), want (1,1)", res.X, res.F)
+	}
+}
+
+func TestLBFGSBRespectsBounds(t *testing.T) {
+	// Unconstrained minimum at (3,-2) lies outside the box [0,1]^2; the
+	// constrained minimum is the projection (1,0).
+	b := Bounds{Lo: []float64{0, 0}, Hi: []float64{1, 1}}
+	res, err := LBFGSB{}.Minimize(quadratic([]float64{3, -2}), []float64{0.5, 0.5}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-6 || math.Abs(res.X[1]-0) > 1e-6 {
+		t.Errorf("constrained minimum = %v, want (1,0)", res.X)
+	}
+	for i := range res.X {
+		if res.X[i] < b.Lo[i]-1e-12 || res.X[i] > b.Hi[i]+1e-12 {
+			t.Errorf("iterate escaped the box: %v", res.X)
+		}
+	}
+}
+
+func TestLBFGSBStartOutsideBoxIsClamped(t *testing.T) {
+	b := Bounds{Lo: []float64{0}, Hi: []float64{1}}
+	res, err := LBFGSB{}.Minimize(quadratic([]float64{0.5}), []float64{25}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-6 {
+		t.Errorf("X = %v, want 0.5", res.X)
+	}
+}
+
+func TestLBFGSBEmptyStart(t *testing.T) {
+	if _, err := (LBFGSB{}).Minimize(quadratic(nil), nil, Unbounded(0)); err == nil {
+		t.Error("empty start should error")
+	}
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	center := []float64{-1, 4}
+	res, err := NelderMead{MaxIter: 2000}.Minimize(quadratic(center), []float64{0, 0}, Unbounded(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range center {
+		if math.Abs(res.X[i]-center[i]) > 1e-3 {
+			t.Errorf("X[%d] = %g, want %g", i, res.X[i], center[i])
+		}
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	res, err := NelderMead{MaxIter: 5000, Tol: 1e-14}.Minimize(rosenbrock, []float64{-1.2, 1}, Unbounded(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-2 || math.Abs(res.X[1]-1) > 1e-2 {
+		t.Errorf("Rosenbrock minimum = %v (f=%g)", res.X, res.F)
+	}
+}
+
+func TestNelderMeadRespectsBounds(t *testing.T) {
+	b := Bounds{Lo: []float64{0, 0}, Hi: []float64{1, 1}}
+	res, err := NelderMead{}.Minimize(quadratic([]float64{5, 5}), []float64{0.2, 0.2}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if res.X[i] < -1e-12 || res.X[i] > 1+1e-12 {
+			t.Errorf("solution escaped the box: %v", res.X)
+		}
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Errorf("constrained minimum = %v, want (1,1)", res.X)
+	}
+}
+
+func TestMLSLFindsGlobalMinimum(t *testing.T) {
+	// Start in the basin of the *local* minimum (+1); MLSL must escape to
+	// the global one near -1.18.
+	b := Bounds{Lo: []float64{-2, -2}, Hi: []float64{2, 2}}
+	res, err := MLSL{Rand: rand.New(rand.NewSource(1))}.Minimize(doubleWell, []float64{1, 1}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if res.X[i] > -1 {
+			t.Errorf("X[%d] = %g stayed in the local basin (f=%g)", i, res.X[i], res.F)
+		}
+	}
+}
+
+func TestMLSLRequiresFiniteBounds(t *testing.T) {
+	if _, err := (MLSL{}).Minimize(doubleWell, []float64{0}, Unbounded(1)); err == nil {
+		t.Error("MLSL over unbounded box should error")
+	}
+}
+
+func TestMLSLKeepsCallerStart(t *testing.T) {
+	// A needle the random sampling is unlikely to hit: minimum in a tiny
+	// region around x0. MLSL must still return something at least as good
+	// as a local search from x0.
+	needle := func(x, grad []float64) float64 {
+		v := 0.0
+		for i := range x {
+			d := x[i] - 0.123456
+			v += d * d
+			if grad != nil {
+				grad[i] = 2 * d
+			}
+		}
+		return v
+	}
+	b := Bounds{Lo: []float64{-1000}, Hi: []float64{1000}}
+	res, err := MLSL{Samples: 4, Rand: rand.New(rand.NewSource(2))}.Minimize(needle, []float64{0.1}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.123456) > 1e-4 {
+		t.Errorf("X = %v, want 0.123456", res.X)
+	}
+}
+
+func TestProjectedGradientNorm(t *testing.T) {
+	b := Bounds{Lo: []float64{0}, Hi: []float64{1}}
+	// At x=0 with positive gradient pointing out of the box, the projected
+	// gradient is zero: the point is first-order optimal.
+	if n := projectedGradientNorm([]float64{0}, []float64{5}, b); n != 0 {
+		t.Errorf("norm = %g, want 0", n)
+	}
+	// Interior point: projected gradient equals the gradient (up to the
+	// box walls).
+	if n := projectedGradientNorm([]float64{0.5}, []float64{0.1}, b); math.Abs(n-0.1) > 1e-15 {
+		t.Errorf("norm = %g, want 0.1", n)
+	}
+}

@@ -1,0 +1,169 @@
+// Package query defines the hyper-rectangular range predicates that every
+// estimator in this repository answers, together with the feedback records
+// exchanged between the database and the self-tuning estimators.
+//
+// A range query selects all tuples x with Lo[i] <= x[i] <= Hi[i] in every
+// dimension i. Attributes are real-valued, so the inclusive/exclusive choice
+// at the boundary carries zero probability mass for continuous data and is
+// fixed to inclusive on both ends for determinism.
+package query
+
+import (
+	"fmt"
+	"math"
+)
+
+// Range is a hyper-rectangular query region: the Cartesian product of the
+// intervals [Lo[i], Hi[i]] over all dimensions.
+type Range struct {
+	Lo []float64
+	Hi []float64
+}
+
+// NewRange returns a range with freshly allocated bounds copied from lo and hi.
+func NewRange(lo, hi []float64) Range {
+	r := Range{Lo: make([]float64, len(lo)), Hi: make([]float64, len(hi))}
+	copy(r.Lo, lo)
+	copy(r.Hi, hi)
+	return r
+}
+
+// Dims returns the dimensionality of the range.
+func (r Range) Dims() int { return len(r.Lo) }
+
+// Validate reports an error if the range is malformed: mismatched bound
+// lengths, NaN bounds, or an upper bound below the lower bound.
+func (r Range) Validate() error {
+	if len(r.Lo) != len(r.Hi) {
+		return fmt.Errorf("query: bound length mismatch: %d vs %d", len(r.Lo), len(r.Hi))
+	}
+	for i := range r.Lo {
+		if math.IsNaN(r.Lo[i]) || math.IsNaN(r.Hi[i]) {
+			return fmt.Errorf("query: NaN bound in dimension %d", i)
+		}
+		if r.Hi[i] < r.Lo[i] {
+			return fmt.Errorf("query: inverted bounds in dimension %d: [%g, %g]", i, r.Lo[i], r.Hi[i])
+		}
+	}
+	return nil
+}
+
+// Contains reports whether point x falls inside the range (inclusive bounds).
+// It returns false if x has the wrong dimensionality.
+func (r Range) Contains(x []float64) bool {
+	if len(x) != len(r.Lo) {
+		return false
+	}
+	for i, v := range x {
+		if v < r.Lo[i] || v > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the d-dimensional volume of the range.
+func (r Range) Volume() float64 {
+	v := 1.0
+	for i := range r.Lo {
+		v *= r.Hi[i] - r.Lo[i]
+	}
+	return v
+}
+
+// Center returns the midpoint of the range.
+func (r Range) Center() []float64 {
+	c := make([]float64, len(r.Lo))
+	for i := range r.Lo {
+		c[i] = (r.Lo[i] + r.Hi[i]) / 2
+	}
+	return c
+}
+
+// Width returns the extent Hi[i]-Lo[i] of dimension i.
+func (r Range) Width(i int) float64 { return r.Hi[i] - r.Lo[i] }
+
+// Clone returns a deep copy of the range.
+func (r Range) Clone() Range { return NewRange(r.Lo, r.Hi) }
+
+// Intersect returns the intersection of r and o and whether it is non-empty.
+// Touching boundaries (zero-volume overlap) count as non-empty.
+func (r Range) Intersect(o Range) (Range, bool) {
+	if len(r.Lo) != len(o.Lo) {
+		return Range{}, false
+	}
+	out := Range{Lo: make([]float64, len(r.Lo)), Hi: make([]float64, len(r.Lo))}
+	for i := range r.Lo {
+		lo := math.Max(r.Lo[i], o.Lo[i])
+		hi := math.Min(r.Hi[i], o.Hi[i])
+		if hi < lo {
+			return Range{}, false
+		}
+		out.Lo[i], out.Hi[i] = lo, hi
+	}
+	return out, true
+}
+
+// Overlaps reports whether r and o share any point.
+func (r Range) Overlaps(o Range) bool {
+	_, ok := r.Intersect(o)
+	return ok
+}
+
+// Encloses reports whether r fully contains o.
+func (r Range) Encloses(o Range) bool {
+	if len(r.Lo) != len(o.Lo) {
+		return false
+	}
+	for i := range r.Lo {
+		if o.Lo[i] < r.Lo[i] || o.Hi[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether r and o have identical bounds.
+func (r Range) Equal(o Range) bool {
+	if len(r.Lo) != len(o.Lo) {
+		return false
+	}
+	for i := range r.Lo {
+		if r.Lo[i] != o.Lo[i] || r.Hi[i] != o.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpandToInclude grows the range in place so that it contains point x.
+func (r *Range) ExpandToInclude(x []float64) {
+	for i, v := range x {
+		if v < r.Lo[i] {
+			r.Lo[i] = v
+		}
+		if v > r.Hi[i] {
+			r.Hi[i] = v
+		}
+	}
+}
+
+// String renders the range as [lo,hi]x[lo,hi]x...
+func (r Range) String() string {
+	s := ""
+	for i := range r.Lo {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprintf("[%.4g,%.4g]", r.Lo[i], r.Hi[i])
+	}
+	return s
+}
+
+// Feedback is one unit of query feedback: a range query together with the
+// true selectivity observed after the database executed it. Selectivities
+// are fractions in [0, 1].
+type Feedback struct {
+	Query  Range
+	Actual float64
+}

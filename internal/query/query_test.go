@@ -1,0 +1,173 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Range
+		ok   bool
+	}{
+		{"valid", NewRange([]float64{0, 0}, []float64{1, 1}), true},
+		{"point", NewRange([]float64{1, 2}, []float64{1, 2}), true},
+		{"mismatched", Range{Lo: []float64{0}, Hi: []float64{1, 2}}, false},
+		{"inverted", NewRange([]float64{1}, []float64{0}), false},
+		{"nan-lo", NewRange([]float64{math.NaN()}, []float64{1}), false},
+		{"nan-hi", NewRange([]float64{0}, []float64{math.NaN()}), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.r.Validate(); (err == nil) != c.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := NewRange([]float64{0, -1}, []float64{2, 1})
+	if !r.Contains([]float64{1, 0}) {
+		t.Error("interior point should be contained")
+	}
+	if !r.Contains([]float64{0, -1}) || !r.Contains([]float64{2, 1}) {
+		t.Error("boundary points should be contained (inclusive bounds)")
+	}
+	if r.Contains([]float64{3, 0}) {
+		t.Error("exterior point should not be contained")
+	}
+	if r.Contains([]float64{1}) {
+		t.Error("wrong dimensionality should not be contained")
+	}
+}
+
+func TestVolumeAndCenter(t *testing.T) {
+	r := NewRange([]float64{0, 1}, []float64{2, 4})
+	if got := r.Volume(); got != 6 {
+		t.Errorf("Volume() = %g, want 6", got)
+	}
+	c := r.Center()
+	if c[0] != 1 || c[1] != 2.5 {
+		t.Errorf("Center() = %v, want [1 2.5]", c)
+	}
+	if r.Width(1) != 3 {
+		t.Errorf("Width(1) = %g, want 3", r.Width(1))
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := NewRange([]float64{0, 0}, []float64{2, 2})
+	b := NewRange([]float64{1, 1}, []float64{3, 3})
+	got, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("expected non-empty intersection")
+	}
+	want := NewRange([]float64{1, 1}, []float64{2, 2})
+	if !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+
+	c := NewRange([]float64{5, 5}, []float64{6, 6})
+	if _, ok := a.Intersect(c); ok {
+		t.Error("disjoint ranges should not intersect")
+	}
+
+	// Touching boundary counts as (zero-volume) intersection.
+	d := NewRange([]float64{2, 0}, []float64{4, 2})
+	if inter, ok := a.Intersect(d); !ok || inter.Volume() != 0 {
+		t.Errorf("touching ranges: ok=%v vol=%g, want ok=true vol=0", ok, inter.Volume())
+	}
+}
+
+func TestEncloses(t *testing.T) {
+	outer := NewRange([]float64{0, 0}, []float64{10, 10})
+	inner := NewRange([]float64{2, 3}, []float64{4, 5})
+	if !outer.Encloses(inner) {
+		t.Error("outer should enclose inner")
+	}
+	if inner.Encloses(outer) {
+		t.Error("inner should not enclose outer")
+	}
+	if !outer.Encloses(outer) {
+		t.Error("range should enclose itself")
+	}
+}
+
+func TestExpandToInclude(t *testing.T) {
+	r := NewRange([]float64{0, 0}, []float64{1, 1})
+	r.ExpandToInclude([]float64{-1, 2})
+	if r.Lo[0] != -1 || r.Hi[1] != 2 || r.Lo[1] != 0 || r.Hi[0] != 1 {
+		t.Errorf("ExpandToInclude produced %v", r)
+	}
+	if !r.Contains([]float64{-1, 2}) {
+		t.Error("expanded range must contain the new point")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := NewRange([]float64{0}, []float64{1})
+	c := r.Clone()
+	c.Lo[0] = -5
+	if r.Lo[0] != 0 {
+		t.Error("Clone shares backing storage with original")
+	}
+}
+
+func randomRange(rng *rand.Rand, d int) Range {
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := 0; i < d; i++ {
+		a, b := rng.Float64()*10-5, rng.Float64()*10-5
+		lo[i], hi[i] = math.Min(a, b), math.Max(a, b)
+	}
+	return Range{Lo: lo, Hi: hi}
+}
+
+// Property: intersection is commutative and any point in the intersection is
+// in both inputs.
+func TestIntersectProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomRange(r, 3)
+		b := randomRange(r, 3)
+		ab, okAB := a.Intersect(b)
+		ba, okBA := b.Intersect(a)
+		if okAB != okBA {
+			return false
+		}
+		if !okAB {
+			return true
+		}
+		if !ab.Equal(ba) {
+			return false
+		}
+		p := ab.Center()
+		return a.Contains(p) && b.Contains(p)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a range encloses its intersection with any other range.
+func TestIntersectEnclosedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomRange(r, 2)
+		b := randomRange(r, 2)
+		inter, ok := a.Intersect(b)
+		if !ok {
+			return true
+		}
+		return a.Encloses(inter) && b.Encloses(inter)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package sample implements the sample maintenance layer of paper §4.2 and
+// §5.6: reservoir sampling [43] for insert-only change streams, and the
+// karma-based maintenance algorithm that identifies and replaces outdated
+// sample points from query feedback alone, including the empty-region
+// shortcut of Appendix E.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Reservoir makes the accept/replace decisions of reservoir sampling over a
+// stream of inserted tuples (Vitter's Algorithm R [43]). The host runs this
+// logic; only accepted tuples are ever transferred to the device, which is
+// what makes the scheme transfer-optimal (§4.2).
+//
+// The reservoir tracks decisions, not data: the caller owns the sample
+// buffer (typically resident on the device) and applies the replacements.
+type Reservoir struct {
+	k    int // sample capacity
+	seen int // stream positions observed so far
+	rng  *rand.Rand
+}
+
+// NewReservoir returns a reservoir of capacity k whose decisions draw from
+// rng. Pass the number of rows already represented in the sample as seen
+// (usually the table cardinality at ANALYZE time).
+func NewReservoir(k, seen int, rng *rand.Rand) (*Reservoir, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sample: reservoir capacity must be positive, got %d", k)
+	}
+	if seen < k {
+		seen = k
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Reservoir{k: k, seen: seen, rng: rng}, nil
+}
+
+// Capacity returns the reservoir capacity k = |S|.
+func (r *Reservoir) Capacity() int { return r.k }
+
+// Seen returns the number of stream items observed, including the initial
+// population.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Offer registers one newly inserted tuple and decides whether it enters
+// the sample. When accept is true, the tuple replaces the point at the
+// returned slot (uniform over the sample).
+func (r *Reservoir) Offer() (slot int, accept bool) {
+	r.seen++
+	// Algorithm R: accept with probability k/seen.
+	if r.rng.Intn(r.seen) < r.k {
+		return r.rng.Intn(r.k), true
+	}
+	return 0, false
+}
+
+// Skip returns how many upcoming stream items can be skipped before the
+// next acceptance, per Vitter's Algorithm X [43]. After skipping that many
+// items, the caller accepts the next one via AcceptAfterSkip. Skip-based
+// consumption avoids one random draw per tuple on high-rate insert streams.
+func (r *Reservoir) Skip() int {
+	// Algorithm X: find the smallest g >= 0 with
+	// V > ((seen+1-k)/(seen+1)) · ... · ((seen+g+1-k)/(seen+g+1)),
+	// where V ~ U(0,1).
+	v := r.rng.Float64()
+	g := 0
+	quot := float64(r.seen+1-r.k) / float64(r.seen+1)
+	for quot > v {
+		g++
+		quot *= float64(r.seen+g+1-r.k) / float64(r.seen+g+1)
+	}
+	return g
+}
+
+// AcceptAfterSkip consumes skipped stream items plus the accepted one and
+// returns the slot the accepted tuple replaces.
+func (r *Reservoir) AcceptAfterSkip(skipped int) (slot int) {
+	r.seen += skipped + 1
+	return r.rng.Intn(r.k)
+}
+
+// InclusionProbability returns the probability that any fixed stream item
+// is in the sample after the whole stream was observed: k/seen.
+func (r *Reservoir) InclusionProbability() float64 {
+	return math.Min(1, float64(r.k)/float64(r.seen))
+}

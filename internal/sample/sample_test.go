@@ -1,0 +1,273 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/loss"
+	"kdesel/internal/query"
+)
+
+func TestNewReservoirValidation(t *testing.T) {
+	if _, err := NewReservoir(0, 0, nil); err == nil {
+		t.Error("capacity 0 should be rejected")
+	}
+	r, err := NewReservoir(5, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seen() != 5 {
+		t.Errorf("Seen = %d, want clamped to capacity 5", r.Seen())
+	}
+}
+
+// Simulate a full stream and verify every item ends up in the sample with
+// probability k/N (the defining reservoir property).
+func TestReservoirUniformInclusion(t *testing.T) {
+	const k, n, trials = 10, 200, 3000
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(7))
+	for tr := 0; tr < trials; tr++ {
+		res, _ := NewReservoir(k, k, rng)
+		slots := make([]int, k)
+		for i := 0; i < k; i++ {
+			slots[i] = i
+		}
+		for item := k; item < n; item++ {
+			if slot, ok := res.Offer(); ok {
+				slots[slot] = item
+			}
+		}
+		for _, item := range slots {
+			counts[item]++
+		}
+	}
+	p := float64(k) / float64(n)
+	mean := float64(trials) * p
+	sigma := math.Sqrt(float64(trials) * p * (1 - p))
+	for i, c := range counts {
+		if math.Abs(float64(c)-mean) > 6*sigma {
+			t.Errorf("item %d included %d times, expected %.0f±%.0f", i, c, mean, 6*sigma)
+		}
+	}
+}
+
+func TestReservoirSeenAdvances(t *testing.T) {
+	r, _ := NewReservoir(3, 3, rand.New(rand.NewSource(1)))
+	for i := 0; i < 10; i++ {
+		r.Offer()
+	}
+	if r.Seen() != 13 {
+		t.Errorf("Seen = %d, want 13", r.Seen())
+	}
+	if p := r.InclusionProbability(); math.Abs(p-3.0/13.0) > 1e-15 {
+		t.Errorf("InclusionProbability = %g", p)
+	}
+}
+
+// The skip-based Algorithm X must preserve the same inclusion property.
+func TestReservoirSkipUniformInclusion(t *testing.T) {
+	const k, n, trials = 8, 150, 3000
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(8))
+	for tr := 0; tr < trials; tr++ {
+		res, _ := NewReservoir(k, k, rng)
+		slots := make([]int, k)
+		for i := 0; i < k; i++ {
+			slots[i] = i
+		}
+		pos := k // next stream item index
+		for pos < n {
+			skip := res.Skip()
+			pos += skip
+			if pos >= n {
+				break
+			}
+			slot := res.AcceptAfterSkip(skip)
+			slots[slot] = pos
+			pos++
+		}
+		for _, item := range slots {
+			counts[item]++
+		}
+	}
+	p := float64(k) / float64(n)
+	mean := float64(trials) * p
+	sigma := math.Sqrt(float64(trials) * p * (1 - p))
+	for i, c := range counts {
+		if math.Abs(float64(c)-mean) > 6*sigma {
+			t.Errorf("item %d included %d times, expected %.0f±%.0f", i, c, mean, 6*sigma)
+		}
+	}
+}
+
+func TestNewKarmaValidation(t *testing.T) {
+	if _, err := NewKarma(0, KarmaConfig{}); err == nil {
+		t.Error("size 0 should be rejected")
+	}
+	k, err := NewKarma(4, KarmaConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Size() != 4 {
+		t.Errorf("Size = %d", k.Size())
+	}
+	if _, err := k.Update([]float64{1, 2}, 0.5, 0.5, 0); err == nil {
+		t.Error("contribution-length mismatch should be rejected")
+	}
+}
+
+func TestKarmaSignConvention(t *testing.T) {
+	// Four points; the estimate overshoots the truth. The point with the
+	// largest contribution hurts most (removing it helps), so it must earn
+	// the most negative karma; a zero-contribution point helps.
+	k, _ := NewKarma(4, KarmaConfig{Loss: loss.Absolute{}})
+	contrib := []float64{0.9, 0.1, 0.1, 0.1}
+	est := 0.3 // average of contributions
+	actual := 0.05
+	if _, err := k.Update(contrib, est, actual, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !(k.Score(0) < 0) {
+		t.Errorf("hurting point karma = %g, want negative", k.Score(0))
+	}
+	if !(k.Score(1) > 0) {
+		t.Errorf("helping point karma = %g, want positive", k.Score(1))
+	}
+	if k.Score(0) >= k.Score(1) {
+		t.Error("hurting point should rank below helping point")
+	}
+}
+
+func TestKarmaSaturation(t *testing.T) {
+	k, _ := NewKarma(2, KarmaConfig{Max: 4})
+	// Point 0 helps strongly on many queries; karma must cap at Max.
+	for i := 0; i < 100; i++ {
+		if _, err := k.Update([]float64{1, 0}, 0.5, 0.5, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.Score(0) > 4+1e-12 {
+		t.Errorf("karma %g exceeds saturation 4", k.Score(0))
+	}
+}
+
+func TestKarmaReplacementThreshold(t *testing.T) {
+	k, _ := NewKarma(4, KarmaConfig{Threshold: -2, Loss: loss.Absolute{}})
+	contrib := []float64{1.0, 0, 0, 0}
+	est := 0.25
+	var replaced []int
+	for i := 0; i < 20 && len(replaced) == 0; i++ {
+		var err error
+		replaced, err = k.Update(contrib, est, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(replaced) != 1 || replaced[0] != 0 {
+		t.Fatalf("replaced = %v, want [0]", replaced)
+	}
+	if k.Score(0) != 0 {
+		t.Errorf("replaced point karma = %g, want reset to 0", k.Score(0))
+	}
+	// Helping points must survive.
+	for i := 1; i < 4; i++ {
+		if k.Score(i) < 0 {
+			t.Errorf("point %d karma = %g, want non-negative", i, k.Score(i))
+		}
+	}
+}
+
+func TestKarmaSingletonSampleIsNoop(t *testing.T) {
+	k, _ := NewKarma(1, KarmaConfig{})
+	replaced, err := k.Update([]float64{1}, 1, 0, 0)
+	if err != nil || replaced != nil {
+		t.Errorf("singleton update = %v, %v", replaced, err)
+	}
+}
+
+func TestEmptyRegionShortcut(t *testing.T) {
+	// Query with zero true selectivity: points provably inside must be
+	// replaced immediately regardless of accumulated karma.
+	q := query.NewRange([]float64{0, 0}, []float64{1, 1})
+	h := []float64{0.05, 0.05}
+	bound := EmptyRegionBound(q, h)
+	if !(bound > 0 && bound < 1) {
+		t.Fatalf("bound = %g", bound)
+	}
+	k, _ := NewKarma(3, KarmaConfig{})
+	// Point 0 contributes essentially full mass (deep inside), point 1 is
+	// far outside, point 2 sits below the bound.
+	contrib := []float64{0.999, 0.0, bound * 0.9}
+	est := (0.999 + bound*0.9) / 3
+	replaced, err := k.Update(contrib, est, 0, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replaced) != 1 || replaced[0] != 0 {
+		t.Errorf("replaced = %v, want [0]", replaced)
+	}
+
+	// With the shortcut disabled nothing is replaced on the first query.
+	k2, _ := NewKarma(3, KarmaConfig{NoShortcut: true})
+	replaced, _ = k2.Update(contrib, est, 0, bound)
+	if len(replaced) != 0 {
+		t.Errorf("shortcut disabled but replaced = %v", replaced)
+	}
+}
+
+func TestEmptyRegionBoundSeparatesInsideFromOutside(t *testing.T) {
+	// Construct contributions directly from the Gaussian closed form and
+	// verify: every point with contribution >= bound is inside the region.
+	q := query.NewRange([]float64{2, 2}, []float64{4, 4})
+	h := []float64{0.5, 0.8}
+	bound := EmptyRegionBound(q, h)
+	if bound <= 0 {
+		t.Fatal("bound should be positive")
+	}
+	gaussMass := func(l, u, c, hh float64) float64 {
+		s := math.Sqrt2
+		return 0.5 * (math.Erf((u-c)/(s*hh)) - math.Erf((l-c)/(s*hh)))
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		p := []float64{rng.Float64()*8 - 1, rng.Float64()*8 - 1}
+		c := gaussMass(2, 4, p[0], h[0]) * gaussMass(2, 4, p[1], h[1])
+		if c >= bound && !q.Contains(p) {
+			t.Fatalf("point %v outside region but contribution %g >= bound %g", p, c, bound)
+		}
+	}
+	// The bound must not be vacuous: the center point exceeds it.
+	center := q.Center()
+	c := gaussMass(2, 4, center[0], h[0]) * gaussMass(2, 4, center[1], h[1])
+	if c < bound {
+		t.Errorf("center contribution %g below bound %g", c, bound)
+	}
+}
+
+func TestEmptyRegionBoundDegenerate(t *testing.T) {
+	if b := EmptyRegionBound(query.Range{}, nil); b != 0 {
+		t.Errorf("empty query bound = %g, want 0", b)
+	}
+	q := query.NewRange([]float64{1}, []float64{1}) // zero width
+	if b := EmptyRegionBound(q, []float64{0.5}); b != 0 {
+		t.Errorf("zero-width bound = %g, want 0", b)
+	}
+	q2 := query.NewRange([]float64{0}, []float64{1})
+	if b := EmptyRegionBound(q2, []float64{0}); b != 0 {
+		t.Errorf("zero-bandwidth bound = %g, want 0", b)
+	}
+}
+
+func TestKarmaScaleToggle(t *testing.T) {
+	contrib := []float64{0.8, 0.1}
+	est, actual := 0.45, 0.1
+	scaled, _ := NewKarma(2, KarmaConfig{})
+	raw, _ := NewKarma(2, KarmaConfig{NoScale: true})
+	_, _ = scaled.Update(contrib, est, actual, 0)
+	_, _ = raw.Update(contrib, est, actual, 0)
+	if math.Abs(scaled.Score(0)-2*raw.Score(0)) > 1e-12 {
+		t.Errorf("scaled %g should be s·raw %g", scaled.Score(0), raw.Score(0))
+	}
+}

@@ -1,0 +1,234 @@
+// Package stats provides the small set of descriptive statistics the
+// estimators and the evaluation harness need: moments, quantiles, five-number
+// summaries for boxplots, and an online accumulator.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for fewer than two
+// values).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// Std returns the sample standard deviation of xs.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// PopulationStd returns the population (biased) standard deviation, the
+// quantity Scott's rule uses when computed via the sum/sum-of-squares
+// identity on the device (paper §5.2).
+func PopulationStd(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	v := sumSq/float64(n) - mean*mean
+	if v < 0 { // guard against catastrophic cancellation
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of xs using linear
+// interpolation between order statistics. xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the median of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Summary is a five-number summary plus mean, the data behind one boxplot in
+// the paper's Figures 4, 5, and 6.
+type Summary struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Summary{Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan, Mean: nan}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(xs),
+		Min:    sorted[0],
+		Q1:     quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q3:     quantileSorted(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(xs),
+	}
+}
+
+// Running accumulates count, mean, and variance online using Welford's
+// algorithm. The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the running unbiased sample variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the running sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Variance()) }
+
+// ColumnMeans returns per-dimension means of row-major data with d columns.
+func ColumnMeans(data []float64, d int) []float64 {
+	means := make([]float64, d)
+	if d == 0 || len(data) == 0 {
+		return means
+	}
+	n := len(data) / d
+	for r := 0; r < n; r++ {
+		row := data[r*d : (r+1)*d]
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(n)
+	}
+	return means
+}
+
+// ColumnStds returns per-dimension population standard deviations of
+// row-major data with d columns, computed with the sum / sum-of-squares
+// identity used by the device kernels (paper §5.2).
+func ColumnStds(data []float64, d int) []float64 {
+	stds := make([]float64, d)
+	if d == 0 || len(data) == 0 {
+		return stds
+	}
+	n := len(data) / d
+	sums := make([]float64, d)
+	sumSqs := make([]float64, d)
+	for r := 0; r < n; r++ {
+		row := data[r*d : (r+1)*d]
+		for j, v := range row {
+			sums[j] += v
+			sumSqs[j] += v * v
+		}
+	}
+	for j := range stds {
+		mean := sums[j] / float64(n)
+		v := sumSqs[j]/float64(n) - mean*mean
+		if v < 0 {
+			v = 0
+		}
+		stds[j] = math.Sqrt(v)
+	}
+	return stds
+}
+
+// Covariance returns the unbiased sample covariance between xs and ys, which
+// must have equal length >= 2.
+func Covariance(xs, ys []float64) float64 {
+	n := len(xs)
+	if n < 2 || len(ys) != n {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	sum := 0.0
+	for i := range xs {
+		sum += (xs[i] - mx) * (ys[i] - my)
+	}
+	return sum / float64(n-1)
+}
+
+// Correlation returns the Pearson correlation between xs and ys, or 0 when
+// either series is degenerate.
+func Correlation(xs, ys []float64) float64 {
+	sx, sy := Std(xs), Std(ys)
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	return Covariance(xs, ys) / (sx * sy)
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	// Sample variance of this classic example is 32/7.
+	if v := Variance(xs); !almostEqual(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %g, want %g", v, 32.0/7.0)
+	}
+	// Population std is 2.
+	if s := PopulationStd(xs); !almostEqual(s, 2, 1e-12) {
+		t.Errorf("PopulationStd = %g, want 2", s)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Std(nil) != 0 {
+		t.Error("empty-slice moments should be 0")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("singleton variance should be 0")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("quantile of empty slice should be NaN")
+	}
+	if Quantile([]float64{42}, 0.9) != 42 {
+		t.Error("quantile of singleton should be the value")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {1.0 / 3.0, 2},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %g, %g; want 2, 4", s.Q1, s.Q3)
+	}
+	empty := Summarize(nil)
+	if !math.IsNaN(empty.Median) || empty.N != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+// Property: Running matches the batch computations on random data.
+func TestRunningMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		var r Running
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			r.Add(xs[i])
+		}
+		return r.N() == n &&
+			almostEqual(r.Mean(), Mean(xs), 1e-9) &&
+			almostEqual(r.Variance(), Variance(xs), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnStats(t *testing.T) {
+	// Two columns: col0 = {1,3}, col1 = {10,20}.
+	data := []float64{1, 10, 3, 20}
+	means := ColumnMeans(data, 2)
+	if means[0] != 2 || means[1] != 15 {
+		t.Errorf("ColumnMeans = %v", means)
+	}
+	stds := ColumnStds(data, 2)
+	if !almostEqual(stds[0], 1, 1e-12) || !almostEqual(stds[1], 5, 1e-12) {
+		t.Errorf("ColumnStds = %v, want [1 5]", stds)
+	}
+}
+
+func TestColumnStatsMatchPerColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n, d = 200, 4
+	data := make([]float64, n*d)
+	cols := make([][]float64, d)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			v := rng.NormFloat64()*float64(j+1) + float64(j)
+			data[i*d+j] = v
+			cols[j][i] = v
+		}
+	}
+	means := ColumnMeans(data, d)
+	stds := ColumnStds(data, d)
+	for j := 0; j < d; j++ {
+		if !almostEqual(means[j], Mean(cols[j]), 1e-9) {
+			t.Errorf("col %d mean mismatch: %g vs %g", j, means[j], Mean(cols[j]))
+		}
+		if !almostEqual(stds[j], PopulationStd(cols[j]), 1e-9) {
+			t.Errorf("col %d std mismatch: %g vs %g", j, stds[j], PopulationStd(cols[j]))
+		}
+	}
+}
+
+func TestCovarianceCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10} // perfectly correlated
+	if c := Correlation(xs, ys); !almostEqual(c, 1, 1e-12) {
+		t.Errorf("Correlation = %g, want 1", c)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if c := Correlation(xs, neg); !almostEqual(c, -1, 1e-12) {
+		t.Errorf("Correlation = %g, want -1", c)
+	}
+	if Correlation(xs, []float64{3, 3, 3, 3, 3}) != 0 {
+		t.Error("correlation against constant series should be 0")
+	}
+	if Covariance(xs, []float64{1}) != 0 {
+		t.Error("mismatched lengths should give 0 covariance")
+	}
+}

@@ -1,0 +1,114 @@
+package stholes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kdesel/internal/query"
+	"kdesel/internal/table"
+)
+
+// Property: whatever sequence of feedback queries arrives, the histogram
+// keeps its structural invariants, respects the bucket budget, and returns
+// estimates in a sane range.
+func TestRandomFeedbackKeepsInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		tab, err := table.New(d)
+		if err != nil {
+			return false
+		}
+		n := 200 + rng.Intn(400)
+		for i := 0; i < n; i++ {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = rng.Float64()
+			}
+			if err := tab.Insert(row); err != nil {
+				return false
+			}
+		}
+		budget := 2 + rng.Intn(12)
+		box := unitBox(d)
+		h, err := New(d, box, float64(n), budget)
+		if err != nil {
+			return false
+		}
+		oracle := tableOracleQuick(tab)
+		for i := 0; i < 25; i++ {
+			lo := make([]float64, d)
+			hi := make([]float64, d)
+			for j := 0; j < d; j++ {
+				a, b := rng.Float64()*1.2-0.1, rng.Float64()*1.2-0.1
+				if a > b {
+					a, b = b, a
+				}
+				lo[j], hi[j] = a, b
+			}
+			q := query.Range{Lo: lo, Hi: hi}
+			if err := h.Refine(q, oracle); err != nil {
+				return false
+			}
+			if h.Buckets() > budget {
+				return false
+			}
+			if err := h.checkInvariants(); err != nil {
+				return false
+			}
+			est, err := h.EstimateCount(q)
+			if err != nil || est < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func tableOracleQuick(tab *table.Table) CountFunc {
+	return func(q query.Range) (float64, error) {
+		c, err := tab.Count(q)
+		return float64(c), err
+	}
+}
+
+// Property: estimates over nested queries are monotone-ish in expectation —
+// at minimum, a query enclosing another never gets a *negative* difference
+// larger than rounding. (Strict monotonicity holds because every bucket's
+// intersection volume grows with the query.)
+func TestEstimateMonotoneUnderEnclosure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab, _ := table.New(2)
+		for i := 0; i < 300; i++ {
+			_ = tab.Insert([]float64{rng.Float64(), rng.Float64()})
+		}
+		h, err := New(2, unitBox(2), 300, 8)
+		if err != nil {
+			return false
+		}
+		oracle := tableOracleQuick(tab)
+		for i := 0; i < 10; i++ {
+			c := []float64{rng.Float64() * 0.8, rng.Float64() * 0.8}
+			q := query.NewRange(c, []float64{c[0] + 0.2, c[1] + 0.2})
+			if err := h.Refine(q, oracle); err != nil {
+				return false
+			}
+		}
+		inner := query.NewRange([]float64{0.3, 0.3}, []float64{0.5, 0.5})
+		outer := query.NewRange([]float64{0.2, 0.2}, []float64{0.7, 0.7})
+		ei, err1 := h.EstimateCount(inner)
+		eo, err2 := h.EstimateCount(outer)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return eo >= ei-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,314 @@
+package stholes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/query"
+	"kdesel/internal/table"
+)
+
+func unitBox(d int) query.Range {
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := range hi {
+		hi[i] = 1
+	}
+	return query.Range{Lo: lo, Hi: hi}
+}
+
+func mustHistogram(t *testing.T, d int, total float64, maxBuckets int) *Histogram {
+	t.Helper()
+	h, err := New(d, unitBox(d), total, maxBuckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// tableOracle adapts a table to the count oracle.
+func tableOracle(tab *table.Table) CountFunc {
+	return func(q query.Range) (float64, error) {
+		c, err := tab.Count(q)
+		return float64(c), err
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, unitBox(1), 10, 5); err == nil {
+		t.Error("d=0 should be rejected")
+	}
+	if _, err := New(2, unitBox(1), 10, 5); err == nil {
+		t.Error("box dim mismatch should be rejected")
+	}
+	if _, err := New(1, unitBox(1), 10, 0); err == nil {
+		t.Error("budget 0 should be rejected")
+	}
+	if _, err := New(1, unitBox(1), -3, 5); err == nil {
+		t.Error("negative total should be rejected")
+	}
+}
+
+func TestBudgetHelpers(t *testing.T) {
+	if BucketBytes(8) != 136 {
+		t.Errorf("BucketBytes(8) = %d, want 136", BucketBytes(8))
+	}
+	if MaxBucketsForBudget(8*4096, 8) != 240 {
+		t.Errorf("MaxBucketsForBudget = %d, want 240", MaxBucketsForBudget(8*4096, 8))
+	}
+	if MaxBucketsForBudget(1, 8) != 1 {
+		t.Error("budget floor should be 1 bucket")
+	}
+}
+
+func TestUniformRootEstimate(t *testing.T) {
+	h := mustHistogram(t, 2, 1000, 10)
+	// Root covers [0,1]^2 with 1000 tuples; a quarter-space query should
+	// estimate 250 under the uniform assumption.
+	q := query.NewRange([]float64{0, 0}, []float64{0.5, 0.5})
+	got, err := h.EstimateCount(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-250) > 1e-9 {
+		t.Errorf("EstimateCount = %g, want 250", got)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	h := mustHistogram(t, 2, 100, 10)
+	if _, err := h.EstimateCount(query.NewRange([]float64{0}, []float64{1})); err == nil {
+		t.Error("dim mismatch should be rejected")
+	}
+}
+
+func TestDrillImprovesSkewedEstimate(t *testing.T) {
+	// All 1000 tuples concentrated in [0,0.1]^2; the uniform root is badly
+	// wrong until feedback drills a hole.
+	tab, _ := table.New(2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		_ = tab.Insert([]float64{rng.Float64() * 0.1, rng.Float64() * 0.1})
+	}
+	h := mustHistogram(t, 2, 1000, 20)
+	hot := query.NewRange([]float64{0, 0}, []float64{0.1, 0.1})
+
+	before, _ := h.EstimateCount(hot)
+	if math.Abs(before-10) > 1e-9 { // uniform: 1% of volume
+		t.Fatalf("pre-feedback estimate = %g, want 10", before)
+	}
+	if err := h.Refine(hot, tableOracle(tab)); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := h.EstimateCount(hot)
+	if math.Abs(after-1000) > 1 {
+		t.Errorf("post-feedback estimate = %g, want 1000", after)
+	}
+	// The complement region should now estimate near zero.
+	cold := query.NewRange([]float64{0.5, 0.5}, []float64{1, 1})
+	coldEst, _ := h.EstimateCount(cold)
+	if coldEst > 1 {
+		t.Errorf("cold-region estimate = %g, want ~0", coldEst)
+	}
+	if err := h.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefineIdenticalQueryRefreshesHole(t *testing.T) {
+	tab, _ := table.New(1)
+	for i := 0; i < 100; i++ {
+		_ = tab.Insert([]float64{0.05})
+	}
+	h := mustHistogram(t, 1, 100, 10)
+	q := query.NewRange([]float64{0}, []float64{0.1})
+	_ = h.Refine(q, tableOracle(tab))
+	n := h.Buckets()
+	_ = h.Refine(q, tableOracle(tab))
+	if h.Buckets() != n {
+		t.Errorf("refining with an identical query grew buckets %d -> %d", n, h.Buckets())
+	}
+	if err := h.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRootExpansion(t *testing.T) {
+	tab, _ := table.New(1)
+	_ = tab.Insert([]float64{2.5}) // outside the initial [0,1] box
+	h := mustHistogram(t, 1, 1, 10)
+	q := query.NewRange([]float64{2}, []float64{3})
+	if err := h.Refine(q, tableOracle(tab)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.EstimateCount(q)
+	if math.Abs(got-1) > 0.5 {
+		t.Errorf("estimate after expansion = %g, want ~1", got)
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	tab, _ := table.New(2)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		_ = tab.Insert([]float64{rng.Float64(), rng.Float64()})
+	}
+	const budget = 8
+	h := mustHistogram(t, 2, 2000, budget)
+	for i := 0; i < 60; i++ {
+		c := []float64{rng.Float64(), rng.Float64()}
+		w := 0.05 + rng.Float64()*0.2
+		q := query.NewRange(
+			[]float64{math.Max(0, c[0]-w), math.Max(0, c[1]-w)},
+			[]float64{math.Min(1, c[0]+w), math.Min(1, c[1]+w)},
+		)
+		if err := h.Refine(q, tableOracle(tab)); err != nil {
+			t.Fatal(err)
+		}
+		if h.Buckets() > budget {
+			t.Fatalf("bucket count %d exceeds budget %d after query %d", h.Buckets(), budget, i)
+		}
+		if err := h.checkInvariants(); err != nil {
+			t.Fatalf("after query %d: %v", i, err)
+		}
+	}
+}
+
+func TestTotalCountConservedByMerges(t *testing.T) {
+	// Merging redistributes frequency but must not create or destroy it.
+	tab, _ := table.New(2)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		_ = tab.Insert([]float64{rng.Float64(), rng.Float64()})
+	}
+	h := mustHistogram(t, 2, 500, 4)
+	for i := 0; i < 30; i++ {
+		c := []float64{rng.Float64() * 0.8, rng.Float64() * 0.8}
+		q := query.NewRange(c, []float64{c[0] + 0.2, c[1] + 0.2})
+		if err := h.Refine(q, tableOracle(tab)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Feedback re-observes counts, so TotalCount tracks the table rather
+	// than staying fixed; it must stay in a sane range.
+	total := h.TotalCount()
+	if total < 100 || total > 1500 {
+		t.Errorf("TotalCount = %g, want near 500", total)
+	}
+}
+
+func TestShrinkExcludesPartialChildren(t *testing.T) {
+	// Parent with one child occupying the right half; candidate overlaps
+	// the child partially and must shrink away from it.
+	parent := &bucket{box: unitBox(2), freq: 100}
+	child := &bucket{box: query.NewRange([]float64{0.5, 0}, []float64{1, 1}), freq: 50, parent: parent}
+	parent.children = []*bucket{child}
+
+	cand := query.NewRange([]float64{0.2, 0.2}, []float64{0.8, 0.8})
+	got, ok := shrink(cand, parent)
+	if !ok {
+		t.Fatal("shrink collapsed a viable candidate")
+	}
+	if inter, overlaps := got.Intersect(child.box); overlaps && inter.Volume() > 0 {
+		t.Errorf("shrunk candidate %v still overlaps child %v", got, child.box)
+	}
+	// The best cut keeps [0.2,0.5]x[0.2,0.8].
+	want := query.NewRange([]float64{0.2, 0.2}, []float64{0.5, 0.8})
+	if !got.Equal(want) {
+		t.Errorf("shrink = %v, want %v", got, want)
+	}
+}
+
+func TestShrinkKeepsContainedChildren(t *testing.T) {
+	parent := &bucket{box: unitBox(2), freq: 100}
+	child := &bucket{box: query.NewRange([]float64{0.4, 0.4}, []float64{0.5, 0.5}), freq: 10, parent: parent}
+	parent.children = []*bucket{child}
+	cand := query.NewRange([]float64{0.3, 0.3}, []float64{0.7, 0.7})
+	got, ok := shrink(cand, parent)
+	if !ok || !got.Equal(cand) {
+		t.Errorf("contained child should not force a shrink: got %v, %v", got, ok)
+	}
+}
+
+func TestParentChildMergePreservesFrequency(t *testing.T) {
+	h := mustHistogram(t, 1, 100, 10)
+	// Drill a hole manually through feedback on half the space.
+	tab, _ := table.New(1)
+	for i := 0; i < 100; i++ {
+		_ = tab.Insert([]float64{float64(i%2) * 0.9})
+	}
+	q := query.NewRange([]float64{0}, []float64{0.5})
+	_ = h.Refine(q, tableOracle(tab))
+	if h.Buckets() != 2 {
+		t.Fatalf("expected 2 buckets after drilling, got %d", h.Buckets())
+	}
+	before := h.TotalCount()
+	h.mergeParentChild(h.root, h.root.children[0])
+	h.nBuckets--
+	if after := h.TotalCount(); math.Abs(after-before) > 1e-9 {
+		t.Errorf("merge changed total frequency %g -> %g", before, after)
+	}
+	if err := h.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdaptiveAccuracyOnClusteredData(t *testing.T) {
+	// End-to-end: with feedback on a clustered distribution, STHoles'
+	// errors must drop well below the uniform-assumption baseline.
+	tab, _ := table.New(2)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		cx := float64(rng.Intn(2))*0.6 + 0.2 // clusters at 0.2 and 0.8
+		_ = tab.Insert([]float64{cx + rng.NormFloat64()*0.03, cx + rng.NormFloat64()*0.03})
+	}
+	h := mustHistogram(t, 2, 3000, 50)
+
+	makeQuery := func() query.Range {
+		row := tab.Row(rng.Intn(tab.Len()))
+		w := 0.05 + rng.Float64()*0.15
+		return query.NewRange(
+			[]float64{row[0] - w, row[1] - w},
+			[]float64{row[0] + w, row[1] + w},
+		)
+	}
+	// Train.
+	for i := 0; i < 80; i++ {
+		if err := h.Refine(makeQuery(), tableOracle(tab)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Test.
+	n := float64(tab.Len())
+	uniform := mustHistogram(t, 2, 3000, 1)
+	var errTrained, errUniform float64
+	const testQ = 100
+	for i := 0; i < testQ; i++ {
+		q := makeQuery()
+		actual, _ := tab.Selectivity(q)
+		e1, _ := h.EstimateCount(q)
+		e2, _ := uniform.EstimateCount(q)
+		errTrained += math.Abs(e1/n - actual)
+		errUniform += math.Abs(e2/n - actual)
+	}
+	errTrained /= testQ
+	errUniform /= testQ
+	if errTrained > errUniform/2 {
+		t.Errorf("trained error %.4f should be well below uniform %.4f", errTrained, errUniform)
+	}
+	if err := h.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefineValidation(t *testing.T) {
+	h := mustHistogram(t, 2, 10, 5)
+	if err := h.Refine(query.NewRange([]float64{0}, []float64{1}), nil); err == nil {
+		t.Error("dim mismatch should be rejected")
+	}
+	q := query.NewRange([]float64{0, 0}, []float64{1, 1})
+	if err := h.Refine(q, nil); err == nil {
+		t.Error("nil oracle should be rejected")
+	}
+}

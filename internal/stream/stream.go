@@ -1,0 +1,211 @@
+// Package stream implements a resource-bounded streaming KDE in the spirit
+// of the Cluster Kernels of Heinz & Seeger [18], which the paper's related
+// work (§2.3) lists as a further KDE use case. Instead of maintaining a
+// fixed-size random sample (the reservoir approach of §4.2), the model
+// keeps m weighted kernel centers; every arriving tuple becomes a center,
+// and when the budget overflows the two closest centers merge into their
+// weighted mean. The result is a deterministic, insert-only synopsis that
+// adapts its resolution to the data and never discards mass.
+//
+// It complements the core estimator: reservoir sampling is unbiased but
+// forgets duplicates' weight; cluster kernels keep total mass exact, at the
+// cost of merge-induced smoothing.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"kdesel/internal/kernel"
+	"kdesel/internal/query"
+)
+
+// Estimator is a streaming KDE over weighted kernel centers. It is not
+// safe for concurrent use.
+type Estimator struct {
+	d       int
+	m       int // center budget
+	kern    kernel.Kernel
+	centers []center
+	total   float64 // tuples absorbed
+	h       []float64
+}
+
+type center struct {
+	x  []float64
+	w  float64
+	m2 []float64 // per-dimension sum of squared deviations (cluster spread)
+}
+
+// New returns a streaming estimator over d dimensions with a budget of m
+// centers. A nil kernel defaults to the Gaussian. The bandwidth must be
+// set (or refreshed) by the caller; UpdateBandwidth derives a Scott-style
+// bandwidth from the current centers.
+func New(d, m int, kern kernel.Kernel) (*Estimator, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("stream: dimensionality must be positive, got %d", d)
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("stream: center budget must be at least 2, got %d", m)
+	}
+	if kern == nil {
+		kern = kernel.Gaussian{}
+	}
+	return &Estimator{d: d, m: m, kern: kern}, nil
+}
+
+// Dims returns the dimensionality.
+func (e *Estimator) Dims() int { return e.d }
+
+// Centers returns the current number of kernel centers.
+func (e *Estimator) Centers() int { return len(e.centers) }
+
+// Total returns the number of absorbed tuples (the preserved total mass).
+func (e *Estimator) Total() float64 { return e.total }
+
+// Insert absorbs one tuple: it becomes a unit-weight center, and if the
+// budget overflows, the two closest centers merge into their weighted mean.
+func (e *Estimator) Insert(row []float64) error {
+	if len(row) != e.d {
+		return fmt.Errorf("stream: row has %d dims, want %d", len(row), e.d)
+	}
+	x := make([]float64, e.d)
+	copy(x, row)
+	e.centers = append(e.centers, center{x: x, w: 1, m2: make([]float64, e.d)})
+	e.total++
+	if len(e.centers) > e.m {
+		e.mergeClosest()
+	}
+	return nil
+}
+
+// mergeClosest finds the closest pair of centers and merges them. The scan
+// is O(m²); budgets are small synopsis sizes, and a real deployment would
+// amortize with a spatial index.
+func (e *Estimator) mergeClosest() {
+	bi, bj, best := 0, 1, math.Inf(1)
+	for i := 0; i < len(e.centers); i++ {
+		for j := i + 1; j < len(e.centers); j++ {
+			d := sqDist(e.centers[i].x, e.centers[j].x)
+			if d < best {
+				best, bi, bj = d, i, j
+			}
+		}
+	}
+	a, b := e.centers[bi], e.centers[bj]
+	w := a.w + b.w
+	for k := range a.x {
+		// Chan et al. parallel-variance merge: the combined spread is the
+		// two spreads plus the between-means term.
+		d := a.x[k] - b.x[k]
+		a.m2[k] += b.m2[k] + a.w*b.w/w*d*d
+		a.x[k] = (a.x[k]*a.w + b.x[k]*b.w) / w
+	}
+	a.w = w
+	e.centers[bi] = a
+	e.centers[bj] = e.centers[len(e.centers)-1]
+	e.centers = e.centers[:len(e.centers)-1]
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// SetBandwidth installs a diagonal bandwidth.
+func (e *Estimator) SetBandwidth(h []float64) error {
+	if len(h) != e.d {
+		return fmt.Errorf("stream: bandwidth has %d dims, want %d", len(h), e.d)
+	}
+	for i, v := range h {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("stream: bandwidth[%d] = %g invalid", i, v)
+		}
+	}
+	e.h = append(e.h[:0], h...)
+	return nil
+}
+
+// Bandwidth returns a copy of the current bandwidth, or nil if unset.
+func (e *Estimator) Bandwidth() []float64 {
+	if e.h == nil {
+		return nil
+	}
+	out := make([]float64, e.d)
+	copy(out, e.h)
+	return out
+}
+
+// UpdateBandwidth derives a Scott-style bandwidth from the weighted
+// centers: h_j = n^(−1/(d+4))·σ_j with weighted moments, where n is the
+// total absorbed count — each center stands for w real tuples, so the
+// stream's full resolution applies (the cluster spread is accounted
+// for separately at estimation time).
+func (e *Estimator) UpdateBandwidth() error {
+	if len(e.centers) < 2 {
+		return fmt.Errorf("stream: need at least two centers, have %d", len(e.centers))
+	}
+	sumW := 0.0
+	mean := make([]float64, e.d)
+	for _, c := range e.centers {
+		sumW += c.w
+		for j, v := range c.x {
+			mean[j] += c.w * v
+		}
+	}
+	for j := range mean {
+		mean[j] /= sumW
+	}
+	h := make([]float64, e.d)
+	factor := math.Pow(e.total, -1.0/float64(e.d+4))
+	for j := 0; j < e.d; j++ {
+		v := 0.0
+		for _, c := range e.centers {
+			dv := c.x[j] - mean[j]
+			v += c.w * dv * dv
+		}
+		sigma := math.Sqrt(v / sumW)
+		h[j] = factor * sigma
+		if !(h[j] > 0) {
+			h[j] = 1e-3
+		}
+	}
+	return e.SetBandwidth(h)
+}
+
+// Selectivity estimates the fraction of absorbed tuples inside q as the
+// weight-averaged kernel mass over the centers.
+func (e *Estimator) Selectivity(q query.Range) (float64, error) {
+	if q.Dims() != e.d {
+		return 0, fmt.Errorf("stream: query has %d dims, want %d", q.Dims(), e.d)
+	}
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if e.total == 0 {
+		return 0, nil
+	}
+	if e.h == nil {
+		return 0, fmt.Errorf("stream: bandwidth not set")
+	}
+	sum := 0.0
+	for _, c := range e.centers {
+		m := 1.0
+		for j := 0; j < e.d; j++ {
+			// A center of weight w and spread σ² stands for w tuples; its
+			// kernel sum is approximated by one kernel whose (Gaussian)
+			// variance is the base bandwidth convolved with the spread.
+			heff := math.Sqrt(e.h[j]*e.h[j] + c.m2[j]/c.w)
+			m *= e.kern.Mass(q.Lo[j], q.Hi[j], c.x[j], heff)
+			if m == 0 {
+				break
+			}
+		}
+		sum += c.w * m
+	}
+	return sum / e.total, nil
+}

@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/query"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10, nil); err == nil {
+		t.Error("d=0 should be rejected")
+	}
+	if _, err := New(2, 1, nil); err == nil {
+		t.Error("budget 1 should be rejected")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	e, _ := New(2, 4, nil)
+	if err := e.Insert([]float64{1}); err == nil {
+		t.Error("wrong arity should be rejected")
+	}
+}
+
+func TestBudgetAndMassConservation(t *testing.T) {
+	e, _ := New(1, 8, nil)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		if err := e.Insert([]float64{rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+		if e.Centers() > 8 {
+			t.Fatalf("budget exceeded: %d centers", e.Centers())
+		}
+	}
+	if e.Total() != 500 {
+		t.Errorf("total = %g, want 500", e.Total())
+	}
+	if err := e.UpdateBandwidth(); err != nil {
+		t.Fatal(err)
+	}
+	// Whole-space mass equals 1 (mass is conserved through merges).
+	full := query.NewRange([]float64{-1e9}, []float64{1e9})
+	got, err := e.Selectivity(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("whole-space selectivity = %g, want 1", got)
+	}
+}
+
+func TestSelectivityNeedsBandwidth(t *testing.T) {
+	e, _ := New(1, 4, nil)
+	_ = e.Insert([]float64{0})
+	if _, err := e.Selectivity(query.NewRange([]float64{-1}, []float64{1})); err == nil {
+		t.Error("missing bandwidth should error")
+	}
+	empty, _ := New(1, 4, nil)
+	got, err := empty.Selectivity(query.NewRange([]float64{-1}, []float64{1}))
+	if err != nil || got != 0 {
+		t.Errorf("empty stream selectivity = %g, %v", got, err)
+	}
+}
+
+func TestTracksBimodalStream(t *testing.T) {
+	// Two clusters arriving interleaved; a 32-center synopsis should
+	// estimate the per-cluster fractions well.
+	e, _ := New(1, 32, nil)
+	rng := rand.New(rand.NewSource(2))
+	const n = 4000
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64() * 0.5
+		if i%4 == 0 { // 25% in the second cluster
+			v += 10
+		}
+		vals = append(vals, v)
+		if err := e.Insert([]float64{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.UpdateBandwidth(); err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewRange([]float64{8}, []float64{12})
+	got, err := e.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := 0.0
+	for _, v := range vals {
+		if v >= 8 && v <= 12 {
+			actual++
+		}
+	}
+	actual /= n
+	if math.Abs(got-actual) > 0.05 {
+		t.Errorf("cluster fraction: est %g vs actual %g", got, actual)
+	}
+}
+
+func TestDuplicateHeavyStreamKeepsWeight(t *testing.T) {
+	// 90% of the stream is the same value; the synopsis must retain that
+	// weight rather than a sample's worth.
+	e, _ := New(1, 8, nil)
+	rng := rand.New(rand.NewSource(3))
+	const n = 1000
+	for i := 0; i < n; i++ {
+		v := 5.0
+		if i%10 == 0 {
+			v = rng.Float64() * 100
+		}
+		if err := e.Insert([]float64{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = e.SetBandwidth([]float64{0.1})
+	q := query.NewRange([]float64{4}, []float64{6})
+	got, _ := e.Selectivity(q)
+	if math.Abs(got-0.9) > 0.06 {
+		t.Errorf("duplicate-heavy mass = %g, want ~0.9", got)
+	}
+}
+
+func TestBandwidthAccessors(t *testing.T) {
+	e, _ := New(2, 4, nil)
+	if e.Bandwidth() != nil {
+		t.Error("unset bandwidth should be nil")
+	}
+	if err := e.SetBandwidth([]float64{1}); err == nil {
+		t.Error("wrong arity should be rejected")
+	}
+	if err := e.SetBandwidth([]float64{1, -1}); err == nil {
+		t.Error("negative bandwidth should be rejected")
+	}
+	if err := e.SetBandwidth([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	h := e.Bandwidth()
+	h[0] = 99
+	if e.Bandwidth()[0] != 1 {
+		t.Error("Bandwidth leaked internal storage")
+	}
+	if err := e.UpdateBandwidth(); err == nil {
+		t.Error("UpdateBandwidth with <2 centers should error")
+	}
+}

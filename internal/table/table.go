@@ -1,0 +1,259 @@
+// Package table provides the database substrate the estimators sit on: an
+// in-memory relation over real-valued attributes with exact range counting
+// (the ground truth and the source of query feedback), random sampling (the
+// ANALYZE path of §5.2), and a change feed that plays the role of the
+// trigger/notification hooks the Postgres integration uses to drive sample
+// maintenance (§5.6).
+package table
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kdesel/internal/query"
+)
+
+// Listener receives change notifications from a table. Implementations must
+// not retain the row slices they are handed; the table reuses storage.
+type Listener interface {
+	// OnInsert fires after a row was appended.
+	OnInsert(row []float64)
+	// OnDelete fires after a row was removed.
+	OnDelete(row []float64)
+	// OnUpdate fires after a row changed in place.
+	OnUpdate(oldRow, newRow []float64)
+}
+
+// Table is an in-memory relation with d real-valued attributes, stored
+// row-major. Deletion is by swap-remove, so row indices are not stable
+// across deletes; listeners receive row values, not indices.
+//
+// Table is not safe for concurrent use; the experiment drivers are
+// single-writer by construction, matching the feedback loop of the paper.
+type Table struct {
+	d         int
+	data      []float64
+	listeners []Listener
+}
+
+// New returns an empty table with d attributes.
+func New(d int) (*Table, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("table: dimensionality must be positive, got %d", d)
+	}
+	return &Table{d: d}, nil
+}
+
+// Dims returns the number of attributes.
+func (t *Table) Dims() int { return t.d }
+
+// Len returns the number of rows |R|.
+func (t *Table) Len() int { return len(t.data) / t.d }
+
+// Subscribe registers a change listener.
+func (t *Table) Subscribe(l Listener) { t.listeners = append(t.listeners, l) }
+
+// Row returns the i-th row as a subslice of internal storage; callers must
+// not mutate or retain it across table modifications.
+func (t *Table) Row(i int) []float64 { return t.data[i*t.d : (i+1)*t.d] }
+
+func (t *Table) checkRow(row []float64) error {
+	if len(row) != t.d {
+		return fmt.Errorf("table: row has %d attributes, want %d", len(row), t.d)
+	}
+	for j, v := range row {
+		if math.IsNaN(v) {
+			return fmt.Errorf("table: NaN in attribute %d", j)
+		}
+	}
+	return nil
+}
+
+// Insert appends a row and notifies listeners.
+func (t *Table) Insert(row []float64) error {
+	if err := t.checkRow(row); err != nil {
+		return err
+	}
+	t.data = append(t.data, row...)
+	ins := t.data[len(t.data)-t.d:]
+	for _, l := range t.listeners {
+		l.OnInsert(ins)
+	}
+	return nil
+}
+
+// InsertMany appends all rows, notifying listeners per row.
+func (t *Table) InsertMany(rows [][]float64) error {
+	for i, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return fmt.Errorf("table: row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Delete removes row i by swapping the final row into its place.
+func (t *Table) Delete(i int) error {
+	n := t.Len()
+	if i < 0 || i >= n {
+		return fmt.Errorf("table: delete index %d out of range [0,%d)", i, n)
+	}
+	removed := make([]float64, t.d)
+	copy(removed, t.Row(i))
+	last := n - 1
+	if i != last {
+		copy(t.Row(i), t.Row(last))
+	}
+	t.data = t.data[:last*t.d]
+	for _, l := range t.listeners {
+		l.OnDelete(removed)
+	}
+	return nil
+}
+
+// Update overwrites row i with row and notifies listeners.
+func (t *Table) Update(i int, row []float64) error {
+	n := t.Len()
+	if i < 0 || i >= n {
+		return fmt.Errorf("table: update index %d out of range [0,%d)", i, n)
+	}
+	if err := t.checkRow(row); err != nil {
+		return err
+	}
+	old := make([]float64, t.d)
+	copy(old, t.Row(i))
+	copy(t.Row(i), row)
+	for _, l := range t.listeners {
+		l.OnUpdate(old, t.Row(i))
+	}
+	return nil
+}
+
+// Count returns the number of tuples inside q — the exact computation the
+// database performs when it executes the range query.
+func (t *Table) Count(q query.Range) (int, error) {
+	if q.Dims() != t.d {
+		return 0, fmt.Errorf("table: query has %d dims, want %d", q.Dims(), t.d)
+	}
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	n := t.Len()
+	count := 0
+rows:
+	for i := 0; i < n; i++ {
+		row := t.data[i*t.d : (i+1)*t.d]
+		for j, v := range row {
+			if v < q.Lo[j] || v > q.Hi[j] {
+				continue rows
+			}
+		}
+		count++
+	}
+	return count, nil
+}
+
+// Selectivity returns the exact fraction |σ(R)|/|R| of rows inside q, the
+// quantity the estimators approximate. An empty table has selectivity 0.
+func (t *Table) Selectivity(q query.Range) (float64, error) {
+	n := t.Len()
+	if n == 0 {
+		return 0, nil
+	}
+	c, err := t.Count(q)
+	if err != nil {
+		return 0, err
+	}
+	return float64(c) / float64(n), nil
+}
+
+// DeleteWhere removes every row inside q and returns how many were removed.
+func (t *Table) DeleteWhere(q query.Range) (int, error) {
+	if q.Dims() != t.d {
+		return 0, fmt.Errorf("table: query has %d dims, want %d", q.Dims(), t.d)
+	}
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i < t.Len(); {
+		if q.Contains(t.Row(i)) {
+			if err := t.Delete(i); err != nil {
+				return removed, err
+			}
+			removed++
+			continue // swapped row now occupies index i
+		}
+		i++
+	}
+	return removed, nil
+}
+
+// SampleRows draws n distinct rows uniformly at random (without
+// replacement) using a partial Fisher-Yates shuffle over indices, the role
+// ANALYZE plays in the Postgres integration. If n exceeds the table size,
+// all rows are returned. The returned rows are copies.
+func (t *Table) SampleRows(n int, rng *rand.Rand) ([][]float64, error) {
+	if rng == nil {
+		return nil, errors.New("table: nil random source")
+	}
+	total := t.Len()
+	if n > total {
+		n = total
+	}
+	idx := make([]int, total)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(total-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		row := make([]float64, t.d)
+		copy(row, t.Row(idx[i]))
+		out[i] = row
+	}
+	return out, nil
+}
+
+// SampleFlat draws n distinct rows and returns them row-major, ready to be
+// transferred into a device sample buffer.
+func (t *Table) SampleFlat(n int, rng *rand.Rand) ([]float64, error) {
+	rows, err := t.SampleRows(n, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(rows)*t.d)
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// RandomRow returns a copy of one uniformly random row, used to draw
+// replacement points for the karma-based sample maintenance. It returns
+// false if the table is empty.
+func (t *Table) RandomRow(rng *rand.Rand) ([]float64, bool) {
+	n := t.Len()
+	if n == 0 || rng == nil {
+		return nil, false
+	}
+	row := make([]float64, t.d)
+	copy(row, t.Row(rng.Intn(n)))
+	return row, true
+}
+
+// Bounds returns the bounding box of all rows, or false for an empty table.
+func (t *Table) Bounds() (query.Range, bool) {
+	n := t.Len()
+	if n == 0 {
+		return query.Range{}, false
+	}
+	b := query.NewRange(t.Row(0), t.Row(0))
+	for i := 1; i < n; i++ {
+		b.ExpandToInclude(t.Row(i))
+	}
+	return b, true
+}

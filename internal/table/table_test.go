@@ -1,0 +1,256 @@
+package table
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/query"
+)
+
+func mustTable(t *testing.T, d int) *Table {
+	t.Helper()
+	tab, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("d=0 should be rejected")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tab := mustTable(t, 2)
+	if err := tab.Insert([]float64{1}); err == nil {
+		t.Error("wrong arity should be rejected")
+	}
+	if err := tab.Insert([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN should be rejected")
+	}
+	if err := tab.Insert([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestCountAndSelectivity(t *testing.T) {
+	tab := mustTable(t, 2)
+	rows := [][]float64{{0, 0}, {1, 1}, {2, 2}, {0.5, 0.4}, {5, 5}}
+	if err := tab.InsertMany(rows); err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewRange([]float64{0, 0}, []float64{1, 1})
+	c, err := tab.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 3 { // (0,0), (1,1) inclusive, (0.5,0.4)
+		t.Errorf("Count = %d, want 3", c)
+	}
+	sel, _ := tab.Selectivity(q)
+	if sel != 0.6 {
+		t.Errorf("Selectivity = %g, want 0.6", sel)
+	}
+	if _, err := tab.Count(query.NewRange([]float64{0}, []float64{1})); err == nil {
+		t.Error("dimension mismatch should be rejected")
+	}
+}
+
+func TestEmptyTableSelectivity(t *testing.T) {
+	tab := mustTable(t, 1)
+	sel, err := tab.Selectivity(query.NewRange([]float64{0}, []float64{1}))
+	if err != nil || sel != 0 {
+		t.Errorf("empty table selectivity = %g, %v; want 0, nil", sel, err)
+	}
+}
+
+func TestDeleteSwapsLast(t *testing.T) {
+	tab := mustTable(t, 1)
+	_ = tab.InsertMany([][]float64{{1}, {2}, {3}})
+	if err := tab.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	// Row 0 now holds the previous last row.
+	if tab.Row(0)[0] != 3 || tab.Row(1)[0] != 2 {
+		t.Errorf("rows after delete = %v, %v", tab.Row(0), tab.Row(1))
+	}
+	if err := tab.Delete(5); err == nil {
+		t.Error("out-of-range delete should error")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tab := mustTable(t, 2)
+	_ = tab.Insert([]float64{1, 2})
+	if err := tab.Update(0, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if r := tab.Row(0); r[0] != 3 || r[1] != 4 {
+		t.Errorf("row = %v", r)
+	}
+	if err := tab.Update(1, []float64{0, 0}); err == nil {
+		t.Error("out-of-range update should error")
+	}
+	if err := tab.Update(0, []float64{0}); err == nil {
+		t.Error("wrong arity update should error")
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	tab := mustTable(t, 1)
+	for i := 0; i < 10; i++ {
+		_ = tab.Insert([]float64{float64(i)})
+	}
+	n, err := tab.DeleteWhere(query.NewRange([]float64{3}, []float64{6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("removed %d, want 4", n)
+	}
+	if tab.Len() != 6 {
+		t.Errorf("Len = %d, want 6", tab.Len())
+	}
+	c, _ := tab.Count(query.NewRange([]float64{3}, []float64{6}))
+	if c != 0 {
+		t.Errorf("matching rows remain: %d", c)
+	}
+}
+
+type recorder struct {
+	inserts, deletes, updates int
+	lastInsert                []float64
+}
+
+func (r *recorder) OnInsert(row []float64) {
+	r.inserts++
+	r.lastInsert = append([]float64(nil), row...)
+}
+func (r *recorder) OnDelete(row []float64)            { r.deletes++ }
+func (r *recorder) OnUpdate(oldRow, newRow []float64) { r.updates++ }
+
+func TestListenerNotifications(t *testing.T) {
+	tab := mustTable(t, 1)
+	rec := &recorder{}
+	tab.Subscribe(rec)
+	_ = tab.Insert([]float64{1})
+	_ = tab.Insert([]float64{2})
+	_ = tab.Update(0, []float64{3})
+	_ = tab.Delete(0)
+	if rec.inserts != 2 || rec.updates != 1 || rec.deletes != 1 {
+		t.Errorf("notifications = %+v", rec)
+	}
+	if rec.lastInsert[0] != 2 {
+		t.Errorf("lastInsert = %v", rec.lastInsert)
+	}
+}
+
+func TestSampleRows(t *testing.T) {
+	tab := mustTable(t, 1)
+	for i := 0; i < 100; i++ {
+		_ = tab.Insert([]float64{float64(i)})
+	}
+	rng := rand.New(rand.NewSource(1))
+	rows, err := tab.SampleRows(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("sample size = %d, want 10", len(rows))
+	}
+	seen := map[float64]bool{}
+	for _, r := range rows {
+		if seen[r[0]] {
+			t.Fatalf("duplicate row %v in without-replacement sample", r)
+		}
+		seen[r[0]] = true
+	}
+	// Oversized request returns everything.
+	all, _ := tab.SampleRows(1000, rng)
+	if len(all) != 100 {
+		t.Errorf("oversized sample = %d rows, want 100", len(all))
+	}
+	if _, err := tab.SampleRows(5, nil); err == nil {
+		t.Error("nil rng should be rejected")
+	}
+}
+
+func TestSampleIsUnbiased(t *testing.T) {
+	// Each of 50 rows should appear in a size-10 sample with probability
+	// 1/5; over 2000 trials the count per row is Binomial(2000, 0.2) with
+	// std ≈ 17.9, so a ±6σ window is a safe deterministic check.
+	tab := mustTable(t, 1)
+	const rowsN, k, trials = 50, 10, 2000
+	for i := 0; i < rowsN; i++ {
+		_ = tab.Insert([]float64{float64(i)})
+	}
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, rowsN)
+	for tr := 0; tr < trials; tr++ {
+		rows, _ := tab.SampleRows(k, rng)
+		for _, r := range rows {
+			counts[int(r[0])]++
+		}
+	}
+	mean := float64(trials) * float64(k) / float64(rowsN)
+	sigma := math.Sqrt(float64(trials) * 0.2 * 0.8)
+	for i, c := range counts {
+		if math.Abs(float64(c)-mean) > 6*sigma {
+			t.Errorf("row %d sampled %d times, expected %.0f±%.0f", i, c, mean, 6*sigma)
+		}
+	}
+}
+
+func TestSampleFlat(t *testing.T) {
+	tab := mustTable(t, 2)
+	_ = tab.InsertMany([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	flat, err := tab.SampleFlat(2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) != 4 {
+		t.Errorf("flat sample length = %d, want 4", len(flat))
+	}
+}
+
+func TestRandomRow(t *testing.T) {
+	tab := mustTable(t, 1)
+	if _, ok := tab.RandomRow(rand.New(rand.NewSource(1))); ok {
+		t.Error("empty table should return no row")
+	}
+	_ = tab.Insert([]float64{7})
+	row, ok := tab.RandomRow(rand.New(rand.NewSource(1)))
+	if !ok || row[0] != 7 {
+		t.Errorf("RandomRow = %v, %v", row, ok)
+	}
+	// Returned row is a copy.
+	row[0] = 99
+	if tab.Row(0)[0] != 7 {
+		t.Error("RandomRow leaked internal storage")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tab := mustTable(t, 2)
+	if _, ok := tab.Bounds(); ok {
+		t.Error("empty table should have no bounds")
+	}
+	_ = tab.InsertMany([][]float64{{1, 5}, {-2, 3}, {0, 8}})
+	b, ok := tab.Bounds()
+	if !ok {
+		t.Fatal("bounds missing")
+	}
+	want := query.NewRange([]float64{-2, 3}, []float64{1, 8})
+	if !b.Equal(want) {
+		t.Errorf("Bounds = %v, want %v", b, want)
+	}
+}

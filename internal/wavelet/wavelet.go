@@ -1,0 +1,381 @@
+// Package wavelet implements a Haar wavelet synopsis for range selectivity
+// estimation after Matias, Vitter & Wang [30], another classical technique
+// from the paper's related work (§2.2). The data is gridded, transformed
+// with the non-standard multidimensional Haar decomposition (a full 1-D
+// transform along each axis in turn), and only the k largest-magnitude
+// coefficients are retained; estimates come from range sums over the
+// reconstruction.
+//
+// Dense grids grow as resolution^d, so the synopsis is practical only in
+// low dimensions — exactly the curse-of-dimensionality limitation that
+// motivates the paper's sample-based approach. Build enforces a cell cap
+// and reports dimensionalities it cannot grid.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kdesel/internal/query"
+)
+
+// Config tunes synopsis construction.
+type Config struct {
+	// Coefficients is the number of wavelet coefficients retained (the
+	// synopsis size; required, >= 1).
+	Coefficients int
+	// Resolution is the grid resolution per dimension; it must be a power
+	// of two (default 16).
+	Resolution int
+	// MaxCells caps the dense grid size resolution^d (default 1<<20).
+	MaxCells int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Resolution <= 0 {
+		c.Resolution = 16
+	}
+	if c.MaxCells <= 0 {
+		c.MaxCells = 1 << 20
+	}
+	return c
+}
+
+// Synopsis is a built wavelet estimator.
+type Synopsis struct {
+	d      int
+	res    int
+	space  query.Range
+	kept   int
+	prefix []float64 // (res+1)^d prefix sums of the reconstruction
+	total  float64
+}
+
+// CoefficientBytes is the footprint of one retained coefficient (an index
+// plus a value).
+const CoefficientBytes = 16
+
+// Build constructs a synopsis over rows (each of length d).
+func Build(rows [][]float64, d int, cfg Config) (*Synopsis, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("wavelet: need data")
+	}
+	if d <= 0 || len(rows[0]) != d {
+		return nil, fmt.Errorf("wavelet: bad dimensionality %d", d)
+	}
+	if cfg.Coefficients < 1 {
+		return nil, fmt.Errorf("wavelet: coefficient budget must be >= 1, got %d", cfg.Coefficients)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Resolution&(cfg.Resolution-1) != 0 {
+		return nil, fmt.Errorf("wavelet: resolution %d is not a power of two", cfg.Resolution)
+	}
+	cells := 1
+	for j := 0; j < d; j++ {
+		cells *= cfg.Resolution
+		if cells > cfg.MaxCells {
+			return nil, fmt.Errorf("wavelet: grid %d^%d exceeds the %d-cell cap — dense wavelet synopses do not scale to this dimensionality",
+				cfg.Resolution, d, cfg.MaxCells)
+		}
+	}
+
+	space := query.NewRange(rows[0], rows[0])
+	for _, r := range rows[1:] {
+		space.ExpandToInclude(r)
+	}
+	for j := 0; j < d; j++ {
+		if space.Hi[j] == space.Lo[j] {
+			space.Hi[j] = space.Lo[j] + 1e-9
+		}
+	}
+
+	// Histogram the rows onto the grid.
+	grid := make([]float64, cells)
+	res := cfg.Resolution
+	strides := make([]int, d)
+	s := 1
+	for j := d - 1; j >= 0; j-- {
+		strides[j] = s
+		s *= res
+	}
+	for _, r := range rows {
+		idx := 0
+		for j := 0; j < d; j++ {
+			c := int(float64(res) * (r[j] - space.Lo[j]) / (space.Hi[j] - space.Lo[j]))
+			if c >= res {
+				c = res - 1
+			}
+			if c < 0 {
+				c = 0
+			}
+			idx += c * strides[j]
+		}
+		grid[idx]++
+	}
+
+	// Non-standard decomposition: full orthonormal 1-D Haar transform
+	// along each dimension in turn.
+	for j := 0; j < d; j++ {
+		transformAxis(grid, res, strides[j], cells, haarForward)
+	}
+
+	// Keep the k largest-magnitude coefficients, zero the rest.
+	type coef struct {
+		idx int
+		abs float64
+	}
+	order := make([]coef, 0, cells)
+	for i, v := range grid {
+		if v != 0 {
+			order = append(order, coef{i, math.Abs(v)})
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].abs > order[b].abs })
+	keep := cfg.Coefficients
+	if keep > len(order) {
+		keep = len(order)
+	}
+	kept := make(map[int]bool, keep)
+	for _, c := range order[:keep] {
+		kept[c.idx] = true
+	}
+	for i := range grid {
+		if !kept[i] {
+			grid[i] = 0
+		}
+	}
+
+	// Reconstruct and precompute prefix sums for O(2^d) range sums.
+	for j := d - 1; j >= 0; j-- {
+		transformAxis(grid, res, strides[j], cells, haarInverse)
+	}
+	syn := &Synopsis{d: d, res: res, space: space, kept: keep, total: float64(len(rows))}
+	syn.prefix = prefixSums(grid, res, d)
+	return syn, nil
+}
+
+// transformAxis applies fn to every 1-D line of the grid along the axis
+// with the given stride.
+func transformAxis(grid []float64, res, stride, cells int, fn func([]float64)) {
+	line := make([]float64, res)
+	groups := cells / (res * stride)
+	for g := 0; g < groups; g++ {
+		base := g * res * stride
+		for off := 0; off < stride; off++ {
+			start := base + off
+			for i := 0; i < res; i++ {
+				line[i] = grid[start+i*stride]
+			}
+			fn(line)
+			for i := 0; i < res; i++ {
+				grid[start+i*stride] = line[i]
+			}
+		}
+	}
+}
+
+// haarForward computes the full orthonormal Haar transform in place.
+func haarForward(v []float64) {
+	n := len(v)
+	tmp := make([]float64, n)
+	for length := n; length > 1; length /= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			a, b := v[2*i], v[2*i+1]
+			tmp[i] = (a + b) / math.Sqrt2
+			tmp[half+i] = (a - b) / math.Sqrt2
+		}
+		copy(v[:length], tmp[:length])
+	}
+}
+
+// haarInverse inverts haarForward in place.
+func haarInverse(v []float64) {
+	n := len(v)
+	tmp := make([]float64, n)
+	for length := 2; length <= n; length *= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			s, dd := v[i], v[half+i]
+			tmp[2*i] = (s + dd) / math.Sqrt2
+			tmp[2*i+1] = (s - dd) / math.Sqrt2
+		}
+		copy(v[:length], tmp[:length])
+	}
+}
+
+// prefixSums builds an inclusive d-dimensional prefix-sum array with a
+// zero border, sized (res+1)^d.
+func prefixSums(grid []float64, res, d int) []float64 {
+	pr := res + 1
+	size := 1
+	for j := 0; j < d; j++ {
+		size *= pr
+	}
+	out := make([]float64, size)
+	pStrides := make([]int, d)
+	gStrides := make([]int, d)
+	ps, gs := 1, 1
+	for j := d - 1; j >= 0; j-- {
+		pStrides[j] = ps
+		gStrides[j] = gs
+		ps *= pr
+		gs *= res
+	}
+	idx := make([]int, d)
+	for {
+		// Compute out at idx (1-based interior; any zero coordinate = 0).
+		interior := true
+		for _, c := range idx {
+			if c == 0 {
+				interior = false
+				break
+			}
+		}
+		if interior {
+			pos := 0
+			gpos := 0
+			for j := 0; j < d; j++ {
+				pos += idx[j] * pStrides[j]
+				gpos += (idx[j] - 1) * gStrides[j]
+			}
+			sum := grid[gpos]
+			// Inclusion–exclusion over already-computed neighbors.
+			for mask := 1; mask < 1<<d; mask++ {
+				nPos := pos
+				skip := false
+				for j := 0; j < d; j++ {
+					if mask&(1<<j) != 0 {
+						if idx[j] == 0 {
+							skip = true
+							break
+						}
+						nPos -= pStrides[j]
+					}
+				}
+				if skip {
+					continue
+				}
+				if popcount(mask)%2 == 1 {
+					sum += out[nPos]
+				} else {
+					sum -= out[nPos]
+				}
+			}
+			out[pos] = sum
+		}
+		// Advance the odometer.
+		j := d - 1
+		for ; j >= 0; j-- {
+			idx[j]++
+			if idx[j] <= res {
+				break
+			}
+			idx[j] = 0
+		}
+		if j < 0 {
+			break
+		}
+	}
+	return out
+}
+
+func popcount(v int) int {
+	c := 0
+	for v != 0 {
+		c += v & 1
+		v >>= 1
+	}
+	return c
+}
+
+// Kept returns the number of retained coefficients.
+func (s *Synopsis) Kept() int { return s.kept }
+
+// rangeSum returns the reconstructed mass in the half-open cell box
+// [lo, hi) (cell coordinates, 0..res).
+func (s *Synopsis) rangeSum(lo, hi []int) float64 {
+	pr := s.res + 1
+	pStrides := make([]int, s.d)
+	ps := 1
+	for j := s.d - 1; j >= 0; j-- {
+		pStrides[j] = ps
+		ps *= pr
+	}
+	sum := 0.0
+	for mask := 0; mask < 1<<s.d; mask++ {
+		pos := 0
+		sign := 1
+		for j := 0; j < s.d; j++ {
+			if mask&(1<<j) != 0 {
+				pos += lo[j] * pStrides[j]
+				sign = -sign
+			} else {
+				pos += hi[j] * pStrides[j]
+			}
+		}
+		sum += float64(sign) * s.prefix[pos]
+	}
+	return sum
+}
+
+// Selectivity estimates the fraction of rows in q. Boundary cells are
+// interpolated linearly (continuous-value assumption inside a cell).
+func (s *Synopsis) Selectivity(q query.Range) (float64, error) {
+	if q.Dims() != s.d {
+		return 0, fmt.Errorf("wavelet: query has %d dims, want %d", q.Dims(), s.d)
+	}
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	// Conservative cell-aligned estimate: sum whole cells the query
+	// touches, weighting by the covered fraction per axis via two nested
+	// sums would be exponential; instead align outward and inward and
+	// interpolate between the two (a standard sandwich).
+	loOut := make([]int, s.d)
+	hiOut := make([]int, s.d)
+	loIn := make([]int, s.d)
+	hiIn := make([]int, s.d)
+	fracCovered := 1.0
+	for j := 0; j < s.d; j++ {
+		w := s.space.Hi[j] - s.space.Lo[j]
+		a := (q.Lo[j] - s.space.Lo[j]) / w * float64(s.res)
+		b := (q.Hi[j] - s.space.Lo[j]) / w * float64(s.res)
+		loOut[j] = clampInt(int(math.Floor(a)), 0, s.res)
+		hiOut[j] = clampInt(int(math.Ceil(b)), 0, s.res)
+		loIn[j] = clampInt(int(math.Ceil(a)), 0, s.res)
+		hiIn[j] = clampInt(int(math.Floor(b)), 0, s.res)
+		if hiIn[j] < loIn[j] {
+			hiIn[j] = loIn[j]
+		}
+		outSpan := float64(hiOut[j] - loOut[j])
+		span := b - a
+		if outSpan > 0 && span > 0 && span < outSpan {
+			fracCovered *= span / outSpan
+		}
+	}
+	outer := s.rangeSum(loOut, hiOut)
+	inner := s.rangeSum(loIn, hiIn)
+	// Interpolate: inner misses boundary mass, outer overcounts it; weight
+	// the overhang by the covered fraction of the outer shell.
+	est := inner + (outer-inner)*fracCovered
+	sel := est / s.total
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel, nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

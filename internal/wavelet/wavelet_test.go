@@ -1,0 +1,174 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/datagen"
+	"kdesel/internal/query"
+)
+
+func TestBuildValidation(t *testing.T) {
+	rows := [][]float64{{1, 2}}
+	if _, err := Build(nil, 2, Config{Coefficients: 8}); err == nil {
+		t.Error("empty data should be rejected")
+	}
+	if _, err := Build(rows, 3, Config{Coefficients: 8}); err == nil {
+		t.Error("dimension mismatch should be rejected")
+	}
+	if _, err := Build(rows, 2, Config{}); err == nil {
+		t.Error("missing coefficient budget should be rejected")
+	}
+	if _, err := Build(rows, 2, Config{Coefficients: 8, Resolution: 12}); err == nil {
+		t.Error("non-power-of-two resolution should be rejected")
+	}
+	// 16^8 cells blows the cap: the curse of dimensionality, reported.
+	rows8 := [][]float64{make([]float64, 8)}
+	if _, err := Build(rows8, 8, Config{Coefficients: 8}); err == nil {
+		t.Error("oversized grid should be rejected")
+	}
+}
+
+func TestHaarRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float64, 16)
+	orig := make([]float64, 16)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+		orig[i] = v[i]
+	}
+	haarForward(v)
+	haarInverse(v)
+	for i := range v {
+		if math.Abs(v[i]-orig[i]) > 1e-12 {
+			t.Fatalf("round trip failed at %d: %g vs %g", i, v[i], orig[i])
+		}
+	}
+}
+
+func TestHaarEnergyPreserved(t *testing.T) {
+	// The orthonormal transform preserves the L2 norm (Parseval).
+	rng := rand.New(rand.NewSource(2))
+	v := make([]float64, 32)
+	e0 := 0.0
+	for i := range v {
+		v[i] = rng.NormFloat64()
+		e0 += v[i] * v[i]
+	}
+	haarForward(v)
+	e1 := 0.0
+	for _, x := range v {
+		e1 += x * x
+	}
+	if math.Abs(e0-e1) > 1e-9 {
+		t.Errorf("energy %g -> %g", e0, e1)
+	}
+}
+
+func TestExactWithAllCoefficients(t *testing.T) {
+	// Keeping every coefficient reproduces exact cell-aligned counts.
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 2000)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	s, err := Build(rows, 2, Config{Coefficients: 1 << 20, Resolution: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := query.NewRange([]float64{-1, -1}, []float64{2, 2})
+	if sel, _ := s.Selectivity(full); math.Abs(sel-1) > 1e-9 {
+		t.Errorf("full-space selectivity = %g", sel)
+	}
+	// A half-space query, cell-aligned by construction of the bounds.
+	exact := 0
+	b := query.NewRange(rows[0], rows[0])
+	for _, r := range rows[1:] {
+		b.ExpandToInclude(r)
+	}
+	mid := b.Lo[0] + (b.Hi[0]-b.Lo[0])/2
+	q := query.NewRange([]float64{b.Lo[0], b.Lo[1]}, []float64{mid, b.Hi[1]})
+	for _, r := range rows {
+		if q.Contains(r) {
+			exact++
+		}
+	}
+	got, err := s.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(exact) / float64(len(rows))
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("half-space: est %g vs exact %g", got, want)
+	}
+}
+
+func TestCompressionBeatsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := datagen.Synthetic(rng, 20000, 2, 5, 0.05)
+	s, err := Build(ds.Rows, 2, Config{Coefficients: 64, Resolution: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kept() > 64 {
+		t.Fatalf("kept %d coefficients, budget 64", s.Kept())
+	}
+	space := query.NewRange(ds.Rows[0], ds.Rows[0])
+	for _, r := range ds.Rows[1:] {
+		space.ExpandToInclude(r)
+	}
+	trueSel := func(q query.Range) float64 {
+		in := 0
+		for _, r := range ds.Rows {
+			if q.Contains(r) {
+				in++
+			}
+		}
+		return float64(in) / float64(len(ds.Rows))
+	}
+	var errW, errU float64
+	const tests = 60
+	for i := 0; i < tests; i++ {
+		c := ds.Rows[rng.Intn(len(ds.Rows))]
+		w := 0.05 + rng.Float64()*0.2
+		q := query.NewRange([]float64{c[0] - w, c[1] - w}, []float64{c[0] + w, c[1] + w})
+		actual := trueSel(q)
+		est, err := s.Selectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter, _ := q.Intersect(space)
+		errW += math.Abs(est - actual)
+		errU += math.Abs(inter.Volume()/space.Volume() - actual)
+	}
+	if errW > errU*0.7 {
+		t.Errorf("wavelet error %.4f should beat uniform %.4f", errW/tests, errU/tests)
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, 500)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	s, err := Build(rows, 3, Config{Coefficients: 32, Resolution: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		lo := []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2, rng.NormFloat64() * 2}
+		hi := []float64{lo[0] + rng.Float64()*3, lo[1] + rng.Float64()*3, lo[2] + rng.Float64()*3}
+		sel, err := s.Selectivity(query.Range{Lo: lo, Hi: hi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel < 0 || sel > 1 || math.IsNaN(sel) {
+			t.Fatalf("selectivity = %g", sel)
+		}
+	}
+	if _, err := s.Selectivity(query.NewRange([]float64{0}, []float64{1})); err == nil {
+		t.Error("dim mismatch should be rejected")
+	}
+}

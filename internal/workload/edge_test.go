@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/table"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.target() != 0.01 || c.tolerance() != 0.2 || c.maxProbes() != 32 {
+		t.Errorf("defaults = %g/%g/%d", c.target(), c.tolerance(), c.maxProbes())
+	}
+	c = Config{Target: 0.05, Tolerance: 0.1, MaxProbes: 8}
+	if c.target() != 0.05 || c.tolerance() != 0.1 || c.maxProbes() != 8 {
+		t.Error("overrides ignored")
+	}
+}
+
+// A selectivity target that no query can reach (target > 1 is clamped by
+// the maximal query) must terminate with the maximal query rather than
+// loop.
+func TestUnreachableSelectivityTarget(t *testing.T) {
+	tab, _ := table.New(1)
+	for i := 0; i < 50; i++ {
+		_ = tab.Insert([]float64{float64(i)})
+	}
+	rng := rand.New(rand.NewSource(1))
+	qs, err := Generate(tab, DT, 5, Config{Target: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		sel, _ := tab.Selectivity(q)
+		if sel < 0.99 {
+			t.Errorf("unreachable target should yield the maximal query, got sel %g", sel)
+		}
+	}
+}
+
+// Custom targets are honored.
+func TestCustomVolumeTarget(t *testing.T) {
+	tab, _ := table.New(2)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		_ = tab.Insert([]float64{rng.Float64(), rng.Float64()})
+	}
+	qs, err := Generate(tab, UV, 10, Config{Target: 0.04}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, _ := tab.Bounds()
+	for _, q := range qs {
+		ratio := q.Volume() / bounds.Volume()
+		if ratio < 0.039 || ratio > 0.041 {
+			t.Errorf("volume fraction = %g, want 0.04", ratio)
+		}
+	}
+}
+
+// Degenerate single-point table: volume queries still come back valid.
+func TestSinglePointTable(t *testing.T) {
+	tab, _ := table.New(2)
+	_ = tab.Insert([]float64{1, 1})
+	rng := rand.New(rand.NewSource(3))
+	qs, err := Generate(tab, DV, 3, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEvolvingConfigDefaults(t *testing.T) {
+	cfg := EvolvingConfig{}.withDefaults()
+	if cfg.Dims != 5 || cfg.InitialClusters != 3 || cfg.InitialTuples != 4500 ||
+		cfg.Cycles != 10 || cfg.TuplesPerCluster != 1500 || cfg.ClusterStd <= 0 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+// Zero-extent dimensions must still get positive-width query intervals.
+func TestDegenerateDimensionGetsWidth(t *testing.T) {
+	tab, _ := table.New(2)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		_ = tab.Insert([]float64{rng.Float64(), 7}) // constant second dim
+	}
+	for _, kind := range Kinds() {
+		qs, err := Generate(tab, kind, 5, Config{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			if q.Width(1) <= 0 {
+				t.Fatalf("%v: zero-width interval on degenerate dimension", kind)
+			}
+			sel, _ := tab.Selectivity(q)
+			if kind == DT && sel == 0 {
+				t.Errorf("%v: data-centered query is empty", kind)
+			}
+		}
+	}
+}

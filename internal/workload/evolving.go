@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kdesel/internal/query"
+)
+
+// EvolvingConfig describes the §6.5 changing-data workload: an archive-like
+// database where new clusters appear, old clusters are deleted, and queries
+// favor recent data. Zero values select the paper's parameters.
+type EvolvingConfig struct {
+	// Dims is the dimensionality (paper: 5 and 8).
+	Dims int
+	// InitialClusters is the number of clusters loaded up front (paper: 3).
+	InitialClusters int
+	// InitialTuples is the number of tuples loaded up front, spread evenly
+	// over the initial clusters (paper: 4500).
+	InitialTuples int
+	// Cycles is the number of insert/delete cycles (paper: 10).
+	Cycles int
+	// TuplesPerCluster is the size of each newly created cluster
+	// (paper: 1500).
+	TuplesPerCluster int
+	// QueriesPerCycle is the number of interleaved queries per cycle.
+	QueriesPerCycle int
+	// ClusterStd is the per-dimension standard deviation of a cluster.
+	ClusterStd float64
+}
+
+func (c EvolvingConfig) withDefaults() EvolvingConfig {
+	if c.Dims <= 0 {
+		c.Dims = 5
+	}
+	if c.InitialClusters <= 0 {
+		c.InitialClusters = 3
+	}
+	if c.InitialTuples <= 0 {
+		c.InitialTuples = 4500
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 10
+	}
+	if c.TuplesPerCluster <= 0 {
+		c.TuplesPerCluster = 1500
+	}
+	if c.QueriesPerCycle <= 0 {
+		c.QueriesPerCycle = 60
+	}
+	if c.ClusterStd <= 0 {
+		c.ClusterStd = 0.03
+	}
+	return c
+}
+
+// OpKind tags one step of the evolving workload.
+type OpKind int
+
+const (
+	// OpInsert inserts Row into the table.
+	OpInsert OpKind = iota
+	// OpDeleteRegion deletes every tuple inside Region (archiving an old
+	// cluster).
+	OpDeleteRegion
+	// OpQuery runs the range query Query and feeds the result back to the
+	// estimators under test.
+	OpQuery
+)
+
+// Op is one step of the evolving workload.
+type Op struct {
+	Kind   OpKind
+	Row    []float64
+	Region query.Range
+	Query  query.Range
+}
+
+// Evolving is a fully materialized §6.5 workload: an initial load followed
+// by an operation stream.
+type Evolving struct {
+	Config  EvolvingConfig
+	Initial [][]float64
+	Ops     []Op
+}
+
+// NewEvolving generates the workload deterministically from a seed.
+func NewEvolving(cfg EvolvingConfig, seed int64) (*Evolving, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dims < 1 {
+		return nil, fmt.Errorf("workload: invalid dimensionality %d", cfg.Dims)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ev := &Evolving{Config: cfg}
+
+	newCenter := func() []float64 {
+		c := make([]float64, cfg.Dims)
+		for j := range c {
+			// Keep cluster cores away from the unit-cube boundary.
+			c[j] = 0.15 + rng.Float64()*0.7
+		}
+		return c
+	}
+	point := func(center []float64) []float64 {
+		p := make([]float64, cfg.Dims)
+		for j := range p {
+			p[j] = center[j] + rng.NormFloat64()*cfg.ClusterStd
+		}
+		return p
+	}
+	clusterBox := func(center []float64, sigmas float64) query.Range {
+		lo := make([]float64, cfg.Dims)
+		hi := make([]float64, cfg.Dims)
+		for j := range lo {
+			lo[j] = center[j] - sigmas*cfg.ClusterStd
+			hi[j] = center[j] + sigmas*cfg.ClusterStd
+		}
+		return query.Range{Lo: lo, Hi: hi}
+	}
+
+	// Alive clusters, oldest first.
+	var alive [][]float64
+	for c := 0; c < cfg.InitialClusters; c++ {
+		alive = append(alive, newCenter())
+	}
+	perCluster := cfg.InitialTuples / cfg.InitialClusters
+	for c := 0; c < cfg.InitialClusters; c++ {
+		for i := 0; i < perCluster; i++ {
+			ev.Initial = append(ev.Initial, point(alive[c]))
+		}
+	}
+
+	// Recency-biased query: newer clusters are queried more often (§6.5).
+	queryOp := func() Op {
+		weights := make([]float64, len(alive))
+		total := 0.0
+		for i := range alive {
+			w := float64(i+1) * float64(i+1)
+			weights[i] = w
+			total += w
+		}
+		pick := rng.Float64() * total
+		idx := 0
+		for i, w := range weights {
+			if pick < w {
+				idx = i
+				break
+			}
+			pick -= w
+		}
+		center := point(alive[idx])
+		sigmas := 1.5 + rng.Float64()*2
+		return Op{Kind: OpQuery, Query: clusterBox(center, sigmas)}
+	}
+
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		fresh := newCenter()
+		alive = append(alive, fresh)
+		queriesDuringInserts := cfg.QueriesPerCycle / 2
+		insertsPerQuery := cfg.TuplesPerCluster / max(1, queriesDuringInserts)
+		inserted := 0
+		for inserted < cfg.TuplesPerCluster {
+			for k := 0; k < insertsPerQuery && inserted < cfg.TuplesPerCluster; k++ {
+				ev.Ops = append(ev.Ops, Op{Kind: OpInsert, Row: point(fresh)})
+				inserted++
+			}
+			ev.Ops = append(ev.Ops, queryOp())
+		}
+		// Archive the oldest cluster.
+		oldest := alive[0]
+		alive = alive[1:]
+		ev.Ops = append(ev.Ops, Op{Kind: OpDeleteRegion, Region: clusterBox(oldest, 6)})
+		for q := 0; q < cfg.QueriesPerCycle-queriesDuringInserts; q++ {
+			ev.Ops = append(ev.Ops, queryOp())
+		}
+	}
+	return ev, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

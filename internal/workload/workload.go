@@ -1,0 +1,228 @@
+// Package workload generates the query workloads of paper §6.1.3 following
+// the methodology of [7]: a workload is a distribution of query centers
+// (data-driven or uniform) combined with a target measure (selectivity or
+// volume). The four combinations are:
+//
+//	DT — data centers, target selectivity (well-defined user queries)
+//	DV — data centers, target volume (explorative queries)
+//	UT — uniform centers, target selectivity (diverse volumes)
+//	UV — uniform centers, target volume (mostly empty queries)
+//
+// It also provides the evolving insert/delete/query workload of §6.5.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kdesel/internal/query"
+	"kdesel/internal/table"
+)
+
+// Kind identifies one of the four §6.1.3 workload classes.
+type Kind int
+
+const (
+	// DT draws centers from the data and targets a fixed selectivity.
+	DT Kind = iota
+	// DV draws centers from the data and targets a fixed volume.
+	DV
+	// UT draws centers uniformly and targets a fixed selectivity.
+	UT
+	// UV draws centers uniformly and targets a fixed volume.
+	UV
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case DT:
+		return "DT"
+	case DV:
+		return "DV"
+	case UT:
+		return "UT"
+	case UV:
+		return "UV"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all workload classes in evaluation order.
+func Kinds() []Kind { return []Kind{DT, DV, UT, UV} }
+
+// ByName resolves "DT"/"DV"/"UT"/"UV" (case-sensitive).
+func ByName(name string) (Kind, bool) {
+	for _, k := range Kinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Config tunes workload generation. The zero value uses the paper's
+// settings: 1% target selectivity or 1% target volume.
+type Config struct {
+	// Target is the target selectivity (DT/UT) or the target volume as a
+	// fraction of the data space (DV/UV). Default 0.01.
+	Target float64
+	// Tolerance is the acceptable relative deviation from a selectivity
+	// target (default 0.2); volume targets are exact by construction.
+	Tolerance float64
+	// MaxProbes bounds the bisection steps per selectivity-targeted query
+	// (default 32).
+	MaxProbes int
+}
+
+func (c Config) target() float64 {
+	if c.Target > 0 {
+		return c.Target
+	}
+	return 0.01
+}
+
+func (c Config) tolerance() float64 {
+	if c.Tolerance > 0 {
+		return c.Tolerance
+	}
+	return 0.2
+}
+
+func (c Config) maxProbes() int {
+	if c.MaxProbes > 0 {
+		return c.MaxProbes
+	}
+	return 32
+}
+
+// Generate produces n queries of the given kind over the table's current
+// contents. Selectivity-targeted kinds size each query by bisection against
+// the exact selectivity; volume-targeted kinds scale each dimension's
+// extent by target^(1/d).
+func Generate(tab *table.Table, kind Kind, n int, cfg Config, rng *rand.Rand) ([]query.Range, error) {
+	if tab == nil || tab.Len() == 0 {
+		return nil, errors.New("workload: need a non-empty table")
+	}
+	if rng == nil {
+		return nil, errors.New("workload: nil random source")
+	}
+	bounds, _ := tab.Bounds()
+	d := tab.Dims()
+	out := make([]query.Range, 0, n)
+	for len(out) < n {
+		center := make([]float64, d)
+		switch kind {
+		case DT, DV:
+			copy(center, tab.Row(rng.Intn(tab.Len())))
+		case UT, UV:
+			for j := 0; j < d; j++ {
+				center[j] = bounds.Lo[j] + rng.Float64()*(bounds.Hi[j]-bounds.Lo[j])
+			}
+		default:
+			return nil, fmt.Errorf("workload: unknown kind %d", int(kind))
+		}
+		var q query.Range
+		var err error
+		switch kind {
+		case DV, UV:
+			q = volumeQuery(center, bounds, cfg.target())
+		case DT, UT:
+			q, err = selectivityQuery(tab, center, bounds, cfg, rng)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// halfWidth is the per-dimension half-extent of a query at scale w. A
+// degenerate dimension (zero data extent) gets a fixed half-width of 0.5 so
+// queries still have positive width there — zero-width intervals carry no
+// probability mass for any continuous estimator.
+func halfWidth(bounds query.Range, j int, w float64) float64 {
+	if ext := bounds.Width(j); ext > 0 {
+		return ext * w / 2
+	}
+	return 0.5
+}
+
+// volumeQuery builds a box around center covering the target fraction of
+// the data-space volume, scaling each dimension's extent uniformly.
+func volumeQuery(center []float64, bounds query.Range, target float64) query.Range {
+	d := len(center)
+	scale := math.Pow(target, 1/float64(d))
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for j := 0; j < d; j++ {
+		half := halfWidth(bounds, j, scale)
+		lo[j] = center[j] - half
+		hi[j] = center[j] + half
+	}
+	return query.Range{Lo: lo, Hi: hi}
+}
+
+// selectivityQuery bisects the per-dimension scale until the query's exact
+// selectivity is within tolerance of the target. Selectivity grows
+// monotonically with the scale, so bisection converges; centers whose
+// maximal query cannot reach the target (deep in empty space) settle at the
+// largest scale.
+func selectivityQuery(tab *table.Table, center []float64, bounds query.Range, cfg Config, rng *rand.Rand) (query.Range, error) {
+	target := cfg.target()
+	build := func(w float64) query.Range {
+		d := len(center)
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			half := halfWidth(bounds, j, w)
+			lo[j] = center[j] - half
+			hi[j] = center[j] + half
+		}
+		return query.Range{Lo: lo, Hi: hi}
+	}
+	loW, hiW := 0.0, 2.0
+	q := build(hiW)
+	sel, err := tab.Selectivity(q)
+	if err != nil {
+		return query.Range{}, err
+	}
+	if sel < target {
+		return q, nil // even the maximal query is under target
+	}
+	for probe := 0; probe < cfg.maxProbes(); probe++ {
+		mid := (loW + hiW) / 2
+		q = build(mid)
+		sel, err = tab.Selectivity(q)
+		if err != nil {
+			return query.Range{}, err
+		}
+		if math.Abs(sel-target) <= cfg.tolerance()*target {
+			return q, nil
+		}
+		if sel > target {
+			hiW = mid
+		} else {
+			loW = mid
+		}
+	}
+	return q, nil
+}
+
+// TrueSelectivities evaluates the exact selectivity of each query,
+// producing the feedback records the estimators train and score on.
+func TrueSelectivities(tab *table.Table, qs []query.Range) ([]query.Feedback, error) {
+	out := make([]query.Feedback, len(qs))
+	for i, q := range qs {
+		sel, err := tab.Selectivity(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = query.Feedback{Query: q, Actual: sel}
+	}
+	return out, nil
+}

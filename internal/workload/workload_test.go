@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/datagen"
+	"kdesel/internal/query"
+	"kdesel/internal/table"
+)
+
+func clusteredTable(t *testing.T, n, d int, seed int64) *table.Table {
+	t.Helper()
+	ds := datagen.Synthetic(rand.New(rand.NewSource(seed)), n, d, 4, 0.1)
+	tab, err := table.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.InsertMany(ds.Rows); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{DT: "DT", DV: "DV", UT: "UT", UV: "UV"}
+	for k, s := range names {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+		got, ok := ByName(s)
+		if !ok || got != k {
+			t.Errorf("ByName(%q) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := ByName("XX"); ok {
+		t.Error("unknown kind should not resolve")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tab := clusteredTable(t, 100, 2, 1)
+	if _, err := Generate(nil, DT, 5, Config{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("nil table should be rejected")
+	}
+	if _, err := Generate(tab, DT, 5, Config{}, nil); err == nil {
+		t.Error("nil rng should be rejected")
+	}
+	if _, err := Generate(tab, Kind(9), 5, Config{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("unknown kind should be rejected")
+	}
+	empty, _ := table.New(2)
+	if _, err := Generate(empty, DT, 5, Config{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty table should be rejected")
+	}
+}
+
+func TestSelectivityTargetsHit(t *testing.T) {
+	tab := clusteredTable(t, 5000, 3, 2)
+	rng := rand.New(rand.NewSource(3))
+	qs, err := Generate(tab, DT, 40, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := 0
+	for _, q := range qs {
+		sel, _ := tab.Selectivity(q)
+		if sel >= 0.005 && sel <= 0.02 { // 1% ± tolerance window
+			hit++
+		}
+	}
+	// Data-centered queries can essentially always reach 1% on clustered
+	// data; allow a few stragglers.
+	if hit < 35 {
+		t.Errorf("only %d/40 DT queries near the 1%% target", hit)
+	}
+}
+
+func TestVolumeTargetsExact(t *testing.T) {
+	tab := clusteredTable(t, 2000, 3, 4)
+	bounds, _ := tab.Bounds()
+	spaceVol := bounds.Volume()
+	rng := rand.New(rand.NewSource(5))
+	for _, kind := range []Kind{DV, UV} {
+		qs, err := Generate(tab, kind, 20, Config{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			ratio := q.Volume() / spaceVol
+			if math.Abs(ratio-0.01) > 1e-9 {
+				t.Errorf("%v: volume fraction = %g, want 0.01", kind, ratio)
+			}
+		}
+	}
+}
+
+func TestUVMostlyEmptyOnClusteredData(t *testing.T) {
+	tab := clusteredTable(t, 5000, 8, 6)
+	rng := rand.New(rand.NewSource(7))
+	qs, err := Generate(tab, UV, 50, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sels := make([]float64, len(qs))
+	for i, q := range qs {
+		sels[i], _ = tab.Selectivity(q)
+	}
+	// The paper characterizes UV as mostly (near-)empty queries: uniform
+	// centers rarely land on clusters, so the typical selectivity sits far
+	// below what uniform data would yield (1% of tuples for 1% volume).
+	low := 0
+	for _, s := range sels {
+		if s < 0.005 {
+			low++
+		}
+	}
+	if low < 30 {
+		t.Errorf("only %d/50 UV queries below half the uniform selectivity", low)
+	}
+}
+
+func TestUTCentersSpreadUniformly(t *testing.T) {
+	tab := clusteredTable(t, 3000, 2, 8)
+	rng := rand.New(rand.NewSource(9))
+	qs, err := Generate(tab, UT, 60, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, _ := tab.Bounds()
+	// Centers should cover both halves of the space in each dimension.
+	for j := 0; j < 2; j++ {
+		mid := (bounds.Lo[j] + bounds.Hi[j]) / 2
+		low := 0
+		for _, q := range qs {
+			if (q.Lo[j]+q.Hi[j])/2 < mid {
+				low++
+			}
+		}
+		if low < 10 || low > 50 {
+			t.Errorf("dim %d: %d/60 centers in lower half; uniform spread expected", j, low)
+		}
+	}
+}
+
+func TestTrueSelectivities(t *testing.T) {
+	tab := clusteredTable(t, 500, 2, 10)
+	qs, _ := Generate(tab, DV, 10, Config{}, rand.New(rand.NewSource(11)))
+	fbs, err := TrueSelectivities(tab, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fb := range fbs {
+		want, _ := tab.Selectivity(fb.Query)
+		if fb.Actual != want {
+			t.Errorf("feedback %d: %g != %g", i, fb.Actual, want)
+		}
+	}
+}
+
+func TestEvolvingStructure(t *testing.T) {
+	ev, err := NewEvolving(EvolvingConfig{Dims: 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ev.Config
+	if len(ev.Initial) != cfg.InitialTuples/cfg.InitialClusters*cfg.InitialClusters {
+		t.Errorf("initial load = %d", len(ev.Initial))
+	}
+	inserts, deletes, queries := 0, 0, 0
+	for _, op := range ev.Ops {
+		switch op.Kind {
+		case OpInsert:
+			inserts++
+			if len(op.Row) != 5 {
+				t.Fatal("insert row has wrong arity")
+			}
+		case OpDeleteRegion:
+			deletes++
+			if err := op.Region.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		case OpQuery:
+			queries++
+			if err := op.Query.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if inserts != cfg.Cycles*cfg.TuplesPerCluster {
+		t.Errorf("inserts = %d, want %d", inserts, cfg.Cycles*cfg.TuplesPerCluster)
+	}
+	if deletes != cfg.Cycles {
+		t.Errorf("deletes = %d, want %d", deletes, cfg.Cycles)
+	}
+	if queries < cfg.Cycles*cfg.QueriesPerCycle/2 {
+		t.Errorf("queries = %d, too few", queries)
+	}
+}
+
+func TestEvolvingKeepsPopulationStable(t *testing.T) {
+	// Applying the whole stream to a table should cycle the population:
+	// each cycle adds one cluster and removes one.
+	ev, _ := NewEvolving(EvolvingConfig{Dims: 3, QueriesPerCycle: 4}, 2)
+	tab, _ := table.New(3)
+	for _, row := range ev.Initial {
+		if err := tab.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := tab.Len()
+	for _, op := range ev.Ops {
+		switch op.Kind {
+		case OpInsert:
+			if err := tab.Insert(op.Row); err != nil {
+				t.Fatal(err)
+			}
+		case OpDeleteRegion:
+			if _, err := tab.DeleteWhere(op.Region); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	end := tab.Len()
+	// Clusters are equal-sized (initial per-cluster 1500 = inserted 1500),
+	// so the population should stay within a cluster of the start.
+	if math.Abs(float64(end-start)) > float64(ev.Config.TuplesPerCluster) {
+		t.Errorf("population drifted %d -> %d", start, end)
+	}
+}
+
+func TestEvolvingDeterministicBySeed(t *testing.T) {
+	a, _ := NewEvolving(EvolvingConfig{Dims: 4}, 7)
+	b, _ := NewEvolving(EvolvingConfig{Dims: 4}, 7)
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatal("op streams differ in length across identical seeds")
+	}
+	for i := range a.Ops {
+		if a.Ops[i].Kind != b.Ops[i].Kind {
+			t.Fatalf("op %d kind differs", i)
+		}
+	}
+	var aq, bq query.Range
+	for _, op := range a.Ops {
+		if op.Kind == OpQuery {
+			aq = op.Query
+			break
+		}
+	}
+	for _, op := range b.Ops {
+		if op.Kind == OpQuery {
+			bq = op.Query
+			break
+		}
+	}
+	if !aq.Equal(bq) {
+		t.Error("first query differs across identical seeds")
+	}
+}

@@ -1,0 +1,109 @@
+// Package kdesel is a self-tuning, (simulated-)GPU-accelerated kernel
+// density estimator for multidimensional range selectivity estimation — a
+// from-scratch Go reproduction of Heimel, Kiefer & Markl, "Self-Tuning,
+// GPU-Accelerated Kernel Density Models for Multidimensional Selectivity
+// Estimation" (SIGMOD 2015).
+//
+// The package is a thin facade over the implementation packages under
+// internal/; it re-exports everything a downstream user needs:
+//
+//	tab, _ := kdesel.NewTable(2)
+//	// ... load rows ...
+//	est, _ := kdesel.Build(tab, kdesel.Config{Mode: kdesel.Adaptive})
+//	sel, _ := est.Estimate(kdesel.NewRange([]float64{0, 0}, []float64{1, 1}))
+//	// ... run the query, observe the true selectivity ...
+//	_ = est.Feedback(q, actual)
+//
+// See README.md for a walkthrough and DESIGN.md for the architecture and
+// the per-experiment index.
+package kdesel
+
+import (
+	"io"
+	"math/rand"
+
+	"kdesel/internal/core"
+	"kdesel/internal/gpu"
+	"kdesel/internal/join"
+	"kdesel/internal/kde"
+	"kdesel/internal/query"
+	"kdesel/internal/table"
+)
+
+// Mode selects the bandwidth strategy of an estimator.
+type Mode = core.Mode
+
+// The four estimator modes of the paper's evaluation (§6.1.1).
+const (
+	// Heuristic keeps the Scott's-rule bandwidth.
+	Heuristic = core.Heuristic
+	// SCV selects the bandwidth by smoothed cross-validation.
+	SCV = core.SCV
+	// Batch optimizes the bandwidth over training feedback (§3).
+	Batch = core.Batch
+	// Adaptive continuously tunes bandwidth and sample from feedback (§4).
+	Adaptive = core.Adaptive
+)
+
+// Config assembles an estimator; see core.Config for all fields.
+type Config = core.Config
+
+// Estimator is the self-tuning KDE selectivity estimator.
+type Estimator = core.Estimator
+
+// Table is the in-memory relation estimators are built over.
+type Table = table.Table
+
+// Range is a hyper-rectangular range predicate.
+type Range = query.Range
+
+// Feedback pairs a query with its observed true selectivity.
+type Feedback = query.Feedback
+
+// Device is a simulated compute device for GPU-accelerated estimation.
+type Device = gpu.Device
+
+// DeviceProfile describes a simulated device's performance characteristics.
+type DeviceProfile = gpu.Profile
+
+// NewTable returns an empty relation with d real-valued attributes.
+func NewTable(d int) (*Table, error) { return table.New(d) }
+
+// NewRange builds a range query from copied bounds.
+func NewRange(lo, hi []float64) Range { return query.NewRange(lo, hi) }
+
+// Build constructs an estimator over a table (the ANALYZE step).
+func Build(tab *Table, cfg Config) (*Estimator, error) { return core.Build(tab, cfg) }
+
+// NewDevice creates a simulated device from a profile.
+func NewDevice(p DeviceProfile) (*Device, error) { return gpu.NewDevice(p) }
+
+// GPUProfile is the paper's mid-range discrete GPU (NVIDIA GTX 460).
+func GPUProfile() DeviceProfile { return gpu.GTX460() }
+
+// CPUProfile is the paper's quad-core host CPU driven through OpenCL.
+func CPUProfile() DeviceProfile { return gpu.XeonE5620() }
+
+// Load reconstructs an estimator previously serialized with
+// Estimator.Save, bound to tab and optionally placed on dev.
+func Load(r io.Reader, tab *Table, dev *Device) (*Estimator, error) {
+	return core.Load(r, tab, dev)
+}
+
+// JoinEstimator answers range queries over the combined attribute space of
+// a key–foreign-key join (paper future work §8).
+type JoinEstimator = join.Estimator
+
+// BuildJoinEstimator samples the fkTab ⋈ pkTab join result (fkTab's column
+// fkCol references pkTab's unique column pkCol) and fits a KDE over the
+// combined attributes.
+func BuildJoinEstimator(fkTab, pkTab *Table, fkCol, pkCol, sampleSize int, rng *rand.Rand) (*JoinEstimator, error) {
+	return join.BuildEstimator(fkTab, pkTab, fkCol, pkCol, sampleSize, rng)
+}
+
+// BandJoinSelectivity estimates the selectivity of the band join
+// |R.a − S.b| ≤ eps over R × S from two Gaussian KDE models, using the
+// closed-form joint integral (paper future work §8).
+func BandJoinSelectivity(r, s *kde.Estimator, aCol, bCol int, eps float64) (float64, error) {
+	return join.BandSelectivity(r, s, aCol, bCol, eps)
+}

@@ -1,0 +1,136 @@
+package kdesel_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as README.md's
+// quickstart describes: load, build, estimate, feed back.
+func TestFacadeEndToEnd(t *testing.T) {
+	tab, err := kdesel.NewTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		c := float64(rng.Intn(2)) * 4
+		if err := tab.Insert([]float64{c + rng.NormFloat64()*0.3, c + rng.NormFloat64()*0.3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := kdesel.Build(tab, kdesel.Config{Mode: kdesel.Adaptive, SampleSize: 256, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := kdesel.NewRange([]float64{-1, -1}, []float64{1, 1})
+	before, err := est.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual, _ := tab.Selectivity(q)
+
+	// Drive the self-tuning loop: estimate, execute, feed back.
+	for i := 0; i < 300; i++ {
+		row := tab.Row(rng.Intn(tab.Len()))
+		w := 0.5 + rng.Float64()*1.5
+		fq := kdesel.NewRange(
+			[]float64{row[0] - w, row[1] - w},
+			[]float64{row[0] + w, row[1] + w},
+		)
+		if _, err := est.Estimate(fq); err != nil {
+			t.Fatal(err)
+		}
+		fa, _ := tab.Selectivity(fq)
+		if err := est.Feedback(fq, fa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := est.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after-actual) > math.Abs(before-actual) {
+		t.Errorf("feedback made the estimate worse: |%g-%g| -> |%g-%g|",
+			before, actual, after, actual)
+	}
+	if math.Abs(after-actual) > 0.15 {
+		t.Errorf("trained estimate %g vs actual %g", after, actual)
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	tab, _ := kdesel.NewTable(1)
+	for i := 0; i < 200; i++ {
+		_ = tab.Insert([]float64{float64(i % 50)})
+	}
+	est, err := kdesel.Build(tab, kdesel.Config{SampleSize: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := kdesel.Load(&buf, tab, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := kdesel.NewRange([]float64{10}, []float64{30})
+	a, _ := est.Estimate(q)
+	b, _ := loaded.Estimate(q)
+	if a != b {
+		t.Errorf("loaded model diverges: %g vs %g", a, b)
+	}
+}
+
+func TestFacadeJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pk, _ := kdesel.NewTable(1)
+	for i := 0; i < 50; i++ {
+		_ = pk.Insert([]float64{float64(i)})
+	}
+	fk, _ := kdesel.NewTable(1)
+	for i := 0; i < 500; i++ {
+		_ = fk.Insert([]float64{float64(rng.Intn(50))})
+	}
+	je, err := kdesel.BuildJoinEstimator(fk, pk, 0, 0, 128, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := je.Selectivity(kdesel.NewRange([]float64{-1000, -1000}, []float64{1000, 1000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sel-1) > 0.05 {
+		t.Errorf("whole-space join selectivity = %g, want ~1", sel)
+	}
+}
+
+func TestFacadeDevice(t *testing.T) {
+	dev, err := kdesel.NewDevice(kdesel.GPUProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := kdesel.NewTable(1)
+	for i := 0; i < 100; i++ {
+		_ = tab.Insert([]float64{float64(i)})
+	}
+	est, err := kdesel.Build(tab, kdesel.Config{Device: dev, SampleSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Estimate(kdesel.NewRange([]float64{10}, []float64{20})); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Clock() == 0 {
+		t.Error("device clock did not advance")
+	}
+	if kdesel.CPUProfile().Parallelism >= kdesel.GPUProfile().Parallelism {
+		t.Error("CPU profile should have less parallelism than GPU")
+	}
+}
