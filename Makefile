@@ -1,0 +1,24 @@
+# Developer entry points. `make verify` is the tier-1 gate every change must
+# pass; see .claude/skills/verify/SKILL.md for the full end-to-end recipe.
+
+GO ?= go
+
+.PHONY: verify build test race vet bench-parallel
+
+verify: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Micro-benchmarks for the host parallel runtime (see BENCH_PR1.json).
+bench-parallel:
+	$(GO) test -run TestNothing -bench 'BenchmarkObjective|BenchmarkKDEGradient' -benchmem -benchtime 5x .

@@ -6,6 +6,7 @@
 package kdesel_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -15,6 +16,7 @@ import (
 	"kdesel/internal/gpu"
 	"kdesel/internal/kde"
 	"kdesel/internal/loss"
+	"kdesel/internal/parallel"
 	"kdesel/internal/query"
 	"kdesel/internal/sample"
 	"kdesel/internal/stholes"
@@ -281,6 +283,66 @@ func BenchmarkKDEGradient(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := e.SelectivityGradient(qs[i%len(qs)], grad); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchObjectiveInputs builds the |S|=16K training setup the objective
+// benchmarks share: a Scott-rule bandwidth and 16 synthetic feedbacks.
+func benchObjectiveInputs(b *testing.B, d int) (flat, h []float64, fbs []query.Feedback) {
+	b.Helper()
+	const s = 16384
+	rng := rand.New(rand.NewSource(21))
+	flat = make([]float64, s*d)
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+	}
+	h = kde.ScottBandwidth(flat, d)
+	fbs = make([]query.Feedback, 16)
+	for i := range fbs {
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			c, w := rng.NormFloat64(), 0.2+rng.Float64()
+			lo[j], hi[j] = c-w, c+w
+		}
+		fbs[i] = query.Feedback{Query: query.Range{Lo: lo, Hi: hi}, Actual: rng.Float64() * 0.3}
+	}
+	return flat, h, fbs
+}
+
+// BenchmarkObjective measures one value+gradient evaluation of the batch
+// bandwidth-optimization objective using the query-at-a-time baseline: each
+// feedback query traverses the full 16K-point sample on its own.
+func BenchmarkObjective(b *testing.B) {
+	for _, d := range []int{4, 8} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			flat, h, fbs := benchObjectiveInputs(b, d)
+			obj := kde.Objective(flat, d, nil, fbs, loss.Quadratic{})
+			grad := make([]float64, d)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				obj(h, grad)
+			}
+		})
+	}
+}
+
+// BenchmarkObjectiveBatch measures the same evaluation through the batched
+// single-traversal objective at several worker-pool sizes (results are
+// bit-identical to BenchmarkObjective's at every setting).
+func BenchmarkObjectiveBatch(b *testing.B) {
+	for _, d := range []int{4, 8} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("d=%d/workers=%d", d, w), func(b *testing.B) {
+				flat, h, fbs := benchObjectiveInputs(b, d)
+				obj := kde.ObjectiveBatch(flat, d, nil, fbs, loss.Quadratic{}, parallel.PoolFor(w))
+				grad := make([]float64, d)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					obj(h, grad)
+				}
+			})
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,12 +31,25 @@ func main() {
 		reps  = flag.Int("reps", 0, "override repetitions (0 = experiment default)")
 		ests  = flag.String("estimators", "", "comma-separated estimator subset for fig4/fig5 "+
 			"(STHoles, Heuristic, SCV, Batch, Adaptive, plus extras AVI, GenHist); empty = the paper's five")
+		workers = flag.String("workers", "", "comma-separated host worker counts for fig7's real "+
+			"wall-clock points (e.g. \"1,2,4,8\"; -1 = all CPUs); empty = simulated devices only")
 	)
 	flag.Parse()
 	var estimators []string
 	if *ests != "" {
 		for _, name := range strings.Split(*ests, ",") {
 			estimators = append(estimators, strings.TrimSpace(name))
+		}
+	}
+	var hostWorkers []int
+	if *workers != "" {
+		for _, field := range strings.Split(*workers, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kdebench: bad -workers entry %q: %v\n", field, err)
+				os.Exit(2)
+			}
+			hostWorkers = append(hostWorkers, w)
 		}
 	}
 
@@ -121,7 +135,7 @@ func main() {
 		return nil
 	}
 	runFig7 := func() error {
-		cfg := experiments.RuntimeConfig{Seed: *seed}
+		cfg := experiments.RuntimeConfig{Seed: *seed, HostWorkers: hostWorkers}
 		if *quick {
 			cfg.Sizes = []int{1024, 8192, 65536}
 			cfg.Queries = 25

@@ -35,6 +35,7 @@ func main() {
 		mode     = flag.String("mode", "batch", "heuristic | scv | batch | adaptive")
 		sampleN  = flag.Int("sample", 1024, "KDE sample size")
 		trainN   = flag.Int("train", 100, "self-generated training queries for batch mode")
+		workers  = flag.Int("workers", 0, "host execution parallelism: 0/1 = serial, n = n workers, -1 = all CPUs (results are identical for any setting)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		truth    = flag.Bool("truth", false, "also compute and print the exact selectivity")
 		savePath = flag.String("save", "", "save the fitted model to this file")
@@ -65,8 +66,9 @@ func main() {
 		if closeErr != nil {
 			fail("closing model: %v", closeErr)
 		}
+		est.SetWorkers(*workers)
 	} else {
-		cfg := kdesel.Config{SampleSize: *sampleN, Seed: *seed}
+		cfg := kdesel.Config{SampleSize: *sampleN, Seed: *seed, Workers: *workers}
 		switch *mode {
 		case "heuristic":
 			cfg.Mode = kdesel.Heuristic

@@ -21,6 +21,7 @@ import (
 	"kdesel/internal/kernel"
 	"kdesel/internal/loss"
 	"kdesel/internal/optimize"
+	"kdesel/internal/parallel"
 	"kdesel/internal/query"
 )
 
@@ -298,6 +299,12 @@ type OptimalConfig struct {
 	GlobalLocalIterations int
 	// Rand seeds the global phase; nil means deterministic default.
 	Rand *rand.Rand
+	// Workers sets the host parallelism of the objective evaluations: 0 or
+	// 1 run serially, n > 1 uses n workers, negative uses runtime.NumCPU().
+	// The selected bandwidth is bit-identical for every setting (see
+	// internal/parallel); the knob trades goroutines for wall-clock time
+	// only.
+	Workers int
 }
 
 func (c OptimalConfig) maxIterations() int {
@@ -362,7 +369,10 @@ func Optimal(data []float64, d int, fbs []query.Feedback, cfg OptimalConfig) ([]
 		}
 	}
 
-	base := kde.Objective(data, d, cfg.kernel(), fbs, cfg.loss())
+	// The batched objective walks the sample once per evaluation for all
+	// training feedbacks (and fans the walk out over cfg.Workers); it is
+	// bit-identical to the query-at-a-time kde.Objective.
+	base := kde.ObjectiveBatch(data, d, cfg.kernel(), fbs, cfg.loss(), parallel.PoolFor(cfg.Workers))
 	scott := Scott(data, d)
 	f := cfg.searchFactor()
 

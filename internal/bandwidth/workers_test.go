@@ -1,0 +1,53 @@
+package bandwidth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/query"
+)
+
+// TestOptimalWorkersInvariant runs the full batch optimization serially and
+// with a worker pool; because the parallel objective is bit-identical to the
+// serial one, the optimizer must follow exactly the same trajectory and
+// return exactly the same bandwidth.
+func TestOptimalWorkersInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rows := clusteredDataset(rng, 800)
+	data := make([]float64, 0, 96*2)
+	for _, r := range rows[:96] {
+		data = append(data, r...)
+	}
+	fbs := make([]query.Feedback, 30)
+	for i := range fbs {
+		c := rows[rng.Intn(len(rows))]
+		w := 0.5 + rng.Float64()
+		q := query.NewRange(
+			[]float64{c[0] - w, c[1] - w},
+			[]float64{c[0] + w, c[1] + w},
+		)
+		fbs[i] = query.Feedback{Query: q, Actual: trueSelectivity(rows, q)}
+	}
+	run := func(workers int) []float64 {
+		// Fresh equal-seeded Rand per run: the global phase consumes it.
+		h, err := Optimal(data, 2, fbs, OptimalConfig{
+			Rand:    rand.New(rand.NewSource(23)),
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	want := run(0)
+	for _, w := range []int{2, 4} {
+		got := run(w)
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Errorf("workers=%d: h[%d] = %x differs from serial %x",
+					w, j, math.Float64bits(got[j]), math.Float64bits(want[j]))
+			}
+		}
+	}
+}

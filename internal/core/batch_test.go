@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/learner"
+)
+
+// TestFeedbackBatchMatchesFeedback replays the same feedback log into two
+// identically-seeded adaptive estimators, one query at a time and in one
+// batch. With maintenance off and the batch aligned to the learner's
+// mini-batch boundary, every gradient is evaluated at the entry bandwidth on
+// both paths, so the resulting bandwidths must be bit-identical.
+func TestFeedbackBatchMatchesFeedback(t *testing.T) {
+	tab := buildClusteredTable(t, 600, 3)
+	rng := rand.New(rand.NewSource(4))
+	fbs := feedbackSet(t, tab, rng, 8, 1.5)
+
+	for _, workers := range []int{0, 3} {
+		cfg := Config{
+			Mode:               Adaptive,
+			SampleSize:         300,
+			Seed:               9,
+			Workers:            workers,
+			DisableMaintenance: true,
+			Learner:            learner.Config{BatchSize: len(fbs)},
+		}
+		serial, err := Build(tab, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched, err := Build(tab, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fb := range fbs {
+			if _, err := serial.Estimate(fb.Query); err != nil {
+				t.Fatal(err)
+			}
+			if err := serial.Feedback(fb.Query, fb.Actual); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := batched.FeedbackBatch(fbs); err != nil {
+			t.Fatal(err)
+		}
+		hs, hb := serial.Bandwidth(), batched.Bandwidth()
+		for j := range hs {
+			if math.Float64bits(hs[j]) != math.Float64bits(hb[j]) {
+				t.Errorf("workers=%d: bandwidth[%d] diverged: %g vs %g", workers, j, hs[j], hb[j])
+			}
+		}
+	}
+}
+
+// TestFeedbackBatchNonAdaptiveIsNoOp confirms the uniform-driver contract:
+// non-adaptive modes accept and ignore batched feedback.
+func TestFeedbackBatchNonAdaptiveIsNoOp(t *testing.T) {
+	tab := buildClusteredTable(t, 200, 5)
+	e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := e.Bandwidth()
+	fbs := feedbackSet(t, tab, rand.New(rand.NewSource(6)), 4, 1.5)
+	if err := e.FeedbackBatch(fbs); err != nil {
+		t.Fatal(err)
+	}
+	for j, h := range e.Bandwidth() {
+		if h != h0[j] {
+			t.Errorf("heuristic bandwidth changed on FeedbackBatch")
+		}
+	}
+}
+
+// TestSetWorkersAfterLoad exercises the runtime knob used by kdesel -load:
+// changing workers on a built estimator must not change results.
+func TestSetWorkersAfterLoad(t *testing.T) {
+	tab := buildClusteredTable(t, 400, 7)
+	e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dataQuery(tab, rand.New(rand.NewSource(8)), 2)
+	want, err := e.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, -1, 1, 0} {
+		e.SetWorkers(w)
+		got, err := e.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("workers=%d: estimate %g != %g", w, got, want)
+		}
+	}
+}

@@ -94,6 +94,14 @@ type Config struct {
 	BatchOptions bandwidth.OptimalConfig
 	// Seed drives all randomness (sampling, optimizer restarts).
 	Seed int64
+	// Workers sets the host execution parallelism of all KDE math —
+	// estimates, gradients, and batch bandwidth optimization: 0 or 1 run
+	// serially (the default spawns no goroutines), n > 1 uses n workers,
+	// and any negative value uses runtime.NumCPU(). Every setting produces
+	// bit-identical results (see internal/parallel), so the knob trades
+	// goroutines for latency only. It is ignored on the device path, where
+	// the simulated engine models its own parallelism.
+	Workers int
 }
 
 func (c Config) sampleSize() int {
@@ -206,6 +214,9 @@ func Build(tab *table.Table, cfg Config) (*Estimator, error) {
 		if opts.Rand == nil {
 			opts.Rand = rng
 		}
+		if opts.Workers == 0 {
+			opts.Workers = cfg.Workers
+		}
 		h, err = bandwidth.Optimal(flat, d, cfg.Training, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: batch bandwidth optimization: %w", err)
@@ -228,6 +239,7 @@ func Build(tab *table.Table, cfg Config) (*Estimator, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.host.SetWorkers(cfg.Workers)
 		if err := e.host.SetSampleFlat(flat); err != nil {
 			return nil, err
 		}
@@ -290,6 +302,16 @@ func (e *Estimator) SetBandwidth(h []float64) error {
 		return e.eng.SetBandwidth(h)
 	}
 	return e.host.SetBandwidth(h)
+}
+
+// SetWorkers adjusts the host execution parallelism at runtime (same
+// semantics as Config.Workers). Results are unaffected — only wall-clock
+// time changes. It is a no-op on the device path.
+func (e *Estimator) SetWorkers(n int) {
+	e.cfg.Workers = n
+	if e.host != nil {
+		e.host.SetWorkers(n)
+	}
 }
 
 // Device returns the simulated device, or nil for host execution.
@@ -378,6 +400,66 @@ func (e *Estimator) Feedback(q query.Range, actual float64) error {
 	return nil
 }
 
+// FeedbackBatch delivers the true selectivities of a whole batch of
+// executed queries at once — the bulk-training path for replaying a
+// feedback log. In Adaptive mode on the host, every loss gradient is
+// evaluated at the current bandwidth in a single (optionally parallel)
+// traversal of the sample shared by all queries (kde.GradientBatch), then
+// folded into the learner as one mini-batch sequence; when the batch size
+// divides the learner's mini-batch boundary the resulting bandwidth is
+// bit-identical to per-query Feedback. On the device path the engine
+// retains per-query state, so the batch is processed sequentially.
+//
+// Unlike Feedback, no karma sample maintenance runs: replayed feedback was
+// not necessarily estimated against the current sample, so punishing the
+// sample for queries it never served would be wrong. Non-adaptive modes
+// ignore the call.
+func (e *Estimator) FeedbackBatch(fbs []query.Feedback) error {
+	if e.cfg.Mode != Adaptive || len(fbs) == 0 {
+		return nil
+	}
+	h := e.Bandwidth()
+	var grads []float64
+	if e.eng != nil {
+		grads = make([]float64, len(fbs)*e.d)
+		for i, fb := range fbs {
+			est, g, err := e.eng.Gradient(fb.Query)
+			if err != nil {
+				return err
+			}
+			dl := e.lf.Deriv(est, fb.Actual)
+			for j, gj := range g {
+				grads[i*e.d+j] = gj * dl
+			}
+		}
+	} else {
+		qs := make([]query.Range, len(fbs))
+		for i, fb := range fbs {
+			qs[i] = fb.Query
+		}
+		ests := make([]float64, len(fbs))
+		grads = make([]float64, len(fbs)*e.d)
+		if err := e.host.GradientBatch(qs, ests, grads); err != nil {
+			return err
+		}
+		// ∇_H L = ∂L/∂p̂ · ∂p̂/∂H (eq. 14), per query.
+		for i, fb := range fbs {
+			dl := e.lf.Deriv(ests[i], fb.Actual)
+			g := grads[i*e.d : (i+1)*e.d]
+			for j := range g {
+				g[j] *= dl
+			}
+		}
+	}
+	updates, oerr := e.learn.ObserveBatch(grads, h)
+	if updates > 0 {
+		if err := e.SetBandwidth(h); err != nil {
+			return err
+		}
+	}
+	return oerr
+}
+
 // maintainSample performs the karma update and point replacements of §4.2.
 func (e *Estimator) maintainSample(q query.Range, actual float64) error {
 	if e.maintain {
@@ -435,6 +517,9 @@ func (e *Estimator) Reoptimize(fbs []query.Feedback) error {
 	}
 	if opts.Rand == nil {
 		opts.Rand = e.rng
+	}
+	if opts.Workers == 0 {
+		opts.Workers = e.cfg.Workers
 	}
 	h, err := bandwidth.Optimal(flat, e.d, fbs, opts)
 	if err != nil {

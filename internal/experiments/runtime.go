@@ -31,6 +31,13 @@ type RuntimeConfig struct {
 	Rows int
 	// Seed drives all randomness.
 	Seed int64
+	// HostWorkers, when non-empty, additionally measures the real host
+	// execution path (no simulated device) at each listed worker count.
+	// Unlike the simulated points, these report actual wall-clock
+	// nanoseconds on the machine running the experiment, so they surface
+	// the host parallel runtime's scaling rather than the paper's modeled
+	// hardware.
+	HostWorkers []int
 }
 
 func (c RuntimeConfig) withDefaults() RuntimeConfig {
@@ -59,9 +66,10 @@ func (c RuntimeConfig) withDefaults() RuntimeConfig {
 // of one estimator variant at one model size.
 type RuntimePoint struct {
 	Estimator string // "Heuristic", "Adaptive", "STHoles"
-	Device    string // "gpu", "cpu", or "seq" for the sequential STHoles
+	Device    string // "gpu", "cpu", "host" (wall clock), or "seq" for the sequential STHoles
 	Size      int
 	PerQuery  time.Duration
+	Workers   int // host-path worker count; 0 for simulated/sequential points
 }
 
 // RuntimeResult aggregates the Figure 7 sweep.
@@ -116,19 +124,50 @@ func Runtime(cfg RuntimeConfig) (*RuntimeResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			res.Points = append(res.Points, RuntimePoint{"Heuristic", p.label, size, heur})
+			res.Points = append(res.Points, RuntimePoint{"Heuristic", p.label, size, heur, 0})
 			adpt, err := measureAdaptive(tab, size, p.profile, cfg.Seed, fbs)
 			if err != nil {
 				return nil, err
 			}
-			res.Points = append(res.Points, RuntimePoint{"Adaptive", p.label, size, adpt})
+			res.Points = append(res.Points, RuntimePoint{"Adaptive", p.label, size, adpt, 0})
+		}
+		for _, w := range cfg.HostWorkers {
+			host, err := measureHostHeuristic(tab, size, cfg.Seed, fbs, w)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, RuntimePoint{"Heuristic", "host", size, host, w})
 		}
 		// STHoles at the same memory footprint, sequential estimation cost.
 		buckets := stholes.MaxBucketsForBudget(size*8*cfg.Dims, cfg.Dims)
 		per := time.Duration(buckets*cfg.Dims) * stholesPerBucketCostPerDim
-		res.Points = append(res.Points, RuntimePoint{"STHoles", "seq", size, per})
+		res.Points = append(res.Points, RuntimePoint{"STHoles", "seq", size, per, 0})
 	}
 	return res, nil
+}
+
+// measureHostHeuristic times the real (non-simulated) host execution path:
+// wall-clock per-query estimation cost with the host parallel runtime at
+// the given worker count.
+func measureHostHeuristic(tab *table.Table, size int, seed int64, fbs []query.Feedback, workers int) (time.Duration, error) {
+	est, err := core.Build(tab, core.Config{
+		Mode: core.Heuristic, SampleSize: size, Seed: seed, Workers: workers,
+	})
+	if err != nil {
+		return 0, err
+	}
+	// One warm-up pass primes scratch pools so the measurement reflects
+	// steady state.
+	if _, err := est.Estimate(fbs[0].Query); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for _, fb := range fbs {
+		if _, err := est.Estimate(fb.Query); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(len(fbs)), nil
 }
 
 func measureHeuristic(tab *table.Table, size int, profile gpu.Profile, seed int64, fbs []query.Feedback) (time.Duration, error) {
@@ -194,11 +233,17 @@ func latencyOnly(p gpu.Profile, from, to gpu.Stats) time.Duration {
 	return d
 }
 
-// WriteTable renders the sweep as the series of Figure 7.
+// WriteTable renders the sweep as the series of Figure 7. Host-path points
+// (real wall clock, see RuntimeConfig.HostWorkers) carry their worker
+// count in the dev column.
 func (r *RuntimeResult) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "# Estimator runtime overhead vs model size (%dD synthetic, UV workload)\n", r.Config.Dims)
-	fmt.Fprintf(w, "%-10s %-4s %10s %14s\n", "estimator", "dev", "size", "per-query")
+	fmt.Fprintf(w, "%-10s %-7s %10s %14s\n", "estimator", "dev", "size", "per-query")
 	for _, p := range r.Points {
-		fmt.Fprintf(w, "%-10s %-4s %10d %14s\n", p.Estimator, p.Device, p.Size, p.PerQuery)
+		dev := p.Device
+		if p.Workers > 0 {
+			dev = fmt.Sprintf("%s/%d", p.Device, p.Workers)
+		}
+		fmt.Fprintf(w, "%-10s %-7s %10d %14s\n", p.Estimator, dev, p.Size, p.PerQuery)
 	}
 }

@@ -14,9 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"kdesel/internal/kernel"
 	"kdesel/internal/loss"
+	"kdesel/internal/parallel"
 	"kdesel/internal/query"
 	"kdesel/internal/stats"
 )
@@ -27,15 +29,51 @@ import (
 const degenerateBandwidth = 1e-3
 
 // Estimator is a multivariate KDE model over a data sample with a diagonal
-// bandwidth matrix. It is a plain value holder plus math; concurrency
-// control, sample maintenance, and device offload live in higher layers.
+// bandwidth matrix. It is a plain value holder plus math; sample
+// maintenance and device offload live in higher layers. Its methods follow
+// the paper's §5 map+reduce decomposition over the sample: every estimate
+// and gradient is computed as fixed-size chunk partial sums combined in
+// chunk-index order (see internal/parallel), so results are bit-identical
+// whether the chunks run serially or on a worker pool of any size.
+//
+// The estimator itself is not safe for concurrent use (SetBandwidth and
+// the retained sample buffer are mutable); the pool-backed internals only
+// parallelize within a single call.
 type Estimator struct {
 	d     int
 	kern  kernel.Kernel
 	kerns []kernel.Kernel // optional per-dimension kernels (mixed data)
 	data  []float64       // row-major s×d
 	h     []float64
+
+	pool    *parallel.Pool      // nil = serial execution
+	scratch sync.Pool           // *gradScratch, one per concurrent worker
+	bufs    parallel.BufferPool // chunk partial-sum buffers
 }
+
+// gradScratch holds the per-worker working set of the gradient map of
+// eq. 17: per-dimension masses, mass gradients, and the suffix-product
+// array, plus a chunk-local gradient accumulator.
+type gradScratch struct {
+	masses []float64
+	mgrads []float64
+	suffix []float64
+	pgrad  []float64
+}
+
+func (e *Estimator) getScratch() *gradScratch {
+	if s, ok := e.scratch.Get().(*gradScratch); ok {
+		return s
+	}
+	return &gradScratch{
+		masses: make([]float64, e.d),
+		mgrads: make([]float64, e.d),
+		suffix: make([]float64, e.d+1),
+		pgrad:  make([]float64, e.d),
+	}
+}
+
+func (e *Estimator) putScratch(s *gradScratch) { e.scratch.Put(s) }
 
 // New returns an empty estimator for d-dimensional data using kernel k.
 // A nil kernel defaults to the Gaussian.
@@ -63,6 +101,21 @@ func (e *Estimator) Size() int {
 // Kernel returns the kernel function in use. When per-dimension kernels
 // are set, this is only the default for dimensions without an override.
 func (e *Estimator) Kernel() kernel.Kernel { return e.kern }
+
+// SetPool installs the worker pool used by Selectivity, Contributions,
+// SelectivityGradient, and the batch evaluators. A nil pool (the default)
+// runs everything serially without spawning goroutines. Because the chunk
+// grid and partial-sum combination order are fixed, results are
+// bit-identical for every pool size.
+func (e *Estimator) SetPool(p *parallel.Pool) { e.pool = p }
+
+// SetWorkers is a convenience wrapper over SetPool: 0 or 1 select serial
+// execution, n > 1 selects n workers, and negative values select
+// runtime.NumCPU() workers.
+func (e *Estimator) SetWorkers(n int) { e.pool = parallel.PoolFor(n) }
+
+// Workers returns the effective worker count (1 when serial).
+func (e *Estimator) Workers() int { return e.pool.Workers() }
 
 // SetDimensionKernels installs one kernel per dimension, enabling mixed
 // continuous/discrete models (future work §8): e.g. Gaussian kernels on
@@ -214,18 +267,42 @@ func (e *Estimator) PointContribution(i int, q query.Range) float64 {
 	return e.pointMass(e.Point(i), q)
 }
 
+// massChunk is the eq. 13 map over sample rows [lo, hi): the chunk's
+// partial sum of individual point contributions, accumulated in row order.
+func (e *Estimator) massChunk(q query.Range, lo, hi int) float64 {
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		sum += e.pointMass(e.data[i*e.d:(i+1)*e.d], q)
+	}
+	return sum
+}
+
 // Selectivity estimates the selectivity of q as the average individual
-// contribution over all sample points (eq. 2 with eq. 13).
+// contribution over all sample points (eq. 2 with eq. 13), reduced as
+// fixed-size chunk partial sums combined in chunk-index order.
 func (e *Estimator) Selectivity(q query.Range) (float64, error) {
 	if err := e.checkReady(q); err != nil {
 		return 0, err
 	}
 	s := e.Size()
-	sum := 0.0
-	for i := 0; i < s; i++ {
-		sum += e.pointMass(e.data[i*e.d:(i+1)*e.d], q)
+	total := 0.0
+	if e.pool.Workers() <= 1 {
+		for c, nc := 0, parallel.Chunks(s); c < nc; c++ {
+			lo, hi := parallel.ChunkBounds(c, s)
+			total += e.massChunk(q, lo, hi)
+		}
+		return total / float64(s), nil
 	}
-	return sum / float64(s), nil
+	nc := parallel.Chunks(s)
+	partials := e.bufs.Get(nc)
+	e.pool.Run(s, func(c, lo, hi int) {
+		partials[c] = e.massChunk(q, lo, hi)
+	})
+	for _, v := range partials {
+		total += v
+	}
+	e.bufs.Put(partials)
+	return total / float64(s), nil
 }
 
 // Contributions fills buf (length ≥ s, allocated if nil or short) with the
@@ -242,20 +319,87 @@ func (e *Estimator) Contributions(q query.Range, buf []float64) ([]float64, floa
 	}
 	buf = buf[:s]
 	sum := 0.0
-	for i := 0; i < s; i++ {
+	if e.pool.Workers() <= 1 {
+		for c, nc := 0, parallel.Chunks(s); c < nc; c++ {
+			lo, hi := parallel.ChunkBounds(c, s)
+			sum += e.contribChunk(q, lo, hi, buf)
+		}
+		return buf, sum / float64(s), nil
+	}
+	nc := parallel.Chunks(s)
+	partials := e.bufs.Get(nc)
+	e.pool.Run(s, func(c, lo, hi int) {
+		partials[c] = e.contribChunk(q, lo, hi, buf)
+	})
+	for _, v := range partials {
+		sum += v
+	}
+	e.bufs.Put(partials)
+	return buf, sum / float64(s), nil
+}
+
+// contribChunk fills buf[lo:hi] with the per-point contributions of sample
+// rows [lo, hi) and returns their partial sum, accumulated in row order.
+// Distinct chunks write disjoint ranges of buf, so chunks can run
+// concurrently.
+func (e *Estimator) contribChunk(q query.Range, lo, hi int, buf []float64) float64 {
+	sum := 0.0
+	for i := lo; i < hi; i++ {
 		c := e.pointMass(e.data[i*e.d:(i+1)*e.d], q)
 		buf[i] = c
 		sum += c
 	}
-	return buf, sum / float64(s), nil
+	return sum
+}
+
+// gradChunk runs the eq. 17 map over sample rows [lo, hi): it zeroes pgrad
+// (length d), accumulates the chunk's gradient partial sums into it in row
+// order, and returns the chunk's estimate partial sum. The
+// leave-one-dimension-out products ∏_{k≠i} are formed with prefix and
+// suffix products so no division by a possibly-zero mass occurs.
+func (e *Estimator) gradChunk(q query.Range, lo, hi int, scr *gradScratch, pgrad []float64) float64 {
+	d := e.d
+	for j := range pgrad {
+		pgrad[j] = 0
+	}
+	sum := 0.0
+	for p := lo; p < hi; p++ {
+		sum += e.gradPoint(e.data[p*d:(p+1)*d], q, scr, pgrad)
+	}
+	return sum
+}
+
+// gradPoint computes one sample row's eq. 17 contribution to query q: the
+// row's probability mass is returned and its per-dimension gradient terms
+// are accumulated into pgrad.
+func (e *Estimator) gradPoint(row []float64, q query.Range, scr *gradScratch, pgrad []float64) float64 {
+	d := e.d
+	masses, mgrads, suffix := scr.masses, scr.mgrads, scr.suffix
+	for j := 0; j < d; j++ {
+		k := e.kernelFor(j)
+		masses[j] = k.Mass(q.Lo[j], q.Hi[j], row[j], e.h[j])
+		mgrads[j] = k.MassGrad(q.Lo[j], q.Hi[j], row[j], e.h[j])
+	}
+	suffix[d] = 1
+	for j := d - 1; j >= 0; j-- {
+		suffix[j] = suffix[j+1] * masses[j]
+	}
+	prefix := 1.0
+	for j := 0; j < d; j++ {
+		pgrad[j] += mgrads[j] * prefix * suffix[j+1]
+		prefix *= masses[j]
+	}
+	return suffix[0]
 }
 
 // SelectivityGradient computes the estimate for q and the gradient
 // ∂p̂/∂h_i of the estimate with respect to each bandwidth component
 // (eqs. 15–17), written into grad (length d). It returns the estimate.
 //
-// The leave-one-dimension-out products ∏_{k≠i} are formed with prefix and
-// suffix products so no division by a possibly-zero mass occurs.
+// Like Selectivity, the reduction is chunked: per-chunk partial sums (one
+// estimate partial plus d gradient partials) are combined in chunk-index
+// order, so serial and parallel execution agree bit for bit. The serial
+// path reuses pooled scratch and performs no allocations in steady state.
 func (e *Estimator) SelectivityGradient(q query.Range, grad []float64) (float64, error) {
 	if len(grad) != e.d {
 		return 0, fmt.Errorf("kde: gradient buffer has %d dims, want %d", len(grad), e.d)
@@ -268,27 +412,34 @@ func (e *Estimator) SelectivityGradient(q query.Range, grad []float64) (float64,
 	for i := range grad {
 		grad[i] = 0
 	}
-	masses := make([]float64, d)
-	mgrads := make([]float64, d)
-	suffix := make([]float64, d+1)
 	sum := 0.0
-	for p := 0; p < s; p++ {
-		row := e.data[p*d : (p+1)*d]
-		for j := 0; j < d; j++ {
-			k := e.kernelFor(j)
-			masses[j] = k.Mass(q.Lo[j], q.Hi[j], row[j], e.h[j])
-			mgrads[j] = k.MassGrad(q.Lo[j], q.Hi[j], row[j], e.h[j])
+	if e.pool.Workers() <= 1 {
+		scr := e.getScratch()
+		for c, nc := 0, parallel.Chunks(s); c < nc; c++ {
+			lo, hi := parallel.ChunkBounds(c, s)
+			sum += e.gradChunk(q, lo, hi, scr, scr.pgrad)
+			for j := 0; j < d; j++ {
+				grad[j] += scr.pgrad[j]
+			}
 		}
-		suffix[d] = 1
-		for j := d - 1; j >= 0; j-- {
-			suffix[j] = suffix[j+1] * masses[j]
+		e.putScratch(scr)
+	} else {
+		nc := parallel.Chunks(s)
+		partials := e.bufs.Get(nc * (d + 1))
+		e.pool.Run(s, func(c, lo, hi int) {
+			scr := e.getScratch()
+			row := partials[c*(d+1) : (c+1)*(d+1)]
+			row[0] = e.gradChunk(q, lo, hi, scr, row[1:])
+			e.putScratch(scr)
+		})
+		for c := 0; c < nc; c++ {
+			row := partials[c*(d+1) : (c+1)*(d+1)]
+			sum += row[0]
+			for j := 0; j < d; j++ {
+				grad[j] += row[1+j]
+			}
 		}
-		sum += suffix[0]
-		prefix := 1.0
-		for j := 0; j < d; j++ {
-			grad[j] += mgrads[j] * prefix * suffix[j+1]
-			prefix *= masses[j]
-		}
+		e.bufs.Put(partials)
 	}
 	inv := 1 / float64(s)
 	for j := range grad {
@@ -312,6 +463,110 @@ func (e *Estimator) LossGradient(fb query.Feedback, lf loss.Function, grad []flo
 		grad[j] *= dl
 	}
 	return est, lval, nil
+}
+
+// SelectivityBatch estimates every query of qs in a single pass over the
+// sample, writing the estimates into ests (length len(qs)). One sample
+// traversal is amortized across all queries — each row is loaded once and
+// scored against every query — which is far friendlier to the cache than
+// query-at-a-time evaluation when the sample outgrows L2. Results are
+// bit-identical to calling Selectivity per query, for any worker count.
+func (e *Estimator) SelectivityBatch(qs []query.Range, ests []float64) error {
+	nq := len(qs)
+	if len(ests) != nq {
+		return fmt.Errorf("kde: estimate buffer has %d entries, want %d", len(ests), nq)
+	}
+	for i := range qs {
+		if err := e.checkReady(qs[i]); err != nil {
+			return fmt.Errorf("kde: batch query %d: %w", i, err)
+		}
+	}
+	if nq == 0 {
+		return nil
+	}
+	s := e.Size()
+	nc := parallel.Chunks(s)
+	partials := e.bufs.Get(nc * nq)
+	e.pool.Run(s, func(c, lo, hi int) {
+		pr := partials[c*nq : (c+1)*nq]
+		for i := lo; i < hi; i++ {
+			row := e.data[i*e.d : (i+1)*e.d]
+			for iq := 0; iq < nq; iq++ {
+				pr[iq] += e.pointMass(row, qs[iq])
+			}
+		}
+	})
+	for iq := 0; iq < nq; iq++ {
+		sum := 0.0
+		for c := 0; c < nc; c++ {
+			sum += partials[c*nq+iq]
+		}
+		ests[iq] = sum / float64(s)
+	}
+	e.bufs.Put(partials)
+	return nil
+}
+
+// GradientBatch computes, for every query of qs in a single pass over the
+// sample, the selectivity estimate and the bandwidth gradient ∂p̂/∂h
+// (eq. 17): ests[i] receives the estimate of qs[i] and grads[i*d:(i+1)*d]
+// its gradient. Like SelectivityBatch, the sample is traversed once for
+// all queries, and results are bit-identical to calling
+// SelectivityGradient per query, for any worker count.
+func (e *Estimator) GradientBatch(qs []query.Range, ests, grads []float64) error {
+	nq := len(qs)
+	d := e.d
+	if len(ests) != nq {
+		return fmt.Errorf("kde: estimate buffer has %d entries, want %d", len(ests), nq)
+	}
+	if len(grads) != nq*d {
+		return fmt.Errorf("kde: gradient buffer has %d entries, want %d", len(grads), nq*d)
+	}
+	for i := range qs {
+		if err := e.checkReady(qs[i]); err != nil {
+			return fmt.Errorf("kde: batch query %d: %w", i, err)
+		}
+	}
+	if nq == 0 {
+		return nil
+	}
+	s := e.Size()
+	stride := d + 1
+	nc := parallel.Chunks(s)
+	partials := e.bufs.Get(nc * nq * stride)
+	e.pool.Run(s, func(c, lo, hi int) {
+		scr := e.getScratch()
+		base := partials[c*nq*stride : (c+1)*nq*stride]
+		for p := lo; p < hi; p++ {
+			row := e.data[p*d : (p+1)*d]
+			for iq := 0; iq < nq; iq++ {
+				pr := base[iq*stride : (iq+1)*stride]
+				pr[0] += e.gradPoint(row, qs[iq], scr, pr[1:])
+			}
+		}
+		e.putScratch(scr)
+	})
+	inv := 1 / float64(s)
+	for iq := 0; iq < nq; iq++ {
+		sum := 0.0
+		g := grads[iq*d : (iq+1)*d]
+		for j := range g {
+			g[j] = 0
+		}
+		for c := 0; c < nc; c++ {
+			pr := partials[(c*nq+iq)*stride:][:stride]
+			sum += pr[0]
+			for j := 0; j < d; j++ {
+				g[j] += pr[1+j]
+			}
+		}
+		for j := 0; j < d; j++ {
+			g[j] *= inv
+		}
+		ests[iq] = sum * inv
+	}
+	e.bufs.Put(partials)
+	return nil
 }
 
 // Objective returns the training objective of optimization problem (5) for
@@ -372,6 +627,67 @@ func Objective(data []float64, d int, k kernel.Kernel, fbs []query.Feedback, lf 
 	}
 }
 
+// ObjectiveBatch returns the same training objective as Objective — same
+// value, same gradient, bit for bit — but evaluates all training feedbacks
+// in one batched pass over the sample per call (SelectivityBatch /
+// GradientBatch), optionally parallelized on pool. One sample traversal is
+// amortized across every query, which is what MLSL + L-BFGS-B hammer
+// during batch bandwidth selection; a nil pool still gets the
+// single-traversal cache locality.
+func ObjectiveBatch(data []float64, d int, k kernel.Kernel, fbs []query.Feedback, lf loss.Function, pool *parallel.Pool) func(h, grad []float64) float64 {
+	if k == nil {
+		k = kernel.Gaussian{}
+	}
+	scratch, _ := New(d, k)
+	// The closure reuses one estimator and swaps bandwidths; data is shared.
+	_ = scratch.SetSampleFlat(data)
+	scratch.SetPool(pool)
+	qs := make([]query.Range, len(fbs))
+	for i, fb := range fbs {
+		qs[i] = fb.Query
+	}
+	ests := make([]float64, len(fbs))
+	grads := make([]float64, len(fbs)*d)
+	return func(h, grad []float64) float64 {
+		if grad != nil {
+			for j := range grad {
+				grad[j] = 0
+			}
+		}
+		if err := scratch.SetBandwidth(h); err != nil {
+			// Out-of-domain bandwidths get an infinite objective so bounded
+			// optimizers reject the step.
+			return math.Inf(1)
+		}
+		n := float64(len(fbs))
+		total := 0.0
+		if grad == nil {
+			if err := scratch.SelectivityBatch(qs, ests); err != nil {
+				return math.Inf(1)
+			}
+			for i, fb := range fbs {
+				total += lf.Loss(ests[i], fb.Actual)
+			}
+			return total / n
+		}
+		if err := scratch.GradientBatch(qs, ests, grads); err != nil {
+			return math.Inf(1)
+		}
+		for i, fb := range fbs {
+			total += lf.Loss(ests[i], fb.Actual)
+			dl := lf.Deriv(ests[i], fb.Actual)
+			g := grads[i*d : (i+1)*d]
+			for j := range grad {
+				grad[j] += g[j] * dl
+			}
+		}
+		for j := range grad {
+			grad[j] /= n
+		}
+		return total / n
+	}
+}
+
 // Density evaluates the probability density p̂_H(x) at point x (eq. 1),
 // useful for validating the model against known distributions.
 func (e *Estimator) Density(x []float64) (float64, error) {
@@ -401,9 +717,9 @@ func (e *Estimator) Density(x []float64) (float64, error) {
 }
 
 // Clone returns a deep copy of the estimator (sample and bandwidth buffers
-// are copied).
+// are copied; the worker pool, which is stateless, is shared).
 func (e *Estimator) Clone() *Estimator {
-	out := &Estimator{d: e.d, kern: e.kern}
+	out := &Estimator{d: e.d, kern: e.kern, pool: e.pool}
 	if e.kerns != nil {
 		out.kerns = make([]kernel.Kernel, len(e.kerns))
 		copy(out.kerns, e.kerns)

@@ -1,0 +1,280 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/loss"
+	"kdesel/internal/parallel"
+	"kdesel/internal/query"
+)
+
+// workerCounts are the pool sizes the determinism tests sweep; they include
+// counts that divide the chunk grid unevenly and counts far beyond NumCPU.
+var workerCounts = []int{1, 2, 3, 7, 16}
+
+// ragged sample size: not a multiple of parallel.ChunkSize, several chunks.
+const detSampleSize = 3*parallel.ChunkSize + 41
+
+func detEstimator(t *testing.T, d int) (*Estimator, []query.Range) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	flat := make([]float64, detSampleSize*d)
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+	}
+	e, err := New(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetSampleFlat(flat); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetBandwidth(ScottBandwidth(flat, d)); err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]query.Range, 12)
+	for i := range qs {
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			c, w := rng.NormFloat64(), 0.1+rng.Float64()
+			lo[j], hi[j] = c-w, c+w
+		}
+		qs[i] = query.Range{Lo: lo, Hi: hi}
+	}
+	return e, qs
+}
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestParallelBitIdenticalToSerial asserts the central guarantee of the
+// host parallel runtime: for every worker count, Selectivity,
+// Contributions, and SelectivityGradient return exactly the bits the
+// serial path returns.
+func TestParallelBitIdenticalToSerial(t *testing.T) {
+	e, qs := detEstimator(t, 5)
+	type ref struct {
+		sel     float64
+		contrib []float64
+		est     float64
+		grad    []float64
+	}
+	refs := make([]ref, len(qs))
+	for i, q := range qs {
+		sel, err := e.Selectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contrib, csel, err := e.Contributions(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(sel, csel) {
+			t.Fatalf("serial Selectivity and Contributions disagree: %g vs %g", sel, csel)
+		}
+		grad := make([]float64, e.Dims())
+		est, err := e.SelectivityGradient(q, grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref{sel: sel, contrib: contrib, est: est, grad: grad}
+	}
+	for _, w := range workerCounts {
+		p := e.Clone()
+		p.SetPool(parallel.NewPool(w))
+		for i, q := range qs {
+			sel, err := p.Selectivity(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(sel, refs[i].sel) {
+				t.Errorf("workers=%d query %d: Selectivity %x != serial %x",
+					w, i, math.Float64bits(sel), math.Float64bits(refs[i].sel))
+			}
+			contrib, csel, err := p.Contributions(q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(csel, refs[i].sel) {
+				t.Errorf("workers=%d query %d: Contributions estimate differs", w, i)
+			}
+			for j := range contrib {
+				if !bitsEqual(contrib[j], refs[i].contrib[j]) {
+					t.Fatalf("workers=%d query %d: contribution %d differs", w, i, j)
+				}
+			}
+			grad := make([]float64, p.Dims())
+			est, err := p.SelectivityGradient(q, grad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(est, refs[i].est) {
+				t.Errorf("workers=%d query %d: gradient-path estimate differs", w, i)
+			}
+			for j := range grad {
+				if !bitsEqual(grad[j], refs[i].grad[j]) {
+					t.Errorf("workers=%d query %d: grad[%d] %x != serial %x",
+						w, i, j, math.Float64bits(grad[j]), math.Float64bits(refs[i].grad[j]))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchEvaluatorsMatchPerQuery asserts SelectivityBatch and
+// GradientBatch agree bit for bit with their per-query counterparts, for
+// every worker count.
+func TestBatchEvaluatorsMatchPerQuery(t *testing.T) {
+	e, qs := detEstimator(t, 4)
+	d := e.Dims()
+	wantEst := make([]float64, len(qs))
+	wantGrad := make([]float64, len(qs)*d)
+	for i, q := range qs {
+		est, err := e.SelectivityGradient(q, wantGrad[i*d:(i+1)*d])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEst[i] = est
+	}
+	wantSel := make([]float64, len(qs))
+	for i, q := range qs {
+		sel, err := e.Selectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSel[i] = sel
+	}
+	for _, w := range workerCounts {
+		p := e.Clone()
+		p.SetWorkers(w)
+		ests := make([]float64, len(qs))
+		if err := p.SelectivityBatch(qs, ests); err != nil {
+			t.Fatal(err)
+		}
+		for i := range qs {
+			if !bitsEqual(ests[i], wantSel[i]) {
+				t.Errorf("workers=%d: SelectivityBatch[%d] differs from Selectivity", w, i)
+			}
+		}
+		grads := make([]float64, len(qs)*d)
+		if err := p.GradientBatch(qs, ests, grads); err != nil {
+			t.Fatal(err)
+		}
+		for i := range qs {
+			if !bitsEqual(ests[i], wantEst[i]) {
+				t.Errorf("workers=%d: GradientBatch estimate %d differs", w, i)
+			}
+			for j := 0; j < d; j++ {
+				if !bitsEqual(grads[i*d+j], wantGrad[i*d+j]) {
+					t.Errorf("workers=%d: GradientBatch grad[%d][%d] differs", w, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestObjectiveBatchMatchesObjective asserts the batched training
+// objective returns exactly the value and gradient of the query-at-a-time
+// Objective, for every worker count and for both gradient and
+// gradient-free evaluation.
+func TestObjectiveBatchMatchesObjective(t *testing.T) {
+	d := 3
+	rng := rand.New(rand.NewSource(7))
+	flat := make([]float64, detSampleSize*d)
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+	}
+	var fbs []query.Feedback
+	for i := 0; i < 9; i++ {
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			c, w := rng.NormFloat64(), 0.1+rng.Float64()
+			lo[j], hi[j] = c-w, c+w
+		}
+		fbs = append(fbs, query.Feedback{
+			Query:  query.Range{Lo: lo, Hi: hi},
+			Actual: rng.Float64() * 0.3,
+		})
+	}
+	serial := Objective(flat, d, nil, fbs, loss.Quadratic{})
+	hs := [][]float64{
+		ScottBandwidth(flat, d),
+		{0.05, 0.5, 5},
+		{1, 1, 1},
+	}
+	for _, w := range append([]int{0}, workerCounts...) {
+		batch := ObjectiveBatch(flat, d, nil, fbs, loss.Quadratic{}, parallel.PoolFor(w))
+		for hi, h := range hs {
+			wantG := make([]float64, d)
+			want := serial(h, wantG)
+			gotG := make([]float64, d)
+			got := batch(h, gotG)
+			if !bitsEqual(got, want) {
+				t.Errorf("workers=%d h#%d: objective %x != serial %x",
+					w, hi, math.Float64bits(got), math.Float64bits(want))
+			}
+			for j := 0; j < d; j++ {
+				if !bitsEqual(gotG[j], wantG[j]) {
+					t.Errorf("workers=%d h#%d: objective grad[%d] %x != serial %x",
+						w, hi, j, math.Float64bits(gotG[j]), math.Float64bits(wantG[j]))
+				}
+			}
+			if gf, sf := batch(h, nil), serial(h, nil); !bitsEqual(gf, sf) {
+				t.Errorf("workers=%d h#%d: gradient-free objective differs", w, hi)
+			}
+		}
+		// Out-of-domain bandwidths reject identically.
+		bad := []float64{1, -1, 1}
+		if !math.IsInf(batch(bad, nil), 1) || !math.IsInf(serial(bad, nil), 1) {
+			t.Errorf("workers=%d: out-of-domain bandwidth not rejected", w)
+		}
+	}
+}
+
+// TestGradientSteadyStateAllocs locks in the allocation-churn fix: the
+// serial gradient path reuses pooled scratch and must not allocate per
+// call in steady state.
+func TestGradientSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode makes sync.Pool drop items, defeating alloc counting")
+	}
+	e, qs := detEstimator(t, 6)
+	grad := make([]float64, e.Dims())
+	q := qs[0]
+	// Warm the scratch pool.
+	if _, err := e.SelectivityGradient(q, grad); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := e.SelectivityGradient(q, grad); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// sync.Pool may be drained by a concurrent GC; allow a stray refill.
+	if allocs > 0.5 {
+		t.Errorf("SelectivityGradient allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestEstimatorParallelReadOnlyUse exercises one estimator's read paths
+// from its pool under -race: a parallel batch call races nothing because
+// workers touch disjoint chunk state.
+func TestEstimatorParallelReadOnlyUse(t *testing.T) {
+	e, qs := detEstimator(t, 3)
+	e.SetWorkers(8)
+	ests := make([]float64, len(qs))
+	grads := make([]float64, len(qs)*e.Dims())
+	for iter := 0; iter < 5; iter++ {
+		if err := e.GradientBatch(qs, ests, grads); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SelectivityBatch(qs, ests); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

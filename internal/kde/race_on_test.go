@@ -1,0 +1,7 @@
+//go:build race
+
+package kde
+
+// raceEnabled reports whether the race detector is active; under -race
+// sync.Pool intentionally drops items, which breaks alloc-count assertions.
+const raceEnabled = true

@@ -1,0 +1,76 @@
+package learner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestObserveBatchMatchesObserve drives two identical learners through the
+// same gradient stream — one gradient at a time vs. in row-major batches of
+// varying size — and requires identical bandwidth trajectories and state.
+func TestObserveBatchMatchesObserve(t *testing.T) {
+	const d = 4
+	cfg := Config{BatchSize: 5}
+	one, err := NewRMSprop(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := NewRMSprop(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	hOne := []float64{1, 2, 0.5, 3}
+	hMany := append([]float64(nil), hOne...)
+	// Mixed batch sizes, deliberately unaligned with BatchSize.
+	for _, bn := range []int{1, 3, 7, 2, 5, 4, 8, 1, 6} {
+		grads := make([]float64, bn*d)
+		for i := range grads {
+			grads[i] = rng.NormFloat64()
+		}
+		updates := 0
+		for r := 0; r < bn; r++ {
+			applied, err := one.Observe(grads[r*d:(r+1)*d], hOne)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if applied {
+				updates++
+			}
+		}
+		got, err := many.ObserveBatch(grads, hMany)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != updates {
+			t.Fatalf("batch of %d: ObserveBatch applied %d updates, Observe applied %d", bn, got, updates)
+		}
+		for j := 0; j < d; j++ {
+			if math.Float64bits(hOne[j]) != math.Float64bits(hMany[j]) {
+				t.Fatalf("batch of %d: h[%d] diverged: %g vs %g", bn, j, hOne[j], hMany[j])
+			}
+		}
+	}
+	if one.Steps() != many.Steps() || one.Pending() != many.Pending() {
+		t.Errorf("state diverged: steps %d vs %d, pending %d vs %d",
+			one.Steps(), many.Steps(), one.Pending(), many.Pending())
+	}
+	rOne, rMany := one.Rates(), many.Rates()
+	for j := range rOne {
+		if math.Float64bits(rOne[j]) != math.Float64bits(rMany[j]) {
+			t.Errorf("rates diverged at %d: %g vs %g", j, rOne[j], rMany[j])
+		}
+	}
+}
+
+func TestObserveBatchValidation(t *testing.T) {
+	r, _ := NewRMSprop(3, Config{})
+	h := []float64{1, 1, 1}
+	if _, err := r.ObserveBatch([]float64{1, 2}, h); err == nil {
+		t.Error("ragged gradient matrix should be rejected")
+	}
+	if n, err := r.ObserveBatch(nil, h); err != nil || n != 0 {
+		t.Errorf("empty batch: n=%d err=%v, want 0, nil", n, err)
+	}
+}

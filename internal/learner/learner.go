@@ -137,6 +137,29 @@ func (r *RMSprop) Observe(grad, h []float64) (bool, error) {
 	return true, nil
 }
 
+// ObserveBatch folds a whole batch of per-query loss gradients — row-major
+// n×d, as produced by one batched gradient evaluation over the sample
+// (kde.GradientBatch scaled by the loss derivatives) — into the learner,
+// applying a bandwidth update to h in place whenever a mini-batch fills.
+// It returns the number of updates applied. The result is identical to
+// calling Observe once per row in order.
+func (r *RMSprop) ObserveBatch(grads, h []float64) (int, error) {
+	if len(h) != r.d || len(grads)%r.d != 0 {
+		return 0, fmt.Errorf("learner: batch gradients length %d is not a multiple of d=%d (bandwidth %d)", len(grads), r.d, len(h))
+	}
+	updates := 0
+	for o := 0; o < len(grads); o += r.d {
+		applied, err := r.Observe(grads[o:o+r.d], h)
+		if err != nil {
+			return updates, err
+		}
+		if applied {
+			updates++
+		}
+	}
+	return updates, nil
+}
+
 // Flush applies a partial mini-batch immediately, used when the caller
 // wants the model updated before the batch fills (e.g. at shutdown or in
 // tests). It reports whether any gradients were pending.

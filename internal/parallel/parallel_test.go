@@ -1,0 +1,211 @@
+package parallel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunkGridCoversRangeExactly(t *testing.T) {
+	if got := Chunks(0); got != 0 {
+		t.Fatalf("Chunks(0) = %d, want 0", got)
+	}
+	if got := Chunks(-3); got != 0 {
+		t.Fatalf("Chunks(-3) = %d, want 0", got)
+	}
+	for _, n := range []int{1, 7, ChunkSize - 1, ChunkSize, ChunkSize + 1, 3*ChunkSize + 5, 16 * ChunkSize} {
+		next := 0
+		for c := 0; c < Chunks(n); c++ {
+			lo, hi := ChunkBounds(c, n)
+			if lo != next {
+				t.Fatalf("n=%d chunk %d starts at %d, want %d", n, c, lo, next)
+			}
+			if hi <= lo || hi > n {
+				t.Fatalf("n=%d chunk %d has bad range [%d,%d)", n, c, lo, hi)
+			}
+			if hi-lo > ChunkSize {
+				t.Fatalf("n=%d chunk %d has %d items, max %d", n, c, hi-lo, ChunkSize)
+			}
+			next = hi
+		}
+		if next != n {
+			t.Fatalf("n=%d chunks cover [0,%d), want [0,%d)", n, next, n)
+		}
+	}
+}
+
+func TestWorkersDefaults(t *testing.T) {
+	if got := (*Pool)(nil).Workers(); got != 1 {
+		t.Errorf("nil pool Workers() = %d, want 1", got)
+	}
+	if got := new(Pool).Workers(); got != 1 {
+		t.Errorf("zero pool Workers() = %d, want 1", got)
+	}
+	if got := NewPool(3).Workers(); got != 3 {
+		t.Errorf("NewPool(3).Workers() = %d, want 3", got)
+	}
+	if got := NewPool(0).Workers(); got != runtime.NumCPU() {
+		t.Errorf("NewPool(0).Workers() = %d, want NumCPU=%d", got, runtime.NumCPU())
+	}
+	if PoolFor(0) != nil || PoolFor(1) != nil {
+		t.Errorf("PoolFor(0)/PoolFor(1) should be nil (serial)")
+	}
+	if got := PoolFor(5).Workers(); got != 5 {
+		t.Errorf("PoolFor(5).Workers() = %d, want 5", got)
+	}
+	if got := PoolFor(-1).Workers(); got != runtime.NumCPU() {
+		t.Errorf("PoolFor(-1).Workers() = %d, want NumCPU=%d", got, runtime.NumCPU())
+	}
+}
+
+func TestRunExecutesEveryChunkExactlyOnce(t *testing.T) {
+	n := 5*ChunkSize + 3
+	for _, w := range []int{1, 2, 3, 7, 16} {
+		p := NewPool(w)
+		counts := make([]int64, Chunks(n))
+		var items atomic.Int64
+		p.Run(n, func(c, lo, hi int) {
+			atomic.AddInt64(&counts[c], 1)
+			items.Add(int64(hi - lo))
+		})
+		for c, cnt := range counts {
+			if cnt != 1 {
+				t.Fatalf("workers=%d: chunk %d executed %d times", w, c, cnt)
+			}
+		}
+		if items.Load() != int64(n) {
+			t.Fatalf("workers=%d: visited %d items, want %d", w, items.Load(), n)
+		}
+	}
+}
+
+func TestRunSerialIsInlineAndOrdered(t *testing.T) {
+	n := 3*ChunkSize + 1
+	for _, p := range []*Pool{nil, new(Pool), NewPool(1)} {
+		var order []int // appended without synchronization: must run inline
+		p.Run(n, func(c, lo, hi int) {
+			order = append(order, c)
+		})
+		if len(order) != Chunks(n) {
+			t.Fatalf("ran %d chunks, want %d", len(order), Chunks(n))
+		}
+		for c, got := range order {
+			if got != c {
+				t.Fatalf("serial chunk order %v not ascending", order)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	called := false
+	NewPool(4).Run(0, func(c, lo, hi int) { called = true })
+	if called {
+		t.Error("body called for n=0")
+	}
+}
+
+// chunkedSum is the canonical deterministic reduction: per-chunk partial
+// sums combined in chunk-index order.
+func chunkedSum(p *Pool, vals []float64) float64 {
+	n := len(vals)
+	partials := make([]float64, Chunks(n))
+	p.Run(n, func(c, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += vals[i]
+		}
+		partials[c] = s
+	})
+	total := 0.0
+	for _, v := range partials {
+		total += v
+	}
+	return total
+}
+
+func TestChunkedReductionBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	n := 10*ChunkSize + 17
+	vals := make([]float64, n)
+	x := 0.5
+	for i := range vals {
+		// A deterministic, poorly-conditioned mix so summation order matters.
+		x = math.Mod(x*997.13+0.071, 3.7)
+		vals[i] = x * math.Pow(10, float64(i%13)-6)
+	}
+	want := chunkedSum(nil, vals)
+	for _, w := range []int{1, 2, 3, 7, 16} {
+		got := chunkedSum(NewPool(w), vals)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("workers=%d: sum %x differs from serial %x", w, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+// TestPoolConcurrentUse drives one shared pool from many goroutines at
+// once; run under -race it proves Run is safe for concurrent use.
+func TestPoolConcurrentUse(t *testing.T) {
+	p := NewPool(4)
+	n := 4*ChunkSize + 9
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i%101) / 7
+	}
+	want := chunkedSum(nil, vals)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 25; iter++ {
+				if got := chunkedSum(p, vals); math.Float64bits(got) != math.Float64bits(want) {
+					errs <- errMismatch
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = errorString("concurrent chunked sum diverged from serial result")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestBufferPoolReuseAndZeroing(t *testing.T) {
+	var bp BufferPool
+	s := bp.Get(10)
+	if len(s) != 10 {
+		t.Fatalf("Get(10) len = %d", len(s))
+	}
+	for i := range s {
+		s[i] = float64(i + 1)
+	}
+	bp.Put(s)
+	s2 := bp.Get(8)
+	if len(s2) != 8 {
+		t.Fatalf("Get(8) len = %d", len(s2))
+	}
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %g", i, v)
+		}
+	}
+	bp.Put(s2)
+	if s3 := bp.Get(1024); len(s3) != 1024 {
+		t.Fatalf("Get(1024) len = %d", len(s3))
+	}
+	bp.Put(nil) // must not panic or poison the pool
+	if s4 := bp.Get(4); len(s4) != 4 {
+		t.Fatalf("Get after Put(nil) len = %d", len(s4))
+	}
+}
