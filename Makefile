@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet bench-parallel
+.PHONY: verify fmtcheck build test race vet bench bench-parallel
 
-verify: vet build race
+verify: fmtcheck vet build race
+
+# Fail when any file needs gofmt; list the offenders.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -22,3 +27,21 @@ race:
 # Micro-benchmarks for the host parallel runtime (see BENCH_PR1.json).
 bench-parallel:
 	$(GO) test -run TestNothing -bench 'BenchmarkObjective|BenchmarkKDEGradient' -benchmem -benchtime 5x .
+
+# Micro-benchmarks for this PR, rendered to BENCH_PR2.json via cmd/benchjson:
+# the objective with and without a live metrics registry (<5% criterion), the
+# estimate/gradient hot paths, and the raw instrument costs.
+BENCH_CMD2 = $(GO) test -run TestNothing -bench 'BenchmarkObjective$$|BenchmarkObjectiveInstrumented' -benchtime 5x .
+BENCH_CMD2B = $(GO) test -run TestNothing -bench 'BenchmarkKDEGradient|BenchmarkKDEEstimate' -benchmem -benchtime 100x .
+BENCH_CMD2C = $(GO) test -run TestNothing -bench . -benchmem ./internal/metrics/
+
+bench:
+	$(BENCH_CMD2) > bench2.out
+	$(BENCH_CMD2B) >> bench2.out
+	$(BENCH_CMD2C) >> bench2.out
+	$(GO) run ./cmd/benchjson -pr 2 \
+		-title "Metrics & observability layer, plus feedback-path correctness fixes" \
+		-note "BenchmarkObjectiveInstrumented wraps the objective with live counters exactly as bandwidth.Optimal does; it must stay within 5% of BenchmarkObjective. The internal/metrics entries are the raw per-event instrument costs (nil variants are the uninstrumented no-op path)." \
+		-cmd "$(BENCH_CMD2)" -cmd "$(BENCH_CMD2B)" -cmd "$(BENCH_CMD2C)" \
+		-out BENCH_PR2.json bench2.out
+	rm -f bench2.out

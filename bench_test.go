@@ -16,6 +16,7 @@ import (
 	"kdesel/internal/gpu"
 	"kdesel/internal/kde"
 	"kdesel/internal/loss"
+	"kdesel/internal/metrics"
 	"kdesel/internal/parallel"
 	"kdesel/internal/query"
 	"kdesel/internal/sample"
@@ -319,6 +320,34 @@ func BenchmarkObjective(b *testing.B) {
 		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
 			flat, h, fbs := benchObjectiveInputs(b, d)
 			obj := kde.Objective(flat, d, nil, fbs, loss.Quadratic{})
+			grad := make([]float64, d)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				obj(h, grad)
+			}
+		})
+	}
+}
+
+// BenchmarkObjectiveInstrumented measures the same evaluation with a live
+// metrics registry wrapped around the objective exactly as bandwidth.Optimal
+// wires it; the per-evaluation cost is two atomic counter increments and
+// must stay within noise (<5%) of BenchmarkObjective.
+func BenchmarkObjectiveInstrumented(b *testing.B) {
+	for _, d := range []int{4, 8} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			flat, h, fbs := benchObjectiveInputs(b, d)
+			base := kde.Objective(flat, d, nil, fbs, loss.Quadratic{})
+			reg := metrics.New()
+			evals := reg.Counter("bandwidth.objective_evals")
+			gradEvals := reg.Counter("bandwidth.gradient_evals")
+			obj := func(x, g []float64) float64 {
+				evals.Inc()
+				if g != nil {
+					gradEvals.Inc()
+				}
+				return base(x, g)
+			}
 			grad := make([]float64, d)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

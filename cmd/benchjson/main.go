@@ -1,0 +1,197 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// BENCH_PR*.json shape (see BENCH_PR1.json): a header identifying the PR and
+// host, the commands that produced the numbers, and one results entry per
+// benchmark with ns/op plus B/op and allocs/op when -benchmem was on.
+//
+// Usage:
+//
+//	go test -run TestNothing -bench . -benchmem . | \
+//	    benchjson -pr 2 -title "..." [-note "..."] [-cmd "go test ..."] \
+//	              [-out BENCH_PR2.json] [bench-output-files...]
+//
+// With no positional arguments the bench output is read from stdin. -cmd may
+// repeat, one per command that contributed output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+type hostInfo struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu,omitempty"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Note       string `json:"note,omitempty"`
+}
+
+type report struct {
+	PR       int                    `json:"pr"`
+	Title    string                 `json:"title"`
+	Date     string                 `json:"date"`
+	Host     hostInfo               `json:"host"`
+	Commands []string               `json:"commands,omitempty"`
+	Results  map[string]benchResult `json:"results"`
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, "; ") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var cmds stringList
+	var (
+		pr    = flag.Int("pr", 0, "PR number for the header (required)")
+		title = flag.String("title", "", "one-line PR title for the header (required)")
+		note  = flag.String("note", "", "free-form host/context note")
+		out   = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Var(&cmds, "cmd", "command that produced the bench output (repeatable)")
+	flag.Parse()
+	if *pr <= 0 || *title == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -pr and -title are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep := &report{
+		PR:    *pr,
+		Title: *title,
+		Date:  time.Now().Format("2006-01-02"),
+		Host: hostInfo{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Note:       *note,
+		},
+		Commands: cmds,
+		Results:  map[string]benchResult{},
+	}
+
+	readers := []io.Reader{os.Stdin}
+	if args := flag.Args(); len(args) > 0 {
+		readers = readers[:0]
+		for _, path := range args {
+			f, err := os.Open(path)
+			if err != nil {
+				fail("opening %s: %v", path, err)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+	}
+	for _, r := range readers {
+		if err := parseBench(r, rep); err != nil {
+			fail("parsing bench output: %v", err)
+		}
+	}
+	if len(rep.Results) == 0 {
+		fail("no benchmark lines found in input")
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail("encoding: %v", err)
+	}
+	enc = append(enc, '\n')
+	if _, err := w.Write(enc); err != nil {
+		fail("writing: %v", err)
+	}
+}
+
+// parseBench consumes one stream of `go test -bench` output, collecting
+// benchmark lines into rep.Results and the host's cpu model from the header
+// the test binary prints.
+func parseBench(r io.Reader, rep *report) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			rep.Host.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then value/unit pairs.
+		if len(fields) < 4 {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not a result line (e.g. a benchmark's log output)
+		}
+		res := benchResult{}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				seen = true
+			case "B/op":
+				n := int64(v)
+				res.BytesPerOp = &n
+			case "allocs/op":
+				n := int64(v)
+				res.AllocsPerOp = &n
+			}
+		}
+		if seen {
+			rep.Results[name] = res
+		}
+	}
+	return sc.Err()
+}
+
+// trimProcSuffix strips the trailing -GOMAXPROCS go test appends to
+// benchmark names (Benchmark/sub-8 -> Benchmark/sub), leaving sub-benchmark
+// labels that themselves contain dashes intact.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -8,17 +8,22 @@
 // Results print as the rows/series the paper reports. The -quick flag
 // shrinks dataset sizes and repetition counts for a fast smoke run; the
 // defaults run a faithful scaled-down version of the paper's protocol.
+// -metrics-out writes an instrumentation snapshot (JSON) covering every
+// estimator the run built; -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"kdesel/internal/experiments"
+	"kdesel/internal/metrics"
 	"kdesel/internal/workload"
 )
 
@@ -33,6 +38,9 @@ func main() {
 			"(STHoles, Heuristic, SCV, Batch, Adaptive, plus extras AVI, GenHist); empty = the paper's five")
 		workers = flag.String("workers", "", "comma-separated host worker counts for fig7's real "+
 			"wall-clock points (e.g. \"1,2,4,8\"; -1 = all CPUs); empty = simulated devices only")
+		metricsOut = flag.String("metrics-out", "", "write an instrumentation snapshot (JSON) covering all estimators built during the run")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (pprof) to this file on exit")
 	)
 	flag.Parse()
 	var estimators []string
@@ -53,11 +61,65 @@ func main() {
 		}
 	}
 
+	// A nil registry keeps every instrument a no-op; experiments share one
+	// registry so the snapshot covers everything the run built.
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.New()
+	}
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kdebench: creating cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "kdebench: starting cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	// finish flushes profiles and the metrics snapshot; it also runs on the
+	// error path so a failed experiment still leaves its artifacts behind.
+	finish := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			cpuFile = nil
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kdebench: creating mem profile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "kdebench: writing mem profile: %v\n", err)
+			}
+			f.Close()
+		}
+		if reg != nil {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kdebench: creating metrics file: %v\n", err)
+				return
+			}
+			if err := reg.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "kdebench: writing metrics: %v\n", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
+		}
+	}
+
 	run := func(name string, fn func() error) {
 		start := time.Now()
 		fmt.Printf("==> %s\n", name)
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "kdebench: %s: %v\n", name, err)
+			finish()
 			os.Exit(1)
 		}
 		fmt.Printf("<== %s done in %s\n\n", name, time.Since(start).Round(time.Millisecond))
@@ -66,7 +128,7 @@ func main() {
 	qualityCfg := func(dims int) experiments.QualityConfig {
 		cfg := experiments.QualityConfig{
 			Dims: dims, Seed: *seed, Rows: *rows, Repetitions: *reps,
-			Estimators: estimators,
+			Estimators: estimators, Metrics: reg,
 		}
 		if *quick {
 			cfg.Rows = pick(*rows, 2000)
@@ -119,7 +181,7 @@ func main() {
 		return nil
 	}
 	runFig6 := func() error {
-		cfg := experiments.ModelSizeConfig{Seed: *seed, Rows: pick(*rows, 40000), Repetitions: pick(*reps, 5)}
+		cfg := experiments.ModelSizeConfig{Seed: *seed, Rows: pick(*rows, 40000), Repetitions: pick(*reps, 5), Metrics: reg}
 		if *quick {
 			cfg.Sizes = []int{1024, 4096, 16384}
 			cfg.Rows = pick(*rows, 12000)
@@ -135,7 +197,7 @@ func main() {
 		return nil
 	}
 	runFig7 := func() error {
-		cfg := experiments.RuntimeConfig{Seed: *seed, HostWorkers: hostWorkers}
+		cfg := experiments.RuntimeConfig{Seed: *seed, HostWorkers: hostWorkers, Metrics: reg}
 		if *quick {
 			cfg.Sizes = []int{1024, 8192, 65536}
 			cfg.Queries = 25
@@ -151,7 +213,7 @@ func main() {
 	}
 	runFig8 := func() error {
 		for _, dims := range []int{5, 8} {
-			cfg := experiments.ChangingConfig{Dims: dims, Seed: *seed, Repetitions: pick(*reps, 5)}
+			cfg := experiments.ChangingConfig{Dims: dims, Seed: *seed, Repetitions: pick(*reps, 5), Metrics: reg}
 			if *quick {
 				cfg.Repetitions = pick(*reps, 2)
 				cfg.Evolving = workload.EvolvingConfig{
@@ -167,7 +229,7 @@ func main() {
 		return nil
 	}
 	runShift := func() error {
-		cfg := experiments.WorkloadShiftConfig{Seed: *seed, Repetitions: pick(*reps, 5)}
+		cfg := experiments.WorkloadShiftConfig{Seed: *seed, Repetitions: pick(*reps, 5), Metrics: reg}
 		if *quick {
 			cfg.Rows = 3000
 			cfg.QueriesPerPhase = 150
@@ -181,7 +243,7 @@ func main() {
 		return nil
 	}
 	runAblations := func() error {
-		cfg := experiments.AblationConfig{Seed: *seed}
+		cfg := experiments.AblationConfig{Seed: *seed, Metrics: reg}
 		if *quick {
 			cfg.Rows = 2500
 			cfg.Repetitions = 3
@@ -240,6 +302,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	finish()
 }
 
 func pick(override, def int) int {

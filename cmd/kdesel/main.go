@@ -6,6 +6,7 @@
 //
 //	kdesel -data table.csv [-mode batch] [-sample 1024] [-train 100] \
 //	       [-save model.kde | -load model.kde] [-truth] \
+//	       [-metrics-out metrics.json] \
 //	       "lo1,lo2,...:hi1,hi2,..." ...
 //
 // The CSV must be all-numeric; pass -header to skip a header row. Each
@@ -26,20 +27,22 @@ import (
 
 	"kdesel"
 	"kdesel/internal/core"
+	"kdesel/internal/metrics"
 )
 
 func main() {
 	var (
-		dataPath = flag.String("data", "", "CSV file with numeric columns (required)")
-		header   = flag.Bool("header", false, "skip the first CSV row")
-		mode     = flag.String("mode", "batch", "heuristic | scv | batch | adaptive")
-		sampleN  = flag.Int("sample", 1024, "KDE sample size")
-		trainN   = flag.Int("train", 100, "self-generated training queries for batch mode")
-		workers  = flag.Int("workers", 0, "host execution parallelism: 0/1 = serial, n = n workers, -1 = all CPUs (results are identical for any setting)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		truth    = flag.Bool("truth", false, "also compute and print the exact selectivity")
-		savePath = flag.String("save", "", "save the fitted model to this file")
-		loadPath = flag.String("load", "", "load a fitted model instead of building one")
+		dataPath   = flag.String("data", "", "CSV file with numeric columns (required)")
+		header     = flag.Bool("header", false, "skip the first CSV row")
+		mode       = flag.String("mode", "batch", "heuristic | scv | batch | adaptive")
+		sampleN    = flag.Int("sample", 1024, "KDE sample size")
+		trainN     = flag.Int("train", 100, "self-generated training queries for batch mode")
+		workers    = flag.Int("workers", 0, "host execution parallelism: 0/1 = serial, n = n workers, -1 = all CPUs (results are identical for any setting)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		truth      = flag.Bool("truth", false, "also compute and print the exact selectivity")
+		savePath   = flag.String("save", "", "save the fitted model to this file")
+		loadPath   = flag.String("load", "", "load a fitted model instead of building one")
+		metricsOut = flag.String("metrics-out", "", "write an instrumentation snapshot (JSON) to this file on exit")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -51,6 +54,13 @@ func main() {
 		fail("loading %s: %v", *dataPath, err)
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d rows x %d attributes\n", tab.Len(), tab.Dims())
+
+	// A nil registry keeps every instrument a no-op; the estimator's hot
+	// paths stay untouched unless -metrics-out asks for a snapshot.
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.New()
+	}
 
 	var est *kdesel.Estimator
 	if *loadPath != "" {
@@ -67,8 +77,10 @@ func main() {
 			fail("closing model: %v", closeErr)
 		}
 		est.SetWorkers(*workers)
+		// Gob persistence does not carry instrumentation; attach it here.
+		est.Instrument(reg)
 	} else {
-		cfg := kdesel.Config{SampleSize: *sampleN, Seed: *seed, Workers: *workers}
+		cfg := kdesel.Config{SampleSize: *sampleN, Seed: *seed, Workers: *workers, Metrics: reg}
 		switch *mode {
 		case "heuristic":
 			cfg.Mode = kdesel.Heuristic
@@ -121,6 +133,20 @@ func main() {
 			}
 		}
 		fmt.Println(line)
+	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fail("creating metrics file: %v", err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			fail("writing metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("closing metrics file: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
 	}
 }
 

@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"kdesel/internal/kde"
 	"kdesel/internal/kernel"
 	"kdesel/internal/loss"
+	"kdesel/internal/metrics"
 	"kdesel/internal/optimize"
 	"kdesel/internal/parallel"
 	"kdesel/internal/query"
@@ -305,6 +307,11 @@ type OptimalConfig struct {
 	// internal/parallel); the knob trades goroutines for wall-clock time
 	// only.
 	Workers int
+	// Metrics, when non-nil, receives optimization telemetry: objective and
+	// gradient evaluation counts, MLSL restarts, L-BFGS-B iterations, and
+	// the end-to-end optimization latency. The selected bandwidth is
+	// bit-identical with or without a registry attached.
+	Metrics *metrics.Registry
 }
 
 func (c OptimalConfig) maxIterations() int {
@@ -372,7 +379,27 @@ func Optimal(data []float64, d int, fbs []query.Feedback, cfg OptimalConfig) ([]
 	// The batched objective walks the sample once per evaluation for all
 	// training feedbacks (and fans the walk out over cfg.Workers); it is
 	// bit-identical to the query-at-a-time kde.Objective.
-	base := kde.ObjectiveBatch(data, d, cfg.kernel(), fbs, cfg.loss(), parallel.PoolFor(cfg.Workers))
+	pool := parallel.PoolFor(cfg.Workers)
+	pool.Instrument(cfg.Metrics)
+	base := kde.ObjectiveBatch(data, d, cfg.kernel(), fbs, cfg.loss(), pool)
+	if cfg.Metrics != nil {
+		// Count evaluations around the base objective — before the log-space
+		// reparametrization below — so both spaces are measured identically.
+		// The nil-registry path leaves base untouched.
+		objEvals := cfg.Metrics.Counter("bandwidth.objective_evals")
+		gradEvals := cfg.Metrics.Counter("bandwidth.gradient_evals")
+		inner := base
+		base = func(h, grad []float64) float64 {
+			objEvals.Inc()
+			if grad != nil {
+				gradEvals.Inc()
+			}
+			return inner(h, grad)
+		}
+		defer func(start time.Time) {
+			cfg.Metrics.Histogram("bandwidth.optimize_seconds").ObserveDuration(time.Since(start))
+		}(time.Now())
+	}
 	scott := Scott(data, d)
 	f := cfg.searchFactor()
 
@@ -419,14 +446,19 @@ func Optimal(data []float64, d int, fbs []query.Feedback, cfg OptimalConfig) ([]
 	if err != nil {
 		return nil, err
 	}
+	cfg.Metrics.Counter("bandwidth.lbfgsb_iterations").Add(int64(best.Iterations))
 	if !cfg.SkipGlobal {
 		global, gerr := optimize.MLSL{
 			Samples: cfg.globalSamples(),
 			Rand:    cfg.Rand,
 			Local:   optimize.LBFGSB{MaxIter: cfg.globalLocalIterations()},
 		}.Minimize(obj, x0, b)
-		if gerr == nil && global.F < best.F {
-			best = global
+		if gerr == nil {
+			// MLSL reports the number of local searches it launched.
+			cfg.Metrics.Counter("bandwidth.mlsl_restarts").Add(int64(global.Iterations))
+			if global.F < best.F {
+				best = global
+			}
 		}
 	}
 

@@ -1,0 +1,67 @@
+package bandwidth
+
+import (
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/metrics"
+	"kdesel/internal/query"
+)
+
+// TestOptimalInstrumented checks that the batch optimizer reports its
+// activity into an attached registry and — crucially — that attaching one
+// does not change the selected bandwidth.
+func TestOptimalInstrumented(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows := clusteredDataset(rng, 800)
+	data := make([]float64, 0, 128*2)
+	for _, r := range rows[:128] {
+		data = append(data, r...)
+	}
+	fbs := make([]query.Feedback, 30)
+	for i := range fbs {
+		c := rows[rng.Intn(len(rows))]
+		w := 0.5 + rng.Float64()*2
+		q := query.NewRange(
+			[]float64{c[0] - w/2, c[1] - w/2},
+			[]float64{c[0] + w/2, c[1] + w/2},
+		)
+		fbs[i] = query.Feedback{Query: q, Actual: trueSelectivity(rows, q)}
+	}
+
+	reg := metrics.New()
+	cfg := func(m *metrics.Registry) OptimalConfig {
+		return OptimalConfig{Rand: rand.New(rand.NewSource(5)), Metrics: m}
+	}
+	plain, err := Optimal(data, 2, fbs, cfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := Optimal(data, 2, fbs, cfg(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range plain {
+		if plain[k] != live[k] {
+			t.Fatalf("metrics changed the selected bandwidth: dim %d %g vs %g", k, plain[k], live[k])
+		}
+	}
+
+	s := reg.Snapshot()
+	if s.Counters["bandwidth.objective_evals"] == 0 {
+		t.Fatal("no objective evaluations counted")
+	}
+	if s.Counters["bandwidth.gradient_evals"] > s.Counters["bandwidth.objective_evals"] {
+		t.Fatal("gradient evaluations exceed objective evaluations")
+	}
+	if s.Counters["bandwidth.lbfgsb_iterations"] == 0 {
+		t.Fatal("no L-BFGS-B iterations counted")
+	}
+	if s.Counters["bandwidth.mlsl_restarts"] == 0 {
+		t.Fatal("no MLSL restarts counted")
+	}
+	h := s.Histograms["bandwidth.optimize_seconds"]
+	if h.Count != 1 {
+		t.Fatalf("optimize_seconds count = %d, want 1", h.Count)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"kdesel/internal/bandwidth"
 	"kdesel/internal/gpu"
@@ -28,6 +29,7 @@ import (
 	"kdesel/internal/kernel"
 	"kdesel/internal/learner"
 	"kdesel/internal/loss"
+	"kdesel/internal/metrics"
 	"kdesel/internal/query"
 	"kdesel/internal/sample"
 	"kdesel/internal/table"
@@ -102,6 +104,15 @@ type Config struct {
 	// goroutines for latency only. It is ignored on the device path, where
 	// the simulated engine models its own parallelism.
 	Workers int
+	// Metrics, when non-nil, receives estimator telemetry: Estimate and
+	// Feedback latency, mini-batch updates applied, karma replacements,
+	// reservoir accept rate, per-dimension bandwidth drift, learner and
+	// optimizer activity, and (on the device path) device accounting. A nil
+	// registry disables all instrumentation: hot paths stay allocation-free
+	// and every computed result is bit-identical either way. Metrics is not
+	// part of the persisted model state (see persist.go); call
+	// Estimator.Instrument after Load to re-attach a registry.
+	Metrics *metrics.Registry
 }
 
 func (c Config) sampleSize() int {
@@ -147,6 +158,7 @@ type Estimator struct {
 	res   *sample.Reservoir
 
 	maintain bool
+	met      coreMetrics
 
 	// Host-path feedback cache (the engine retains its own buffers).
 	lastQ       query.Range
@@ -217,6 +229,9 @@ func Build(tab *table.Table, cfg Config) (*Estimator, error) {
 		if opts.Workers == 0 {
 			opts.Workers = cfg.Workers
 		}
+		if opts.Metrics == nil {
+			opts.Metrics = cfg.Metrics
+		}
 		h, err = bandwidth.Optimal(flat, d, cfg.Training, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: batch bandwidth optimization: %w", err)
@@ -270,7 +285,63 @@ func Build(tab *table.Table, cfg Config) (*Estimator, error) {
 			tab.Subscribe(e)
 		}
 	}
+	e.Instrument(cfg.Metrics)
 	return e, nil
+}
+
+// coreMetrics holds the estimator's resolved instruments. All fields are
+// nil when no registry is attached, which makes every record call a cheap
+// no-op (see internal/metrics).
+type coreMetrics struct {
+	reg         *metrics.Registry
+	estimateSec *metrics.Histogram
+	feedbackSec *metrics.Histogram
+	minibatch   *metrics.Counter
+	karmaRepl   *metrics.Counter
+	resOffers   *metrics.Counter
+	resAccepts  *metrics.Counter
+}
+
+// Instrument attaches a metrics registry to the estimator and all layers
+// beneath it (learner, host worker pool, simulated device). It can be
+// called any time — typically right after Build (Config.Metrics does it
+// automatically) or after Load, since the registry is not part of the
+// persisted model. Passing nil detaches instrumentation. Attaching a
+// registry never changes what the estimator computes.
+func (e *Estimator) Instrument(reg *metrics.Registry) {
+	e.met = coreMetrics{
+		reg:         reg,
+		estimateSec: reg.Histogram("core.estimate_seconds"),
+		feedbackSec: reg.Histogram("core.feedback_seconds"),
+		minibatch:   reg.Counter("core.minibatch_updates"),
+		karmaRepl:   reg.Counter("core.karma_replacements"),
+		resOffers:   reg.Counter("core.reservoir_offers"),
+		resAccepts:  reg.Counter("core.reservoir_accepts"),
+	}
+	if e.learn != nil {
+		e.learn.Instrument(reg)
+	}
+	if e.host != nil {
+		e.host.Pool().Instrument(reg)
+	}
+	if dev := e.Device(); dev != nil {
+		dev.RegisterMetrics(reg)
+	}
+	if reg == nil {
+		return
+	}
+	// Per-dimension bandwidth drift relative to the bandwidth at attach
+	// time, as pull-style gauges evaluated only at snapshot time.
+	h0 := e.Bandwidth()
+	for j := range h0 {
+		j, ref := j, h0[j]
+		reg.RegisterGaugeFunc(fmt.Sprintf("core.bandwidth_drift.dim%d", j), func() float64 {
+			if !(ref > 0) {
+				return 0
+			}
+			return e.Bandwidth()[j] / ref
+		})
+	}
 }
 
 // Mode returns the estimator's mode.
@@ -311,6 +382,7 @@ func (e *Estimator) SetWorkers(n int) {
 	e.cfg.Workers = n
 	if e.host != nil {
 		e.host.SetWorkers(n)
+		e.host.Pool().Instrument(e.met.reg)
 	}
 }
 
@@ -326,6 +398,10 @@ func (e *Estimator) Device() *gpu.Device {
 // a device; the closed form of eq. 13 on the host). Contributions are
 // retained for the subsequent Feedback call.
 func (e *Estimator) Estimate(q query.Range) (float64, error) {
+	if e.met.estimateSec != nil {
+		start := time.Now()
+		defer func() { e.met.estimateSec.ObserveDuration(time.Since(start)) }()
+	}
 	e.queries++
 	if e.eng != nil {
 		est, err := e.eng.Estimate(q)
@@ -355,6 +431,10 @@ func (e *Estimator) Estimate(q query.Range) (float64, error) {
 func (e *Estimator) Feedback(q query.Range, actual float64) error {
 	if e.cfg.Mode != Adaptive {
 		return nil
+	}
+	if e.met.feedbackSec != nil {
+		start := time.Now()
+		defer func() { e.met.feedbackSec.ObserveDuration(time.Since(start)) }()
 	}
 	if !e.hasEst || !e.lastQ.Equal(q) {
 		if _, err := e.Estimate(q); err != nil {
@@ -393,6 +473,7 @@ func (e *Estimator) Feedback(q query.Range, actual float64) error {
 		return err
 	}
 	if updated {
+		e.met.minibatch.Inc()
 		if err := e.SetBandwidth(h); err != nil {
 			return err
 		}
@@ -452,6 +533,7 @@ func (e *Estimator) FeedbackBatch(fbs []query.Feedback) error {
 		}
 	}
 	updates, oerr := e.learn.ObserveBatch(grads, h)
+	e.met.minibatch.Add(int64(updates))
 	if updates > 0 {
 		if err := e.SetBandwidth(h); err != nil {
 			return err
@@ -487,6 +569,7 @@ func (e *Estimator) maintainSample(q query.Range, actual float64) error {
 			if err := e.replacePoint(i, row); err != nil {
 				return err
 			}
+			e.met.karmaRepl.Inc()
 		}
 	}
 	return nil
@@ -521,6 +604,9 @@ func (e *Estimator) Reoptimize(fbs []query.Feedback) error {
 	if opts.Workers == 0 {
 		opts.Workers = e.cfg.Workers
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = e.met.reg
+	}
 	h, err := bandwidth.Optimal(flat, e.d, fbs, opts)
 	if err != nil {
 		return err
@@ -545,10 +631,12 @@ func (e *Estimator) OnInsert(row []float64) {
 	if e.res == nil {
 		return
 	}
+	e.met.resOffers.Inc()
 	slot, accept := e.res.Offer()
 	if !accept {
 		return
 	}
+	e.met.resAccepts.Inc()
 	r := make([]float64, len(row))
 	copy(r, row)
 	if err := e.replacePoint(slot, r); err != nil {

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/gpu"
+	"kdesel/internal/metrics"
+	"kdesel/internal/query"
+)
+
+// driveAdaptive runs an estimate+feedback loop against the table's true
+// selectivities.
+func driveAdaptive(t *testing.T, e *Estimator, queries []query.Range) {
+	t.Helper()
+	tab := e.tab
+	for _, q := range queries {
+		if _, err := e.Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+		actual, err := tab.Selectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Feedback(q, actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEstimatorMetricsEndToEnd drives an instrumented adaptive estimator on
+// the host path and checks that every layer reported into the registry with
+// mutually consistent values.
+func TestEstimatorMetricsEndToEnd(t *testing.T) {
+	tab := buildClusteredTable(t, 600, 5)
+	reg := metrics.New()
+	e, err := Build(tab, Config{
+		Mode:       Adaptive,
+		SampleSize: 128,
+		Seed:       9,
+		Workers:    2,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const n = 40
+	qs := make([]query.Range, n)
+	for i := range qs {
+		qs[i] = dataQuery(tab, rng, 1.5)
+	}
+	driveAdaptive(t, e, qs)
+	for i := 0; i < 300; i++ {
+		_ = tab.Insert([]float64{rng.NormFloat64(), rng.NormFloat64()})
+	}
+
+	s := reg.Snapshot()
+	est := s.Histograms["core.estimate_seconds"]
+	if est.Count != int64(n) {
+		t.Fatalf("core.estimate_seconds count = %d, want %d", est.Count, n)
+	}
+	fb := s.Histograms["core.feedback_seconds"]
+	if fb.Count != int64(n) {
+		t.Fatalf("core.feedback_seconds count = %d, want %d", fb.Count, n)
+	}
+	// Default mini-batch size is 10, so 40 feedbacks apply 4 updates; the
+	// learner's own counter must agree with core's.
+	if s.Counters["core.minibatch_updates"] != 4 {
+		t.Fatalf("core.minibatch_updates = %d, want 4", s.Counters["core.minibatch_updates"])
+	}
+	if s.Counters["learner.updates"] != s.Counters["core.minibatch_updates"] {
+		t.Fatalf("learner.updates %d != core.minibatch_updates %d",
+			s.Counters["learner.updates"], s.Counters["core.minibatch_updates"])
+	}
+	if s.Counters["core.reservoir_offers"] != 300 {
+		t.Fatalf("core.reservoir_offers = %d, want 300", s.Counters["core.reservoir_offers"])
+	}
+	if s.Counters["core.reservoir_accepts"] > s.Counters["core.reservoir_offers"] {
+		t.Fatal("reservoir accepts exceed offers")
+	}
+	if s.Gauges["parallel.workers"] != 2 {
+		t.Fatalf("parallel.workers = %g, want 2", s.Gauges["parallel.workers"])
+	}
+	if s.Counters["parallel.runs"] == 0 || s.Counters["parallel.chunks"] == 0 {
+		t.Fatal("pool dispatched no instrumented work")
+	}
+	for _, name := range []string{"core.bandwidth_drift.dim0", "core.bandwidth_drift.dim1"} {
+		if v, ok := s.Gauges[name]; !ok || !(v > 0) {
+			t.Fatalf("%s = %g (present=%v), want positive", name, v, ok)
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("snapshot is not valid JSON: %s", buf.String())
+	}
+}
+
+// TestMetricsDoNotPerturbResults asserts the bit-identity contract: an
+// instrumented estimator must produce exactly the same estimates and
+// bandwidth trajectory as an uninstrumented one.
+func TestMetricsDoNotPerturbResults(t *testing.T) {
+	build := func(reg *metrics.Registry) *Estimator {
+		tab := buildClusteredTable(t, 500, 3)
+		e, err := Build(tab, Config{Mode: Adaptive, SampleSize: 96, Seed: 4, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	plain := build(nil)
+	live := build(metrics.New())
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		q := dataQuery(plain.tab, rng, 1.2)
+		a, err := plain.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := live.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("query %d: estimates diverge: %g vs %g", i, a, b)
+		}
+		actual, err := plain.tab.Selectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.Feedback(q, actual); err != nil {
+			t.Fatal(err)
+		}
+		if err := live.Feedback(q, actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ha, hb := plain.Bandwidth(), live.Bandwidth()
+	for j := range ha {
+		if ha[j] != hb[j] {
+			t.Fatalf("bandwidths diverge in dim %d: %g vs %g", j, ha[j], hb[j])
+		}
+	}
+}
+
+// TestDeviceMetricsBridged checks the gpu.Device gauge bridge on the
+// device path.
+func TestDeviceMetricsBridged(t *testing.T) {
+	tab := buildClusteredTable(t, 400, 7)
+	dev, err := gpu.NewDevice(gpu.GTX460())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 64, Device: dev, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5; i++ {
+		if _, err := e.Estimate(dataQuery(tab, rng, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := reg.Snapshot()
+	if s.Gauges["gpu.kernel_launches"] <= 0 {
+		t.Fatalf("gpu.kernel_launches = %g, want positive", s.Gauges["gpu.kernel_launches"])
+	}
+	if s.Gauges["gpu.clock_seconds"] <= 0 {
+		t.Fatalf("gpu.clock_seconds = %g, want positive", s.Gauges["gpu.clock_seconds"])
+	}
+	if s.Gauges["gpu.bytes_to_device"] <= 0 {
+		t.Fatalf("gpu.bytes_to_device = %g, want positive", s.Gauges["gpu.bytes_to_device"])
+	}
+}

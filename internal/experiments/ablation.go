@@ -6,6 +6,7 @@ import (
 
 	"kdesel/internal/core"
 	"kdesel/internal/kernel"
+	"kdesel/internal/metrics"
 	"kdesel/internal/stats"
 	"kdesel/internal/table"
 	"kdesel/internal/workload"
@@ -30,6 +31,9 @@ type AblationConfig struct {
 	Workload workload.Kind
 	// Seed drives all randomness.
 	Seed int64
+	// Metrics, when non-nil, instruments every KDE estimator built during
+	// the run; the result carries a final snapshot.
+	Metrics *metrics.Registry
 }
 
 func (c AblationConfig) withDefaults() AblationConfig {
@@ -68,6 +72,9 @@ type AblationRow struct {
 type AblationResult struct {
 	Name string
 	Rows []AblationRow
+	// Metrics is the instrumentation snapshot at the end of the run; nil
+	// when Config.Metrics was nil.
+	Metrics *metrics.Snapshot
 }
 
 // WriteTable renders the ablation as one row per variant.
@@ -105,6 +112,7 @@ func runVariants(cfg AblationConfig, name string, variants []struct {
 				budget:        cfg.SampleSize * 8 * cfg.Dims,
 				train:         train,
 				seed:          repSeed,
+				metrics:       cfg.Metrics,
 				coreOverrides: v.build,
 			})
 			if err != nil {
@@ -128,6 +136,7 @@ func runVariants(cfg AblationConfig, name string, variants []struct {
 			Summary: stats.Summarize(errsByVariant[vi]),
 		})
 	}
+	res.Metrics = snapshotOf(cfg.Metrics)
 	return res, nil
 }
 
@@ -236,6 +245,7 @@ func AblationKarma(cfg AblationConfig) (*AblationResult, error) {
 			Label: v.label, Errors: finals, Summary: stats.Summarize(finals),
 		})
 	}
+	res.Metrics = snapshotOf(cfg.Metrics)
 	return res, nil
 }
 
@@ -248,10 +258,11 @@ func runEvolvingAdaptive(ev *workload.Evolving, cfg AblationConfig, seed int64, 
 		return 0, 0, err
 	}
 	e, err := buildEstimator(buildSpec{
-		name:   "Adaptive",
-		tab:    tab,
-		budget: cfg.SampleSize * 8 * cfg.Dims,
-		seed:   seed,
+		name:    "Adaptive",
+		tab:     tab,
+		budget:  cfg.SampleSize * 8 * cfg.Dims,
+		seed:    seed,
+		metrics: cfg.Metrics,
 		coreOverrides: func(c *core.Config) {
 			c.SampleSize = cfg.SampleSize
 			mod(c)

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 
+	"kdesel/internal/metrics"
 	"kdesel/internal/table"
 	"kdesel/internal/workload"
 )
@@ -27,6 +28,9 @@ type ChangingConfig struct {
 	Window int
 	// Seed drives all randomness.
 	Seed int64
+	// Metrics, when non-nil, instruments every KDE estimator built during
+	// the run; the result carries a final snapshot.
+	Metrics *metrics.Registry
 }
 
 func (c ChangingConfig) withDefaults() ChangingConfig {
@@ -65,6 +69,9 @@ type ChangingResult struct {
 	// repetitions) — the black line on top of Figure 8.
 	Tuples []float64
 	Series []ChangingSeries
+	// Metrics is the instrumentation snapshot at the end of the run; nil
+	// when Config.Metrics was nil.
+	Metrics *metrics.Snapshot
 }
 
 // Changing runs the Figure 8 protocol: per repetition, load the initial
@@ -97,6 +104,7 @@ func Changing(cfg ChangingConfig) (*ChangingResult, error) {
 		for _, name := range cfg.Estimators {
 			e, err := buildEstimator(buildSpec{
 				name: name, tab: tab, budget: budget, seed: repSeed,
+				metrics: cfg.Metrics,
 			})
 			if err != nil {
 				return nil, err
@@ -179,6 +187,7 @@ func Changing(cfg ChangingConfig) (*ChangingResult, error) {
 		}
 		res.Series = append(res.Series, series)
 	}
+	res.Metrics = snapshotOf(cfg.Metrics)
 	return res, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"kdesel/internal/genhist"
 	"kdesel/internal/gpu"
 	"kdesel/internal/mdhist"
+	"kdesel/internal/metrics"
 	"kdesel/internal/query"
 	"kdesel/internal/stholes"
 	"kdesel/internal/table"
@@ -110,8 +111,22 @@ type buildSpec struct {
 	train  []query.Feedback
 	seed   int64
 	device *gpu.Device
+	// metrics, when non-nil, instruments the KDE estimators built from this
+	// spec (shared across all of a driver's builds).
+	metrics *metrics.Registry
 	// coreOverrides lets ablations adjust the core config after defaults.
 	coreOverrides func(*core.Config)
+}
+
+// snapshotOf exports the registry's state for attaching to an experiment
+// result; nil in, nil out, so uninstrumented runs serialize without an
+// empty metrics blob.
+func snapshotOf(r *metrics.Registry) *metrics.Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	return &s
 }
 
 // tableRows exposes the table's rows as a slice view for the offline
@@ -198,6 +213,7 @@ func buildEstimator(spec buildSpec) (estimator, error) {
 			Seed:       spec.seed,
 			Device:     spec.device,
 			Training:   spec.train, // consumed only in Batch mode
+			Metrics:    spec.metrics,
 		}
 		switch spec.name {
 		case "Heuristic":

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"kdesel/internal/core"
+	"kdesel/internal/metrics"
 	"kdesel/internal/stats"
 	"kdesel/internal/workload"
 )
@@ -31,6 +32,9 @@ type ModelSizeConfig struct {
 	Workload workload.Kind
 	// Seed drives all randomness.
 	Seed int64
+	// Metrics, when non-nil, instruments every KDE estimator built during
+	// the run; the result carries a final snapshot.
+	Metrics *metrics.Registry
 }
 
 func (c ModelSizeConfig) withDefaults() ModelSizeConfig {
@@ -76,6 +80,9 @@ type ModelSizePoint struct {
 type ModelSizeResult struct {
 	Config ModelSizeConfig
 	Points []ModelSizePoint
+	// Metrics is the instrumentation snapshot at the end of the run; nil
+	// when Config.Metrics was nil.
+	Metrics *metrics.Snapshot
 }
 
 // ModelSize runs the Figure 6 sweep. The KDE sample size is set directly
@@ -97,11 +104,12 @@ func ModelSize(cfg ModelSizeConfig) (*ModelSizeResult, error) {
 			}
 			for _, name := range cfg.Estimators {
 				e, err := buildEstimator(buildSpec{
-					name:   name,
-					tab:    tab,
-					budget: size * 8 * cfg.Dims, // direct sample-size control
-					train:  train,
-					seed:   repSeed,
+					name:    name,
+					tab:     tab,
+					budget:  size * 8 * cfg.Dims, // direct sample-size control
+					train:   train,
+					seed:    repSeed,
+					metrics: cfg.Metrics,
 					coreOverrides: func(c *core.Config) {
 						c.SampleSize = size
 						// Bound the optimization budget at large model
@@ -136,6 +144,7 @@ func ModelSize(cfg ModelSizeConfig) (*ModelSizeResult, error) {
 			})
 		}
 	}
+	res.Metrics = snapshotOf(cfg.Metrics)
 	return res, nil
 }
 

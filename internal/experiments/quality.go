@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"kdesel/internal/metrics"
 	"kdesel/internal/stats"
 	"kdesel/internal/workload"
 )
@@ -34,6 +35,9 @@ type QualityConfig struct {
 	BudgetBytesPerDim int
 	// Seed drives all randomness.
 	Seed int64
+	// Metrics, when non-nil, instruments every KDE estimator built during
+	// the run; the result carries a final snapshot.
+	Metrics *metrics.Registry
 }
 
 func (c QualityConfig) withDefaults() QualityConfig {
@@ -81,6 +85,9 @@ type QualityCell struct {
 type QualityResult struct {
 	Config QualityConfig
 	Cells  []QualityCell
+	// Metrics is the instrumentation snapshot at the end of the run; nil
+	// when Config.Metrics was nil.
+	Metrics *metrics.Snapshot
 }
 
 // Quality runs the §6.2 protocol: per repetition, draw train/test queries,
@@ -107,11 +114,12 @@ func Quality(cfg QualityConfig) (*QualityResult, error) {
 				}
 				for _, name := range cfg.Estimators {
 					e, err := buildEstimator(buildSpec{
-						name:   name,
-						tab:    tab,
-						budget: budget,
-						train:  train,
-						seed:   repSeed, // identical sample across KDE estimators
+						name:    name,
+						tab:     tab,
+						budget:  budget,
+						train:   train,
+						seed:    repSeed, // identical sample across KDE estimators
+						metrics: cfg.Metrics,
 					})
 					if err != nil {
 						return nil, fmt.Errorf("%s/%s/%s rep %d: %w", dsName, kind, name, rep, err)
@@ -138,6 +146,7 @@ func Quality(cfg QualityConfig) (*QualityResult, error) {
 			}
 		}
 	}
+	res.Metrics = snapshotOf(cfg.Metrics)
 	return res, nil
 }
 

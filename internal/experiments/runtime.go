@@ -8,6 +8,7 @@ import (
 	"kdesel/internal/core"
 	"kdesel/internal/datagen"
 	"kdesel/internal/gpu"
+	"kdesel/internal/metrics"
 	"kdesel/internal/query"
 	"kdesel/internal/stholes"
 	"kdesel/internal/table"
@@ -38,6 +39,9 @@ type RuntimeConfig struct {
 	// the host parallel runtime's scaling rather than the paper's modeled
 	// hardware.
 	HostWorkers []int
+	// Metrics, when non-nil, instruments every KDE estimator built during
+	// the run; the result carries a final snapshot.
+	Metrics *metrics.Registry
 }
 
 func (c RuntimeConfig) withDefaults() RuntimeConfig {
@@ -76,6 +80,9 @@ type RuntimePoint struct {
 type RuntimeResult struct {
 	Config RuntimeConfig
 	Points []RuntimePoint
+	// Metrics is the instrumentation snapshot at the end of the run; nil
+	// when Config.Metrics was nil.
+	Metrics *metrics.Snapshot
 }
 
 // stholesPerBucketCost models the sequential per-bucket estimation cost of
@@ -120,19 +127,19 @@ func Runtime(cfg RuntimeConfig) (*RuntimeResult, error) {
 	}
 	for _, size := range cfg.Sizes {
 		for _, p := range profiles {
-			heur, err := measureHeuristic(tab, size, p.profile, cfg.Seed, fbs)
+			heur, err := measureHeuristic(tab, size, p.profile, cfg.Seed, fbs, cfg.Metrics)
 			if err != nil {
 				return nil, err
 			}
 			res.Points = append(res.Points, RuntimePoint{"Heuristic", p.label, size, heur, 0})
-			adpt, err := measureAdaptive(tab, size, p.profile, cfg.Seed, fbs)
+			adpt, err := measureAdaptive(tab, size, p.profile, cfg.Seed, fbs, cfg.Metrics)
 			if err != nil {
 				return nil, err
 			}
 			res.Points = append(res.Points, RuntimePoint{"Adaptive", p.label, size, adpt, 0})
 		}
 		for _, w := range cfg.HostWorkers {
-			host, err := measureHostHeuristic(tab, size, cfg.Seed, fbs, w)
+			host, err := measureHostHeuristic(tab, size, cfg.Seed, fbs, w, cfg.Metrics)
 			if err != nil {
 				return nil, err
 			}
@@ -143,15 +150,17 @@ func Runtime(cfg RuntimeConfig) (*RuntimeResult, error) {
 		per := time.Duration(buckets*cfg.Dims) * stholesPerBucketCostPerDim
 		res.Points = append(res.Points, RuntimePoint{"STHoles", "seq", size, per, 0})
 	}
+	res.Metrics = snapshotOf(cfg.Metrics)
 	return res, nil
 }
 
 // measureHostHeuristic times the real (non-simulated) host execution path:
 // wall-clock per-query estimation cost with the host parallel runtime at
 // the given worker count.
-func measureHostHeuristic(tab *table.Table, size int, seed int64, fbs []query.Feedback, workers int) (time.Duration, error) {
+func measureHostHeuristic(tab *table.Table, size int, seed int64, fbs []query.Feedback, workers int, reg *metrics.Registry) (time.Duration, error) {
 	est, err := core.Build(tab, core.Config{
 		Mode: core.Heuristic, SampleSize: size, Seed: seed, Workers: workers,
+		Metrics: reg,
 	})
 	if err != nil {
 		return 0, err
@@ -170,13 +179,14 @@ func measureHostHeuristic(tab *table.Table, size int, seed int64, fbs []query.Fe
 	return time.Since(start) / time.Duration(len(fbs)), nil
 }
 
-func measureHeuristic(tab *table.Table, size int, profile gpu.Profile, seed int64, fbs []query.Feedback) (time.Duration, error) {
+func measureHeuristic(tab *table.Table, size int, profile gpu.Profile, seed int64, fbs []query.Feedback, reg *metrics.Registry) (time.Duration, error) {
 	dev, err := gpu.NewDevice(profile)
 	if err != nil {
 		return 0, err
 	}
 	est, err := core.Build(tab, core.Config{
 		Mode: core.Heuristic, SampleSize: size, Seed: seed, Device: dev,
+		Metrics: reg,
 	})
 	if err != nil {
 		return 0, err
@@ -190,13 +200,14 @@ func measureHeuristic(tab *table.Table, size int, profile gpu.Profile, seed int6
 	return dev.Clock() / time.Duration(len(fbs)), nil
 }
 
-func measureAdaptive(tab *table.Table, size int, profile gpu.Profile, seed int64, fbs []query.Feedback) (time.Duration, error) {
+func measureAdaptive(tab *table.Table, size int, profile gpu.Profile, seed int64, fbs []query.Feedback, reg *metrics.Registry) (time.Duration, error) {
 	dev, err := gpu.NewDevice(profile)
 	if err != nil {
 		return 0, err
 	}
 	est, err := core.Build(tab, core.Config{
 		Mode: core.Adaptive, SampleSize: size, Seed: seed, Device: dev,
+		Metrics: reg,
 	})
 	if err != nil {
 		return 0, err

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"kdesel/internal/metrics"
 	"kdesel/internal/query"
 	"kdesel/internal/table"
 )
@@ -31,6 +32,9 @@ type WorkloadShiftConfig struct {
 	Repetitions int
 	// Seed drives all randomness.
 	Seed int64
+	// Metrics, when non-nil, instruments every KDE estimator built during
+	// the run; the result carries a final snapshot.
+	Metrics *metrics.Registry
 }
 
 func (c WorkloadShiftConfig) withDefaults() WorkloadShiftConfig {
@@ -62,6 +66,9 @@ type WorkloadShiftResult struct {
 	ShiftAt    int
 	QueryIndex []int
 	Series     []ChangingSeries // reusing the estimator/error-series shape
+	// Metrics is the instrumentation snapshot at the end of the run; nil
+	// when Config.Metrics was nil.
+	Metrics *metrics.Snapshot
 }
 
 // WorkloadShift runs the experiment: phase 1 queries center on rows from
@@ -137,7 +144,7 @@ func WorkloadShift(cfg WorkloadShiftConfig) (*WorkloadShiftResult, error) {
 		for _, name := range names {
 			e, err := buildEstimator(buildSpec{
 				name: name, tab: tab, budget: cfg.SampleSize * 8 * cfg.Dims,
-				train: train, seed: repSeed,
+				train: train, seed: repSeed, metrics: cfg.Metrics,
 			})
 			if err != nil {
 				return nil, err
@@ -188,6 +195,7 @@ func WorkloadShift(cfg WorkloadShiftConfig) (*WorkloadShiftResult, error) {
 		}
 		res.Series = append(res.Series, s)
 	}
+	res.Metrics = snapshotOf(cfg.Metrics)
 	return res, nil
 }
 

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"kdesel/internal/metrics"
 )
 
 // Profile describes the performance characteristics of a simulated device.
@@ -107,6 +109,20 @@ func (d *Device) Clock() time.Duration { return d.stats.Clock }
 
 // ResetStats zeroes the clock and counters, e.g. between measurement runs.
 func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// RegisterMetrics bridges the device's Stats into a metrics registry as
+// pull-style gauges (gpu.clock_seconds, gpu.kernel_launches, gpu.transfers,
+// gpu.bytes_to_device, gpu.bytes_from_device), evaluated at snapshot time so
+// the device's accounting hot path is untouched. No-op on a nil registry.
+// Snapshots must not race with device use: the device itself is not safe
+// for concurrent use, and neither are these gauges.
+func (d *Device) RegisterMetrics(r *metrics.Registry) {
+	r.RegisterGaugeFunc("gpu.clock_seconds", func() float64 { return d.stats.Clock.Seconds() })
+	r.RegisterGaugeFunc("gpu.kernel_launches", func() float64 { return float64(d.stats.KernelLaunches) })
+	r.RegisterGaugeFunc("gpu.transfers", func() float64 { return float64(d.stats.Transfers) })
+	r.RegisterGaugeFunc("gpu.bytes_to_device", func() float64 { return float64(d.stats.BytesToDevice) })
+	r.RegisterGaugeFunc("gpu.bytes_from_device", func() float64 { return float64(d.stats.BytesFromDevice) })
+}
 
 // Buffer is device-resident memory holding float64 values. Host code must
 // use CopyToDevice/CopyFromDevice to move data in or out; kernels launched

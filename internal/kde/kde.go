@@ -117,6 +117,10 @@ func (e *Estimator) SetWorkers(n int) { e.pool = parallel.PoolFor(n) }
 // Workers returns the effective worker count (1 when serial).
 func (e *Estimator) Workers() int { return e.pool.Workers() }
 
+// Pool returns the installed worker pool (nil when serial), e.g. for
+// attaching instrumentation to it.
+func (e *Estimator) Pool() *parallel.Pool { return e.pool }
+
 // SetDimensionKernels installs one kernel per dimension, enabling mixed
 // continuous/discrete models (future work §8): e.g. Gaussian kernels on
 // continuous attributes and Categorical kernels on discrete ones. A nil

@@ -8,18 +8,29 @@ package learner
 import (
 	"fmt"
 	"math"
+
+	"kdesel/internal/metrics"
 )
 
+// ExplicitZero is a sentinel for Config fields whose literal zero value
+// selects a paper default: assigning ExplicitZero (any NaN works) requests
+// the actual value zero instead. E.g. Config{Alpha: learner.ExplicitZero}
+// disables the running-average smoothing entirely, which plain Alpha: 0
+// cannot express because it resolves to the default 0.9.
+var ExplicitZero = math.NaN()
+
 // Config carries the tuning parameters of Listing 1. Zero values select the
-// paper's defaults.
+// paper's defaults; where an actual zero is meaningful (Alpha, EtaMin,
+// InitialRate), request it with ExplicitZero.
 type Config struct {
 	// BatchSize is the mini-batch size N (paper: around 10).
 	BatchSize int
 	// Alpha is the smoothing rate for the running average of squared
-	// gradient magnitudes (paper: 0.9).
+	// gradient magnitudes (paper: 0.9). ExplicitZero requests no smoothing.
 	Alpha float64
 	// EtaMin and EtaMax bound the per-dimension learning rates
-	// (paper/[42]: 1e-6 and 50).
+	// (paper/[42]: 1e-6 and 50). EtaMin: ExplicitZero removes the lower
+	// bound.
 	EtaMin float64
 	EtaMax float64
 	// Inc and Dec are the multiplicative learning-rate adjustments applied
@@ -27,6 +38,7 @@ type Config struct {
 	Inc float64
 	Dec float64
 	// InitialRate is the starting per-dimension learning rate (default 1).
+	// ExplicitZero freezes the learner at rate zero.
 	InitialRate float64
 	// Logarithmic switches to Appendix-D updates of ln(h): the gradient is
 	// scaled by h (eq. 18), the update is applied in log space, and the
@@ -34,28 +46,35 @@ type Config struct {
 	Logarithmic bool
 }
 
+// defaultOrZero resolves the zero-value ambiguity of a Config field: the
+// ExplicitZero sentinel (NaN) means the literal value zero, a non-positive
+// value means "use the default def", anything else passes through.
+func defaultOrZero(v, def float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
 func (c Config) withDefaults() Config {
 	if c.BatchSize <= 0 {
 		c.BatchSize = 10
 	}
-	if c.Alpha <= 0 {
-		c.Alpha = 0.9
-	}
-	if c.EtaMin <= 0 {
-		c.EtaMin = 1e-6
-	}
-	if c.EtaMax <= 0 {
+	c.Alpha = defaultOrZero(c.Alpha, 0.9)
+	c.EtaMin = defaultOrZero(c.EtaMin, 1e-6)
+	if c.EtaMax <= 0 || math.IsNaN(c.EtaMax) {
 		c.EtaMax = 50
 	}
-	if c.Inc <= 0 {
+	if c.Inc <= 0 || math.IsNaN(c.Inc) {
 		c.Inc = 1.2
 	}
-	if c.Dec <= 0 {
+	if c.Dec <= 0 || math.IsNaN(c.Dec) {
 		c.Dec = 0.5
 	}
-	if c.InitialRate <= 0 {
-		c.InitialRate = 1
-	}
+	c.InitialRate = defaultOrZero(c.InitialRate, 1)
 	return c
 }
 
@@ -73,6 +92,43 @@ type RMSprop struct {
 	prevSign []int8    // sign of the previous averaged gradient
 	rates    []float64 // per-dimension learning rates
 	steps    int       // completed mini-batch updates
+	ins      instruments
+}
+
+// instruments holds the learner's optional metrics; the zero value (all nil
+// instruments) is the uninstrumented no-op state.
+type instruments struct {
+	updates *metrics.Counter // mini-batch updates applied
+	clamps  *metrics.Counter // positivity/log-step safeguards triggered
+	rateMin *metrics.Gauge   // smallest current per-dimension learning rate
+	rateMax *metrics.Gauge   // largest current per-dimension learning rate
+}
+
+func newInstruments(r *metrics.Registry) instruments {
+	return instruments{
+		updates: r.Counter("learner.updates"),
+		clamps:  r.Counter("learner.safeguard_clamps"),
+		rateMin: r.Gauge("learner.rate_min"),
+		rateMax: r.Gauge("learner.rate_max"),
+	}
+}
+
+// publishRates exports the learning-rate spread after an update.
+func (ins *instruments) publishRates(rates []float64) {
+	if ins.rateMin == nil {
+		return
+	}
+	lo, hi := rates[0], rates[0]
+	for _, v := range rates[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	ins.rateMin.Set(lo)
+	ins.rateMax.Set(hi)
 }
 
 // NewRMSprop returns a learner for d-dimensional bandwidths.
@@ -93,6 +149,14 @@ func NewRMSprop(d int, cfg Config) (*RMSprop, error) {
 		r.rates[i] = cfg.InitialRate
 	}
 	return r, nil
+}
+
+// Instrument attaches the learner's metrics (learner.updates,
+// learner.safeguard_clamps, learner.rate_min/max) to reg. A nil registry
+// detaches: every instrument becomes a no-op again. Call at setup time, not
+// concurrently with Observe.
+func (r *RMSprop) Instrument(reg *metrics.Registry) {
+	r.ins = newInstruments(reg)
 }
 
 // BatchSize returns the configured mini-batch size.
@@ -120,10 +184,15 @@ func (r *RMSprop) Observe(grad, h []float64) (bool, error) {
 	if len(grad) != r.d || len(h) != r.d {
 		return false, fmt.Errorf("learner: gradient/bandwidth dims (%d,%d), want %d", len(grad), len(h), r.d)
 	}
+	// Validate the whole gradient before touching any state: rejecting at
+	// component j after folding components 0..j-1 into the open mini-batch
+	// would silently corrupt the next update.
 	for j, gj := range grad {
 		if math.IsNaN(gj) || math.IsInf(gj, 0) {
 			return false, fmt.Errorf("learner: non-finite gradient component %d: %g", j, gj)
 		}
+	}
+	for j, gj := range grad {
 		if r.cfg.Logarithmic {
 			gj *= h[j] // ∂L/∂ln(h) = ∂L/∂h · h (eq. 18)
 		}
@@ -171,6 +240,26 @@ func (r *RMSprop) Flush(h []float64) bool {
 	return true
 }
 
+// maxLogStep bounds one logarithmic-mode update of ln(h) to ±ln 2, i.e. a
+// per-update change of at most a factor of two in either direction. The
+// shrinking half mirrors the §4.1 positivity safeguard exactly (h may at
+// most halve per update); the growing half is its symmetric counterpart,
+// needed because an unclamped log step of EtaMax (default 50) multiplies h
+// by e^50 ≈ 5·10^21 — a few such steps overflow h to +Inf (or underflow it
+// to 0), permanently wedging the bandwidth.
+const maxLogStep = math.Ln2
+
+// clampLogStep bounds a log-space step and reports whether it clamped.
+func clampLogStep(delta float64) (float64, bool) {
+	if delta > maxLogStep {
+		return maxLogStep, true
+	}
+	if delta < -maxLogStep {
+		return -maxLogStep, true
+	}
+	return delta, false
+}
+
 func (r *RMSprop) apply(h []float64) {
 	const eps = 1e-8
 	n := float64(r.batchN)
@@ -195,6 +284,11 @@ func (r *RMSprop) apply(h []float64) {
 		// Scaled update (line 17).
 		delta := r.rates[j] * g / math.Sqrt(r.msAvg[j]+eps)
 		if r.cfg.Logarithmic {
+			var clamped bool
+			delta, clamped = clampLogStep(delta)
+			if clamped {
+				r.ins.clamps.Inc()
+			}
 			h[j] = math.Exp(math.Log(h[j]) - delta)
 		} else {
 			next := h[j] - delta
@@ -202,6 +296,7 @@ func (r *RMSprop) apply(h []float64) {
 			// most half the current value (§4.1).
 			if next < h[j]/2 {
 				next = h[j] / 2
+				r.ins.clamps.Inc()
 			}
 			h[j] = next
 		}
@@ -210,6 +305,8 @@ func (r *RMSprop) apply(h []float64) {
 	}
 	r.batchN = 0
 	r.steps++
+	r.ins.updates.Inc()
+	r.ins.publishRates(r.rates)
 }
 
 func signOf(v float64) int8 {
@@ -257,6 +354,14 @@ func (r *Rprop) Observe(grad, h []float64) error {
 	if len(grad) != r.d || len(h) != r.d {
 		return fmt.Errorf("learner: gradient/bandwidth dims (%d,%d), want %d", len(grad), len(h), r.d)
 	}
+	// Validate the whole gradient before mutating any state (step sizes,
+	// previous signs, or the bandwidth itself) so a rejected observation
+	// leaves the learner exactly as it was.
+	for j, gj := range grad {
+		if math.IsNaN(gj) || math.IsInf(gj, 0) {
+			return fmt.Errorf("learner: non-finite gradient component %d: %g", j, gj)
+		}
+	}
 	for j := 0; j < r.d; j++ {
 		g := grad[j]
 		if r.cfg.Logarithmic {
@@ -274,6 +379,9 @@ func (r *Rprop) Observe(grad, h []float64) error {
 		r.prevSign[j] = s
 		delta := float64(s) * r.steps[j]
 		if r.cfg.Logarithmic {
+			// Same log-space safeguard as RMSprop.apply: an unclamped step
+			// of EtaMax overflows/underflows h and wedges the bandwidth.
+			delta, _ = clampLogStep(delta)
 			h[j] = math.Exp(math.Log(h[j]) - delta)
 		} else {
 			next := h[j] - delta

@@ -1,0 +1,224 @@
+package learner
+
+import (
+	"math"
+	"testing"
+
+	"kdesel/internal/metrics"
+)
+
+// TestObserveRejectsNonFiniteGradientWithoutSideEffects is the regression
+// test for the partial-accumulation bug: a NaN/Inf in gradient component
+// j>0 must not leave components 0..j-1 folded into the open mini-batch.
+func TestObserveRejectsNonFiniteGradientWithoutSideEffects(t *testing.T) {
+	cfg := Config{BatchSize: 2}
+	poisoned, err := NewRMSprop(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := NewRMSprop(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g1 := []float64{1, 2, 3}
+	g2 := []float64{-4, 5, -6}
+	hPoisoned := []float64{1, 1, 1}
+	hClean := []float64{1, 1, 1}
+
+	if _, err := poisoned.Observe(g1, hPoisoned); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.Observe(g1, hClean); err != nil {
+		t.Fatal(err)
+	}
+
+	// The poisoned learner sees a gradient that is finite in component 0
+	// but NaN in component 1; it must reject it atomically.
+	if _, err := poisoned.Observe([]float64{7, math.NaN(), 9}, hPoisoned); err == nil {
+		t.Fatal("expected an error for a NaN gradient component")
+	}
+	if got := poisoned.Pending(); got != 1 {
+		t.Fatalf("rejected gradient changed Pending: got %d, want 1", got)
+	}
+
+	// Completing the mini-batch must now produce the exact same update as
+	// the learner that never saw the bad gradient.
+	for _, l := range []*RMSprop{poisoned, clean} {
+		h := hPoisoned
+		if l == clean {
+			h = hClean
+		}
+		applied, err := l.Observe(g2, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !applied {
+			t.Fatal("mini-batch of 2 should have applied an update")
+		}
+	}
+	for j := range hPoisoned {
+		if hPoisoned[j] != hClean[j] {
+			t.Fatalf("bandwidth diverged after rejected gradient: dim %d got %g, want %g",
+				j, hPoisoned[j], hClean[j])
+		}
+	}
+}
+
+// TestRpropRejectsNonFiniteGradient covers the same atomicity contract for
+// Rprop, which previously performed no finiteness check at all.
+func TestRpropRejectsNonFiniteGradient(t *testing.T) {
+	r, err := NewRprop(2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := []float64{1, 1}
+	if err := r.Observe([]float64{math.Inf(1), 1}, h); err == nil {
+		t.Fatal("expected an error for an Inf gradient component")
+	}
+	if h[0] != 1 || h[1] != 1 {
+		t.Fatalf("rejected gradient mutated the bandwidth: %v", h)
+	}
+	// Internal adaptation state must be untouched too: the next valid
+	// observation behaves exactly like the first one of a fresh learner.
+	fresh, err := NewRprop(2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hFresh := []float64{1, 1}
+	if err := r.Observe([]float64{1, -1}, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Observe([]float64{1, -1}, hFresh); err != nil {
+		t.Fatal(err)
+	}
+	if h[0] != hFresh[0] || h[1] != hFresh[1] {
+		t.Fatalf("state leaked from rejected gradient: %v vs fresh %v", h, hFresh)
+	}
+}
+
+// TestLogarithmicUpdateClampedAgainstWedging is the regression test for the
+// unsafeguarded exp(log(h) - delta) update: adversarially large gradients
+// drive delta to EtaMax (50), and an unclamped step multiplies h by e^∓50
+// per update — a handful of updates underflow h to 0 (or overflow to +Inf),
+// permanently wedging the bandwidth.
+func TestLogarithmicUpdateClampedAgainstWedging(t *testing.T) {
+	const steps = 60
+	for _, dir := range []float64{+1, -1} {
+		l, err := NewRMSprop(1, Config{BatchSize: 1, Logarithmic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := []float64{1}
+		prev := h[0]
+		for i := 0; i < steps; i++ {
+			if _, err := l.Observe([]float64{dir * 1e6}, h); err != nil {
+				t.Fatal(err)
+			}
+			if !(h[0] > 0) || math.IsInf(h[0], 0) || math.IsNaN(h[0]) {
+				t.Fatalf("dir %+g: bandwidth wedged to %g after %d updates", dir, h[0], i+1)
+			}
+			// The §4.1-style safeguard bounds one update to a factor of two
+			// in either direction.
+			if ratio := h[0] / prev; ratio < 0.5-1e-12 || ratio > 2+1e-12 {
+				t.Fatalf("dir %+g: update %d changed h by factor %g, want within [1/2, 2]", dir, i+1, ratio)
+			}
+			prev = h[0]
+		}
+		// The learner must still be able to move h back: flip the gradient
+		// sign and verify h changes direction rather than staying wedged.
+		before := h[0]
+		for i := 0; i < 5; i++ {
+			if _, err := l.Observe([]float64{-dir * 1e6}, h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		moved := h[0] / before
+		if dir > 0 && moved <= 1 {
+			t.Fatalf("bandwidth did not recover upward: %g -> %g", before, h[0])
+		}
+		if dir < 0 && moved >= 1 {
+			t.Fatalf("bandwidth did not recover downward: %g -> %g", before, h[0])
+		}
+	}
+}
+
+// TestRpropLogarithmicClamped drives Rprop in log mode with a step size at
+// EtaMax and checks the same no-wedging guarantee.
+func TestRpropLogarithmicClamped(t *testing.T) {
+	r, err := NewRprop(1, Config{Logarithmic: true, InitialRate: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := []float64{1}
+	for i := 0; i < 40; i++ {
+		if err := r.Observe([]float64{1e3}, h); err != nil {
+			t.Fatal(err)
+		}
+		if !(h[0] > 0) || math.IsInf(h[0], 0) {
+			t.Fatalf("Rprop log update wedged h to %g after %d steps", h[0], i+1)
+		}
+	}
+}
+
+// TestConfigExplicitZero verifies the zero-value escape hatch: ExplicitZero
+// requests a literal zero for fields whose plain zero value means "use the
+// paper default".
+func TestConfigExplicitZero(t *testing.T) {
+	def := Config{}.withDefaults()
+	if def.Alpha != 0.9 || def.EtaMin != 1e-6 || def.InitialRate != 1 {
+		t.Fatalf("plain zero values must select paper defaults, got %+v", def)
+	}
+	exp := Config{Alpha: ExplicitZero, EtaMin: ExplicitZero, InitialRate: ExplicitZero}.withDefaults()
+	if exp.Alpha != 0 || exp.EtaMin != 0 || exp.InitialRate != 0 {
+		t.Fatalf("ExplicitZero must resolve to literal zero, got %+v", exp)
+	}
+	// The sentinel must not leak NaN into fields without a meaningful zero.
+	odd := Config{EtaMax: math.NaN(), Inc: math.NaN(), Dec: math.NaN()}.withDefaults()
+	if odd.EtaMax != 50 || odd.Inc != 1.2 || odd.Dec != 0.5 {
+		t.Fatalf("NaN in default-only fields must fall back to defaults, got %+v", odd)
+	}
+
+	// Behavioral check: Alpha = ExplicitZero means no running-average
+	// memory, so msAvg equals the latest squared gradient exactly and two
+	// identical gradients produce two identical update magnitudes.
+	l, err := NewRMSprop(1, Config{BatchSize: 1, Alpha: ExplicitZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := []float64{100}
+	if _, err := l.Observe([]float64{4}, h); err != nil {
+		t.Fatal(err)
+	}
+	first := 100 - h[0]
+	want := 1 * 4 / math.Sqrt(4*4+1e-8) // rate·g/sqrt(g²+eps)
+	if math.Abs(first-want) > 1e-9 {
+		t.Fatalf("alpha=0 update magnitude %g, want %g", first, want)
+	}
+}
+
+// TestRMSpropInstrumented checks the learner's metrics: update counts,
+// safeguard clamps, and the learning-rate spread gauges.
+func TestRMSpropInstrumented(t *testing.T) {
+	reg := metrics.New()
+	l, err := NewRMSprop(2, Config{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Instrument(reg)
+	h := []float64{1, 1}
+	// Huge gradient: the linear positivity safeguard must clamp both dims.
+	if _, err := l.Observe([]float64{1e9, 1e9}, h); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["learner.updates"] != 1 {
+		t.Fatalf("learner.updates = %d, want 1", snap.Counters["learner.updates"])
+	}
+	if snap.Counters["learner.safeguard_clamps"] != 2 {
+		t.Fatalf("learner.safeguard_clamps = %d, want 2", snap.Counters["learner.safeguard_clamps"])
+	}
+	if snap.Gauges["learner.rate_min"] <= 0 || snap.Gauges["learner.rate_max"] < snap.Gauges["learner.rate_min"] {
+		t.Fatalf("rate gauges inconsistent: %+v", snap.Gauges)
+	}
+}

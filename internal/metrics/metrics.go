@@ -1,0 +1,264 @@
+// Package metrics is a stdlib-only, low-overhead metrics registry for the
+// estimator's observability layer: counters, gauges, and log-bucketed
+// histograms, snapshot-exportable as stable JSON (see snapshot.go).
+//
+// The paper's self-tuning loop (§4, Listing 1) is an online feedback system
+// that degrades silently — a wedged bandwidth or a saturated karma tracker
+// produces no error, only worse estimates. This package gives every layer of
+// the estimator lifecycle a place to report what it is doing without
+// perturbing what it computes.
+//
+// Overhead contract: instrumentation must be optional. Every instrument
+// method is a no-op on a nil receiver, and a nil *Registry hands out nil
+// instruments, so code can be written as
+//
+//	var c *metrics.Counter = reg.Counter("x") // reg may be nil
+//	c.Inc()                                   // safe, free when nil
+//
+// with no conditionals at the call sites. Live instruments update through
+// atomics only — no locks, no allocations — so hot paths stay 0 allocs/op
+// and bit-identical whether or not a registry is attached (instruments never
+// touch the instrumented computation's data).
+package metrics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. The nil Counter is a
+// valid no-op instrument; live counters are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count; 0 on a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float value. The nil Gauge is a valid no-op
+// instrument; live gauges are safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the stored value; 0 on a nil gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the fixed bucket count of a Histogram: one bucket per
+// power-of-two magnitude, covering [2^-64, 2^63) with clamping underflow
+// and overflow buckets at the ends.
+const histBuckets = 128
+
+// histExpBias maps a math.Frexp exponent to a bucket index.
+const histExpBias = 64
+
+// Histogram is a log-bucketed distribution: observation v lands in the
+// bucket whose upper bound is the smallest power of two > v. Powers of two
+// keep bucketing a few integer ops (math.Frexp), and the resulting ~2×
+// resolution is plenty for latency distributions spanning nanoseconds to
+// seconds. The nil Histogram is a valid no-op instrument; live histograms
+// are safe for concurrent use.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	minBits atomic.Uint64 // float64 bits, +Inf until first observation
+	maxBits atomic.Uint64 // float64 bits, -Inf until first observation
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// bucketIndex returns the bucket of a non-negative observation.
+func bucketIndex(v float64) int {
+	if !(v > 0) {
+		return 0 // zero, negative, and NaN all clamp to the smallest bucket
+	}
+	_, exp := math.Frexp(v) // v = frac·2^exp with frac in [0.5, 1)
+	idx := exp + histExpBias - 1
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// BucketBound returns the inclusive upper bound of bucket i, for rendering
+// snapshots: bucket i holds observations in (BucketBound(i-1), BucketBound(i)].
+func BucketBound(i int) float64 {
+	return math.Ldexp(1, i-histExpBias+1)
+}
+
+// Observe records one value. Negative and NaN observations clamp into the
+// smallest bucket (they indicate caller bugs but must not corrupt state).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if !(v < math.Float64frombits(old)) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if !(v > math.Float64frombits(old)) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a latency in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations; 0 on a nil histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations; 0 on a nil histogram.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Registry is a named collection of instruments. The nil *Registry is fully
+// functional as a no-op: it hands out nil instruments and empty snapshots,
+// which is how instrumentation is disabled. Instrument lookup takes a lock
+// (do it at setup time, not per event); the instruments themselves are
+// lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	gaugeFuncs map[string]func() float64
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		hists:      map[string]*Histogram{},
+		gaugeFuncs: map[string]func() float64{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a valid no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil (a
+// valid no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Returns
+// nil (a valid no-op histogram) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterGaugeFunc registers a pull-style gauge evaluated at snapshot time,
+// used to bridge externally-accounted state (e.g. the simulated device's
+// Stats) into the registry without touching its hot path. Re-registering a
+// name replaces the previous function. No-op on a nil registry. fn must be
+// safe to call whenever Snapshot is.
+func (r *Registry) RegisterGaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}

@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryAndInstrumentsAreNoops(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil instruments, got %v %v %v", c, g, h)
+	}
+	// None of these may panic.
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	r.RegisterGaugeFunc("f", func() float64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	s := r.Snapshot()
+	if s.Counters == nil || s.Gauges == nil || s.Histograms == nil {
+		t.Fatal("nil registry snapshot must be fully formed")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil registry WriteJSON: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("queries")
+	c.Inc()
+	c.Add(4)
+	c.Add(-2) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("queries") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("rate")
+	g.Set(2.5)
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Fatalf("gauge = %g, want -1.25", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	obs := []float64{0.5, 1.0, 1.5, 2.0, 1e-9, 4e6}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	if h.Count() != int64(len(obs)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(obs))
+	}
+	sum := 0.0
+	for _, v := range obs {
+		sum += v
+	}
+	if math.Abs(h.Sum()-sum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), sum)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Min != 1e-9 || s.Max != 4e6 {
+		t.Fatalf("min/max = %g/%g, want 1e-9/4e6", s.Min, s.Max)
+	}
+	total := int64(0)
+	prevLe := math.Inf(-1)
+	for _, b := range s.Buckets {
+		if b.Le <= prevLe {
+			t.Fatalf("buckets not in increasing order: %v", s.Buckets)
+		}
+		prevLe = b.Le
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want %d", total, h.Count())
+	}
+	// Every observation must land in a bucket whose bound covers it.
+	for _, v := range obs {
+		le := BucketBound(bucketIndex(v))
+		if v > le {
+			t.Fatalf("observation %g exceeds its bucket bound %g", v, le)
+		}
+	}
+}
+
+func TestHistogramDegenerateObservations(t *testing.T) {
+	h := New().Histogram("h")
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(math.NaN())
+	h.Observe(math.MaxFloat64) // beyond the top bucket: clamps
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+}
+
+func TestGaugeFuncEvaluatedAtSnapshot(t *testing.T) {
+	r := New()
+	v := 1.0
+	r.RegisterGaugeFunc("clock", func() float64 { return v })
+	if got := r.Snapshot().Gauges["clock"]; got != 1 {
+		t.Fatalf("gauge func = %g, want 1", got)
+	}
+	v = 2
+	if got := r.Snapshot().Gauges["clock"]; got != 2 {
+		t.Fatalf("gauge func = %g, want 2", got)
+	}
+}
+
+func TestSnapshotJSONStableAndSanitized(t *testing.T) {
+	r := New()
+	r.Counter("b").Add(2)
+	r.Counter("a").Inc()
+	r.Gauge("z").Set(1.5)
+	r.Gauge("bad").Set(math.NaN())
+	r.Gauge("worse").Set(math.Inf(1))
+	r.Histogram("h").Observe(0.25)
+	r.RegisterGaugeFunc("f", func() float64 { return math.Inf(-1) })
+
+	var one, two bytes.Buffer
+	if err := r.WriteJSON(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatalf("snapshot JSON is not byte-stable:\n%s\nvs\n%s", one.String(), two.String())
+	}
+	if !json.Valid(one.Bytes()) {
+		t.Fatalf("invalid JSON despite NaN/Inf gauges: %s", one.String())
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(one.Bytes(), &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if decoded.Counters["a"] != 1 || decoded.Counters["b"] != 2 {
+		t.Fatalf("counters lost in round-trip: %+v", decoded.Counters)
+	}
+	if decoded.Gauges["bad"] != 0 || decoded.Gauges["worse"] != 0 || decoded.Gauges["f"] != 0 {
+		t.Fatalf("non-finite gauges must sanitize to 0: %+v", decoded.Gauges)
+	}
+}
+
+func TestConcurrentInstrumentUse(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	g := r.Gauge("g")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i%7) + 0.5)
+				g.Set(float64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestObserveDoesNotAllocate(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	g := r.Gauge("g")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(1)
+		h.Observe(0.125)
+	})
+	if allocs != 0 {
+		t.Fatalf("live instruments allocate %v allocs/op, want 0", allocs)
+	}
+	var nilC *Counter
+	var nilH *Histogram
+	allocs = testing.AllocsPerRun(1000, func() {
+		nilC.Inc()
+		nilH.Observe(0.125)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil instruments allocate %v allocs/op, want 0", allocs)
+	}
+}

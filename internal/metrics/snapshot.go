@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// Snapshot is a point-in-time export of a registry with a stable schema:
+// three name→value maps (encoding/json emits map keys sorted, so the same
+// registry state always serializes to the same bytes). Gauge functions are
+// evaluated at snapshot time and appear among the gauges.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// HistogramSnapshot summarizes one histogram. Buckets lists only occupied
+// buckets, in increasing upper-bound order; Le is the bucket's inclusive
+// upper bound (a power of two).
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Min     float64          `json:"min"`
+	Max     float64          `json:"max"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one occupied histogram bucket.
+type BucketSnapshot struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// finite sanitizes a float for JSON export: encoding/json rejects NaN and
+// ±Inf, so they become 0 (instrumented code should not produce them, but an
+// export must never fail because of one stray value).
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Snapshot captures the current state of every instrument. On a nil
+// registry it returns an empty (but fully-formed) snapshot, so downstream
+// consumers need no nil checks.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	gaugeFuncs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for k, v := range r.gaugeFuncs {
+		gaugeFuncs[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = finite(g.Value())
+	}
+	for name, fn := range gaugeFuncs {
+		s.Gauges[name] = finite(fn())
+	}
+	for name, h := range hists {
+		hs := HistogramSnapshot{
+			Count:   h.count.Load(),
+			Sum:     finite(math.Float64frombits(h.sumBits.Load())),
+			Buckets: []BucketSnapshot{},
+		}
+		if hs.Count > 0 {
+			hs.Min = finite(math.Float64frombits(h.minBits.Load()))
+			hs.Max = finite(math.Float64frombits(h.maxBits.Load()))
+		}
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
+				hs.Buckets = append(hs.Buckets, BucketSnapshot{Le: BucketBound(i), Count: n})
+			}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON with a trailing newline.
+// The output is byte-stable for identical registry state.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteJSON snapshots the registry and writes it; see Snapshot.WriteJSON.
+// Works on a nil registry (writes an empty snapshot).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}

@@ -21,6 +21,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"kdesel/internal/metrics"
 )
 
 // ChunkSize is the fixed chunk granularity of Run. It is a constant — never
@@ -31,10 +33,27 @@ import (
 const ChunkSize = 256
 
 // Pool is a bounded worker pool for chunked map+reduce loops. The zero
-// value and the nil pool both execute serially; Pool is stateless between
-// Run calls and safe for concurrent use from multiple goroutines.
+// value and the nil pool both execute serially; Pool carries no per-Run
+// state (only optional cumulative instruments) and is safe for concurrent
+// use from multiple goroutines.
 type Pool struct {
 	workers int
+	runs    *metrics.Counter // Run invocations dispatched
+	chunks  *metrics.Counter // chunks executed across all runs
+}
+
+// Instrument attaches metrics to the pool: parallel.runs and
+// parallel.chunks count dispatched work, parallel.workers reports the
+// configured parallelism. Instruments never affect what Run computes — the
+// chunk grid and reduction order are untouched. No-op on a nil pool or nil
+// registry.
+func (p *Pool) Instrument(r *metrics.Registry) {
+	if p == nil {
+		return
+	}
+	p.runs = r.Counter("parallel.runs")
+	p.chunks = r.Counter("parallel.chunks")
+	r.Gauge("parallel.workers").Set(float64(p.Workers()))
 }
 
 // NewPool returns a pool with the given number of workers; any value below
@@ -96,6 +115,10 @@ func (p *Pool) Run(n int, body func(c, lo, hi int)) {
 	nc := Chunks(n)
 	if nc == 0 {
 		return
+	}
+	if p != nil {
+		p.runs.Inc()
+		p.chunks.Add(int64(nc))
 	}
 	w := p.Workers()
 	if w > nc {

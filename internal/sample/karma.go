@@ -8,7 +8,17 @@ import (
 	"kdesel/internal/query"
 )
 
+// ExplicitZero is a sentinel requesting a literal zero for a KarmaConfig
+// field whose plain zero value selects the paper default (Max, Threshold).
+// E.g. KarmaConfig{Threshold: sample.ExplicitZero} replaces any point whose
+// cumulative karma drops below zero, while KarmaConfig{Threshold: 0} keeps
+// the default of -2.
+var ExplicitZero = math.NaN()
+
 // KarmaConfig tunes the karma-based sample maintenance of §4.2.
+//
+// Zero-valued fields select the paper defaults; to request an actual zero
+// for Max or Threshold, set the field to ExplicitZero.
 type KarmaConfig struct {
 	// Max is the saturation constant K_max of eq. 8 (paper: 4).
 	Max float64
@@ -26,13 +36,21 @@ type KarmaConfig struct {
 	NoShortcut bool
 }
 
+// defaultOrZero resolves a config field: the ExplicitZero sentinel (NaN)
+// means a literal zero, a plain zero means "use the paper default def".
+func defaultOrZero(v, def float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
 func (c KarmaConfig) withDefaults() KarmaConfig {
-	if c.Max == 0 {
-		c.Max = 4
-	}
-	if c.Threshold == 0 {
-		c.Threshold = -2
-	}
+	c.Max = defaultOrZero(c.Max, 4)
+	c.Threshold = defaultOrZero(c.Threshold, -2)
 	if c.Loss == nil {
 		c.Loss = loss.Absolute{}
 	}

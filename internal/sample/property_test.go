@@ -1,0 +1,204 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/query"
+)
+
+// TestReservoirSkipMatchesOffer is the skip-path equivalence property test:
+// consuming a stream through Algorithm X (Skip/AcceptAfterSkip) must be
+// statistically indistinguishable from per-tuple Offer — same Seen()
+// accounting exactly, and matching acceptance counts up to sampling noise.
+func TestReservoirSkipMatchesOffer(t *testing.T) {
+	const k, n, trials = 16, 4000, 400
+	rng := rand.New(rand.NewSource(42))
+
+	run := func(skipPath bool) (accepts float64, seen int) {
+		res, err := NewReservoir(k, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		if !skipPath {
+			for item := k; item < n; item++ {
+				if _, ok := res.Offer(); ok {
+					total++
+				}
+			}
+		} else {
+			pos := k
+			for pos < n {
+				skip := res.Skip()
+				if pos+skip >= n {
+					// Remaining items are all skipped; they still count as
+					// observed stream positions.
+					for ; pos < n; pos++ {
+						res.Offer() // consume without using the decision
+					}
+					break
+				}
+				pos += skip
+				res.AcceptAfterSkip(skip)
+				total++
+				pos++
+			}
+		}
+		return float64(total), res.Seen()
+	}
+
+	var offerSum, skipSum float64
+	for tr := 0; tr < trials; tr++ {
+		a, seen := run(false)
+		if seen != n {
+			t.Fatalf("offer path Seen = %d, want %d", seen, n)
+		}
+		offerSum += a
+	}
+	// The tail-consumption in the skip path falls back to Offer, which keeps
+	// Seen() exact but makes a clean accounting check worthwhile on a run
+	// without truncation first.
+	for tr := 0; tr < trials; tr++ {
+		a, seen := run(true)
+		if seen != n {
+			t.Fatalf("skip path Seen = %d, want %d", seen, n)
+		}
+		skipSum += a
+	}
+
+	// Expected acceptances: sum_{i=k+1}^{n} k/i = k·(H_n − H_k).
+	want := 0.0
+	for i := k + 1; i <= n; i++ {
+		want += float64(k) / float64(i)
+	}
+	offerMean := offerSum / trials
+	skipMean := skipSum / trials
+	// Per-trial variance is bounded by the expectation (sum of Bernoulli
+	// variances p(1−p) ≤ sum p), so the mean of `trials` runs has standard
+	// error ≤ sqrt(want/trials). Allow 6 sigma.
+	tol := 6 * math.Sqrt(want/trials)
+	if math.Abs(offerMean-want) > tol {
+		t.Errorf("offer path accepts %.2f, want %.2f±%.2f", offerMean, want, tol)
+	}
+	if math.Abs(skipMean-want) > tol {
+		t.Errorf("skip path accepts %.2f, want %.2f±%.2f", skipMean, want, tol)
+	}
+	if math.Abs(offerMean-skipMean) > 2*tol {
+		t.Errorf("paths diverge: offer %.2f vs skip %.2f (tol %.2f)", offerMean, skipMean, 2*tol)
+	}
+}
+
+// TestEmptyRegionBoundRandomizedQueries asserts the Appendix E guarantee on
+// randomized queries, bandwidths, and points across dimensionalities: any
+// point whose Gaussian contribution reaches EmptyRegionBound provably lies
+// inside the query region (condition 20).
+func TestEmptyRegionBoundRandomizedQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gaussMass := func(l, u, c, h float64) float64 {
+		return 0.5 * (math.Erf((u-c)/(math.Sqrt2*h)) - math.Erf((l-c)/(math.Sqrt2*h)))
+	}
+	checked := 0
+	for _, d := range []int{1, 2, 3, 5} {
+		for q := 0; q < 40; q++ {
+			lo := make([]float64, d)
+			hi := make([]float64, d)
+			h := make([]float64, d)
+			for j := 0; j < d; j++ {
+				lo[j] = rng.Float64()*10 - 5
+				hi[j] = lo[j] + 0.1 + rng.Float64()*4
+				h[j] = 0.05 + rng.Float64()*2
+			}
+			rq := query.NewRange(lo, hi)
+			bound := EmptyRegionBound(rq, h)
+			if !(bound > 0) {
+				t.Fatalf("d=%d: bound = %g for a non-degenerate query", d, bound)
+			}
+			for p := 0; p < 200; p++ {
+				pt := make([]float64, d)
+				contrib := 1.0
+				for j := 0; j < d; j++ {
+					// Cover inside, boundary-adjacent, and far-away points.
+					span := hi[j] - lo[j]
+					pt[j] = lo[j] - span + rng.Float64()*3*span
+					contrib *= gaussMass(lo[j], hi[j], pt[j], h[j])
+				}
+				if contrib >= bound {
+					checked++
+					if !rq.Contains(pt) {
+						t.Fatalf("d=%d: point %v outside %v but contribution %g >= bound %g",
+							d, pt, rq, contrib, bound)
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no point ever reached the bound; test exercised nothing")
+	}
+}
+
+// TestKarmaConfigExplicitZero verifies the zero-value escape hatch for
+// KarmaConfig: plain zeros select the paper defaults, ExplicitZero requests
+// literal zeros.
+func TestKarmaConfigExplicitZero(t *testing.T) {
+	def := KarmaConfig{}.withDefaults()
+	if def.Max != 4 || def.Threshold != -2 {
+		t.Fatalf("plain zeros must select paper defaults, got %+v", def)
+	}
+	exp := KarmaConfig{Max: ExplicitZero, Threshold: ExplicitZero}.withDefaults()
+	if exp.Max != 0 || exp.Threshold != 0 {
+		t.Fatalf("ExplicitZero must resolve to literal zero, got Max=%g Threshold=%g", exp.Max, exp.Threshold)
+	}
+	// Custom negative thresholds still pass through untouched.
+	neg := KarmaConfig{Threshold: -7}.withDefaults()
+	if neg.Threshold != -7 {
+		t.Fatalf("custom threshold rewritten to %g", neg.Threshold)
+	}
+
+	// Behavioral check: Threshold = ExplicitZero replaces a point as soon as
+	// its cumulative karma dips below zero — with the default of -2 the same
+	// single update must NOT replace it.
+	contrib := []float64{0.9, 0.1, 0.1, 0.1}
+	est, actual := 0.3, 0.05 // point 0 hurts: removing it helps
+
+	strict, err := NewKarma(4, KarmaConfig{Threshold: ExplicitZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaced, err := strict.Update(contrib, est, actual, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replaced) != 1 || replaced[0] != 0 {
+		t.Fatalf("zero threshold: replaced = %v, want [0]", replaced)
+	}
+
+	lax, err := NewKarma(4, KarmaConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaced, err = lax.Update(contrib, est, actual, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replaced) != 0 {
+		t.Fatalf("default threshold: replaced = %v on first update, want none", replaced)
+	}
+
+	// Max = ExplicitZero caps karma at zero: even a strongly helping point
+	// accumulates no positive buffer.
+	capped, err := NewKarma(2, KarmaConfig{Max: ExplicitZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := capped.Update([]float64{1, 0}, 0.5, 0.5, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if capped.Score(0) > 0 {
+		t.Fatalf("Max=ExplicitZero but karma climbed to %g", capped.Score(0))
+	}
+}
