@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify fmtcheck build test race vet bench bench-parallel
+.PHONY: verify fmtcheck build test race race-resilience chaos vet bench bench-parallel
 
-verify: fmtcheck vet build race
+verify: fmtcheck vet build race-resilience race
 
 # Fail when any file needs gofmt; list the offenders.
 fmtcheck:
@@ -23,6 +23,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Race-check the resilience layer first: the fault injector and the
+# degradation machinery are the most concurrency-sensitive code in the tree.
+# (Go's test cache makes the overlap with `race` free when nothing changed.)
+race-resilience:
+	$(GO) test -race ./internal/fault/... ./internal/core/...
+
+# Chaos suite: deterministic fault schedules (failed transfers/launches,
+# diverged optimizers, non-finite gradients, corrupted checkpoints) against
+# every estimator mode, asserting the degradation-ladder acceptance criteria.
+chaos:
+	$(GO) test -race -v -run 'TestChaos|TestTransientFault|TestOptimizerDivergence|TestFeedbackPanic|TestCheckpointCorruption' ./internal/core/
 
 # Micro-benchmarks for the host parallel runtime (see BENCH_PR1.json).
 bench-parallel:

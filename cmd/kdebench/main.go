@@ -41,8 +41,17 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write an instrumentation snapshot (JSON) covering all estimators built during the run")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (pprof) to this file on exit")
+		ckptDir    = flag.String("checkpoint-dir", "", "periodically checkpoint KDE estimator state into this directory (atomic, CRC-framed; see -checkpoint-every)")
+		ckptEvery  = flag.Int("checkpoint-every", 50, "checkpoint period in training feedbacks (used with -checkpoint-dir)")
 	)
 	flag.Parse()
+	ckpts := experiments.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "kdebench: creating checkpoint dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	var estimators []string
 	if *ests != "" {
 		for _, name := range strings.Split(*ests, ",") {
@@ -128,7 +137,7 @@ func main() {
 	qualityCfg := func(dims int) experiments.QualityConfig {
 		cfg := experiments.QualityConfig{
 			Dims: dims, Seed: *seed, Rows: *rows, Repetitions: *reps,
-			Estimators: estimators, Metrics: reg,
+			Estimators: estimators, Metrics: reg, Checkpoints: ckpts,
 		}
 		if *quick {
 			cfg.Rows = pick(*rows, 2000)
@@ -181,7 +190,7 @@ func main() {
 		return nil
 	}
 	runFig6 := func() error {
-		cfg := experiments.ModelSizeConfig{Seed: *seed, Rows: pick(*rows, 40000), Repetitions: pick(*reps, 5), Metrics: reg}
+		cfg := experiments.ModelSizeConfig{Seed: *seed, Rows: pick(*rows, 40000), Repetitions: pick(*reps, 5), Metrics: reg, Checkpoints: ckpts}
 		if *quick {
 			cfg.Sizes = []int{1024, 4096, 16384}
 			cfg.Rows = pick(*rows, 12000)
@@ -243,7 +252,7 @@ func main() {
 		return nil
 	}
 	runAblations := func() error {
-		cfg := experiments.AblationConfig{Seed: *seed, Metrics: reg}
+		cfg := experiments.AblationConfig{Seed: *seed, Metrics: reg, Checkpoints: ckpts}
 		if *quick {
 			cfg.Rows = 2500
 			cfg.Repetitions = 3

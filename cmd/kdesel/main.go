@@ -14,6 +14,13 @@
 // upper corner separated by a colon. Batch mode self-trains on -train
 // random data-centered queries with exact feedback. -save/-load persist the
 // fitted model with encoding/gob.
+//
+// -checkpoint/-restore use the framed, CRC-checked checkpoint format of
+// internal/checkpoint, which additionally carries the learner accumulators,
+// reservoir position, and random stream so a restored estimator continues
+// bit-identically. -faults (or the KDESEL_FAULTS environment variable)
+// injects deterministic failures to exercise the degradation ladder; if the
+// run degrades, the final health state is reported on stderr.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 
 	"kdesel"
 	"kdesel/internal/core"
+	"kdesel/internal/fault"
 	"kdesel/internal/metrics"
 )
 
@@ -42,11 +50,34 @@ func main() {
 		truth      = flag.Bool("truth", false, "also compute and print the exact selectivity")
 		savePath   = flag.String("save", "", "save the fitted model to this file")
 		loadPath   = flag.String("load", "", "load a fitted model instead of building one")
+		ckptPath   = flag.String("checkpoint", "", "write an atomic, CRC-framed checkpoint of the final model state to this file")
+		restore    = flag.String("restore", "", "restore a checkpointed model instead of building one (bit-identical continuation)")
+		faultSpec  = flag.String("faults", "", "fault injection schedule, e.g. \"transfer:3,5;gradient:every=7,limit=3\" (default: $"+fault.EnvVar+")")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for probabilistic fault clauses (default: $"+fault.EnvSeedVar+")")
 		metricsOut = flag.String("metrics-out", "", "write an instrumentation snapshot (JSON) to this file on exit")
 	)
 	flag.Parse()
 	if *dataPath == "" {
 		fail("missing -data")
+	}
+	if *loadPath != "" && *restore != "" {
+		fail("-load and -restore are mutually exclusive")
+	}
+
+	// -faults overrides the environment knobs; both disabled leave injection
+	// a nil no-op.
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		sched, err := fault.ParseSchedule(*faultSpec)
+		if err != nil {
+			fail("bad -faults: %v", err)
+		}
+		inj = fault.New(*faultSeed, sched)
+	} else {
+		var err error
+		if inj, err = fault.FromEnv(); err != nil {
+			fail("%v", err)
+		}
 	}
 
 	tab, err := loadCSV(*dataPath, *header)
@@ -63,7 +94,16 @@ func main() {
 	}
 
 	var est *kdesel.Estimator
-	if *loadPath != "" {
+	if *restore != "" {
+		est, err = kdesel.RestoreCheckpoint(*restore, tab, nil)
+		if err != nil {
+			fail("restoring checkpoint: %v", err)
+		}
+		est.SetWorkers(*workers)
+		// Checkpoints carry model state, not wiring; reattach both here.
+		est.Instrument(reg)
+		est.SetFaultInjector(inj)
+	} else if *loadPath != "" {
 		f, err := os.Open(*loadPath)
 		if err != nil {
 			fail("opening model: %v", err)
@@ -79,8 +119,9 @@ func main() {
 		est.SetWorkers(*workers)
 		// Gob persistence does not carry instrumentation; attach it here.
 		est.Instrument(reg)
+		est.SetFaultInjector(inj)
 	} else {
-		cfg := kdesel.Config{SampleSize: *sampleN, Seed: *seed, Workers: *workers, Metrics: reg}
+		cfg := kdesel.Config{SampleSize: *sampleN, Seed: *seed, Workers: *workers, Metrics: reg, Faults: inj}
 		switch *mode {
 		case "heuristic":
 			cfg.Mode = kdesel.Heuristic
@@ -133,6 +174,17 @@ func main() {
 			}
 		}
 		fmt.Println(line)
+	}
+
+	if *ckptPath != "" {
+		if err := est.Checkpoint(*ckptPath); err != nil {
+			fail("writing checkpoint: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint written to %s\n", *ckptPath)
+	}
+
+	if h := est.Health(); h != kdesel.Healthy {
+		fmt.Fprintf(os.Stderr, "health: %s (last degradation: %s)\n", h, est.LastDegradation())
 	}
 
 	if *metricsOut != "" {

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"kdesel/internal/checkpoint"
+	"kdesel/internal/fault"
+	"kdesel/internal/gpu"
+	"kdesel/internal/learner"
+	"kdesel/internal/metrics"
+	"kdesel/internal/query"
+	"kdesel/internal/table"
+)
+
+// chaosWorkload pre-generates a feedback workload so the faulted estimator
+// and its fault-free twin observe exactly the same queries.
+func chaosWorkload(t *testing.T, tab *table.Table, seed int64, n int) []query.Feedback {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	fbs := make([]query.Feedback, n)
+	for i := range fbs {
+		q := dataQuery(tab, rng, 1.5)
+		actual, err := tab.Selectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fbs[i] = query.Feedback{Query: q, Actual: actual}
+	}
+	return fbs
+}
+
+// TestChaosAllModes drives every estimator mode through a deterministic
+// fault schedule — failing device transfers and kernel launches, non-finite
+// feedback gradients, and a corrupted checkpoint write — and asserts the
+// acceptance criteria of the degradation ladder: no panics, every estimate
+// finite in [0, 1], a documented health state, a detected-then-recovered
+// checkpoint, and post-recovery accuracy within 10% mean relative error of
+// an identical fault-free run.
+func TestChaosAllModes(t *testing.T) {
+	cases := []struct {
+		name        string
+		mode        Mode
+		logarithmic bool
+	}{
+		{"heuristic", Heuristic, false},
+		{"scv", SCV, false},
+		{"batch", Batch, false},
+		{"adaptive", Adaptive, false},
+		{"log-adaptive", Adaptive, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab := buildClusteredTable(t, 400, 9)
+			fbs := chaosWorkload(t, tab, 19, 200)
+
+			baseCfg := Config{
+				Mode:       tc.mode,
+				SampleSize: 64,
+				Seed:       5,
+				Learner:    learner.Config{Logarithmic: tc.logarithmic},
+			}
+			if tc.mode == Batch {
+				baseCfg.Training = feedbackSet(t, tab, rand.New(rand.NewSource(3)), 30, 2)
+			}
+
+			// Faulted estimator: device transfers and launches fail in
+			// bursts long enough to defeat the retry policy; three
+			// consecutive feedback gradients go non-finite; the first
+			// checkpoint write is corrupted on disk.
+			devF, err := gpu.NewDevice(gpu.GTX460())
+			if err != nil {
+				t.Fatal(err)
+			}
+			devF.SetFaultInjector(fault.New(7, fault.Schedule{
+				fault.DeviceTransfer: {At: []int{10, 11, 12, 13, 14, 15}},
+				fault.KernelLaunch:   {At: []int{40, 41, 42, 43}},
+			}))
+			cfgF := baseCfg
+			cfgF.Device = devF
+			cfgF.RetryBaseDelay = -1 // no sleeping in tests
+			cfgF.Faults = fault.New(7, fault.Schedule{
+				fault.GradientNonFinite: {At: []int{12, 13, 14}},
+				fault.CheckpointCorrupt: {At: []int{1}},
+			})
+			reg := metrics.New()
+			cfgF.Metrics = reg
+			ef, err := Build(tab, cfgF)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Fault-free twin on its own clean device.
+			devC, err := gpu.NewDevice(gpu.GTX460())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgC := baseCfg
+			cfgC.Device = devC
+			ec, err := Build(tab, cfgC)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ckpt := filepath.Join(t.TempDir(), "chaos.ckpt")
+			for i, fb := range fbs {
+				est, err := ef.Estimate(fb.Query)
+				if err != nil {
+					t.Fatalf("round %d: estimate under faults: %v", i, err)
+				}
+				if math.IsNaN(est) || math.IsInf(est, 0) || est < 0 || est > 1 {
+					t.Fatalf("round %d: estimate %v escapes [0,1]", i, est)
+				}
+				if _, err := ec.Estimate(fb.Query); err != nil {
+					t.Fatalf("round %d: clean estimate: %v", i, err)
+				}
+				if err := ef.Feedback(fb.Query, fb.Actual); err != nil {
+					t.Fatalf("round %d: feedback under faults: %v", i, err)
+				}
+				if err := ec.Feedback(fb.Query, fb.Actual); err != nil {
+					t.Fatalf("round %d: clean feedback: %v", i, err)
+				}
+				if i == 99 {
+					// The schedule corrupts this first write; the frame
+					// detects it and a rewrite recovers.
+					if err := ef.Checkpoint(ckpt); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := RestoreCheckpoint(ckpt, tab, nil); !errors.Is(err, checkpoint.ErrCorrupt) {
+						t.Fatalf("corrupted checkpoint restore: err = %v, want ErrCorrupt", err)
+					}
+					if err := ef.Checkpoint(ckpt); err != nil {
+						t.Fatal(err)
+					}
+					r, err := RestoreCheckpoint(ckpt, tab, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameEstimates(t, "mid-chaos restore", ef, r, probeQueries(tab, 29, 10))
+				}
+			}
+
+			// The transfer burst must have degraded the faulted run to the
+			// host path and left a documented health state behind.
+			switch ef.Health() {
+			case Degraded, Fallback:
+			case Healthy:
+				t.Fatal("faults fired but the estimator reports healthy")
+			default:
+				t.Fatalf("undocumented health state %v", ef.Health())
+			}
+			if ef.LastDegradation() == "" {
+				t.Fatal("degradation happened but LastDegradation is empty")
+			}
+			if ef.Device() != nil {
+				t.Fatal("sustained transfer faults should have forced a host fallback")
+			}
+			if got := reg.Counter("core.gpu_fallbacks").Value(); got != 1 {
+				t.Fatalf("gpu_fallbacks = %d, want 1", got)
+			}
+			if tc.mode == Adaptive {
+				if got := reg.Counter("core.gradients_rejected").Value(); got != 3 {
+					t.Fatalf("gradients_rejected = %d, want 3", got)
+				}
+				if got := reg.Counter("core.bandwidth_resets").Value(); got < 1 {
+					t.Fatalf("bandwidth_resets = %d, want >= 1", got)
+				}
+			}
+			if ec.Health() != Healthy {
+				t.Fatalf("fault-free twin degraded: %v (%s)", ec.Health(), ec.LastDegradation())
+			}
+
+			// Post-recovery accuracy: within 10% mean relative error of the
+			// fault-free run on a fresh probe workload.
+			probes := probeQueries(tab, 59, 50)
+			mre := 0.0
+			for _, q := range probes {
+				fa, err := ef.Estimate(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tw, err := ec.Estimate(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mre += math.Abs(fa-tw) / math.Max(math.Abs(tw), 0.05)
+			}
+			mre /= float64(len(probes))
+			if mre > 0.10 {
+				t.Fatalf("post-recovery MRE vs fault-free run = %.4f, want <= 0.10", mre)
+			}
+		})
+	}
+}
+
+// TestTransientFaultRetriedOnDevice checks the first rung of the ladder: a
+// single transient transfer failure is retried and never escalates.
+func TestTransientFaultRetriedOnDevice(t *testing.T) {
+	tab := buildClusteredTable(t, 200, 15)
+	dev, err := gpu.NewDevice(gpu.GTX460())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultInjector(fault.New(3, fault.Schedule{
+		fault.DeviceTransfer: {At: []int{3}}, // one failure, mid-stream
+	}))
+	reg := metrics.New()
+	e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 32, Seed: 1, Device: dev, RetryBaseDelay: -1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := e.Estimate(query.NewRange([]float64{-1, -1}, []float64{7, 7})); err != nil {
+			t.Fatalf("estimate %d: %v", i, err)
+		}
+	}
+	if e.Device() == nil {
+		t.Fatal("a single transient fault must not force a fallback")
+	}
+	if e.Health() != Healthy {
+		t.Fatalf("health = %v after a retried transient", e.Health())
+	}
+	if got := reg.Counter("core.gpu_retries").Value(); got < 1 {
+		t.Fatalf("gpu_retries = %d, want >= 1", got)
+	}
+}
+
+// TestOptimizerDivergenceFallsBackToScott checks that a diverged batch
+// optimizer degrades ANALYZE to the Scott's-rule starting point instead of
+// failing it.
+func TestOptimizerDivergenceFallsBackToScott(t *testing.T) {
+	tab := buildClusteredTable(t, 300, 17)
+	train := feedbackSet(t, tab, rand.New(rand.NewSource(4)), 20, 2)
+	reg := metrics.New()
+	e, err := Build(tab, Config{
+		Mode: Batch, SampleSize: 64, Seed: 5, Training: train, Metrics: reg,
+		Faults: fault.New(1, fault.Schedule{fault.OptimizerDiverge: {At: []int{1}}}),
+	})
+	if err != nil {
+		t.Fatalf("diverged optimizer must not fail ANALYZE: %v", err)
+	}
+	if e.Health() != Degraded {
+		t.Fatalf("health = %v, want degraded", e.Health())
+	}
+	// The installed bandwidth is Scott's rule for the same sample, i.e.
+	// exactly what a Heuristic build with the same seed produces.
+	ref, err := Build(tab, Config{Mode: Heuristic, SampleSize: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hGot, hWant := e.Bandwidth(), ref.Bandwidth()
+	for j := range hGot {
+		if hGot[j] != hWant[j] {
+			t.Fatalf("bandwidth is not Scott's rule: %v vs %v", hGot, hWant)
+		}
+	}
+	if got := reg.Counter("core.bandwidth_resets").Value(); got != 1 {
+		t.Fatalf("bandwidth_resets = %d, want 1", got)
+	}
+	// A clean rebuild with no injected fault optimizes normally.
+	clean, err := Build(tab, Config{Mode: Batch, SampleSize: 64, Seed: 5, Training: train})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Health() != Healthy {
+		t.Fatalf("clean build degraded: %v", clean.Health())
+	}
+}
+
+// TestFeedbackPanicRecovered checks that a panic escaping the learning path
+// is absorbed: counted, degrading, and invisible to the caller. A second
+// panic drops execution to the serial rung.
+func TestFeedbackPanicRecovered(t *testing.T) {
+	tab := buildClusteredTable(t, 200, 25)
+	reg := metrics.New()
+	e, err := Build(tab, Config{Mode: Adaptive, SampleSize: 64, Seed: 3, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewRange([]float64{-1, -1}, []float64{7, 7})
+	e.learn = nil // sabotage the learning path: Observe will dereference nil
+	if err := e.Feedback(q, 0.5); err != nil {
+		t.Fatalf("recovered panic must not surface an error, got %v", err)
+	}
+	if e.Health() != Degraded {
+		t.Fatalf("health = %v after first recovered panic, want degraded", e.Health())
+	}
+	if got := reg.Counter("core.feedback_panics").Value(); got != 1 {
+		t.Fatalf("feedback_panics = %d, want 1", got)
+	}
+	if err := e.Feedback(q, 0.5); err != nil {
+		t.Fatalf("second recovered panic surfaced an error: %v", err)
+	}
+	if e.Health() != Fallback {
+		t.Fatalf("health = %v after repeated panics, want fallback", e.Health())
+	}
+	// Estimation still works on the serial rung.
+	if _, err := e.Estimate(q); err != nil {
+		t.Fatalf("estimate after panic fallback: %v", err)
+	}
+}

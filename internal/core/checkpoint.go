@@ -1,0 +1,98 @@
+package core
+
+import (
+	"kdesel/internal/checkpoint"
+	"kdesel/internal/gpu"
+	"kdesel/internal/learner"
+	"kdesel/internal/sample"
+	"kdesel/internal/table"
+)
+
+// chkState is the checkpoint payload: the persistent model snapshot of
+// persist.go plus the transient state Save deliberately rebuilds — learner
+// accumulators, reservoir stream position, rng stream position, execution
+// configuration, and degradation state. Restoring all of it makes the
+// resumed estimator bit-identical to the one that took the checkpoint: the
+// same estimates, the same future mini-batch updates, and the same future
+// random decisions (karma replacement rows, reservoir accepts).
+type chkState struct {
+	Snap          snapshot
+	Learner       *learner.State
+	ReservoirSeen int
+	RNGDraws      uint64
+	Workers       int
+	Health        int
+	LastEvent     string
+	GradTrips     int
+}
+
+// Checkpoint atomically writes the estimator's complete state to path in
+// the framed, CRC-checked format of internal/checkpoint. The sample is
+// read from the host-resident mirror on the device path, so a failing
+// device cannot block checkpointing. The estimator remains usable.
+func (e *Estimator) Checkpoint(path string) error {
+	flat, err := e.sampleHostLocal()
+	if err != nil {
+		return err
+	}
+	st := chkState{
+		Snap:      e.makeSnapshot(flat),
+		RNGDraws:  e.src.Draws(),
+		Workers:   e.cfg.Workers,
+		Health:    int(e.health),
+		LastEvent: e.lastEvent,
+		GradTrips: e.gradTrips,
+	}
+	if e.learn != nil {
+		ls := e.learn.State()
+		st.Learner = &ls
+	}
+	if e.res != nil {
+		st.ReservoirSeen = e.res.Seen()
+	}
+	if err := checkpoint.WriteFile(path, &st, e.faults); err != nil {
+		return err
+	}
+	e.met.checkpoints.Inc()
+	return nil
+}
+
+// RestoreCheckpoint rebuilds an estimator from a checkpoint file written by
+// Checkpoint, bound to tab and optionally placed on dev. Corrupted files
+// are detected by the CRC frame and reported as checkpoint.ErrCorrupt —
+// the file is never partially applied. The restored estimator reproduces
+// the original bit for bit: the learner resumes mid-mini-batch and the
+// random stream is fast-forwarded to the recorded position. Call
+// Instrument afterwards to attach telemetry (registries are not persisted).
+func RestoreCheckpoint(path string, tab *table.Table, dev *gpu.Device) (*Estimator, error) {
+	var st chkState
+	if err := checkpoint.ReadFile(path, &st); err != nil {
+		return nil, err
+	}
+	e, err := restoreFromSnapshot(st.Snap, tab, dev)
+	if err != nil {
+		return nil, err
+	}
+	if st.Learner != nil && e.learn != nil {
+		if err := e.learn.Restore(*st.Learner); err != nil {
+			return nil, err
+		}
+	}
+	if e.res != nil && st.ReservoirSeen > 0 {
+		// Reservoir decisions depend only on (capacity, seen, rng); the
+		// rng below is fast-forwarded to the recorded stream position.
+		e.res, err = sample.NewReservoir(e.s, st.ReservoirSeen, e.rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.src.FastForward(st.RNGDraws)
+	e.cfg.Workers = st.Workers
+	if e.host != nil {
+		e.host.SetWorkers(st.Workers)
+	}
+	e.health = Health(st.Health)
+	e.lastEvent = st.LastEvent
+	e.gradTrips = st.GradTrips
+	return e, nil
+}

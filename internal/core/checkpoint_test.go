@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kdesel/internal/checkpoint"
+	"kdesel/internal/fault"
+	"kdesel/internal/gpu"
+	"kdesel/internal/learner"
+	"kdesel/internal/query"
+	"kdesel/internal/table"
+)
+
+// driveFeedback runs n estimate+feedback rounds against the true table
+// selectivities, exercising the full adaptive loop (learning + karma).
+func driveFeedback(t *testing.T, e *Estimator, tab *table.Table, seed int64, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		q := dataQuery(tab, rng, 1.5)
+		if _, err := e.Estimate(q); err != nil {
+			t.Fatal(err)
+		}
+		actual, err := tab.Selectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Feedback(q, actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// probeQueries returns a deterministic probe workload.
+func probeQueries(tab *table.Table, seed int64, n int) []query.Range {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]query.Range, n)
+	for i := range qs {
+		qs[i] = dataQuery(tab, rng, 2)
+	}
+	return qs
+}
+
+// assertSameEstimates fails unless a and b produce bit-identical estimates
+// on every probe query.
+func assertSameEstimates(t *testing.T, label string, a, b *Estimator, qs []query.Range) {
+	t.Helper()
+	for i, q := range qs {
+		ea, err := a.Estimate(q)
+		if err != nil {
+			t.Fatalf("%s: original estimate: %v", label, err)
+		}
+		eb, err := b.Estimate(q)
+		if err != nil {
+			t.Fatalf("%s: restored estimate: %v", label, err)
+		}
+		if ea != eb {
+			t.Fatalf("%s: probe %d: estimates diverged: %v vs %v", label, i, ea, eb)
+		}
+	}
+}
+
+func TestCheckpointRoundTripBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"adaptive", Config{Mode: Adaptive, SampleSize: 64, Seed: 11}},
+		{"log-adaptive", Config{Mode: Adaptive, SampleSize: 64, Seed: 11, Learner: learner.Config{Logarithmic: true}}},
+		{"batch", Config{Mode: Batch, SampleSize: 64, Seed: 11}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab := buildClusteredTable(t, 300, 21)
+			cfg := tc.cfg
+			if cfg.Mode == Batch {
+				cfg.Training = feedbackSet(t, tab, rand.New(rand.NewSource(2)), 30, 2)
+			}
+			e, err := Build(tab, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveFeedback(t, e, tab, 31, 57) // leaves a partial mini-batch open
+			path := filepath.Join(t.TempDir(), "model.ckpt")
+			if err := e.Checkpoint(path); err != nil {
+				t.Fatal(err)
+			}
+			r, err := RestoreCheckpoint(path, tab, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(e.Bandwidth(), r.Bandwidth()) {
+				t.Fatalf("bandwidth mismatch: %v vs %v", e.Bandwidth(), r.Bandwidth())
+			}
+			if e.learn != nil {
+				if !reflect.DeepEqual(e.learn.State(), r.learn.State()) {
+					t.Fatalf("learner state mismatch:\n%+v\n%+v", e.learn.State(), r.learn.State())
+				}
+			}
+			if e.src.Draws() != r.src.Draws() {
+				t.Fatalf("rng position mismatch: %d vs %d", e.src.Draws(), r.src.Draws())
+			}
+			assertSameEstimates(t, "post-restore", e, r, probeQueries(tab, 41, 25))
+
+			// Continued behavior must also be bit-identical: further
+			// feedback, mini-batch updates, karma replacements, and
+			// reservoir decisions over shared inserts all replay the same
+			// random stream on both sides.
+			ins := rand.New(rand.NewSource(51))
+			for i := 0; i < 40; i++ {
+				if err := tab.Insert([]float64{ins.NormFloat64()*0.4 + 6, ins.NormFloat64()*0.4 + 6}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			driveFeedback(t, e, tab, 61, 33)
+			driveFeedback(t, r, tab, 61, 33)
+			if !reflect.DeepEqual(e.Bandwidth(), r.Bandwidth()) {
+				t.Fatalf("bandwidths diverged after continuation: %v vs %v", e.Bandwidth(), r.Bandwidth())
+			}
+			if e.learn != nil && !reflect.DeepEqual(e.learn.State(), r.learn.State()) {
+				t.Fatal("learner states diverged after continuation")
+			}
+			assertSameEstimates(t, "post-continuation", e, r, probeQueries(tab, 71, 25))
+		})
+	}
+}
+
+func TestCheckpointRoundTripDevice(t *testing.T) {
+	tab := buildClusteredTable(t, 300, 23)
+	dev, err := gpu.NewDevice(gpu.GTX460())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Build(tab, Config{Mode: Adaptive, SampleSize: 64, Seed: 13, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveFeedback(t, e, tab, 33, 45)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := e.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	dev2, err := gpu.NewDevice(gpu.GTX460())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreCheckpoint(path, tab, dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Device() == nil {
+		t.Fatal("restored estimator not placed on device")
+	}
+	assertSameEstimates(t, "device", e, r, probeQueries(tab, 43, 25))
+	driveFeedback(t, e, tab, 63, 20)
+	driveFeedback(t, r, tab, 63, 20)
+	assertSameEstimates(t, "device continuation", e, r, probeQueries(tab, 73, 25))
+
+	// Cross-placement restore: the same checkpoint restores onto the host
+	// and serves the same model.
+	h, err := RestoreCheckpoint(path, tab, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Device() != nil {
+		t.Fatal("host restore ended up on a device")
+	}
+}
+
+func TestCheckpointCorruptionDetectedAndRecoverable(t *testing.T) {
+	tab := buildClusteredTable(t, 200, 27)
+	inj := fault.New(5, fault.Schedule{fault.CheckpointCorrupt: {At: []int{1}}})
+	e, err := Build(tab, Config{Mode: Adaptive, SampleSize: 64, Seed: 17, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveFeedback(t, e, tab, 37, 20)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := e.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreCheckpoint(path, tab, nil); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("restore of corrupted checkpoint: err = %v, want ErrCorrupt", err)
+	}
+	// The estimator is unaffected; rewriting produces a clean checkpoint.
+	if err := e.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreCheckpoint(path, tab, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameEstimates(t, "after recovery", e, r, probeQueries(tab, 47, 20))
+}

@@ -20,10 +20,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
 	"kdesel/internal/bandwidth"
+	"kdesel/internal/fault"
 	"kdesel/internal/gpu"
 	"kdesel/internal/kde"
 	"kdesel/internal/kernel"
@@ -113,6 +115,17 @@ type Config struct {
 	// part of the persisted model state (see persist.go); call
 	// Estimator.Instrument after Load to re-attach a registry.
 	Metrics *metrics.Registry
+	// Faults, when non-nil, drives deterministic fault injection through
+	// the estimator's own failure points (optimizer divergence, non-finite
+	// feedback gradients). Device-level faults are configured on the
+	// Device itself (gpu.Device.SetFaultInjector). Production deployments
+	// leave this nil; a nil injector is a complete no-op.
+	Faults *fault.Injector
+	// RetryBaseDelay is the initial backoff before retrying a transient
+	// device error; successive attempts double it up to a 100ms cap. Zero
+	// selects the 1ms default; a negative value disables sleeping between
+	// attempts entirely (used by tests and chaos runs).
+	RetryBaseDelay time.Duration
 }
 
 func (c Config) sampleSize() int {
@@ -148,10 +161,24 @@ type Estimator struct {
 	kern kernel.Kernel
 	lf   loss.Function
 	rng  *rand.Rand
+	src  *countingSource // the source behind rng; draws are checkpointed
 
 	// Exactly one of host/eng is active: eng when a device is configured.
-	host *kde.Estimator
-	eng  *gpu.Engine
+	// hostMirror shadows the device-resident sample row-major on the host
+	// so the degradation ladder can rebuild the model without asking the
+	// (possibly failing) device; it is nil on the host path.
+	host       *kde.Estimator
+	eng        *gpu.Engine
+	hostMirror []float64
+
+	// Degradation state (see health.go). faults is the estimator-level
+	// injector; gradTrips counts consecutive rejected feedback gradients,
+	// fbPanics the panics recovered out of the feedback path.
+	faults    *fault.Injector
+	health    Health
+	lastEvent string
+	gradTrips int
+	fbPanics  int
 
 	learn *learner.RMSprop
 	karma *sample.Karma
@@ -183,7 +210,8 @@ func Build(tab *table.Table, cfg Config) (*Estimator, error) {
 		return nil, errors.New("core: batch mode requires training feedback")
 	}
 	d := tab.Dims()
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	src := newCountingSource(cfg.Seed + 1)
+	rng := rand.New(src)
 	s := cfg.sampleSize()
 	if s > tab.Len() {
 		s = tab.Len()
@@ -194,17 +222,22 @@ func Build(tab *table.Table, cfg Config) (*Estimator, error) {
 	}
 
 	e := &Estimator{
-		cfg:  cfg,
-		tab:  tab,
-		d:    d,
-		s:    s,
-		kern: cfg.kernel(),
-		lf:   cfg.loss(),
-		rng:  rng,
+		cfg:    cfg,
+		tab:    tab,
+		d:      d,
+		s:      s,
+		kern:   cfg.kernel(),
+		lf:     cfg.loss(),
+		rng:    rng,
+		src:    src,
+		faults: cfg.Faults,
 	}
 
-	// Initial bandwidth per mode.
+	// Initial bandwidth per mode. Build-time degradations are counted
+	// after Instrument resolves the metric instruments below.
 	var h []float64
+	buildResets := 0
+	buildFallbacks := 0
 	switch cfg.Mode {
 	case Heuristic, Adaptive:
 		h = kde.ScottBandwidth(flat, d)
@@ -232,24 +265,54 @@ func Build(tab *table.Table, cfg Config) (*Estimator, error) {
 		if opts.Metrics == nil {
 			opts.Metrics = cfg.Metrics
 		}
-		h, err = bandwidth.Optimal(flat, d, cfg.Training, opts)
+		if e.faults.Fire(fault.OptimizerDiverge) {
+			err = fmt.Errorf("%w: optimizer divergence", fault.ErrInjected)
+		} else {
+			h, err = bandwidth.Optimal(flat, d, cfg.Training, opts)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("core: batch bandwidth optimization: %w", err)
+			if !errors.Is(err, fault.ErrInjected) {
+				return nil, fmt.Errorf("core: batch bandwidth optimization: %w", err)
+			}
+			// A diverged optimizer must not fail ANALYZE: degrade to the
+			// Scott's-rule starting point and flag the model.
+			h = kde.ScottBandwidth(flat, d)
+			e.health = Degraded
+			e.lastEvent = "batch optimizer diverged; using Scott's rule"
+			buildResets++
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", int(cfg.Mode))
 	}
 
-	// Model placement: device engine or host estimator.
+	// Model placement: device engine or host estimator. A device that
+	// fails transiently while being populated degrades the model to the
+	// host path rather than failing ANALYZE.
+	onDevice := false
 	if cfg.Device != nil {
-		e.eng, err = gpu.NewEngine(cfg.Device, d, e.kern, flat)
-		if err != nil {
+		var eng *gpu.Engine
+		err = e.retryDevice(func() error {
+			var nerr error
+			eng, nerr = gpu.NewEngine(cfg.Device, d, e.kern, flat)
+			if nerr != nil {
+				return nerr
+			}
+			return eng.SetBandwidth(h)
+		})
+		switch {
+		case err == nil:
+			e.eng = eng
+			e.hostMirror = append([]float64(nil), flat...)
+			onDevice = true
+		case errors.Is(err, fault.ErrInjected):
+			e.health = Degraded
+			e.lastEvent = "device unavailable at build; placed model on host"
+			buildFallbacks++
+		default:
 			return nil, err
 		}
-		if err := e.eng.SetBandwidth(h); err != nil {
-			return nil, err
-		}
-	} else {
+	}
+	if !onDevice {
 		e.host, err = kde.New(d, e.kern)
 		if err != nil {
 			return nil, err
@@ -286,6 +349,11 @@ func Build(tab *table.Table, cfg Config) (*Estimator, error) {
 		}
 	}
 	e.Instrument(cfg.Metrics)
+	if e.health != Healthy {
+		e.met.degradations.Inc()
+		e.met.bandwidthResets.Add(int64(buildResets))
+		e.met.gpuFallbacks.Add(int64(buildFallbacks))
+	}
 	return e, nil
 }
 
@@ -300,6 +368,22 @@ type coreMetrics struct {
 	karmaRepl   *metrics.Counter
 	resOffers   *metrics.Counter
 	resAccepts  *metrics.Counter
+
+	// Degradation and robustness events (see health.go).
+	degradations    *metrics.Counter
+	gpuRetries      *metrics.Counter
+	gpuFallbacks    *metrics.Counter
+	serialFallbacks *metrics.Counter
+	bandwidthResets *metrics.Counter
+	nonfiniteEst    *metrics.Counter
+	feedbackPanics  *metrics.Counter
+	gradRejected    *metrics.Counter
+	quarantined     *metrics.Counter
+	invalidQueries  *metrics.Counter
+	rejectedRows    *metrics.Counter
+	ignoredDeletes  *metrics.Counter
+	ignoredUpdates  *metrics.Counter
+	checkpoints     *metrics.Counter
 }
 
 // Instrument attaches a metrics registry to the estimator and all layers
@@ -317,6 +401,21 @@ func (e *Estimator) Instrument(reg *metrics.Registry) {
 		karmaRepl:   reg.Counter("core.karma_replacements"),
 		resOffers:   reg.Counter("core.reservoir_offers"),
 		resAccepts:  reg.Counter("core.reservoir_accepts"),
+
+		degradations:    reg.Counter("core.degradation_events"),
+		gpuRetries:      reg.Counter("core.gpu_retries"),
+		gpuFallbacks:    reg.Counter("core.gpu_fallbacks"),
+		serialFallbacks: reg.Counter("core.serial_fallbacks"),
+		bandwidthResets: reg.Counter("core.bandwidth_resets"),
+		nonfiniteEst:    reg.Counter("core.nonfinite_estimates"),
+		feedbackPanics:  reg.Counter("core.feedback_panics"),
+		gradRejected:    reg.Counter("core.gradients_rejected"),
+		quarantined:     reg.Counter("core.gradients_quarantined"),
+		invalidQueries:  reg.Counter("core.invalid_queries"),
+		rejectedRows:    reg.Counter("core.rejected_rows"),
+		ignoredDeletes:  reg.Counter("core.ignored_deletes"),
+		ignoredUpdates:  reg.Counter("core.ignored_updates"),
+		checkpoints:     reg.Counter("core.checkpoints_written"),
 	}
 	if e.learn != nil {
 		e.learn.Instrument(reg)
@@ -330,6 +429,9 @@ func (e *Estimator) Instrument(reg *metrics.Registry) {
 	if reg == nil {
 		return
 	}
+	// Degradation state as a pull-style gauge: 0 healthy, 1 degraded,
+	// 2 fallback (see health.go).
+	reg.RegisterGaugeFunc("core.health", func() float64 { return float64(e.health) })
 	// Per-dimension bandwidth drift relative to the bandwidth at attach
 	// time, as pull-style gauges evaluated only at snapshot time.
 	h0 := e.Bandwidth()
@@ -367,10 +469,17 @@ func (e *Estimator) Bandwidth() []float64 {
 	return e.host.Bandwidth()
 }
 
-// SetBandwidth installs a new bandwidth.
+// SetBandwidth installs a new bandwidth. A transient device failure during
+// the update degrades the model to the host path (see health.go) and
+// installs the bandwidth there.
 func (e *Estimator) SetBandwidth(h []float64) error {
 	if e.eng != nil {
-		return e.eng.SetBandwidth(h)
+		if err := e.deviceOp("bandwidth update", func() error { return e.eng.SetBandwidth(h) }); err != nil {
+			return err
+		}
+		if e.eng != nil {
+			return nil // device path succeeded
+		}
 	}
 	return e.host.SetBandwidth(h)
 }
@@ -397,21 +506,49 @@ func (e *Estimator) Device() *gpu.Device {
 // Estimate returns the estimated selectivity of q (step 1-4 of Figure 3 on
 // a device; the closed form of eq. 13 on the host). Contributions are
 // retained for the subsequent Feedback call.
+//
+// Estimate is hardened for the query-optimizer boundary: malformed ranges
+// (NaN/Inf bounds, inverted intervals, wrong dimensionality) are rejected
+// with an error matching ErrInvalidQuery, transient device failures retry
+// and then degrade to the host path, and the returned value is always a
+// finite selectivity in [0, 1] — never NaN or Inf (see health.go).
 func (e *Estimator) Estimate(q query.Range) (float64, error) {
+	if err := e.validateQuery(q); err != nil {
+		e.met.invalidQueries.Inc()
+		return 0, err
+	}
 	if e.met.estimateSec != nil {
 		start := time.Now()
 		defer func() { e.met.estimateSec.ObserveDuration(time.Since(start)) }()
 	}
 	e.queries++
+	est, err := e.estimateRaw(q)
+	if err != nil {
+		return 0, err
+	}
+	return e.sanitizeEstimate(q, est), nil
+}
+
+// estimateRaw runs the estimate on the active execution path, degrading
+// from device to host when transient failures persist. Callers own query
+// validation and output sanitization.
+func (e *Estimator) estimateRaw(q query.Range) (float64, error) {
 	if e.eng != nil {
-		est, err := e.eng.Estimate(q)
-		if err != nil {
+		var est float64
+		if err := e.deviceOp("estimate", func() error {
+			var derr error
+			est, derr = e.eng.Estimate(q)
+			return derr
+		}); err != nil {
 			return 0, err
 		}
-		e.lastQ = q.Clone()
-		e.lastEst = est
-		e.hasEst = true
-		return est, nil
+		if e.eng != nil {
+			e.lastQ = q.Clone()
+			e.lastEst = est
+			e.hasEst = true
+			return est, nil
+		}
+		// Fell back mid-call: redo the estimate on the host below.
 	}
 	contrib, est, err := e.host.Contributions(q, e.lastContrib)
 	if err != nil {
@@ -424,18 +561,63 @@ func (e *Estimator) Estimate(q query.Range) (float64, error) {
 	return est, nil
 }
 
+// Learner-protection thresholds (see health.go for the recovery ladder).
+const (
+	// gradTripLimit is how many consecutive rejected (non-finite) feedback
+	// gradients trigger quarantine of the open mini-batch plus a
+	// Scott's-rule bandwidth reset.
+	gradTripLimit = 3
+	// clampStreakLimit is how many consecutive mini-batch updates may hit
+	// the §4.1 safeguard clamp in every dimension before the learner is
+	// considered wedged and the model is reset. Legitimate adaptation
+	// clamps single dimensions routinely but essentially never clamps all
+	// of them this many batches in a row.
+	clampStreakLimit = 10
+)
+
 // Feedback delivers the true selectivity observed after the database
 // executed q. In Adaptive mode it performs the Listing-1 learning step and
 // the karma maintenance pass; in all other modes it is a no-op so callers
 // can drive every estimator uniformly.
-func (e *Estimator) Feedback(q query.Range, actual float64) error {
+//
+// Feedback is hardened like Estimate: malformed ranges and non-finite
+// actual selectivities are rejected with typed errors (ErrInvalidQuery,
+// ErrInvalidFeedback), and any panic escaping the learning path is
+// recovered — the event is counted, the model degrades (see health.go),
+// and the call reports success, because advisory feedback must never crash
+// the query optimizer. Non-finite gradients are rejected rather than fed
+// to the learner; repeated rejections quarantine the open mini-batch and
+// reset the bandwidth to Scott's rule.
+func (e *Estimator) Feedback(q query.Range, actual float64) (err error) {
 	if e.cfg.Mode != Adaptive {
 		return nil
 	}
+	if verr := e.validateQuery(q); verr != nil {
+		e.met.invalidQueries.Inc()
+		return verr
+	}
+	if math.IsNaN(actual) || math.IsInf(actual, 0) {
+		e.met.invalidQueries.Inc()
+		return fmt.Errorf("%w: non-finite true selectivity %v", ErrInvalidFeedback, actual)
+	}
+	actual = clamp01(actual)
 	if e.met.feedbackSec != nil {
 		start := time.Now()
 		defer func() { e.met.feedbackSec.ObserveDuration(time.Since(start)) }()
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			e.met.feedbackPanics.Inc()
+			e.fbPanics++
+			reason := fmt.Sprintf("panic recovered in feedback path: %v", r)
+			if e.fbPanics >= 2 {
+				e.enterSerialFallback(reason)
+			} else {
+				e.setHealth(Degraded, reason)
+			}
+			err = nil
+		}
+	}()
 	if !e.hasEst || !e.lastQ.Equal(q) {
 		if _, err := e.Estimate(q); err != nil {
 			return err
@@ -447,15 +629,31 @@ func (e *Estimator) Feedback(q query.Range, actual float64) error {
 	h := e.Bandwidth()
 	var grad []float64
 	var est float64
-	var err error
 	if e.eng != nil {
-		est, grad, err = e.eng.Gradient(q)
-	} else {
-		grad = make([]float64, e.d)
-		est, err = e.host.SelectivityGradient(q, grad)
+		if derr := e.deviceOp("gradient", func() error {
+			var gerr error
+			est, grad, gerr = e.eng.Gradient(q)
+			return gerr
+		}); derr != nil {
+			return derr
+		}
 	}
-	if err != nil {
-		return err
+	if e.eng == nil { // host path, possibly entered by a mid-call fallback
+		if !e.hasEst || !e.lastQ.Equal(q) {
+			if _, err := e.Estimate(q); err != nil {
+				return err
+			}
+			e.queries--
+		}
+		grad = make([]float64, e.d)
+		var herr error
+		est, herr = e.host.SelectivityGradient(q, grad)
+		if herr != nil {
+			return herr
+		}
+	}
+	if e.faults.Fire(fault.GradientNonFinite) && len(grad) > 0 {
+		grad[0] = math.NaN()
 	}
 	dl := e.lf.Deriv(est, actual)
 	for j := range grad {
@@ -468,12 +666,34 @@ func (e *Estimator) Feedback(q query.Range, actual float64) error {
 		return err
 	}
 
-	updated, err := e.learn.Observe(grad, h)
-	if err != nil {
-		return err
+	updated, oerr := e.learn.Observe(grad, h)
+	if oerr != nil {
+		// A non-finite gradient is absorbed, not propagated: the learner
+		// rejected it, the model is still serviceable, and the optimizer
+		// cannot act on the error anyway. Repeated trips mean the model
+		// itself is poisoned — quarantine and reset.
+		e.met.gradRejected.Inc()
+		e.gradTrips++
+		if e.gradTrips >= gradTripLimit {
+			if rerr := e.resetToScott("repeated non-finite feedback gradients"); rerr != nil {
+				return rerr
+			}
+		}
+		return nil
 	}
+	e.gradTrips = 0
 	if updated {
 		e.met.minibatch.Inc()
+		if e.learn.ConsecutiveFullClamps() >= clampStreakLimit {
+			// Every dimension pinned against the safeguard for many
+			// consecutive batches: the learner is wedged, not learning.
+			return e.resetToScott("learner wedged against safeguard clamps")
+		}
+		for _, v := range h {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return e.resetToScott("learner produced a non-positive or non-finite bandwidth")
+			}
+		}
 		if err := e.SetBandwidth(h); err != nil {
 			return err
 		}
@@ -499,14 +719,34 @@ func (e *Estimator) FeedbackBatch(fbs []query.Feedback) error {
 	if e.cfg.Mode != Adaptive || len(fbs) == 0 {
 		return nil
 	}
+	for _, fb := range fbs {
+		if err := e.validateQuery(fb.Query); err != nil {
+			e.met.invalidQueries.Inc()
+			return err
+		}
+		if math.IsNaN(fb.Actual) || math.IsInf(fb.Actual, 0) {
+			e.met.invalidQueries.Inc()
+			return fmt.Errorf("%w: non-finite true selectivity %v", ErrInvalidFeedback, fb.Actual)
+		}
+	}
 	h := e.Bandwidth()
 	var grads []float64
 	if e.eng != nil {
 		grads = make([]float64, len(fbs)*e.d)
 		for i, fb := range fbs {
-			est, g, err := e.eng.Gradient(fb.Query)
-			if err != nil {
+			var est float64
+			var g []float64
+			if err := e.deviceOp("gradient", func() error {
+				var gerr error
+				est, g, gerr = e.eng.Gradient(fb.Query)
+				return gerr
+			}); err != nil {
 				return err
+			}
+			if e.eng == nil {
+				// Fell back mid-batch: restart the whole batch on the host
+				// (no learner state was touched yet).
+				return e.FeedbackBatch(fbs)
 			}
 			dl := e.lf.Deriv(est, fb.Actual)
 			for j, gj := range g {
@@ -539,7 +779,15 @@ func (e *Estimator) FeedbackBatch(fbs []query.Feedback) error {
 			return err
 		}
 	}
-	return oerr
+	if oerr != nil {
+		// Same policy as Feedback: a rejected non-finite gradient is
+		// absorbed. The batch path stops folding at the bad entry, so
+		// quarantine the open mini-batch immediately rather than waiting
+		// for a trip streak.
+		e.met.gradRejected.Inc()
+		return e.resetToScott("non-finite gradient in feedback batch")
+	}
+	return nil
 }
 
 // maintainSample performs the karma update and point replacements of §4.2.
@@ -576,10 +824,24 @@ func (e *Estimator) maintainSample(q query.Range, actual float64) error {
 }
 
 func (e *Estimator) replacePoint(i int, row []float64) error {
+	// A non-finite replacement row would poison every future estimate
+	// (table.Append blocks NaN but not ±Inf); keep the old point instead.
+	if !finiteRow(row) {
+		e.met.rejectedRows.Inc()
+		return nil
+	}
 	e.replacements++
 	e.hasEst = false
 	if e.eng != nil {
-		return e.eng.ReplacePoint(i, row)
+		if err := e.deviceOp("point replacement", func() error { return e.eng.ReplacePoint(i, row) }); err != nil {
+			return err
+		}
+		if e.eng != nil {
+			copy(e.hostMirror[i*e.d:(i+1)*e.d], row)
+			return nil
+		}
+		// Fell back mid-call: the mirror (now the host sample) predates
+		// this replacement, so apply it on the host path below.
 	}
 	return e.host.ReplacePoint(i, row)
 }
@@ -616,7 +878,13 @@ func (e *Estimator) Reoptimize(fbs []query.Feedback) error {
 
 func (e *Estimator) sampleHost() ([]float64, error) {
 	if e.eng != nil {
-		return e.eng.SampleHost()
+		var out []float64
+		err := e.retryDevice(func() error {
+			var serr error
+			out, serr = e.eng.SampleHost()
+			return serr
+		})
+		return out, err
 	}
 	flat := e.host.SampleFlat()
 	out := make([]float64, len(flat))
@@ -647,10 +915,23 @@ func (e *Estimator) OnInsert(row []float64) {
 	}
 }
 
-// OnDelete implements table.Listener. Deletions are handled lazily by the
-// karma maintenance (§4.2), so no immediate action is taken.
-func (e *Estimator) OnDelete([]float64) {}
+// OnDelete implements table.Listener. The reservoir scheme of §4.2 is
+// insert-only (Vitter's Algorithm R has no delete operation, and the paper
+// assumes an append-mostly workload), so deletions take no immediate
+// action by design: a deleted tuple that lives in the sample keeps
+// contributing to estimates until the karma maintenance of §4.2 notices —
+// via feedback — that it misleads the model and replaces it. The event is
+// counted (core.ignored_deletes) so heavy delete workloads are visible in
+// telemetry rather than silently eroding accuracy.
+func (e *Estimator) OnDelete([]float64) {
+	e.met.ignoredDeletes.Inc()
+}
 
-// OnUpdate implements table.Listener. Updates are handled lazily by the
-// karma maintenance, like deletions.
-func (e *Estimator) OnUpdate(_, _ []float64) {}
+// OnUpdate implements table.Listener. Like deletions, updates are outside
+// the insert-only reservoir model of §4.2 and are handled lazily: the
+// stale pre-image decays out of the sample through karma-driven
+// replacement, and the post-image enters only if a future insert or
+// replacement draws it. The event is counted (core.ignored_updates).
+func (e *Estimator) OnUpdate(_, _ []float64) {
+	e.met.ignoredUpdates.Inc()
+}

@@ -1,0 +1,343 @@
+// Degradation state machine and input validation for the estimator.
+//
+// The estimator survives three classes of trouble without ever surfacing a
+// panic or a non-finite selectivity to the query optimizer:
+//
+//   - transient device errors (the stand-in for CUDA/OpenCL runtime
+//     failures, injected via internal/fault): retried with capped
+//     exponential backoff, then the model migrates to the host-parallel
+//     execution path from a host-resident mirror of the sample;
+//   - suspected runtime corruption (a panic out of the feedback path, or a
+//     non-finite estimate that survives a model reset): execution drops to
+//     the serial host path, the most conservative rung of the ladder;
+//   - a wedged or poisoned learner (non-finite feedback gradients, or every
+//     dimension hitting the §4.1 safeguard clamp for many consecutive
+//     updates): the open mini-batch is quarantined and the bandwidth is
+//     reset to Scott's rule (§3.2), the same starting point ANALYZE uses.
+//
+// The execution ladder is GPU → host-parallel → serial; the model-recovery
+// rung (Scott's-rule reset) is orthogonal and can fire on any execution
+// path. Transitions are one-way within a process: health only degrades,
+// never silently recovers, so operators can trust the reported state. Every
+// transition is counted in internal/metrics and the most recent cause is
+// kept for inspection.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"kdesel/internal/fault"
+	"kdesel/internal/kde"
+	"kdesel/internal/query"
+)
+
+// Health describes the estimator's degradation state.
+type Health int
+
+const (
+	// Healthy means the estimator runs on its configured execution path
+	// with a learned (or learning) bandwidth.
+	Healthy Health = iota
+	// Degraded means at least one recovery action fired: the model fell
+	// back from the device to the host-parallel path, or the bandwidth was
+	// reset to Scott's rule. Estimates remain fully functional.
+	Degraded
+	// Fallback is the last rung: execution is pinned to the serial host
+	// path after suspected runtime corruption (a recovered panic or a
+	// non-finite estimate that survived a model reset).
+	Fallback
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Fallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
+// Health returns the estimator's current degradation state.
+func (e *Estimator) Health() Health { return e.health }
+
+// SetFaultInjector attaches an estimator-level fault injector (normally
+// wired through Config.Faults); nil detaches. Injectors are not part of
+// the persisted state, so restored estimators start without one.
+func (e *Estimator) SetFaultInjector(inj *fault.Injector) { e.faults = inj }
+
+// LastDegradation returns a human-readable description of the most recent
+// degradation event, or "" while the estimator is healthy.
+func (e *Estimator) LastDegradation() string { return e.lastEvent }
+
+// setHealth records a degradation event. Health is monotone: it never moves
+// back toward Healthy within a process (restore a checkpoint or rebuild to
+// clear it).
+func (e *Estimator) setHealth(h Health, reason string) {
+	e.lastEvent = reason
+	if h > e.health {
+		e.health = h
+		e.met.degradations.Inc()
+	}
+}
+
+// ErrInvalidQuery is the class of all query-validation failures returned by
+// Estimate, Feedback, and FeedbackBatch. Match with errors.Is.
+var ErrInvalidQuery = errors.New("core: invalid query")
+
+// ErrInvalidFeedback is returned by Feedback and FeedbackBatch when the
+// reported true selectivity is not a finite number. Match with errors.Is.
+var ErrInvalidFeedback = errors.New("core: invalid feedback")
+
+// InvalidQueryError reports why a query range was rejected at the estimator
+// boundary. It unwraps to ErrInvalidQuery.
+type InvalidQueryError struct {
+	// Dim is the offending dimension, or -1 for shape errors.
+	Dim    int
+	Reason string
+}
+
+// Error implements error.
+func (iq *InvalidQueryError) Error() string {
+	if iq.Dim < 0 {
+		return fmt.Sprintf("core: invalid query: %s", iq.Reason)
+	}
+	return fmt.Sprintf("core: invalid query: %s in dimension %d", iq.Reason, iq.Dim)
+}
+
+// Unwrap makes errors.Is(err, ErrInvalidQuery) hold.
+func (iq *InvalidQueryError) Unwrap() error { return ErrInvalidQuery }
+
+// validateQuery rejects malformed ranges at the estimator boundary: shape
+// mismatches, NaN or infinite bounds, and inverted intervals. Rejecting
+// infinities here (query.Range.Validate allows them) is deliberate — an
+// unbounded predicate should be clamped to the attribute domain by the
+// caller, and letting ±Inf into the kernel math can poison the retained
+// per-point contributions that feed karma maintenance.
+func (e *Estimator) validateQuery(q query.Range) error {
+	if len(q.Lo) != len(q.Hi) {
+		return &InvalidQueryError{Dim: -1, Reason: fmt.Sprintf("bound length mismatch: %d vs %d", len(q.Lo), len(q.Hi))}
+	}
+	if q.Dims() != e.d {
+		return &InvalidQueryError{Dim: -1, Reason: fmt.Sprintf("query has %d dims, estimator has %d", q.Dims(), e.d)}
+	}
+	for j := range q.Lo {
+		lo, hi := q.Lo[j], q.Hi[j]
+		switch {
+		case math.IsNaN(lo) || math.IsNaN(hi):
+			return &InvalidQueryError{Dim: j, Reason: "NaN bound"}
+		case math.IsInf(lo, 0) || math.IsInf(hi, 0):
+			return &InvalidQueryError{Dim: j, Reason: "infinite bound"}
+		case lo > hi:
+			return &InvalidQueryError{Dim: j, Reason: fmt.Sprintf("inverted bounds [%g, %g]", lo, hi)}
+		}
+	}
+	return nil
+}
+
+// Retry policy for transient device errors.
+const (
+	deviceAttempts = 3
+	maxRetryDelay  = 100 * time.Millisecond
+)
+
+func (c Config) retryBaseDelay() time.Duration {
+	switch {
+	case c.RetryBaseDelay > 0:
+		return c.RetryBaseDelay
+	case c.RetryBaseDelay < 0:
+		return 0 // no sleeping between attempts (tests)
+	default:
+		return time.Millisecond
+	}
+}
+
+// retryDevice runs fn up to deviceAttempts times with capped exponential
+// backoff. Only errors in the transient class (fault.ErrInjected, the
+// simulation's stand-in for device runtime failures) are retried; semantic
+// errors — shape mismatches, invalid bandwidths — are returned immediately
+// so real bugs are never masked by retries.
+func (e *Estimator) retryDevice(fn func() error) error {
+	var err error
+	delay := e.cfg.retryBaseDelay()
+	for attempt := 1; attempt <= deviceAttempts; attempt++ {
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, fault.ErrInjected) {
+			return err
+		}
+		if attempt == deviceAttempts {
+			break
+		}
+		e.met.gpuRetries.Inc()
+		if delay > 0 {
+			time.Sleep(delay)
+			if delay *= 2; delay > maxRetryDelay {
+				delay = maxRetryDelay
+			}
+		}
+	}
+	return err
+}
+
+// deviceOp runs a device operation through the retry policy and, if the
+// transient failure persists, migrates the model to the host path and
+// reports the fallback so the caller can redo the operation there. The
+// returned error is nil exactly when either the device succeeded or the
+// fallback completed (check e.eng to see which).
+func (e *Estimator) deviceOp(what string, fn func() error) error {
+	err := e.retryDevice(fn)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		return err
+	}
+	return e.fallbackToHost(fmt.Sprintf("%s failed after %d attempts: %v", what, deviceAttempts, err))
+}
+
+// fallbackToHost migrates the model from the device to the host-parallel
+// execution path, rebuilding it from the host-resident sample mirror and
+// the last known-good bandwidth. The device is abandoned (its buffers are
+// simulated, so there is nothing to free).
+func (e *Estimator) fallbackToHost(reason string) error {
+	if e.eng == nil {
+		return nil
+	}
+	h := e.eng.Bandwidth()
+	host, err := kde.New(e.d, e.kern)
+	if err != nil {
+		return err
+	}
+	host.SetWorkers(e.cfg.Workers)
+	if err := host.SetSampleFlat(e.hostMirror); err != nil {
+		return err
+	}
+	if err := host.SetBandwidth(h); err != nil {
+		return err
+	}
+	e.host = host
+	e.eng = nil
+	e.hostMirror = nil // the host estimator owns the sample now
+	e.hasEst = false
+	e.lastContrib = nil
+	e.met.gpuFallbacks.Inc()
+	e.setHealth(Degraded, reason)
+	host.Pool().Instrument(e.met.reg)
+	return nil
+}
+
+// enterSerialFallback pins execution to the serial host path — the most
+// conservative rung of the ladder, reached only on suspected runtime
+// corruption.
+func (e *Estimator) enterSerialFallback(reason string) {
+	e.cfg.Workers = 0
+	if e.host != nil {
+		e.host.SetWorkers(0)
+		e.host.Pool().Instrument(e.met.reg)
+	}
+	e.met.serialFallbacks.Inc()
+	e.setHealth(Fallback, reason)
+}
+
+// resetToScott abandons the learned bandwidth and reinstalls Scott's rule
+// (§3.2) computed from the current sample — the same starting point ANALYZE
+// uses — and reinitializes the learner so stale adaptation state cannot
+// immediately re-poison the model. The open mini-batch, if any, is
+// quarantined (dropped), since it accumulated gradients under the abandoned
+// bandwidth.
+func (e *Estimator) resetToScott(reason string) error {
+	flat, err := e.sampleHostLocal()
+	if err != nil {
+		return err
+	}
+	h := kde.ScottBandwidth(flat, e.d)
+	for _, v := range h {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: scott reset impossible: sample yields bandwidth %v", h)
+		}
+	}
+	if e.learn != nil {
+		e.met.quarantined.Add(int64(e.learn.DropBatch()))
+		e.learn.Reset()
+	}
+	e.gradTrips = 0
+	if err := e.SetBandwidth(h); err != nil {
+		return err
+	}
+	e.met.bandwidthResets.Inc()
+	e.setHealth(Degraded, reason)
+	return nil
+}
+
+// sampleHostLocal returns a copy of the sample without touching the device:
+// the host mirror on the device path, the host estimator's buffer otherwise.
+// Recovery paths use it so that a misbehaving device cannot block its own
+// repair.
+func (e *Estimator) sampleHostLocal() ([]float64, error) {
+	if e.eng != nil {
+		if len(e.hostMirror) != e.s*e.d {
+			return nil, errors.New("core: host sample mirror unavailable")
+		}
+		return append([]float64(nil), e.hostMirror...), nil
+	}
+	flat := e.host.SampleFlat()
+	return append([]float64(nil), flat...), nil
+}
+
+// sanitizeEstimate guarantees the value handed to the optimizer is a finite
+// selectivity in [0, 1]. A non-finite raw estimate triggers the
+// model-recovery rung (Scott's-rule reset) and one re-evaluation; if the
+// model still produces garbage, execution drops to the serial rung and the
+// estimate is pinned to the nearest bound. Estimate never returns NaN/Inf.
+func (e *Estimator) sanitizeEstimate(q query.Range, est float64) float64 {
+	if !math.IsNaN(est) && !math.IsInf(est, 0) {
+		return clamp01(est)
+	}
+	e.met.nonfiniteEst.Inc()
+	if err := e.resetToScott("non-finite estimate"); err == nil {
+		if again, err2 := e.estimateRaw(q); err2 == nil && !math.IsNaN(again) && !math.IsInf(again, 0) {
+			return clamp01(again)
+		}
+	}
+	e.enterSerialFallback("non-finite estimate survived Scott's-rule reset")
+	if again, err2 := e.estimateRaw(q); err2 == nil && !math.IsNaN(again) && !math.IsInf(again, 0) {
+		return clamp01(again)
+	}
+	// Pin to the nearest bound and drop the retained per-query state so the
+	// feedback path never consumes the non-finite contributions.
+	e.hasEst = false
+	if math.IsInf(est, 1) {
+		return 1
+	}
+	return 0
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}
+
+func finiteRow(row []float64) bool {
+	for _, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -22,7 +22,9 @@ const snapshotVersion = 1
 // snapshot is the serialized essence of an estimator: the model (sample +
 // bandwidth), its configuration identity, and the karma state of the
 // maintenance layer. Transient learning-rate state is rebuilt on load (the
-// RMSprop averages re-warm within one mini-batch).
+// RMSprop averages re-warm within one mini-batch); the checkpoint format of
+// checkpoint.go additionally captures that transient state for bit-exact
+// resumption.
 type snapshot struct {
 	Version      int
 	Mode         int
@@ -49,13 +51,9 @@ type karmaCfgSnapshot struct {
 	NoShortcut bool
 }
 
-// Save serializes the estimator's model state with encoding/gob. The
-// estimator remains usable afterwards.
-func (e *Estimator) Save(w io.Writer) error {
-	flat, err := e.sampleHost()
-	if err != nil {
-		return err
-	}
+// makeSnapshot captures the estimator's model state around the given
+// host-resident copy of the sample.
+func (e *Estimator) makeSnapshot(flat []float64) snapshot {
 	snap := snapshot{
 		Version:      snapshotVersion,
 		Mode:         int(e.cfg.Mode),
@@ -79,20 +77,26 @@ func (e *Estimator) Save(w io.Writer) error {
 	if e.karma != nil {
 		snap.KarmaScores = e.karma.Scores()
 	}
+	return snap
+}
+
+// Save serializes the estimator's model state with encoding/gob. The
+// estimator remains usable afterwards.
+func (e *Estimator) Save(w io.Writer) error {
+	flat, err := e.sampleHost()
+	if err != nil {
+		return err
+	}
+	snap := e.makeSnapshot(flat)
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
-// Load reconstructs a saved estimator bound to tab (which supplies future
-// replacement rows and change notifications) and, when dev is non-nil,
-// places the model on that device. The saved sample is reinstated verbatim
-// rather than redrawn, so estimates are identical to the saved model's.
-func Load(r io.Reader, tab *table.Table, dev *gpu.Device) (*Estimator, error) {
+// restoreFromSnapshot rebuilds an estimator from a decoded snapshot, bound
+// to tab and optionally placed on dev. It is shared by Load (gob stream)
+// and RestoreCheckpoint (framed, CRC-checked checkpoint file).
+func restoreFromSnapshot(snap snapshot, tab *table.Table, dev *gpu.Device) (*Estimator, error) {
 	if tab == nil {
 		return nil, errors.New("core: nil table")
-	}
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("core: unsupported snapshot version %d", snap.Version)
@@ -112,6 +116,7 @@ func Load(r io.Reader, tab *table.Table, dev *gpu.Device) (*Estimator, error) {
 		return nil, fmt.Errorf("core: unknown loss %q in snapshot", snap.LossName)
 	}
 
+	src := newCountingSource(snap.Seed + 1)
 	e := &Estimator{
 		cfg: Config{
 			Mode:       Mode(snap.Mode),
@@ -134,7 +139,8 @@ func Load(r io.Reader, tab *table.Table, dev *gpu.Device) (*Estimator, error) {
 		s:            len(snap.Sample) / snap.Dims,
 		kern:         kern,
 		lf:           lf,
-		rng:          rand.New(rand.NewSource(snap.Seed + 1)),
+		rng:          rand.New(src),
+		src:          src,
 		queries:      snap.Queries,
 		replacements: snap.Replacements,
 	}
@@ -148,6 +154,7 @@ func Load(r io.Reader, tab *table.Table, dev *gpu.Device) (*Estimator, error) {
 		if err := e.eng.SetBandwidth(snap.Bandwidth); err != nil {
 			return nil, err
 		}
+		e.hostMirror = append([]float64(nil), snap.Sample...)
 	} else {
 		e.host, err = kde.New(e.d, kern)
 		if err != nil {
@@ -185,4 +192,19 @@ func Load(r io.Reader, tab *table.Table, dev *gpu.Device) (*Estimator, error) {
 		}
 	}
 	return e, nil
+}
+
+// Load reconstructs a saved estimator bound to tab (which supplies future
+// replacement rows and change notifications) and, when dev is non-nil,
+// places the model on that device. The saved sample is reinstated verbatim
+// rather than redrawn, so estimates are identical to the saved model's.
+func Load(r io.Reader, tab *table.Table, dev *gpu.Device) (*Estimator, error) {
+	if tab == nil {
+		return nil, errors.New("core: nil table")
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	return restoreFromSnapshot(snap, tab, dev)
 }

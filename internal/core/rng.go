@@ -1,0 +1,59 @@
+package core
+
+import "math/rand"
+
+// countingSource wraps a math/rand source and counts how many times its
+// state has advanced. The count is persisted in checkpoints so a restored
+// estimator can fast-forward a freshly seeded source to the exact stream
+// position of the original — making every post-restore random decision
+// (karma replacement rows, reservoir accept/slot draws, optimizer restarts)
+// bit-identical to the estimator that took the checkpoint. math/rand does
+// not expose its internal state, so replaying the draw count is the only
+// seed-stable way to serialize it.
+type countingSource struct {
+	src   rand.Source
+	src64 rand.Source64 // non-nil when src natively produces 64-bit values
+	n     uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	s := rand.NewSource(seed)
+	s64, _ := s.(rand.Source64)
+	return &countingSource{src: s, src64: s64}
+}
+
+// Int63 implements rand.Source. One call advances the state once.
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64, composing two Int63 draws exactly like
+// rand.Rand does when the source lacks native 64-bit output, so the stream
+// matches rand.New(rand.NewSource(seed)) bit for bit either way.
+func (c *countingSource) Uint64() uint64 {
+	if c.src64 != nil {
+		c.n++
+		return c.src64.Uint64()
+	}
+	c.n += 2
+	return uint64(c.src.Int63())>>31 | uint64(c.src.Int63())<<32
+}
+
+// Seed implements rand.Source and resets the draw count.
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// Draws returns how many times the underlying state has advanced.
+func (c *countingSource) Draws() uint64 { return c.n }
+
+// FastForward advances a freshly seeded source n state steps, reproducing
+// the stream position recorded by Draws.
+func (c *countingSource) FastForward(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Int63()
+	}
+	c.n = n
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"kdesel/internal/metrics"
+	"kdesel/internal/query"
+)
+
+func adaptiveEstimator(t *testing.T, reg *metrics.Registry) *Estimator {
+	t.Helper()
+	tab := buildClusteredTable(t, 200, 7)
+	e, err := Build(tab, Config{Mode: Adaptive, SampleSize: 64, Seed: 7, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEstimateRejectsMalformedQueries(t *testing.T) {
+	reg := metrics.New()
+	e := adaptiveEstimator(t, reg)
+	nan, inf := math.NaN(), math.Inf(1)
+	bad := []struct {
+		name string
+		q    query.Range
+	}{
+		{"nan lo", query.NewRange([]float64{nan, 0}, []float64{1, 1})},
+		{"nan hi", query.NewRange([]float64{0, 0}, []float64{1, nan})},
+		{"pos inf hi", query.NewRange([]float64{0, 0}, []float64{1, inf})},
+		{"neg inf lo", query.NewRange([]float64{-inf, 0}, []float64{1, 1})},
+		{"inverted", query.NewRange([]float64{2, 0}, []float64{1, 1})},
+		{"dim mismatch", query.NewRange([]float64{0}, []float64{1})},
+		{"shape mismatch", query.Range{Lo: []float64{0, 0}, Hi: []float64{1}}},
+	}
+	for i, tc := range bad {
+		if _, err := e.Estimate(tc.q); !errors.Is(err, ErrInvalidQuery) {
+			t.Errorf("%s: Estimate err = %v, want ErrInvalidQuery", tc.name, err)
+		}
+		if err := e.Feedback(tc.q, 0.5); !errors.Is(err, ErrInvalidQuery) {
+			t.Errorf("%s: Feedback err = %v, want ErrInvalidQuery", tc.name, err)
+		}
+		if err := e.FeedbackBatch([]query.Feedback{{Query: tc.q, Actual: 0.5}}); !errors.Is(err, ErrInvalidQuery) {
+			t.Errorf("%s: FeedbackBatch err = %v, want ErrInvalidQuery", tc.name, err)
+		}
+		if got := reg.Counter("core.invalid_queries").Value(); got != int64(3*(i+1)) {
+			t.Errorf("%s: invalid_queries = %d, want %d", tc.name, got, 3*(i+1))
+		}
+	}
+	// The typed error carries the offending dimension.
+	var iq *InvalidQueryError
+	_, err := e.Estimate(query.NewRange([]float64{0, nan}, []float64{1, 1}))
+	if !errors.As(err, &iq) || iq.Dim != 1 {
+		t.Fatalf("err = %v, want InvalidQueryError in dim 1", err)
+	}
+	// Rejections must not count as served queries or disturb the model.
+	if e.Queries() != 0 {
+		t.Fatalf("rejected queries were counted: %d", e.Queries())
+	}
+	if _, err := e.Estimate(query.NewRange([]float64{-1, -1}, []float64{7, 7})); err != nil {
+		t.Fatalf("valid query rejected after bad ones: %v", err)
+	}
+}
+
+func TestFeedbackRejectsNonFiniteActual(t *testing.T) {
+	e := adaptiveEstimator(t, nil)
+	q := query.NewRange([]float64{-1, -1}, []float64{1, 1})
+	for _, actual := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := e.Feedback(q, actual); !errors.Is(err, ErrInvalidFeedback) {
+			t.Errorf("Feedback(%v) err = %v, want ErrInvalidFeedback", actual, err)
+		}
+		if err := e.FeedbackBatch([]query.Feedback{{Query: q, Actual: actual}}); !errors.Is(err, ErrInvalidFeedback) {
+			t.Errorf("FeedbackBatch(%v) err = %v, want ErrInvalidFeedback", actual, err)
+		}
+	}
+	// Out-of-range but finite selectivities are clamped, not rejected.
+	if err := e.Feedback(q, 1.7); err != nil {
+		t.Fatalf("Feedback(1.7) = %v, want clamped acceptance", err)
+	}
+	if err := e.Feedback(q, -0.3); err != nil {
+		t.Fatalf("Feedback(-0.3) = %v, want clamped acceptance", err)
+	}
+}
+
+func TestNonAdaptiveModesStillValidate(t *testing.T) {
+	tab := buildClusteredTable(t, 100, 3)
+	e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 32, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewRange([]float64{math.Inf(-1), 0}, []float64{1, 1})
+	if _, err := e.Estimate(q); !errors.Is(err, ErrInvalidQuery) {
+		t.Fatalf("heuristic Estimate err = %v, want ErrInvalidQuery", err)
+	}
+	// Feedback stays a cheap no-op in non-adaptive modes, even for bad input.
+	if err := e.Feedback(q, math.NaN()); err != nil {
+		t.Fatalf("heuristic Feedback should remain a no-op, got %v", err)
+	}
+}

@@ -34,6 +34,9 @@ type AblationConfig struct {
 	// Metrics, when non-nil, instruments every KDE estimator built during
 	// the run; the result carries a final snapshot.
 	Metrics *metrics.Registry
+	// Checkpoints, when enabled, periodically snapshots every KDE
+	// estimator the run trains (see CheckpointConfig).
+	Checkpoints CheckpointConfig
 }
 
 func (c AblationConfig) withDefaults() AblationConfig {
@@ -118,7 +121,7 @@ func runVariants(cfg AblationConfig, name string, variants []struct {
 			if err != nil {
 				return nil, err
 			}
-			if err := trainEstimator(e, train); err != nil {
+			if err := trainEstimator(e, train, cfg.Checkpoints); err != nil {
 				return nil, err
 			}
 			avg, err := testError(e, test)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"path/filepath"
 
 	"kdesel/internal/avi"
 	"kdesel/internal/core"
@@ -237,16 +238,41 @@ func buildEstimator(spec buildSpec) (estimator, error) {
 	return nil, fmt.Errorf("experiments: unknown estimator %q", spec.name)
 }
 
+// CheckpointConfig enables periodic checkpointing of the KDE estimators
+// while a driver replays its training workload. Every Every feedbacks, the
+// estimator's complete state is atomically written to Dir/<estimator>.ckpt
+// in the framed, CRC-checked format of internal/checkpoint; successive
+// builds overwrite the same file, so the newest state wins and a crashed
+// run can resume from core.RestoreCheckpoint. The zero value disables
+// checkpointing. Non-KDE baselines (STHoles, AVI, ...) have no persistent
+// form and are skipped.
+type CheckpointConfig struct {
+	// Dir receives the checkpoint files; it must exist.
+	Dir string
+	// Every is the checkpoint period in feedbacks (0 disables).
+	Every int
+}
+
+func (c CheckpointConfig) enabled() bool { return c.Dir != "" && c.Every > 0 }
+
 // trainEstimator runs the training workload through the feedback loop —
 // a no-op for Heuristic/SCV, model refinement for STHoles and Adaptive
-// (Batch consumed the training set at construction).
-func trainEstimator(e estimator, train []query.Feedback) error {
-	for _, fb := range train {
+// (Batch consumed the training set at construction) — checkpointing the
+// model periodically when ckpt is enabled.
+func trainEstimator(e estimator, train []query.Feedback, ckpt CheckpointConfig) error {
+	ce, _ := e.(*coreEstimator)
+	for i, fb := range train {
 		if _, err := e.Estimate(fb.Query); err != nil {
 			return err
 		}
 		if err := e.Feedback(fb.Query, fb.Actual); err != nil {
 			return err
+		}
+		if ckpt.enabled() && ce != nil && (i+1)%ckpt.Every == 0 {
+			path := filepath.Join(ckpt.Dir, ce.name+".ckpt")
+			if err := ce.est.Checkpoint(path); err != nil {
+				return fmt.Errorf("experiments: checkpointing %s: %w", ce.name, err)
+			}
 		}
 	}
 	return nil

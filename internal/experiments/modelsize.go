@@ -35,6 +35,9 @@ type ModelSizeConfig struct {
 	// Metrics, when non-nil, instruments every KDE estimator built during
 	// the run; the result carries a final snapshot.
 	Metrics *metrics.Registry
+	// Checkpoints, when enabled, periodically snapshots every KDE
+	// estimator the run trains (see CheckpointConfig).
+	Checkpoints CheckpointConfig
 }
 
 func (c ModelSizeConfig) withDefaults() ModelSizeConfig {
@@ -124,7 +127,7 @@ func ModelSize(cfg ModelSizeConfig) (*ModelSizeResult, error) {
 				if err != nil {
 					return nil, err
 				}
-				if err := trainEstimator(e, train); err != nil {
+				if err := trainEstimator(e, train, cfg.Checkpoints); err != nil {
 					return nil, err
 				}
 				avg, err := testError(e, test)

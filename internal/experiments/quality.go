@@ -38,6 +38,9 @@ type QualityConfig struct {
 	// Metrics, when non-nil, instruments every KDE estimator built during
 	// the run; the result carries a final snapshot.
 	Metrics *metrics.Registry
+	// Checkpoints, when enabled, periodically snapshots every KDE
+	// estimator the run trains (see CheckpointConfig).
+	Checkpoints CheckpointConfig
 }
 
 func (c QualityConfig) withDefaults() QualityConfig {
@@ -124,7 +127,7 @@ func Quality(cfg QualityConfig) (*QualityResult, error) {
 					if err != nil {
 						return nil, fmt.Errorf("%s/%s/%s rep %d: %w", dsName, kind, name, rep, err)
 					}
-					if err := trainEstimator(e, train); err != nil {
+					if err := trainEstimator(e, train, cfg.Checkpoints); err != nil {
 						return nil, err
 					}
 					avg, err := testError(e, test)

@@ -17,6 +17,7 @@ import (
 	"math"
 	"time"
 
+	"kdesel/internal/fault"
 	"kdesel/internal/metrics"
 )
 
@@ -85,6 +86,7 @@ type Stats struct {
 type Device struct {
 	profile Profile
 	stats   Stats
+	inj     *fault.Injector
 }
 
 // NewDevice returns a device with the given profile.
@@ -109,6 +111,17 @@ func (d *Device) Clock() time.Duration { return d.stats.Clock }
 
 // ResetStats zeroes the clock and counters, e.g. between measurement runs.
 func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// SetFaultInjector attaches a fault injector to the device: transfers may
+// then fail at the fault.DeviceTransfer point and reduction kernels at the
+// fault.KernelLaunch point, each surfacing as a typed error wrapping
+// fault.ErrInjected — the simulated analogue of the OpenCL/CUDA runtime
+// error class that real bridges must survive. A nil injector (the default)
+// disables injection entirely; the hot paths then carry only a nil check.
+func (d *Device) SetFaultInjector(inj *fault.Injector) { d.inj = inj }
+
+// FaultInjector returns the attached injector, nil when injection is off.
+func (d *Device) FaultInjector() *fault.Injector { return d.inj }
 
 // RegisterMetrics bridges the device's Stats into a metrics registry as
 // pull-style gauges (gpu.clock_seconds, gpu.kernel_launches, gpu.transfers,
@@ -161,6 +174,9 @@ func (d *Device) CopyToDevice(dst *Buffer, off int, src []float64) error {
 	if off < 0 || off+len(src) > len(dst.data) {
 		return fmt.Errorf("gpu: transfer [%d,%d) exceeds buffer of %d", off, off+len(src), len(dst.data))
 	}
+	if err := d.inj.Err(fault.DeviceTransfer, "copy-to-device"); err != nil {
+		return err
+	}
 	copy(dst.data[off:], src)
 	d.chargeTransfer(len(src))
 	d.stats.BytesToDevice += int64(len(src) * bytesPerValue)
@@ -175,6 +191,9 @@ func (d *Device) CopyFromDevice(dst []float64, src *Buffer, off int) error {
 	}
 	if off < 0 || off+len(dst) > len(src.data) {
 		return fmt.Errorf("gpu: transfer [%d,%d) exceeds buffer of %d", off, off+len(dst), len(src.data))
+	}
+	if err := d.inj.Err(fault.DeviceTransfer, "copy-from-device"); err != nil {
+		return err
 	}
 	copy(dst, src.data[off:])
 	d.chargeTransfer(len(dst))
@@ -223,6 +242,9 @@ func (d *Device) Reduce(buf *Buffer, n int) (float64, error) {
 	}
 	if n < 0 || n > len(buf.data) {
 		return 0, fmt.Errorf("gpu: reduce length %d exceeds buffer of %d", n, len(buf.data))
+	}
+	if err := d.inj.Err(fault.KernelLaunch, "reduce"); err != nil {
+		return 0, err
 	}
 	if n == 0 {
 		d.stats.KernelLaunches++

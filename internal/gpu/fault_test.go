@@ -1,0 +1,66 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+
+	"kdesel/internal/fault"
+	"kdesel/internal/kernel"
+	"kdesel/internal/query"
+)
+
+func TestInjectedTransferFailure(t *testing.T) {
+	dev, err := NewDevice(GTX460())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultInjector(fault.New(1, fault.Schedule{fault.DeviceTransfer: {At: []int{2}}}))
+	buf := dev.Alloc(4)
+	if err := dev.CopyToDevice(buf, 0, []float64{1, 2, 3, 4}); err != nil {
+		t.Fatalf("occurrence 1 failed: %v", err)
+	}
+	before := dev.Stats()
+	err = dev.CopyToDevice(buf, 0, []float64{5, 6, 7, 8})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("occurrence 2: err = %v, want injected", err)
+	}
+	// A failed transfer charges nothing and moves nothing.
+	if dev.Stats() != before {
+		t.Fatalf("failed transfer changed accounting: %+v -> %+v", before, dev.Stats())
+	}
+	out := make([]float64, 4)
+	if err := dev.CopyFromDevice(out, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[3] != 4 {
+		t.Fatalf("buffer corrupted by failed transfer: %v", out)
+	}
+}
+
+func TestInjectedReduceFailurePropagatesThroughEngine(t *testing.T) {
+	dev, err := NewDevice(GTX460())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := []float64{0, 0, 1, 1, 2, 2, 3, 3}
+	eng, err := NewEngine(dev, 2, kernel.Gaussian{}, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetBandwidth([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewRange([]float64{-1, -1}, []float64{4, 4})
+	if _, err := eng.Estimate(q); err != nil {
+		t.Fatalf("clean estimate failed: %v", err)
+	}
+	dev.SetFaultInjector(fault.New(1, fault.Schedule{fault.KernelLaunch: {Every: 1}}))
+	if _, err := eng.Estimate(q); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("estimate err = %v, want injected", err)
+	}
+	// Detaching the injector restores clean operation.
+	dev.SetFaultInjector(nil)
+	if _, err := eng.Estimate(q); err != nil {
+		t.Fatalf("estimate after detach failed: %v", err)
+	}
+}

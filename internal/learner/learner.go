@@ -84,15 +84,16 @@ func (c Config) withDefaults() Config {
 // learning rates by sign agreement with the previous batch, and applies the
 // update to the bandwidth.
 type RMSprop struct {
-	cfg      Config
-	d        int
-	batch    []float64 // accumulated gradient sum
-	batchN   int
-	msAvg    []float64 // running average of squared gradient magnitudes
-	prevSign []int8    // sign of the previous averaged gradient
-	rates    []float64 // per-dimension learning rates
-	steps    int       // completed mini-batch updates
-	ins      instruments
+	cfg         Config
+	d           int
+	batch       []float64 // accumulated gradient sum
+	batchN      int
+	msAvg       []float64 // running average of squared gradient magnitudes
+	prevSign    []int8    // sign of the previous averaged gradient
+	rates       []float64 // per-dimension learning rates
+	steps       int       // completed mini-batch updates
+	clampStreak int       // consecutive updates where every dimension clamped
+	ins         instruments
 }
 
 // instruments holds the learner's optional metrics; the zero value (all nil
@@ -240,6 +241,102 @@ func (r *RMSprop) Flush(h []float64) bool {
 	return true
 }
 
+// DropBatch quarantines the open mini-batch: the accumulated gradients are
+// discarded without being applied, and the number of dropped observations
+// is returned. The degradation machinery in internal/core calls this when
+// the feedback stream turns out to have been poisoned (non-finite
+// gradients, §4.1 safeguard storms) so a partial batch of suspect
+// gradients cannot leak into the next update.
+func (r *RMSprop) DropBatch() int {
+	n := r.batchN
+	for j := range r.batch {
+		r.batch[j] = 0
+	}
+	r.batchN = 0
+	return n
+}
+
+// Reset reinitializes the learner to its freshly constructed state: the
+// open mini-batch, running magnitude averages, previous signs, and
+// per-dimension rates all return to their initial values (the step counter
+// is kept as a lifetime statistic). Used together with a Scott's-rule
+// bandwidth reset when the adaptive loop has wedged — restarting the
+// learner from a sane bandwidth with stale momentum would immediately
+// re-wedge it.
+func (r *RMSprop) Reset() {
+	for j := 0; j < r.d; j++ {
+		r.batch[j] = 0
+		r.msAvg[j] = 0
+		r.prevSign[j] = 0
+		r.rates[j] = r.cfg.InitialRate
+	}
+	r.batchN = 0
+	r.clampStreak = 0
+	r.ins.publishRates(r.rates)
+}
+
+// ConsecutiveFullClamps returns the number of consecutive completed
+// updates in which the safeguard clamped every dimension — the signature
+// of a wedged learner (each update is fighting the positivity/log-step
+// guard on the whole bandwidth vector). A single-dimension clamp is normal
+// adaptation and resets the streak.
+func (r *RMSprop) ConsecutiveFullClamps() int { return r.clampStreak }
+
+// State is the complete serializable accumulator state of an RMSprop
+// learner, captured by State and reinstated by Restore. Checkpointing it
+// makes a restored estimator's future updates bit-identical to the
+// original's (internal/core/checkpoint.go).
+type State struct {
+	Batch       []float64
+	BatchN      int
+	MsAvg       []float64
+	PrevSign    []int8
+	Rates       []float64
+	Steps       int
+	ClampStreak int
+}
+
+// State returns a deep copy of the learner's accumulator state.
+func (r *RMSprop) State() State {
+	st := State{
+		Batch:       append([]float64(nil), r.batch...),
+		BatchN:      r.batchN,
+		MsAvg:       append([]float64(nil), r.msAvg...),
+		PrevSign:    append([]int8(nil), r.prevSign...),
+		Rates:       append([]float64(nil), r.rates...),
+		Steps:       r.steps,
+		ClampStreak: r.clampStreak,
+	}
+	return st
+}
+
+// Restore reinstates accumulator state captured by State on a learner of
+// the same dimensionality.
+func (r *RMSprop) Restore(st State) error {
+	if len(st.Batch) != r.d || len(st.MsAvg) != r.d || len(st.PrevSign) != r.d || len(st.Rates) != r.d {
+		return fmt.Errorf("learner: state dims (%d,%d,%d,%d), want %d",
+			len(st.Batch), len(st.MsAvg), len(st.PrevSign), len(st.Rates), r.d)
+	}
+	if st.BatchN < 0 || st.Steps < 0 || st.ClampStreak < 0 {
+		return fmt.Errorf("learner: negative counters in state (batchN=%d steps=%d streak=%d)",
+			st.BatchN, st.Steps, st.ClampStreak)
+	}
+	for j, v := range st.Batch {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("learner: non-finite batch accumulator %d: %g", j, v)
+		}
+	}
+	copy(r.batch, st.Batch)
+	copy(r.msAvg, st.MsAvg)
+	copy(r.prevSign, st.PrevSign)
+	copy(r.rates, st.Rates)
+	r.batchN = st.BatchN
+	r.steps = st.Steps
+	r.clampStreak = st.ClampStreak
+	r.ins.publishRates(r.rates)
+	return nil
+}
+
 // maxLogStep bounds one logarithmic-mode update of ln(h) to ±ln 2, i.e. a
 // per-update change of at most a factor of two in either direction. The
 // shrinking half mirrors the §4.1 positivity safeguard exactly (h may at
@@ -263,6 +360,7 @@ func clampLogStep(delta float64) (float64, bool) {
 func (r *RMSprop) apply(h []float64) {
 	const eps = 1e-8
 	n := float64(r.batchN)
+	fullClamp := true
 	for j := 0; j < r.d; j++ {
 		g := r.batch[j] / n
 
@@ -288,6 +386,8 @@ func (r *RMSprop) apply(h []float64) {
 			delta, clamped = clampLogStep(delta)
 			if clamped {
 				r.ins.clamps.Inc()
+			} else {
+				fullClamp = false
 			}
 			h[j] = math.Exp(math.Log(h[j]) - delta)
 		} else {
@@ -297,11 +397,18 @@ func (r *RMSprop) apply(h []float64) {
 			if next < h[j]/2 {
 				next = h[j] / 2
 				r.ins.clamps.Inc()
+			} else {
+				fullClamp = false
 			}
 			h[j] = next
 		}
 
 		r.batch[j] = 0
+	}
+	if fullClamp {
+		r.clampStreak++
+	} else {
+		r.clampStreak = 0
 	}
 	r.batchN = 0
 	r.steps++

@@ -1,0 +1,180 @@
+package learner
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// feed drives n observations of a deterministic gradient stream into r,
+// applying updates to h.
+func feed(t *testing.T, r *RMSprop, h []float64, seed int64, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	grad := make([]float64, len(h))
+	for i := 0; i < n; i++ {
+		for j := range grad {
+			grad[j] = (rng.Float64() - 0.5) * 0.02
+		}
+		if _, err := r.Observe(grad, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStateRoundTripBitIdentical(t *testing.T) {
+	for _, logMode := range []bool{false, true} {
+		cfg := Config{BatchSize: 10, Logarithmic: logMode}
+		a, err := NewRMSprop(3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ha := []float64{1, 2, 0.5}
+		feed(t, a, ha, 5, 57) // 57 leaves a partial batch of 7 open
+
+		st := a.State()
+		b, err := NewRMSprop(3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Restore(st); err != nil {
+			t.Fatal(err)
+		}
+		hb := append([]float64(nil), ha...)
+
+		if !reflect.DeepEqual(a.State(), b.State()) {
+			t.Fatalf("log=%v: restored state differs:\n%+v\n%+v", logMode, a.State(), b.State())
+		}
+		// Future updates must be bit-identical.
+		feed(t, a, ha, 9, 33)
+		feed(t, b, hb, 9, 33)
+		for j := range ha {
+			if ha[j] != hb[j] {
+				t.Fatalf("log=%v: bandwidths diverged after restore: %v vs %v", logMode, ha, hb)
+			}
+		}
+		if !reflect.DeepEqual(a.State(), b.State()) {
+			t.Fatalf("log=%v: states diverged after restore", logMode)
+		}
+	}
+}
+
+func TestStateIsDeepCopy(t *testing.T) {
+	r, err := NewRMSprop(2, Config{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := []float64{1, 1}
+	feed(t, r, h, 1, 3)
+	st := r.State()
+	st.Rates[0] = 123
+	st.Batch[0] = 123
+	if r.Rates()[0] == 123 || r.State().Batch[0] == 123 {
+		t.Fatal("State shares memory with the learner")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	r, err := NewRMSprop(2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := r.State()
+	bad := good
+	bad.Rates = []float64{1}
+	if err := r.Restore(bad); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	bad = good
+	bad.BatchN = -1
+	if err := r.Restore(bad); err == nil {
+		t.Fatal("negative batchN accepted")
+	}
+	bad = r.State()
+	bad.Batch = []float64{math.NaN(), 0}
+	if err := r.Restore(bad); err == nil {
+		t.Fatal("NaN batch accumulator accepted")
+	}
+}
+
+func TestDropBatchQuarantinesOpenBatch(t *testing.T) {
+	r, err := NewRMSprop(2, Config{BatchSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := []float64{1, 1}
+	feed(t, r, h, 2, 7)
+	if r.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", r.Pending())
+	}
+	if n := r.DropBatch(); n != 7 {
+		t.Fatalf("DropBatch() = %d, want 7", n)
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending after drop = %d", r.Pending())
+	}
+	// The dropped gradients must not influence the next update: a learner
+	// that never saw them behaves identically from here on.
+	fresh, _ := NewRMSprop(2, Config{BatchSize: 10})
+	hf := []float64{1, 1}
+	feed(t, r, h, 4, 10)
+	feed(t, fresh, hf, 4, 10)
+	if h[0] != hf[0] || h[1] != hf[1] {
+		t.Fatalf("dropped batch leaked into the update: %v vs %v", h, hf)
+	}
+}
+
+func TestResetReturnsToInitialState(t *testing.T) {
+	cfg := Config{BatchSize: 5, InitialRate: 2}
+	r, err := NewRMSprop(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := []float64{1, 1}
+	feed(t, r, h, 3, 23)
+	r.Reset()
+	if r.Pending() != 0 {
+		t.Fatalf("pending after reset = %d", r.Pending())
+	}
+	for j, v := range r.Rates() {
+		if v != 2 {
+			t.Fatalf("rate[%d] = %g after reset, want 2", j, v)
+		}
+	}
+	st := r.State()
+	for j := range st.MsAvg {
+		if st.MsAvg[j] != 0 || st.PrevSign[j] != 0 || st.Batch[j] != 0 {
+			t.Fatalf("accumulators not cleared: %+v", st)
+		}
+	}
+	if st.Steps == 0 {
+		t.Fatal("lifetime step counter should be preserved")
+	}
+}
+
+func TestConsecutiveFullClamps(t *testing.T) {
+	// A huge constant gradient forces the positivity safeguard on every
+	// dimension of every update.
+	r, err := NewRMSprop(2, Config{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := []float64{1, 1}
+	grad := []float64{1e6, 1e6}
+	for i := 0; i < 4; i++ {
+		if _, err := r.Observe(grad, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.ConsecutiveFullClamps() != 4 {
+		t.Fatalf("streak = %d, want 4", r.ConsecutiveFullClamps())
+	}
+	// A tame gradient breaks the streak.
+	if _, err := r.Observe([]float64{1e-9, 1e-9}, h); err != nil {
+		t.Fatal(err)
+	}
+	if r.ConsecutiveFullClamps() != 0 {
+		t.Fatalf("streak after tame update = %d, want 0", r.ConsecutiveFullClamps())
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 
 	"kdesel/internal/core"
+	"kdesel/internal/fault"
 	"kdesel/internal/gpu"
 	"kdesel/internal/join"
 	"kdesel/internal/kde"
@@ -89,6 +90,62 @@ func CPUProfile() DeviceProfile { return gpu.XeonE5620() }
 func Load(r io.Reader, tab *Table, dev *Device) (*Estimator, error) {
 	return core.Load(r, tab, dev)
 }
+
+// Health is the estimator's degradation state; see core.Health for the
+// ladder (GPU → host-parallel → serial execution, plus Scott's-rule model
+// resets) and the monotonicity contract.
+type Health = core.Health
+
+// The three health states, ordered by severity.
+const (
+	// Healthy: no degradation since construction.
+	Healthy = core.Healthy
+	// Degraded: at least one recovery action fired (device fallback,
+	// bandwidth reset, recovered panic); estimates remain fully served.
+	Degraded = core.Degraded
+	// Fallback: execution dropped to the most conservative rung (serial
+	// host); the last resort short of failing.
+	Fallback = core.Fallback
+)
+
+// Typed validation errors returned at the Estimate/Feedback boundary.
+var (
+	// ErrInvalidQuery marks a malformed range (NaN/Inf bounds, inverted
+	// ranges, dimension mismatch); match with errors.Is.
+	ErrInvalidQuery = core.ErrInvalidQuery
+	// ErrInvalidFeedback marks a non-finite observed selectivity.
+	ErrInvalidFeedback = core.ErrInvalidFeedback
+)
+
+// RestoreCheckpoint reconstructs an estimator from an atomic, CRC-checked
+// checkpoint written by Estimator.Checkpoint, bound to tab and optionally
+// placed on dev. Unlike Save/Load, a checkpoint also carries the learner
+// accumulators, reservoir position, and random stream, so the restored
+// estimator continues bit-identically to the original.
+func RestoreCheckpoint(path string, tab *Table, dev *Device) (*Estimator, error) {
+	return core.RestoreCheckpoint(path, tab, dev)
+}
+
+// FaultInjector is a deterministic, schedule-driven fault injector for
+// exercising the degradation ladder; pass one via Config.Faults or
+// Device.SetFaultInjector. A nil injector is a full no-op.
+type FaultInjector = fault.Injector
+
+// FaultSchedule maps fault points to firing rules; see ParseFaultSchedule
+// for the textual grammar.
+type FaultSchedule = fault.Schedule
+
+// NewFaultInjector returns an injector firing per the schedule, with
+// probabilistic clauses driven by seed.
+func NewFaultInjector(seed int64, s FaultSchedule) *FaultInjector { return fault.New(seed, s) }
+
+// ParseFaultSchedule parses specs like "transfer:3,5;gradient:every=7,limit=3"
+// (points: transfer, launch, optimizer, gradient, checkpoint).
+func ParseFaultSchedule(spec string) (FaultSchedule, error) { return fault.ParseSchedule(spec) }
+
+// FaultInjectorFromEnv builds an injector from the KDESEL_FAULTS /
+// KDESEL_FAULT_SEED environment variables; nil when unset.
+func FaultInjectorFromEnv() (*FaultInjector, error) { return fault.FromEnv() }
 
 // JoinEstimator answers range queries over the combined attribute space of
 // a key–foreign-key join (paper future work §8).
