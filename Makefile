@@ -3,9 +3,14 @@
 
 GO ?= go
 
-.PHONY: verify fmtcheck build test race race-resilience chaos vet bench bench-parallel
+# Which PR's benchmark suite `make bench` regenerates (bench-PR2, bench-PR4,
+# ...); e.g. `BENCH=PR2 make bench` rebuilds BENCH_PR2.json.
+BENCH ?= PR4
 
-verify: fmtcheck vet build race-resilience race
+.PHONY: verify fmtcheck build test race race-resilience mathx-accuracy chaos vet \
+	bench bench-PR2 bench-PR4 bench-parallel bench-throughput
+
+verify: fmtcheck vet build race-resilience mathx-accuracy race
 
 # Fail when any file needs gofmt; list the offenders.
 fmtcheck:
@@ -24,30 +29,48 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Race-check the resilience layer first: the fault injector and the
-# degradation machinery are the most concurrency-sensitive code in the tree.
-# (Go's test cache makes the overlap with `race` free when nothing changed.)
+# Race-check the resilience and serving layers first: the fault injector,
+# the degradation machinery, the request coalescer, and the process-global
+# erf switch are the most concurrency-sensitive code in the tree. (Go's test
+# cache makes the overlap with `race` free when nothing changed.)
 race-resilience:
-	$(GO) test -race ./internal/fault/... ./internal/core/...
+	$(GO) test -race ./internal/fault/... ./internal/core/... ./internal/serve/... ./internal/mathx/...
+
+# The fast-erf accuracy contract (|error| ≤ 1e-7 over the 2M-point sweep)
+# must actually run — a skipped sweep fails verify, not just a failing one.
+mathx-accuracy:
+	@out="$$($(GO) test -count=1 -run 'TestFastErfAccuracy|TestModeDefaultExact' -v ./internal/mathx/)"; \
+	status=$$?; echo "$$out"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	echo "$$out" | grep -q -- '--- PASS: TestFastErfAccuracy' || \
+		{ echo "mathx accuracy sweep did not run"; exit 1; }; \
+	echo "$$out" | grep -q -- '--- PASS: TestModeDefaultExact' || \
+		{ echo "mathx exact-mode bit-identity check did not run"; exit 1; }
 
 # Chaos suite: deterministic fault schedules (failed transfers/launches,
 # diverged optimizers, non-finite gradients, corrupted checkpoints) against
 # every estimator mode, asserting the degradation-ladder acceptance criteria.
 chaos:
-	$(GO) test -race -v -run 'TestChaos|TestTransientFault|TestOptimizerDivergence|TestFeedbackPanic|TestCheckpointCorruption' ./internal/core/
+	$(GO) test -race -v -run 'TestChaos|TestTransientFault|TestOptimizerDivergence|TestFeedbackPanic|TestCheckpointCorruption|TestServerDeviceFault' ./internal/core/
 
 # Micro-benchmarks for the host parallel runtime (see BENCH_PR1.json).
 bench-parallel:
 	$(GO) test -run TestNothing -bench 'BenchmarkObjective|BenchmarkKDEGradient' -benchmem -benchtime 5x .
 
-# Micro-benchmarks for this PR, rendered to BENCH_PR2.json via cmd/benchjson:
-# the objective with and without a live metrics registry (<5% criterion), the
-# estimate/gradient hot paths, and the raw instrument costs.
+# Serving throughput at 1/4/16/64 closed-loop clients (see BENCH_PR4.json);
+# qps must grow monotonically from 1 to 16 clients.
+bench-throughput:
+	$(GO) test -run TestNothing -bench BenchmarkServeThroughput -benchtime 3x .
+
+bench: bench-$(BENCH)
+
+# PR2: the objective with and without a live metrics registry (<5%
+# criterion), the estimate/gradient hot paths, and the raw instrument costs.
 BENCH_CMD2 = $(GO) test -run TestNothing -bench 'BenchmarkObjective$$|BenchmarkObjectiveInstrumented' -benchtime 5x .
 BENCH_CMD2B = $(GO) test -run TestNothing -bench 'BenchmarkKDEGradient|BenchmarkKDEEstimate' -benchmem -benchtime 100x .
 BENCH_CMD2C = $(GO) test -run TestNothing -bench . -benchmem ./internal/metrics/
 
-bench:
+bench-PR2:
 	$(BENCH_CMD2) > bench2.out
 	$(BENCH_CMD2B) >> bench2.out
 	$(BENCH_CMD2C) >> bench2.out
@@ -57,3 +80,22 @@ bench:
 		-cmd "$(BENCH_CMD2)" -cmd "$(BENCH_CMD2B)" -cmd "$(BENCH_CMD2C)" \
 		-out BENCH_PR2.json bench2.out
 	rm -f bench2.out
+
+# PR4: the columnar fused serving path. The batch evaluator in its three
+# configurations (generic/exact is the pre-PR layout, fused/fast the new
+# serving default candidate; ≥2× is the acceptance bar), end-to-end serving
+# throughput under closed-loop concurrency, and the scalar erf kernels.
+BENCH_CMD4 = $(GO) test -run TestNothing -bench BenchmarkSelectivityBatch -benchmem -benchtime 30x .
+BENCH_CMD4B = $(GO) test -run TestNothing -bench BenchmarkServeThroughput -benchtime 3x .
+BENCH_CMD4C = $(GO) test -run TestNothing -bench 'BenchmarkMathErf|BenchmarkFastErf' ./internal/mathx/
+
+bench-PR4:
+	$(BENCH_CMD4) > bench4.out
+	$(BENCH_CMD4B) >> bench4.out
+	$(BENCH_CMD4C) >> bench4.out
+	$(GO) run ./cmd/benchjson -pr 4 \
+		-title "Serving-path overhaul: columnar sample layout, fused fast-erf kernels, and concurrent request coalescing" \
+		-note "BenchmarkSelectivityBatch compares the pre-PR row-major query-at-a-time batch loop (generic-exact) against the columnar fused kernels (fused-exact) and the fused kernels on the polynomial erf (fused-fast); the serving-path criterion is fused-fast ≥ 2x generic-exact. BenchmarkServeThroughput drives the coalescing server with closed-loop concurrent clients; qps must rise monotonically from 1 to 16 clients. The mathx entries are the scalar erf kernels the fused loops call." \
+		-cmd "$(BENCH_CMD4)" -cmd "$(BENCH_CMD4B)" -cmd "$(BENCH_CMD4C)" \
+		-out BENCH_PR4.json bench4.out
+	rm -f bench4.out

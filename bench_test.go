@@ -8,6 +8,7 @@ package kdesel_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"kdesel/internal/core"
@@ -16,6 +17,7 @@ import (
 	"kdesel/internal/gpu"
 	"kdesel/internal/kde"
 	"kdesel/internal/loss"
+	"kdesel/internal/mathx"
 	"kdesel/internal/metrics"
 	"kdesel/internal/parallel"
 	"kdesel/internal/query"
@@ -272,6 +274,103 @@ func BenchmarkKDEEstimate(b *testing.B) {
 		if _, err := e.Selectivity(qs[i%len(qs)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSelectivityBatch measures a 64-query batched estimate pass on
+// the 8-D, 4096-point model — the serving path's unit of work. The generic
+// variant forces the pre-PR row-major query-at-a-time inner loops; fused is
+// the columnar tiled layout with hoisted scalings, in both erf modes. The
+// ≥2× serving-path criterion compares fused/fast against generic/exact (the
+// pre-PR serving configuration).
+func BenchmarkSelectivityBatch(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		generic bool
+		mode    mathx.Mode
+	}{
+		{"generic-exact", true, mathx.Exact},
+		{"fused-exact", false, mathx.Exact},
+		{"fused-fast", false, mathx.Fast},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			e, qs := benchEstimatorAndQueries(b, 8, 4096)
+			e.ForceGenericLayout(v.generic)
+			mathx.SetMode(v.mode)
+			defer mathx.SetMode(mathx.Exact)
+			ests := make([]float64, len(qs))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.SelectivityBatch(qs, ests); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeThroughput measures end-to-end serving throughput with
+// closed-loop concurrent clients (each issues its next query the moment the
+// previous answer returns) against the coalescing server at default
+// settings. The reported qps must grow monotonically from 1 to 16 clients:
+// more concurrency means fuller batches, and a batch amortizes one fused
+// sample traversal over all its members.
+func BenchmarkServeThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	const d, s = 8, 4096
+	ds := datagen.Synthetic(rng, s+1000, d, 10, 0.1)
+	tab, _ := table.New(d)
+	if err := tab.InsertMany(ds.Rows); err != nil {
+		b.Fatal(err)
+	}
+	for _, clients := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			est, err := core.Build(tab, core.Config{Mode: core.Heuristic, SampleSize: s, Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := core.NewServer(est, core.ServeConfig{})
+			defer srv.Close()
+			const perClient = 16
+			streams := make([][]query.Range, clients)
+			for c := range streams {
+				qrng := rand.New(rand.NewSource(int64(100 + c)))
+				qs := make([]query.Range, perClient)
+				for i := range qs {
+					lo := make([]float64, d)
+					hi := make([]float64, d)
+					for j := 0; j < d; j++ {
+						cen, w := qrng.NormFloat64(), 0.2+qrng.Float64()
+						lo[j], hi[j] = cen-w, cen+w
+					}
+					qs[i] = query.Range{Lo: lo, Hi: hi}
+				}
+				streams[c] = qs
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					qs := streams[c]
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for _, q := range qs {
+							if _, err := srv.Estimate(q); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			total := float64(b.N) * float64(clients) * perClient
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(total/sec, "qps")
+			}
+		})
 	}
 }
 

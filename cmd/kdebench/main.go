@@ -23,13 +23,14 @@ import (
 	"time"
 
 	"kdesel/internal/experiments"
+	"kdesel/internal/mathx"
 	"kdesel/internal/metrics"
 	"kdesel/internal/workload"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig4, fig5, table1, fig6, fig7, fig8, shift, ablations, all")
+		exp   = flag.String("exp", "all", "experiment: fig4, fig5, table1, fig6, fig7, fig8, shift, serve, ablations, all")
 		seed  = flag.Int64("seed", 42, "random seed")
 		quick = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
 		rows  = flag.Int("rows", 0, "override dataset rows (0 = experiment default)")
@@ -43,8 +44,18 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile (pprof) to this file on exit")
 		ckptDir    = flag.String("checkpoint-dir", "", "periodically checkpoint KDE estimator state into this directory (atomic, CRC-framed; see -checkpoint-every)")
 		ckptEvery  = flag.Int("checkpoint-every", 50, "checkpoint period in training feedbacks (used with -checkpoint-dir)")
+		serveBatch = flag.Int("serve-batch", 0, "serve experiment: max queries coalesced per evaluation (0 = default 64; 1 disables coalescing)")
+		serveWait  = flag.Duration("serve-wait", 0, "serve experiment: batch fill deadline (0 = default 100µs; negative = no wait)")
+		profServe  = flag.Bool("profile-serve", false, "label the serve scheduler goroutine in CPU profiles (pprof label kdesel_serve=batcher; combine with -cpuprofile)")
+		erfMode    = flag.String("erf", "exact", "erf implementation for Gaussian kernels: exact (math.Erf) | fast (polynomial, |err| ≤ 1e-7)")
 	)
 	flag.Parse()
+	if m, ok := mathx.ParseMode(*erfMode); ok {
+		mathx.SetMode(m)
+	} else {
+		fmt.Fprintf(os.Stderr, "kdebench: bad -erf %q (want exact or fast)\n", *erfMode)
+		os.Exit(2)
+	}
 	ckpts := experiments.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery}
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
@@ -251,6 +262,25 @@ func main() {
 		res.WriteTable(os.Stdout)
 		return nil
 	}
+	runServe := func() error {
+		cfg := experiments.ThroughputConfig{
+			Seed:         *seed,
+			MaxBatch:     *serveBatch,
+			MaxWait:      *serveWait,
+			Metrics:      reg,
+			ProfileLabel: *profServe,
+		}
+		if *quick {
+			cfg.SampleSize = 1024
+			cfg.QueriesPerClient = 60
+		}
+		res, err := experiments.Throughput(cfg)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	}
 	runAblations := func() error {
 		cfg := experiments.AblationConfig{Seed: *seed, Metrics: reg, Checkpoints: ckpts}
 		if *quick {
@@ -295,6 +325,8 @@ func main() {
 		run("figure 8 (changing data)", runFig8)
 	case "shift":
 		run("workload shift (extension)", runShift)
+	case "serve":
+		run("serving throughput (coalescing)", runServe)
 	case "ablations":
 		run("ablations", runAblations)
 	case "all":
@@ -305,6 +337,7 @@ func main() {
 		run("figure 7 (runtime)", runFig7)
 		run("figure 8 (changing data)", runFig8)
 		run("workload shift (extension)", runShift)
+		run("serving throughput (coalescing)", runServe)
 		run("ablations", runAblations)
 	default:
 		fmt.Fprintf(os.Stderr, "kdebench: unknown experiment %q\n", *exp)

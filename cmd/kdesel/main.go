@@ -15,6 +15,11 @@
 // random data-centered queries with exact feedback. -save/-load persist the
 // fitted model with encoding/gob.
 //
+// -serve-batch N (with N > 1) serves the positional queries concurrently
+// through the coalescing server, sharing fused sample traversals between
+// them; -serve-wait bounds the batch fill deadline. -erf fast switches the
+// Gaussian kernels to the polynomial erf (|error| ≤ 1e-7, ~4× faster).
+//
 // -checkpoint/-restore use the framed, CRC-checked checkpoint format of
 // internal/checkpoint, which additionally carries the learner accumulators,
 // reservoir position, and random stream so a restored estimator continues
@@ -31,6 +36,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"kdesel"
 	"kdesel/internal/core"
@@ -55,8 +61,16 @@ func main() {
 		faultSpec  = flag.String("faults", "", "fault injection schedule, e.g. \"transfer:3,5;gradient:every=7,limit=3\" (default: $"+fault.EnvVar+")")
 		faultSeed  = flag.Int64("fault-seed", 1, "seed for probabilistic fault clauses (default: $"+fault.EnvSeedVar+")")
 		metricsOut = flag.String("metrics-out", "", "write an instrumentation snapshot (JSON) to this file on exit")
+		serveBatch = flag.Int("serve-batch", 0, "serve the positional queries concurrently, coalescing up to this many estimates per evaluation (0 = sequential)")
+		serveWait  = flag.Duration("serve-wait", 0, "coalescer batch fill deadline (0 = default 100µs; used with -serve-batch)")
+		erfMode    = flag.String("erf", "exact", "erf implementation for Gaussian kernels: exact (math.Erf) | fast (polynomial, |err| ≤ 1e-7)")
 	)
 	flag.Parse()
+	if m, ok := kdesel.ParseErfMode(*erfMode); ok {
+		kdesel.SetErfMode(m)
+	} else {
+		fail("bad -erf %q (want exact or fast)", *erfMode)
+	}
 	if *dataPath == "" {
 		fail("missing -data")
 	}
@@ -155,16 +169,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "model saved to %s\n", *savePath)
 	}
 
-	for _, arg := range flag.Args() {
+	queries := make([]kdesel.Range, flag.NArg())
+	for i, arg := range flag.Args() {
 		q, err := parseQuery(arg, tab.Dims())
 		if err != nil {
 			fail("query %q: %v", arg, err)
 		}
-		sel, err := est.Estimate(q)
-		if err != nil {
-			fail("estimating %q: %v", arg, err)
+		queries[i] = q
+	}
+	sels := make([]float64, len(queries))
+	if *serveBatch > 1 && len(queries) > 1 {
+		// Concurrent serving path: all queries in flight at once, coalesced
+		// into shared fused traversals. Output order stays positional.
+		srv := kdesel.NewServer(est, kdesel.ServeConfig{MaxBatch: *serveBatch, MaxWait: *serveWait, Metrics: reg})
+		var wg sync.WaitGroup
+		estErrs := make([]error, len(queries))
+		for i, q := range queries {
+			i, q := i, q
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sels[i], estErrs[i] = srv.Estimate(q)
+			}()
 		}
-		line := fmt.Sprintf("%s  estimate=%.6f  rows~%.0f", q, sel, sel*float64(tab.Len()))
+		wg.Wait()
+		srv.Close() // the estimator is safe to use directly again below
+		for i, err := range estErrs {
+			if err != nil {
+				fail("estimating %q: %v", flag.Arg(i), err)
+			}
+		}
+	} else {
+		for i, q := range queries {
+			sel, err := est.Estimate(q)
+			if err != nil {
+				fail("estimating %q: %v", flag.Arg(i), err)
+			}
+			sels[i] = sel
+		}
+	}
+	for i, q := range queries {
+		line := fmt.Sprintf("%s  estimate=%.6f  rows~%.0f", q, sels[i], sels[i]*float64(tab.Len()))
 		if *truth {
 			actual, _ := tab.Selectivity(q)
 			line += fmt.Sprintf("  actual=%.6f", actual)

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kdesel/internal/metrics"
+	"kdesel/internal/query"
+	"kdesel/internal/serve"
+)
+
+// EstimateBatch estimates the selectivity of every query in qs, writing one
+// result per query into ests (len(ests) must equal len(qs)). It is the
+// batched counterpart of Estimate with identical hardening: all queries are
+// validated up front (an invalid query fails the whole batch before any
+// evaluation), transient device failures retry and degrade to the host
+// path, and every returned value is a finite selectivity in [0, 1].
+//
+// On the host path the batch is evaluated by kde.SelectivityBatch, which
+// streams each sample chunk once per query tile — this is the amortization
+// the serve-layer coalescer exists to exploit. Results are bit-identical to
+// per-query Estimate calls. EstimateBatch does not update the contribution
+// cache consumed by Feedback; a subsequent Feedback re-estimates its query
+// internally, so adaptive serving through the batch path stays correct.
+func (e *Estimator) EstimateBatch(qs []query.Range, ests []float64) error {
+	if len(ests) != len(qs) {
+		return fmt.Errorf("core: EstimateBatch got %d queries but %d result slots", len(qs), len(ests))
+	}
+	for _, q := range qs {
+		if err := e.validateQuery(q); err != nil {
+			e.met.invalidQueries.Inc()
+			return err
+		}
+	}
+	if len(qs) == 0 {
+		return nil
+	}
+	if e.met.estimateSec != nil {
+		start := time.Now()
+		defer func() { e.met.estimateSec.ObserveDuration(time.Since(start)) }()
+	}
+	e.queries += len(qs)
+	if err := e.estimateBatchRaw(qs, ests); err != nil {
+		return err
+	}
+	for i, q := range qs {
+		ests[i] = e.sanitizeEstimate(q, ests[i])
+	}
+	return nil
+}
+
+// estimateBatchRaw runs the batch on the active execution path. The
+// simulated device evaluates queries one transfer+launch at a time (its
+// protocol is single-query); a mid-batch fallback redoes the whole batch on
+// the host so one degradation event cannot split a batch across paths.
+func (e *Estimator) estimateBatchRaw(qs []query.Range, ests []float64) error {
+	if e.eng != nil {
+		ok := true
+		for i, q := range qs {
+			var est float64
+			if err := e.deviceOp("estimate", func() error {
+				var derr error
+				est, derr = e.eng.Estimate(q)
+				return derr
+			}); err != nil {
+				return err
+			}
+			if e.eng == nil {
+				ok = false // fell back mid-batch: host redo below
+				break
+			}
+			ests[i] = est
+		}
+		if ok {
+			return nil
+		}
+	}
+	return e.host.SelectivityBatch(qs, ests)
+}
+
+// ServeConfig tunes a Server's request coalescing; the zero value enables
+// it with the serve-package defaults (batches of up to serve.DefaultMaxBatch
+// queries, serve.DefaultMaxWait fill deadline).
+type ServeConfig struct {
+	// MaxBatch caps how many concurrent Estimate calls share one fused
+	// traversal (default serve.DefaultMaxBatch). MaxBatch ≤ 1 (but non-zero)
+	// disables coalescing entirely: Estimate takes the direct mutex path
+	// and no scheduler goroutine is started.
+	MaxBatch int
+	// MaxWait bounds the extra latency a lone request pays waiting for
+	// companions (default serve.DefaultMaxWait; negative means no wait).
+	MaxWait time.Duration
+	// Queue is the pending-request capacity (default 4·MaxBatch).
+	Queue int
+	// Metrics, when non-nil, receives the serve.* gauges and histograms in
+	// addition to whatever registry the estimator itself is instrumented
+	// with (the two are usually the same registry).
+	Metrics *metrics.Registry
+	// ProfileLabel tags the scheduler goroutine with pprof label
+	// kdesel_serve=batcher for CPU-profile attribution.
+	ProfileLabel bool
+}
+
+// Server wraps an Estimator for concurrent use. The underlying estimator is
+// single-threaded by design (learning and maintenance mutate the model);
+// Server serializes all access behind one mutex and, when coalescing is
+// enabled, funnels concurrent Estimate calls through a serve.Batcher so a
+// mutex acquisition evaluates up to MaxBatch queries in one fused pass
+// instead of one.
+//
+// Methods on Server are safe for concurrent use. The zero Server is not
+// usable; construct with NewServer.
+type Server struct {
+	mu  sync.Mutex
+	est *Estimator
+	b   *serve.Batcher
+}
+
+// NewServer wraps est for concurrent serving. The caller must stop using
+// est directly — all access, including Feedback and Checkpoint, must go
+// through the returned Server or races ensue.
+func NewServer(est *Estimator, cfg ServeConfig) *Server {
+	s := &Server{est: est}
+	s.b = serve.New(func(qs []query.Range, ests []float64) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return est.EstimateBatch(qs, ests)
+	}, serve.Config{
+		MaxBatch:     cfg.MaxBatch,
+		MaxWait:      cfg.MaxWait,
+		Queue:        cfg.Queue,
+		Metrics:      cfg.Metrics,
+		ProfileLabel: cfg.ProfileLabel,
+	})
+	return s
+}
+
+// Coalescing reports whether concurrent estimates are batched (false when
+// the config disabled it with MaxBatch ≤ 1).
+func (s *Server) Coalescing() bool { return s.b != nil }
+
+// Estimate returns the estimated selectivity of q, sharing a fused
+// traversal with concurrent callers when coalescing is enabled.
+//
+// Validation happens before enqueueing, lock-free: validateQuery reads only
+// the immutable dimensionality, so malformed queries are rejected at memory
+// speed without occupying a batch slot or waking the scheduler.
+func (s *Server) Estimate(q query.Range) (float64, error) {
+	if err := s.est.validateQuery(q); err != nil {
+		s.est.met.invalidQueries.Inc()
+		return 0, err
+	}
+	if s.b != nil {
+		return s.b.Estimate(q)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.Estimate(q)
+}
+
+// Feedback delivers observed true selectivity; see Estimator.Feedback.
+func (s *Server) Feedback(q query.Range, actual float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.Feedback(q, actual)
+}
+
+// FeedbackBatch delivers a slice of observations; see
+// Estimator.FeedbackBatch.
+func (s *Server) FeedbackBatch(fbs []query.Feedback) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.FeedbackBatch(fbs)
+}
+
+// Checkpoint atomically persists the model; see Estimator.Checkpoint.
+func (s *Server) Checkpoint(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.Checkpoint(path)
+}
+
+// Health returns the estimator's degradation state.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.Health()
+}
+
+// Queries returns the number of estimates served.
+func (s *Server) Queries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.Queries()
+}
+
+// Close drains in-flight coalesced requests and stops the scheduler
+// goroutine. The wrapped estimator remains valid and can be used directly
+// again after Close returns.
+func (s *Server) Close() { s.b.Close() }

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"kdesel/internal/fault"
+	"kdesel/internal/gpu"
+	"kdesel/internal/metrics"
+	"kdesel/internal/query"
+)
+
+// TestEstimateBatchMatchesEstimate: the batch entry point must be
+// bit-identical to per-query Estimate on both execution paths, since the
+// serve coalescer routes arbitrary interleavings of traffic through it.
+func TestEstimateBatchMatchesEstimate(t *testing.T) {
+	tab := buildClusteredTable(t, 500, 11)
+	rng := rand.New(rand.NewSource(21))
+	qs := make([]query.Range, 40)
+	for i := range qs {
+		qs[i] = dataQuery(tab, rng, 1.5)
+	}
+
+	cases := []struct {
+		name   string
+		device bool
+	}{{"host", false}, {"device", true}}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Mode: Heuristic, SampleSize: 200, Seed: 7}
+			cfgB := cfg
+			if tc.device {
+				for _, c := range []*Config{&cfg, &cfgB} {
+					dev, err := gpu.NewDevice(gpu.GTX460())
+					if err != nil {
+						t.Fatal(err)
+					}
+					c.Device = dev
+				}
+			}
+			single, err := Build(tab, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := Build(tab, cfgB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ests := make([]float64, len(qs))
+			if err := batched.EstimateBatch(qs, ests); err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range qs {
+				want, err := single.Estimate(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(ests[i]) != math.Float64bits(want) {
+					t.Errorf("query %d: batch %v != single %v", i, ests[i], want)
+				}
+			}
+			if got, want := batched.Queries(), len(qs); got != want {
+				t.Errorf("Queries() = %d after batch, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestEstimateBatchValidation: one malformed query fails the whole batch
+// before any evaluation, with a typed error and no query-count drift.
+func TestEstimateBatchValidation(t *testing.T) {
+	tab := buildClusteredTable(t, 100, 3)
+	e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := query.NewRange([]float64{0, 0}, []float64{1, 1})
+	bad := query.NewRange([]float64{2, 0}, []float64{1, 1}) // inverted
+	ests := make([]float64, 2)
+	if err := e.EstimateBatch([]query.Range{good, bad}, ests); !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("err = %v, want ErrInvalidQuery", err)
+	}
+	if e.Queries() != 0 {
+		t.Errorf("Queries() = %d after rejected batch, want 0", e.Queries())
+	}
+	if err := e.EstimateBatch(make([]query.Range, 3), make([]float64, 2)); err == nil {
+		t.Error("mismatched result-slot length accepted")
+	}
+	if err := e.EstimateBatch(nil, nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+// TestEstimateBatchThenFeedback: adaptive serving through the batch path
+// must tune exactly like per-query serving — Feedback re-estimates its own
+// query internally, so not retaining the contribution cache is invisible.
+func TestEstimateBatchThenFeedback(t *testing.T) {
+	tab := buildClusteredTable(t, 600, 5)
+	fbs := feedbackSet(t, tab, rand.New(rand.NewSource(8)), 24, 1.5)
+	cfg := Config{Mode: Adaptive, SampleSize: 300, Seed: 9, DisableMaintenance: true}
+
+	perQuery, err := Build(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBatch, err := Build(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fb := range fbs {
+		if _, err := perQuery.Estimate(fb.Query); err != nil {
+			t.Fatal(err)
+		}
+		if err := perQuery.Feedback(fb.Query, fb.Actual); err != nil {
+			t.Fatal(err)
+		}
+		est := make([]float64, 1)
+		if err := viaBatch.EstimateBatch([]query.Range{fb.Query}, est); err != nil {
+			t.Fatal(err)
+		}
+		if err := viaBatch.Feedback(fb.Query, fb.Actual); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hp, hb := perQuery.Bandwidth(), viaBatch.Bandwidth()
+	for j := range hp {
+		if math.Float64bits(hp[j]) != math.Float64bits(hb[j]) {
+			t.Errorf("bandwidth[%d] diverged: per-query %g vs batch-path %g", j, hp[j], hb[j])
+		}
+	}
+}
+
+// TestServerDisabledCoalescing: MaxBatch ≤ 1 must mean no scheduler, direct
+// mutex path, same answers.
+func TestServerDisabledCoalescing(t *testing.T) {
+	tab := buildClusteredTable(t, 200, 2)
+	e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(e, ServeConfig{MaxBatch: 1})
+	defer s.Close()
+	if s.Coalescing() {
+		t.Fatal("MaxBatch=1 should disable coalescing")
+	}
+	q := dataQuery(tab, rand.New(rand.NewSource(5)), 1.5)
+	got, err := s.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := Build(tab, Config{Mode: Heuristic, SampleSize: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := twin.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("direct-path server estimate %v != estimator %v", got, want)
+	}
+}
+
+// TestServerRejectsInvalidBeforeEnqueue: malformed queries come back with a
+// typed error without occupying a batch slot.
+func TestServerRejectsInvalidBeforeEnqueue(t *testing.T) {
+	tab := buildClusteredTable(t, 100, 6)
+	e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(e, ServeConfig{})
+	defer s.Close()
+	if _, err := s.Estimate(query.NewRange([]float64{0}, []float64{1})); !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("dimension mismatch: err = %v, want ErrInvalidQuery", err)
+	}
+	if _, err := s.Estimate(query.NewRange([]float64{0, math.NaN()}, []float64{1, 1})); !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("NaN bound: err = %v, want ErrInvalidQuery", err)
+	}
+}
+
+// TestServerConcurrentEstimateFeedbackCheckpoint is the serving-path race
+// test: estimate traffic coalesces while feedback tunes the model and
+// checkpoints persist it, all interleaved. Run under -race (the Makefile
+// race-resilience target includes this package); the assertions here are
+// liveness and the [0,1] output contract.
+func TestServerConcurrentEstimateFeedbackCheckpoint(t *testing.T) {
+	tab := buildClusteredTable(t, 500, 13)
+	reg := metrics.New()
+	e, err := Build(tab, Config{Mode: Adaptive, SampleSize: 200, Seed: 17, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(e, ServeConfig{MaxBatch: 16, MaxWait: 20 * time.Microsecond, Metrics: reg})
+
+	const clients = 8
+	const perClient = 60
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + c)))
+			for i := 0; i < perClient; i++ {
+				q := dataQuery(tab, rng, 1.5)
+				est, err := s.Estimate(q)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if math.IsNaN(est) || est < 0 || est > 1 {
+					t.Errorf("client %d: estimate %v escapes [0,1]", c, est)
+					return
+				}
+			}
+		}()
+	}
+	// Feedback writer: tunes the model concurrently with serving.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(999))
+		for i := 0; i < 40; i++ {
+			q := dataQuery(tab, rng, 1.5)
+			actual, err := tab.Selectivity(q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.Feedback(q, actual); err != nil {
+				t.Errorf("feedback: %v", err)
+				return
+			}
+		}
+	}()
+	// Checkpointer: persists mid-flight.
+	ckpt := filepath.Join(t.TempDir(), "serve.ckpt")
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := s.Checkpoint(ckpt); err != nil {
+				t.Errorf("checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	s.Close()
+
+	if got, want := s.Queries(), clients*perClient; got < want {
+		t.Errorf("Queries() = %d, want ≥ %d", got, want)
+	}
+	if _, err := RestoreCheckpoint(ckpt, tab, nil); err != nil {
+		t.Fatalf("restore checkpoint written during serving: %v", err)
+	}
+	// Coalescing must actually have happened under 8-way concurrency.
+	if bs := reg.Histogram("serve.batch_size"); bs.Count() >= int64(clients*perClient) {
+		t.Errorf("batches = %d for %d queries: no coalescing", bs.Count(), clients*perClient)
+	}
+}
+
+// TestServerDeviceFaultDegradesCleanly: a device dying mid-serving must
+// degrade the coalesced path to the host without deadlock, lost requests,
+// or out-of-range estimates.
+func TestServerDeviceFaultDegradesCleanly(t *testing.T) {
+	tab := buildClusteredTable(t, 400, 23)
+	dev, err := gpu.NewDevice(gpu.GTX460())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long transfer-failure bursts defeat the retry policy and force the
+	// fallback; the trailing clauses make sure any lingering device use
+	// would keep failing.
+	dev.SetFaultInjector(fault.New(3, fault.Schedule{
+		fault.DeviceTransfer: {At: []int{20, 21, 22, 23, 24, 25, 26, 27, 28, 29}},
+	}))
+	e, err := Build(tab, Config{
+		Mode:           Adaptive,
+		SampleSize:     128,
+		Seed:           31,
+		Device:         dev,
+		RetryBaseDelay: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(e, ServeConfig{MaxBatch: 8, MaxWait: 20 * time.Microsecond})
+
+	const clients = 6
+	const perClient = 50
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + c)))
+			for i := 0; i < perClient; i++ {
+				q := dataQuery(tab, rng, 1.5)
+				est, err := s.Estimate(q)
+				if err != nil {
+					t.Errorf("client %d round %d: %v", c, i, err)
+					return
+				}
+				if math.IsNaN(est) || est < 0 || est > 1 {
+					t.Errorf("client %d: estimate %v escapes [0,1]", c, est)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s.Close()
+
+	if got := s.Health(); got == Healthy {
+		t.Error("device faults fired but health still Healthy")
+	}
+	if e.Device() != nil && e.Health() != Healthy {
+		// After fallback the engine must be gone — serving stayed host-side.
+		t.Error("estimator degraded but still holds a device engine")
+	}
+	if got, want := s.Queries(), clients*perClient; got != want {
+		t.Errorf("Queries() = %d, want %d (no lost or duplicated requests)", got, want)
+	}
+}

@@ -1,0 +1,360 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/kernel"
+	"kdesel/internal/mathx"
+	"kdesel/internal/parallel"
+	"kdesel/internal/query"
+)
+
+// closeUlp bounds the row-major-vs-columnar comparison: the fused path
+// re-associates the bandwidth division ((x·c)/h vs x·(c/h)), a ≤1-ulp
+// per-term difference, so totals over the sample agree to roughly
+// sample-size ulps. 1e-11 absolute + 1e-11 relative is ~4 decimal orders
+// of headroom over that and still catches any structural divergence.
+func closeUlp(a, b float64) bool {
+	diff := math.Abs(a - b)
+	return diff <= 1e-11+1e-11*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestCrossLayoutEquivalence is the cross-layout property test: the
+// row-major generic evaluators, the fused columnar tiled evaluators, and
+// the fused columnar evaluators on a worker pool must agree on every
+// estimate, contribution, and gradient — the two fused variants bit for
+// bit, the generic one within reduction-order ulp tolerance.
+func TestCrossLayoutEquivalence(t *testing.T) {
+	for _, d := range []int{1, 3, 5, 8} {
+		e, qs := detEstimator(t, d)
+		if !e.fusedOK() {
+			t.Fatalf("d=%d: default Gaussian estimator should take the fused path", d)
+		}
+		gen := e.Clone()
+		gen.ForceGenericLayout(true)
+		if gen.fusedOK() {
+			t.Fatal("ForceGenericLayout did not disable the fused path")
+		}
+		par := e.Clone()
+		par.SetWorkers(4)
+
+		for i, q := range qs {
+			fSel, err := e.Selectivity(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gSel, err := gen.Selectivity(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pSel, err := par.Selectivity(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(fSel, pSel) {
+				t.Errorf("d=%d q%d: fused parallel Selectivity differs from fused serial", d, i)
+			}
+			if !closeUlp(fSel, gSel) {
+				t.Errorf("d=%d q%d: fused %g vs generic %g Selectivity beyond ulp tolerance", d, i, fSel, gSel)
+			}
+
+			fC, fcSel, err := e.Contributions(q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gC, _, err := gen.Contributions(q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(fSel, fcSel) {
+				t.Errorf("d=%d q%d: fused Contributions estimate differs from Selectivity", d, i)
+			}
+			for p := range fC {
+				if !closeUlp(fC[p], gC[p]) {
+					t.Fatalf("d=%d q%d: contribution %d fused %g vs generic %g", d, i, p, fC[p], gC[p])
+				}
+			}
+
+			fG := make([]float64, d)
+			gG := make([]float64, d)
+			pG := make([]float64, d)
+			fEst, err := e.SelectivityGradient(q, fG)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gEst, err := gen.SelectivityGradient(q, gG)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pEst, err := par.SelectivityGradient(q, pG)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(fEst, pEst) {
+				t.Errorf("d=%d q%d: fused parallel gradient estimate differs from serial", d, i)
+			}
+			if !closeUlp(fEst, gEst) {
+				t.Errorf("d=%d q%d: gradient-path estimate fused %g vs generic %g", d, i, fEst, gEst)
+			}
+			for j := 0; j < d; j++ {
+				if !bitsEqual(fG[j], pG[j]) {
+					t.Errorf("d=%d q%d: fused parallel grad[%d] differs from serial", d, i, j)
+				}
+				if !closeUlp(fG[j], gG[j]) {
+					t.Errorf("d=%d q%d: grad[%d] fused %g vs generic %g", d, i, j, fG[j], gG[j])
+				}
+			}
+		}
+
+		// Batch evaluators across the same three layouts.
+		fEsts := make([]float64, len(qs))
+		gEsts := make([]float64, len(qs))
+		pEsts := make([]float64, len(qs))
+		if err := e.SelectivityBatch(qs, fEsts); err != nil {
+			t.Fatal(err)
+		}
+		if err := gen.SelectivityBatch(qs, gEsts); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.SelectivityBatch(qs, pEsts); err != nil {
+			t.Fatal(err)
+		}
+		fGr := make([]float64, len(qs)*d)
+		gGr := make([]float64, len(qs)*d)
+		pGr := make([]float64, len(qs)*d)
+		fbEsts := make([]float64, len(qs))
+		gbEsts := make([]float64, len(qs))
+		pbEsts := make([]float64, len(qs))
+		if err := e.GradientBatch(qs, fbEsts, fGr); err != nil {
+			t.Fatal(err)
+		}
+		if err := gen.GradientBatch(qs, gbEsts, gGr); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.GradientBatch(qs, pbEsts, pGr); err != nil {
+			t.Fatal(err)
+		}
+		for i := range qs {
+			if !bitsEqual(fEsts[i], pEsts[i]) || !bitsEqual(fbEsts[i], pbEsts[i]) {
+				t.Errorf("d=%d q%d: parallel fused batch differs from serial fused batch", d, i)
+			}
+			if !closeUlp(fEsts[i], gEsts[i]) || !closeUlp(fbEsts[i], gbEsts[i]) {
+				t.Errorf("d=%d q%d: fused batch vs generic batch beyond tolerance", d, i)
+			}
+			for j := 0; j < d; j++ {
+				if !bitsEqual(fGr[i*d+j], pGr[i*d+j]) {
+					t.Errorf("d=%d q%d: parallel fused batch grad differs", d, i)
+				}
+				if !closeUlp(fGr[i*d+j], gGr[i*d+j]) {
+					t.Errorf("d=%d q%d: batch grad[%d] fused %g vs generic %g", d, i, j, fGr[i*d+j], gGr[i*d+j])
+				}
+			}
+		}
+	}
+}
+
+// TestGenericLayoutStaysBitDeterministic keeps the generic row-major path
+// honest now that the Gaussian default exercises the fused path: with the
+// fused path forced off, serial and parallel execution must still agree bit
+// for bit (the non-Gaussian kernels rely on this path).
+func TestGenericLayoutStaysBitDeterministic(t *testing.T) {
+	e, qs := detEstimator(t, 4)
+	e.ForceGenericLayout(true)
+	for _, w := range workerCounts {
+		p := e.Clone()
+		p.SetWorkers(w)
+		for i, q := range qs {
+			want, err := e.Selectivity(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Selectivity(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(want, got) {
+				t.Errorf("workers=%d q%d: generic parallel differs from generic serial", w, i)
+			}
+		}
+	}
+}
+
+// TestFusedReplacePointSyncsColumns proves the columnar mirror tracks
+// in-place sample maintenance: after ReplacePoint, fused and generic
+// evaluation agree on the updated model.
+func TestFusedReplacePointSyncsColumns(t *testing.T) {
+	e, qs := detEstimator(t, 3)
+	rng := rand.New(rand.NewSource(17))
+	for rep := 0; rep < 50; rep++ {
+		i := rng.Intn(e.Size())
+		row := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if err := e.ReplacePoint(i, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := e.Clone()
+	gen.ForceGenericLayout(true)
+	for i, q := range qs {
+		f, err := e.Selectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := gen.Selectivity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !closeUlp(f, g) {
+			t.Errorf("q%d: after ReplacePoint fused %g vs generic %g", i, f, g)
+		}
+	}
+}
+
+// TestFastErfEstimateDrift proves the end-to-end accuracy contract of the
+// Fast erf mode: across random models and query sets, switching from Exact
+// to Fast moves no selectivity estimate by more than 1e-6 absolute (the
+// per-evaluation erf error of ≤1.6e-8 compounds at most d-fold per point
+// mass, orders of magnitude inside the bound).
+func TestFastErfEstimateDrift(t *testing.T) {
+	defer mathx.SetMode(mathx.Exact)
+	for _, d := range []int{1, 4, 8} {
+		e, qs := detEstimator(t, d)
+		exact := make([]float64, len(qs))
+		fast := make([]float64, len(qs))
+		mathx.SetMode(mathx.Exact)
+		if err := e.SelectivityBatch(qs, exact); err != nil {
+			t.Fatal(err)
+		}
+		mathx.SetMode(mathx.Fast)
+		if err := e.SelectivityBatch(qs, fast); err != nil {
+			t.Fatal(err)
+		}
+		for i := range qs {
+			if drift := math.Abs(fast[i] - exact[i]); drift > 1e-6 {
+				t.Errorf("d=%d q%d: fast-erf drift %.3g exceeds 1e-6 (exact %g, fast %g)",
+					d, i, drift, exact[i], fast[i])
+			}
+		}
+	}
+}
+
+// TestFusedDetection pins when the fused path applies: Gaussian-only models
+// with a loaded columnar mirror, not mixed-kernel or forced-generic ones.
+func TestFusedDetection(t *testing.T) {
+	e, _ := detEstimator(t, 2)
+	if !e.fusedOK() {
+		t.Fatal("Gaussian model should be fused")
+	}
+	if err := e.SetDimensionKernels([]kernel.Kernel{kernel.Gaussian{}, nil}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.fusedOK() {
+		t.Fatal("explicit Gaussian per-dimension kernels should stay fused")
+	}
+	if err := e.SetDimensionKernels([]kernel.Kernel{kernel.Gaussian{}, kernel.Epanechnikov{}}); err != nil {
+		t.Fatal(err)
+	}
+	if e.fusedOK() {
+		t.Fatal("mixed-kernel model must fall back to the generic path")
+	}
+	ep, err := New(2, kernel.Epanechnikov{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.SetSampleFlat([]float64{0, 0, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if ep.fusedOK() {
+		t.Fatal("Epanechnikov model must not take the Gaussian fused path")
+	}
+}
+
+// TestFusedSelectivitySteadyStateAllocs extends the allocation discipline to
+// the fused serving path: a serial fused Selectivity call must not allocate
+// in steady state.
+func TestFusedSelectivitySteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode makes sync.Pool drop items, defeating alloc counting")
+	}
+	e, qs := detEstimator(t, 6)
+	q := qs[0]
+	if _, err := e.Selectivity(q); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := e.Selectivity(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Errorf("fused Selectivity allocates %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestFusedBatchRaggedSizes sweeps sample and batch sizes that straddle the
+// chunk, query-tile, and gradient-tile boundaries, asserting batch results
+// equal per-query results bit for bit at every shape.
+func TestFusedBatchRaggedSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := 3
+	for _, s := range []int{1, gradTileRows - 1, gradTileRows + 1, parallel.ChunkSize, parallel.ChunkSize + 1, 2*parallel.ChunkSize + 17} {
+		flat := make([]float64, s*d)
+		for i := range flat {
+			flat[i] = rng.NormFloat64()
+		}
+		e, err := New(d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SetSampleFlat(flat); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SetBandwidth(ScottBandwidth(flat, d)); err != nil {
+			t.Fatal(err)
+		}
+		for _, nq := range []int{1, batchQTile - 1, batchQTile, batchQTile + 1, 2*batchQTile + 3} {
+			qs := make([]query.Range, nq)
+			for i := range qs {
+				lo := make([]float64, d)
+				hi := make([]float64, d)
+				for j := 0; j < d; j++ {
+					c, w := rng.NormFloat64(), 0.1+rng.Float64()
+					lo[j], hi[j] = c-w, c+w
+				}
+				qs[i] = query.Range{Lo: lo, Hi: hi}
+			}
+			ests := make([]float64, nq)
+			if err := e.SelectivityBatch(qs, ests); err != nil {
+				t.Fatal(err)
+			}
+			grads := make([]float64, nq*d)
+			gEsts := make([]float64, nq)
+			if err := e.GradientBatch(qs, gEsts, grads); err != nil {
+				t.Fatal(err)
+			}
+			grad := make([]float64, d)
+			for i, q := range qs {
+				want, err := e.Selectivity(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bitsEqual(ests[i], want) {
+					t.Errorf("s=%d nq=%d q%d: batch estimate differs from Selectivity", s, nq, i)
+				}
+				wantEst, err := e.SelectivityGradient(q, grad)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bitsEqual(gEsts[i], wantEst) {
+					t.Errorf("s=%d nq=%d q%d: batch gradient estimate differs", s, nq, i)
+				}
+				for j := 0; j < d; j++ {
+					if !bitsEqual(grads[i*d+j], grad[j]) {
+						t.Errorf("s=%d nq=%d q%d: batch grad[%d] differs", s, nq, i, j)
+					}
+				}
+			}
+		}
+	}
+}

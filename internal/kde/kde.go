@@ -46,19 +46,33 @@ type Estimator struct {
 	data  []float64       // row-major s×d
 	h     []float64
 
-	pool    *parallel.Pool      // nil = serial execution
-	scratch sync.Pool           // *gradScratch, one per concurrent worker
-	bufs    parallel.BufferPool // chunk partial-sum buffers
+	// cols is the columnar (structure-of-arrays) mirror of data —
+	// cols[j*s+i] == data[i*d+j] — that the fused Gaussian evaluators
+	// stream per dimension (see fused.go). It is kept in sync by
+	// SetSampleFlat and ReplacePoint; the row-major buffer stays the
+	// device-transfer and persistence layout. forceGeneric lets tests pin
+	// the generic row-major path for cross-layout validation.
+	cols         []float64
+	forceGeneric bool
+
+	pool      *parallel.Pool      // nil = serial execution
+	scratch   sync.Pool           // *gradScratch, one per concurrent worker
+	fusedPool sync.Pool           // *fusedScratch (fused.go)
+	bufs      parallel.BufferPool // chunk partial-sum buffers
 }
 
 // gradScratch holds the per-worker working set of the gradient map of
 // eq. 17: per-dimension masses, mass gradients, and the suffix-product
-// array, plus a chunk-local gradient accumulator.
+// array, plus a chunk-local gradient accumulator. fmasses/fgrads are the
+// fused path's dimension-major row-tile planes (gradTileRows rows per
+// dimension, see fusedGradChunk).
 type gradScratch struct {
-	masses []float64
-	mgrads []float64
-	suffix []float64
-	pgrad  []float64
+	masses  []float64
+	mgrads  []float64
+	suffix  []float64
+	pgrad   []float64
+	fmasses []float64
+	fgrads  []float64
 }
 
 func (e *Estimator) getScratch() *gradScratch {
@@ -66,10 +80,12 @@ func (e *Estimator) getScratch() *gradScratch {
 		return s
 	}
 	return &gradScratch{
-		masses: make([]float64, e.d),
-		mgrads: make([]float64, e.d),
-		suffix: make([]float64, e.d+1),
-		pgrad:  make([]float64, e.d),
+		masses:  make([]float64, e.d),
+		mgrads:  make([]float64, e.d),
+		suffix:  make([]float64, e.d+1),
+		pgrad:   make([]float64, e.d),
+		fmasses: make([]float64, e.d*gradTileRows),
+		fgrads:  make([]float64, e.d*gradTileRows),
 	}
 }
 
@@ -156,18 +172,21 @@ func (e *Estimator) SetSampleRows(rows [][]float64) error {
 }
 
 // SetSampleFlat loads a row-major sample buffer. The buffer is retained, not
-// copied; callers that need isolation should pass a copy.
+// copied; callers that need isolation should pass a copy. The columnar
+// mirror of the fused evaluators is rebuilt from it.
 func (e *Estimator) SetSampleFlat(data []float64) error {
 	if len(data) == 0 || len(data)%e.d != 0 {
 		return fmt.Errorf("kde: flat sample length %d is not a positive multiple of d=%d", len(data), e.d)
 	}
 	e.data = data
+	e.rebuildColumns()
 	return nil
 }
 
-// SampleFlat exposes the retained row-major sample buffer. Mutating it
-// mutates the model; the sample-maintenance layer relies on this to replace
-// points in place.
+// SampleFlat exposes the retained row-major sample buffer for reading
+// (device transfers, persistence). Mutations must go through ReplacePoint
+// or SetSampleFlat so the columnar mirror stays in sync; writing through
+// this slice directly leaves the fused evaluators reading stale columns.
 func (e *Estimator) SampleFlat() []float64 { return e.data }
 
 // Point returns the i-th sample point as a subslice of the retained buffer.
@@ -182,6 +201,10 @@ func (e *Estimator) ReplacePoint(i int, p []float64) error {
 		return fmt.Errorf("kde: point index %d out of range [0,%d)", i, e.Size())
 	}
 	copy(e.data[i*e.d:(i+1)*e.d], p)
+	s := e.Size()
+	for j, v := range p {
+		e.cols[j*s+i] = v
+	}
 	return nil
 }
 
@@ -266,8 +289,13 @@ func (e *Estimator) pointMass(row []float64, q query.Range) float64 {
 }
 
 // PointContribution returns the individual probability mass contribution of
-// sample point i to query q (eq. 13, before averaging).
+// sample point i to query q (eq. 13, before averaging). It evaluates with
+// the same (fused or generic) arithmetic as Contributions, so the returned
+// value is bit-identical to the corresponding buffer entry.
 func (e *Estimator) PointContribution(i int, q query.Range) float64 {
+	if e.fusedOK() {
+		return e.fusedPointMass(e.Point(i), q)
+	}
 	return e.pointMass(e.Point(i), q)
 }
 
@@ -287,6 +315,9 @@ func (e *Estimator) massChunk(q query.Range, lo, hi int) float64 {
 func (e *Estimator) Selectivity(q query.Range) (float64, error) {
 	if err := e.checkReady(q); err != nil {
 		return 0, err
+	}
+	if e.fusedOK() {
+		return e.fusedSelectivity(q, nil), nil
 	}
 	s := e.Size()
 	total := 0.0
@@ -322,6 +353,9 @@ func (e *Estimator) Contributions(q query.Range, buf []float64) ([]float64, floa
 		buf = make([]float64, s)
 	}
 	buf = buf[:s]
+	if e.fusedOK() {
+		return buf, e.fusedSelectivity(q, buf), nil
+	}
 	sum := 0.0
 	if e.pool.Workers() <= 1 {
 		for c, nc := 0, parallel.Chunks(s); c < nc; c++ {
@@ -416,6 +450,9 @@ func (e *Estimator) SelectivityGradient(q query.Range, grad []float64) (float64,
 	for i := range grad {
 		grad[i] = 0
 	}
+	if e.fusedOK() {
+		return e.fusedSelectivityGradient(q, grad), nil
+	}
 	sum := 0.0
 	if e.pool.Workers() <= 1 {
 		scr := e.getScratch()
@@ -488,6 +525,10 @@ func (e *Estimator) SelectivityBatch(qs []query.Range, ests []float64) error {
 	if nq == 0 {
 		return nil
 	}
+	if e.fusedOK() {
+		e.fusedSelectivityBatch(qs, ests)
+		return nil
+	}
 	s := e.Size()
 	nc := parallel.Chunks(s)
 	partials := e.bufs.Get(nc * nq)
@@ -532,6 +573,10 @@ func (e *Estimator) GradientBatch(qs []query.Range, ests, grads []float64) error
 		}
 	}
 	if nq == 0 {
+		return nil
+	}
+	if e.fusedOK() {
+		e.fusedGradientBatch(qs, ests, grads)
 		return nil
 	}
 	s := e.Size()
@@ -723,13 +768,16 @@ func (e *Estimator) Density(x []float64) (float64, error) {
 // Clone returns a deep copy of the estimator (sample and bandwidth buffers
 // are copied; the worker pool, which is stateless, is shared).
 func (e *Estimator) Clone() *Estimator {
-	out := &Estimator{d: e.d, kern: e.kern, pool: e.pool}
+	out := &Estimator{d: e.d, kern: e.kern, pool: e.pool, forceGeneric: e.forceGeneric}
 	if e.kerns != nil {
 		out.kerns = make([]kernel.Kernel, len(e.kerns))
 		copy(out.kerns, e.kerns)
 	}
 	out.data = make([]float64, len(e.data))
 	copy(out.data, e.data)
+	if len(out.data) > 0 {
+		out.rebuildColumns()
+	}
 	if e.h != nil {
 		out.h = make([]float64, len(e.h))
 		copy(out.h, e.h)

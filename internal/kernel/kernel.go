@@ -11,7 +11,11 @@
 // paper mentions in §3.1.2.
 package kernel
 
-import "math"
+import (
+	"math"
+
+	"kdesel/internal/mathx"
+)
 
 // Kernel is a one-dimensional, symmetric, differentiable kernel.
 type Kernel interface {
@@ -39,9 +43,11 @@ const (
 )
 
 // Mass implements Kernel using the closed form of paper eq. (13):
-// ½·[erf((u-t)/(√2·h)) − erf((l-t)/(√2·h))].
+// ½·[erf((u-t)/(√2·h)) − erf((l-t)/(√2·h))]. The erf evaluations route
+// through mathx.Erf so the Exact/Fast switch covers every path; in Exact
+// mode (the default) the result is bit-identical to math.Erf.
 func (Gaussian) Mass(l, u, t, h float64) float64 {
-	return 0.5 * (math.Erf((u-t)*invSqrt2/h) - math.Erf((l-t)*invSqrt2/h))
+	return 0.5 * (mathx.Erf((u-t)*invSqrt2/h) - mathx.Erf((l-t)*invSqrt2/h))
 }
 
 // MassGrad implements Kernel. Differentiating eq. (13) with
@@ -59,6 +65,84 @@ func (Gaussian) MassGrad(l, u, t, h float64) float64 {
 func (Gaussian) Density(x, t, h float64) float64 {
 	z := (x - t) / h
 	return invSqrt2Pi / h * math.Exp(-z*z/2)
+}
+
+// GaussianConsts returns the per-dimension constants the fused columnar
+// kernels hoist out of their inner loops for bandwidth h: inv = 1/(√2·h)
+// (the erf argument scaling of eq. 13), c1 = 1/(√(2π)·h²) and c2 = 1/(2·h²)
+// (the prefactor and exponent scaling of the eq. 17 mass derivative).
+// Computing them once per query-dimension replaces a division per sample
+// point per interval bound with a multiplication.
+func GaussianConsts(h float64) (inv, c1, c2 float64) {
+	return invSqrt2 / h, invSqrt2Pi / (h * h), 1 / (2 * h * h)
+}
+
+// GaussianMassScaled is the scalar form of the fused mass: the Gaussian
+// interval mass of [l, u] for the kernel centered at t with the hoisted
+// scaling inv = 1/(√2·h). It evaluates the exact expression of the
+// GaussianMassFill/GaussianMassMul loops, so single-point and columnar
+// results agree bit for bit.
+func GaussianMassScaled(l, u, t, inv float64) float64 {
+	if mathx.CurrentMode() == mathx.Fast {
+		return 0.5 * (mathx.FastErf((u-t)*inv) - mathx.FastErf((l-t)*inv))
+	}
+	return 0.5 * (math.Erf((u-t)*inv) - math.Erf((l-t)*inv))
+}
+
+// GaussianMassFill writes into dst[i] the Gaussian interval mass of [l, u]
+// for the kernel centered at col[i]:
+// dst[i] = ½·[erf((u−col[i])·inv) − erf((l−col[i])·inv)], with inv from
+// GaussianConsts. The erf mode (mathx Exact/Fast) is resolved once per call,
+// outside the loop, so the switch costs nothing per sample point.
+func GaussianMassFill(dst, col []float64, l, u, inv float64) {
+	if mathx.CurrentMode() == mathx.Fast {
+		for i, t := range col {
+			dst[i] = 0.5 * (mathx.FastErf((u-t)*inv) - mathx.FastErf((l-t)*inv))
+		}
+		return
+	}
+	for i, t := range col {
+		dst[i] = 0.5 * (math.Erf((u-t)*inv) - math.Erf((l-t)*inv))
+	}
+}
+
+// GaussianMassMul multiplies dst[i] by the Gaussian interval mass for
+// col[i], skipping rows whose running product is already zero — the columnar
+// counterpart of the early-exit in the row-major product loop (it also keeps
+// a zero product zero even if a later dimension evaluates to NaN, matching
+// the row-major short-circuit exactly).
+func GaussianMassMul(dst, col []float64, l, u, inv float64) {
+	if mathx.CurrentMode() == mathx.Fast {
+		for i, t := range col {
+			if dst[i] != 0 {
+				dst[i] *= 0.5 * (mathx.FastErf((u-t)*inv) - mathx.FastErf((l-t)*inv))
+			}
+		}
+		return
+	}
+	for i, t := range col {
+		if dst[i] != 0 {
+			dst[i] *= 0.5 * (math.Erf((u-t)*inv) - math.Erf((l-t)*inv))
+		}
+	}
+}
+
+// GaussianMassGradFill writes per-row masses into mdst and eq. 17 mass
+// derivatives ∂Mass/∂h into gdst for the kernel centered at col[i], using
+// the hoisted constants of GaussianConsts. The mass expression matches
+// GaussianMassFill bit for bit so estimate and gradient paths agree.
+func GaussianMassGradFill(mdst, gdst, col []float64, l, u, inv, c1, c2 float64) {
+	fast := mathx.CurrentMode() == mathx.Fast
+	for i, t := range col {
+		dl := l - t
+		du := u - t
+		if fast {
+			mdst[i] = 0.5 * (mathx.FastErf(du*inv) - mathx.FastErf(dl*inv))
+		} else {
+			mdst[i] = 0.5 * (math.Erf(du*inv) - math.Erf(dl*inv))
+		}
+		gdst[i] = c1 * (dl*math.Exp(-dl*dl*c2) - du*math.Exp(-du*du*c2))
+	}
 }
 
 // Epanechnikov is the truncated second-order polynomial kernel

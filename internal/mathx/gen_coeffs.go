@@ -1,0 +1,166 @@
+//go:build ignore
+
+// Coefficient generator for FastErf (mathx.go). Run with:
+//
+//	go run gen_coeffs.go
+//
+// It fits each branch of FastErf by Chebyshev interpolation of math.Erf,
+// converts the Chebyshev series to monomial form for Horner evaluation,
+// sweeps the composite approximation against math.Erf, and prints the
+// coefficient arrays at full precision. The (9,13,13) degree set is the
+// smallest that reaches the error floor set by the |x| ≥ 4 saturation
+// (erfc(4) ≈ 1.54e-8); higher degrees buy nothing, so that set is what
+// mathx.go embeds.
+package main
+
+import (
+	"fmt"
+	"math"
+)
+
+// Branch boundaries; keep in sync with erfB0/erfB1/erfTail in mathx.go.
+const (
+	b0Hi = 1.0
+	b1Hi = 2.25
+	b2Hi = 4.0
+)
+
+// chebFit interpolates f at n Chebyshev nodes on [a,b] and returns the
+// Chebyshev series coefficients c[0..n-1] (standard convention: the c[0]
+// term contributes c[0]/2, handled in cheb2poly).
+func chebFit(f func(float64) float64, a, b float64, n int) []float64 {
+	fv := make([]float64, n)
+	for k := 0; k < n; k++ {
+		x := math.Cos(math.Pi * (float64(k) + 0.5) / float64(n))
+		fv[k] = f(0.5*(b-a)*x + 0.5*(b+a))
+	}
+	c := make([]float64, n)
+	for j := 0; j < n; j++ {
+		sum := 0.0
+		for k := 0; k < n; k++ {
+			sum += fv[k] * math.Cos(math.Pi*float64(j)*(float64(k)+0.5)/float64(n))
+		}
+		c[j] = 2 * sum / float64(n)
+	}
+	return c
+}
+
+// cheb2poly converts Chebyshev coefficients (argument t on [-1,1]) to
+// monomial coefficients p with f(t) = Σ p_k t^k.
+func cheb2poly(c []float64) []float64 {
+	n := len(c)
+	tkm1 := make([]float64, n) // T_{k-1}
+	tk := make([]float64, n)   // T_k
+	tkm1[0] = 1
+	if n > 1 {
+		tk[1] = 1
+	}
+	p := make([]float64, n)
+	p[0] += c[0] / 2
+	if n > 1 {
+		for i := 0; i < n; i++ {
+			p[i] += c[1] * tk[i]
+		}
+	}
+	for k := 2; k < n; k++ {
+		tkp1 := make([]float64, n) // T_{k+1} = 2 t T_k - T_{k-1}
+		for i := 0; i < n-1; i++ {
+			tkp1[i+1] += 2 * tk[i]
+		}
+		for i := 0; i < n; i++ {
+			tkp1[i] -= tkm1[i]
+		}
+		for i := 0; i < n; i++ {
+			p[i] += c[k] * tkp1[i]
+		}
+		tkm1, tk = tk, tkp1
+	}
+	return p
+}
+
+// compose rewrites a polynomial in t as a polynomial in u where t = s·u + d,
+// so the fitted series can be evaluated directly on the branch's native
+// argument instead of the normalized Chebyshev one.
+func compose(p []float64, s, d float64) []float64 {
+	n := len(p)
+	out := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		next := make([]float64, n)
+		for i := 0; i < n-1; i++ {
+			next[i+1] += out[i] * s
+		}
+		for i := 0; i < n; i++ {
+			next[i] += out[i] * d
+		}
+		next[0] += p[k]
+		out = next
+	}
+	return out
+}
+
+func horner(p []float64, x float64) float64 {
+	r := 0.0
+	for i := len(p) - 1; i >= 0; i-- {
+		r = r*x + p[i]
+	}
+	return r
+}
+
+func main() {
+	for _, deg := range [][3]int{{9, 13, 13}, {10, 14, 14}, {11, 15, 15}} {
+		n0, n1, n2 := deg[0]+1, deg[1]+1, deg[2]+1
+
+		// Branch 0 fits erf(x)/x as a polynomial in u = x² on [0,1]: dividing
+		// out the odd factor keeps the fitted function smooth through 0 and
+		// makes the evaluated form exactly odd.
+		c0 := chebFit(func(u float64) float64 {
+			x := math.Sqrt(u)
+			if x == 0 {
+				return 2 / math.Sqrt(math.Pi)
+			}
+			return math.Erf(x) / x
+		}, 0, 1, n0)
+		p0 := compose(cheb2poly(c0), 2, -1) // t = 2u - 1
+
+		c1 := chebFit(math.Erf, b0Hi, b1Hi, n1)
+		p1 := compose(cheb2poly(c1), 2/(b1Hi-b0Hi), -(b1Hi+b0Hi)/(b1Hi-b0Hi))
+
+		c2 := chebFit(math.Erf, b1Hi, b2Hi, n2)
+		p2 := compose(cheb2poly(c2), 2/(b2Hi-b1Hi), -(b2Hi+b1Hi)/(b2Hi-b1Hi))
+
+		fastErf := func(x float64) float64 {
+			sign := 1.0
+			if x < 0 {
+				x, sign = -x, -1
+			}
+			switch {
+			case x < b0Hi:
+				return sign * x * horner(p0, x*x)
+			case x < b1Hi:
+				return sign * horner(p1, x)
+			case x < b2Hi:
+				return sign * horner(p2, x)
+			default:
+				return sign
+			}
+		}
+
+		maxErr, argmax := 0.0, 0.0
+		const N = 4_000_000
+		for i := 0; i <= N; i++ {
+			x := 4.5 * float64(i) / N
+			if e := math.Abs(fastErf(x) - math.Erf(x)); e > maxErr {
+				maxErr, argmax = e, x
+			}
+		}
+		fmt.Printf("deg %v: max abs err %.3g at x=%.6f\n", deg, maxErr, argmax)
+		if deg == [3]int{9, 13, 13} {
+			for name, p := range map[string][]float64{"erfP0": p0, "erfP1": p1, "erfP2": p2} {
+				fmt.Printf("%s:\n", name)
+				for _, v := range p {
+					fmt.Printf("\t%.17g,\n", v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// maxAbsErr is the contract FastErf must prove: the serving path advertises
+// |erf error| ≤ 1e-7 when Fast mode is enabled. The measured error is
+// ~1.54e-8 (the erfc(4) saturation floor), so this bound has >6× margin.
+// This test must never be skipped: the Makefile verify gate greps for it.
+const maxAbsErr = 1e-7
+
+// TestFastErfAccuracy sweeps FastErf against math.Erf densely across and
+// beyond every polynomial branch and proves the advertised error bound.
+func TestFastErfAccuracy(t *testing.T) {
+	const n = 2_000_000
+	worst, at := 0.0, 0.0
+	for i := 0; i <= n; i++ {
+		x := -6 + 12*float64(i)/n
+		if e := math.Abs(FastErf(x) - math.Erf(x)); e > worst {
+			worst, at = e, x
+		}
+	}
+	// Hammer the branch boundaries with ulp-adjacent arguments too: the
+	// uniform sweep can step over a discontinuity at a boundary.
+	for _, b := range []float64{0, erfB0, erfB1, erfTail} {
+		for _, x := range []float64{
+			b, math.Nextafter(b, -1e9), math.Nextafter(b, 1e9), -b,
+			math.Nextafter(-b, -1e9), math.Nextafter(-b, 1e9),
+		} {
+			if e := math.Abs(FastErf(x) - math.Erf(x)); e > worst {
+				worst, at = e, x
+			}
+		}
+	}
+	if worst > maxAbsErr {
+		t.Fatalf("max |FastErf-math.Erf| = %.3g at x=%v, want ≤ %g", worst, at, maxAbsErr)
+	}
+	t.Logf("max |FastErf-math.Erf| = %.3g at x=%v (bound %g)", worst, at, maxAbsErr)
+}
+
+// TestFastErfOddSymmetry checks FastErf(-x) == -FastErf(x) exactly: the sign
+// is factored out before any polynomial runs, so symmetry must be bitwise.
+func TestFastErfOddSymmetry(t *testing.T) {
+	for i := 0; i <= 100_000; i++ {
+		x := 5 * float64(i) / 100_000
+		p, n := FastErf(x), FastErf(-x)
+		if math.Float64bits(p) != math.Float64bits(-n) {
+			t.Fatalf("FastErf(%v)=%v but FastErf(%v)=%v: not exactly odd", x, p, -x, n)
+		}
+	}
+}
+
+// TestFastErfRange checks |FastErf| ≤ 1 on a dense grid — the property the
+// estimator's [0,1] clamp relies on — and that the output is monotone up to
+// the approximation error (near saturation true erf is flat to ~1e-13 per
+// grid step, so the polynomial may wiggle by up to twice the error bound).
+func TestFastErfRange(t *testing.T) {
+	prev := math.Inf(-1)
+	for i := 0; i <= 1_000_000; i++ {
+		x := -5 + 10*float64(i)/1_000_000
+		y := FastErf(x)
+		if math.Abs(y) > 1 {
+			t.Fatalf("FastErf(%v) = %v escapes [-1,1]", x, y)
+		}
+		if y < prev-2*maxAbsErr {
+			t.Fatalf("FastErf decreases beyond error bound at x=%v: %v < %v", x, y, prev)
+		}
+		if y > prev {
+			prev = y
+		}
+	}
+}
+
+// TestFastErfSpecials pins the IEEE edge cases: NaN propagates, ±Inf and the
+// saturated tail return ±1, and ±0 returns ±0 like math.Erf.
+func TestFastErfSpecials(t *testing.T) {
+	if y := FastErf(math.NaN()); !math.IsNaN(y) {
+		t.Fatalf("FastErf(NaN) = %v, want NaN", y)
+	}
+	for _, c := range []struct{ in, want float64 }{
+		{math.Inf(1), 1}, {math.Inf(-1), -1},
+		{4, 1}, {-4, -1}, {1e300, 1}, {-1e300, -1},
+	} {
+		if y := FastErf(c.in); y != c.want {
+			t.Fatalf("FastErf(%v) = %v, want %v", c.in, y, c.want)
+		}
+	}
+	if y := FastErf(0); math.Float64bits(y) != 0 {
+		t.Fatalf("FastErf(0) = %v (bits %x), want +0", y, math.Float64bits(y))
+	}
+}
+
+// TestModeDefaultExact proves the zero-value mode is Exact and that Exact
+// dispatch is bit-identical to math.Erf — the compatibility contract that
+// keeps every pre-existing bit-identity test meaningful.
+func TestModeDefaultExact(t *testing.T) {
+	if CurrentMode() != Exact {
+		t.Fatalf("default mode = %v, want Exact", CurrentMode())
+	}
+	for i := 0; i <= 100_000; i++ {
+		x := -6 + 12*float64(i)/100_000
+		if math.Float64bits(Erf(x)) != math.Float64bits(math.Erf(x)) {
+			t.Fatalf("Exact Erf(%v) differs from math.Erf", x)
+		}
+	}
+}
+
+// TestModeSwitch flips the switch both ways and checks dispatch follows it.
+func TestModeSwitch(t *testing.T) {
+	defer SetMode(Exact)
+	SetMode(Fast)
+	if CurrentMode() != Fast {
+		t.Fatalf("mode after SetMode(Fast) = %v", CurrentMode())
+	}
+	x := 1.2345
+	if Erf(x) != FastErf(x) {
+		t.Fatalf("Fast mode Erf(%v) did not dispatch to FastErf", x)
+	}
+	SetMode(Exact)
+	if math.Float64bits(Erf(x)) != math.Float64bits(math.Erf(x)) {
+		t.Fatalf("Exact mode Erf(%v) did not dispatch to math.Erf", x)
+	}
+}
+
+// TestParseMode covers the CLI knob mapping.
+func TestParseMode(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"exact", Exact, true}, {"", Exact, true}, {"fast", Fast, true},
+		{"FAST", Exact, false}, {"approx", Exact, false},
+	} {
+		got, ok := ParseMode(c.in)
+		if got != c.want || ok != c.ok {
+			t.Fatalf("ParseMode(%q) = %v,%v want %v,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	for _, m := range []Mode{Exact, Fast, Mode(7)} {
+		if m.String() == "" {
+			t.Fatalf("Mode(%d).String() empty", m)
+		}
+	}
+}
+
+func BenchmarkMathErf(b *testing.B) {
+	xs := erfBenchArgs()
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += math.Erf(xs[i&1023])
+	}
+	sinkErf = acc
+}
+
+func BenchmarkFastErf(b *testing.B) {
+	xs := erfBenchArgs()
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += FastErf(xs[i&1023])
+	}
+	sinkErf = acc
+}
+
+var sinkErf float64
+
+// erfBenchArgs spreads arguments across all branches the way query/sample
+// distances do: mostly small |x| with a long tail.
+func erfBenchArgs() []float64 {
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = -5 + 10*float64(i)/1023
+	}
+	return xs
+}

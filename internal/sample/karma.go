@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"kdesel/internal/loss"
+	"kdesel/internal/mathx"
 	"kdesel/internal/query"
 )
 
@@ -163,8 +164,8 @@ func EmptyRegionBound(q query.Range, h []float64) float64 {
 		if !(w > 0) || !(h[j] > 0) {
 			return 0
 		}
-		half := math.Erf(w / (2 * sqrt2 * h[j]))
-		full := math.Erf(w / (sqrt2 * h[j]))
+		half := mathx.Erf(w / (2 * sqrt2 * h[j]))
+		full := mathx.Erf(w / (sqrt2 * h[j]))
 		if half <= 0 {
 			return 0
 		}

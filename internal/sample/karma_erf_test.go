@@ -1,0 +1,87 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/mathx"
+	"kdesel/internal/query"
+)
+
+// karmaDecisionStream replays a deterministic 10k-event feedback stream
+// through a karma tracker and records every replacement decision. The erf
+// implementation enters only through EmptyRegionBound (the Appendix E
+// shortcut), so this is exactly the surface the fast-erf switch could
+// perturb.
+func karmaDecisionStream(t *testing.T, events int) [][]int {
+	t.Helper()
+	const (
+		s = 64
+		d = 3
+	)
+	k, err := NewKarma(s, KarmaConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(424242))
+	h := []float64{0.3, 0.7, 1.2}
+	contrib := make([]float64, s)
+	decisions := make([][]int, 0, events)
+	for ev := 0; ev < events; ev++ {
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			lo[j] = rng.Float64() * 4
+			hi[j] = lo[j] + 0.1 + rng.Float64()*2
+		}
+		q := query.NewRange(lo, hi)
+		for i := range contrib {
+			contrib[i] = rng.Float64()
+		}
+		est := rng.Float64()
+		actual := rng.Float64()
+		// A third of the stream reports empty results, exercising the
+		// erf-based shortcut; within those, contributions near the bound
+		// probe the decision edge.
+		if ev%3 == 0 {
+			actual = 0
+		}
+		bound := EmptyRegionBound(q, h)
+		replace, err := k.Update(contrib, est, actual, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decisions = append(decisions, append([]int(nil), replace...))
+		for _, i := range replace {
+			k.Reset(i)
+		}
+	}
+	return decisions
+}
+
+// TestKarmaDecisionsStableUnderFastErf replays the same 10k-event stream
+// under both erf modes and requires the replacement decisions to be
+// identical event for event: the 1e-7 approximation error must never flip
+// a maintenance decision on this workload.
+func TestKarmaDecisionsStableUnderFastErf(t *testing.T) {
+	defer mathx.SetMode(mathx.Exact)
+
+	mathx.SetMode(mathx.Exact)
+	exact := karmaDecisionStream(t, 10000)
+	mathx.SetMode(mathx.Fast)
+	fast := karmaDecisionStream(t, 10000)
+
+	if len(exact) != len(fast) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(exact), len(fast))
+	}
+	for ev := range exact {
+		if len(exact[ev]) != len(fast[ev]) {
+			t.Fatalf("event %d: exact replaced %v, fast replaced %v", ev, exact[ev], fast[ev])
+		}
+		for i := range exact[ev] {
+			if exact[ev][i] != fast[ev][i] {
+				t.Fatalf("event %d: exact replaced %v, fast replaced %v", ev, exact[ev], fast[ev])
+			}
+		}
+	}
+}

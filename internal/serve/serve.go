@@ -1,0 +1,302 @@
+// Package serve implements request coalescing for the estimate hot path:
+// a dynamic batcher that lets many concurrent callers share single fused
+// traversals of the sample.
+//
+// An estimator embedded in a query optimizer is a high-QPS inference
+// service, but the KDE estimate is a full map over the sample (paper
+// eq. 13) whose cost is nearly independent of how many queries ride along
+// one traversal (kde.SelectivityBatch scores a whole query tile against
+// each L1-resident sample chunk). The batcher exploits that: concurrent
+// Estimate callers enqueue; a single scheduler goroutine drains the queue
+// into batches of at most MaxBatch queries, waiting at most MaxWait for
+// stragglers, and evaluates each batch with one call to the configured
+// evaluator. Under load, throughput approaches MaxBatch queries per
+// traversal; an idle service degenerates to single-query latency plus at
+// most MaxWait.
+//
+// The package is deliberately estimator-agnostic — the evaluator is a
+// closure — so locking stays with the owner of the model (core.Server
+// serializes batch evaluation against Feedback and Checkpoint; the batcher
+// itself never blocks enqueueing callers on model work).
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"kdesel/internal/metrics"
+	"kdesel/internal/query"
+)
+
+// ErrClosed is returned by Estimate after Close.
+var ErrClosed = errors.New("serve: batcher closed")
+
+// Defaults chosen for an optimizer-embedded service: a 64-query batch is
+// one fused traversal tile budget, and 100µs of extra latency is invisible
+// next to query execution.
+const (
+	DefaultMaxBatch = 64
+	DefaultMaxWait  = 100 * time.Microsecond
+)
+
+// EvalFunc evaluates a batch of validated queries, writing one estimate
+// per query into ests (len(ests) == len(qs)). An error applies to the
+// whole batch and is reported to every waiting caller.
+type EvalFunc func(qs []query.Range, ests []float64) error
+
+// Config tunes a Batcher.
+type Config struct {
+	// MaxBatch caps the queries coalesced into one evaluation (default
+	// DefaultMaxBatch). Values ≤ 1 disable coalescing: New returns nil, and
+	// callers fall back to their direct path — the disabled batcher costs
+	// nothing.
+	MaxBatch int
+	// MaxWait bounds how long the scheduler waits for a batch to fill
+	// after the first request arrives (default DefaultMaxWait). Zero waits
+	// not at all: a batch is whatever is already queued.
+	MaxWait time.Duration
+	// Queue is the pending-request channel capacity (default 4·MaxBatch).
+	Queue int
+	// Metrics, when non-nil, receives serve.queue_depth (gauge),
+	// serve.batch_size (histogram), and serve.wait_seconds (histogram,
+	// enqueue-to-evaluation latency). Nil disables instrumentation.
+	Metrics *metrics.Registry
+	// ProfileLabel, when true, tags the scheduler goroutine with the pprof
+	// label kdesel_serve=batcher so CPU profiles separate coalescing
+	// overhead from kernel time (kdebench -profile-serve).
+	ProfileLabel bool
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch == 0 {
+		return DefaultMaxBatch
+	}
+	return c.MaxBatch
+}
+
+func (c Config) maxWait() time.Duration {
+	if c.MaxWait < 0 {
+		return 0
+	}
+	if c.MaxWait == 0 {
+		return DefaultMaxWait
+	}
+	return c.MaxWait
+}
+
+func (c Config) queue(maxBatch int) int {
+	if c.Queue > 0 {
+		return c.Queue
+	}
+	return 4 * maxBatch
+}
+
+// request is one enqueued Estimate call. done is a reusable 1-slot signal
+// channel; the scheduler fills est/err before signalling.
+type request struct {
+	q    query.Range
+	enq  time.Time
+	est  float64
+	err  error
+	done chan struct{}
+}
+
+// Batcher coalesces concurrent Estimate calls into batched evaluations.
+// A nil *Batcher is inert — Estimate on it panics by design, so owners
+// must route around a disabled batcher (see Config.MaxBatch).
+type Batcher struct {
+	eval     EvalFunc
+	maxBatch int
+	maxWait  time.Duration
+
+	// mu gates intake against Close: Estimate sends while holding the read
+	// lock, so once Close acquires the write lock and closes done, no sender
+	// is mid-enqueue and none can slip in after the scheduler's final drain.
+	mu     sync.RWMutex
+	closed bool
+
+	reqs    chan *request
+	done    chan struct{} // closed by Close; stops intake and the scheduler
+	stopped sync.WaitGroup
+
+	pool sync.Pool // *request
+
+	batchSize *metrics.Histogram
+	waitSec   *metrics.Histogram
+}
+
+// New starts a batcher draining into eval. It returns nil when cfg disables
+// coalescing (MaxBatch ≤ 1 but non-zero), so callers can test for the
+// disabled state and take their direct path with zero overhead.
+func New(eval EvalFunc, cfg Config) *Batcher {
+	mb := cfg.maxBatch()
+	if mb <= 1 {
+		return nil
+	}
+	b := &Batcher{
+		eval:     eval,
+		maxBatch: mb,
+		maxWait:  cfg.maxWait(),
+		reqs:     make(chan *request, cfg.queue(mb)),
+		done:     make(chan struct{}),
+	}
+	if r := cfg.Metrics; r != nil {
+		b.batchSize = r.Histogram("serve.batch_size")
+		b.waitSec = r.Histogram("serve.wait_seconds")
+		r.RegisterGaugeFunc("serve.queue_depth", func() float64 { return float64(len(b.reqs)) })
+	}
+	b.stopped.Add(1)
+	if cfg.ProfileLabel {
+		go pprof.Do(context.Background(), pprof.Labels("kdesel_serve", "batcher"), func(context.Context) {
+			b.run()
+		})
+	} else {
+		go b.run()
+	}
+	return b
+}
+
+// MaxBatch returns the configured batch cap.
+func (b *Batcher) MaxBatch() int { return b.maxBatch }
+
+// MaxWait returns the configured fill deadline.
+func (b *Batcher) MaxWait() time.Duration { return b.maxWait }
+
+// Estimate enqueues q and blocks until its batch has been evaluated,
+// returning the query's estimate. Safe for any number of concurrent
+// callers. After Close it fails fast with ErrClosed.
+func (b *Batcher) Estimate(q query.Range) (float64, error) {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	r, _ := b.pool.Get().(*request)
+	if r == nil {
+		r = &request{done: make(chan struct{}, 1)}
+	}
+	r.q = q
+	r.est, r.err = 0, nil
+	if b.waitSec != nil {
+		r.enq = time.Now()
+	}
+	// A full queue blocks here, but only while the scheduler is live: Close
+	// cannot take the write lock until this send completes, and the
+	// scheduler keeps draining until then.
+	b.reqs <- r
+	b.mu.RUnlock()
+	<-r.done
+	est, err := r.est, r.err
+	b.pool.Put(r)
+	return est, err
+}
+
+// Close stops intake, serves every already-enqueued request, and waits for
+// the scheduler to exit. Concurrent and repeated calls are safe; Estimate
+// calls racing Close either complete normally or return ErrClosed.
+func (b *Batcher) Close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.done)
+	}
+	b.mu.Unlock()
+	b.stopped.Wait()
+}
+
+// run is the scheduler: collect one batch, evaluate, deliver, repeat.
+func (b *Batcher) run() {
+	defer b.stopped.Done()
+	var (
+		batch = make([]*request, 0, b.maxBatch)
+		qs    = make([]query.Range, b.maxBatch)
+		ests  = make([]float64, b.maxBatch)
+		timer = time.NewTimer(time.Hour)
+	)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		// Wait for the batch's first request.
+		select {
+		case r := <-b.reqs:
+			batch = append(batch, r)
+		case <-b.done:
+			// Intake is closed; drain stragglers that won the enqueue race.
+			for {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+					continue
+				default:
+				}
+				break
+			}
+			if len(batch) == 0 {
+				return
+			}
+		}
+		// Fill up to MaxBatch: take whatever is queued, then wait out the
+		// remainder of MaxWait for stragglers.
+	fill:
+		for len(batch) < b.maxBatch {
+			select {
+			case r := <-b.reqs:
+				batch = append(batch, r)
+				continue
+			default:
+			}
+			if b.maxWait <= 0 {
+				break fill
+			}
+			timer.Reset(b.maxWait)
+			select {
+			case r := <-b.reqs:
+				if !timer.Stop() {
+					<-timer.C
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break fill
+			case <-b.done:
+				if !timer.Stop() {
+					<-timer.C
+				}
+				break fill
+			}
+		}
+
+		n := len(batch)
+		for i, r := range batch {
+			qs[i] = r.q
+			if b.waitSec != nil {
+				b.waitSec.ObserveDuration(time.Since(r.enq))
+			}
+		}
+		err := b.eval(qs[:n], ests[:n])
+		if b.batchSize != nil {
+			b.batchSize.Observe(float64(n))
+		}
+		for i, r := range batch {
+			r.est, r.err = ests[i], err
+			r.done <- struct{}{}
+			batch[i] = nil
+		}
+		batch = batch[:0]
+
+		select {
+		case <-b.done:
+			// Closing: keep looping only while requests remain.
+			if len(b.reqs) == 0 {
+				return
+			}
+		default:
+		}
+	}
+}

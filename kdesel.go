@@ -27,6 +27,7 @@ import (
 	"kdesel/internal/gpu"
 	"kdesel/internal/join"
 	"kdesel/internal/kde"
+	"kdesel/internal/mathx"
 	"kdesel/internal/query"
 	"kdesel/internal/table"
 )
@@ -116,6 +117,43 @@ var (
 	// ErrInvalidFeedback marks a non-finite observed selectivity.
 	ErrInvalidFeedback = core.ErrInvalidFeedback
 )
+
+// Server wraps an Estimator for concurrent use, coalescing simultaneous
+// Estimate calls into shared fused traversals of the sample (see
+// internal/serve). All access to the wrapped estimator — including Feedback
+// and Checkpoint — must go through the Server.
+type Server = core.Server
+
+// ServeConfig tunes a Server's request coalescing; the zero value enables
+// batching with the defaults (64-query batches, 100µs fill deadline).
+// MaxBatch ≤ 1 disables coalescing and serves through a plain mutex.
+type ServeConfig = core.ServeConfig
+
+// NewServer wraps est for concurrent serving.
+func NewServer(est *Estimator, cfg ServeConfig) *Server { return core.NewServer(est, cfg) }
+
+// ErfMode selects the erf implementation used by every Gaussian kernel
+// evaluation: ErfExact (the default, math.Erf) or ErfFast (a polynomial
+// approximation with |error| ≤ 1e-7, roughly 4× faster).
+type ErfMode = mathx.Mode
+
+// The two erf implementations; switch with SetErfMode.
+const (
+	// ErfExact routes through math.Erf (bit-identical to the stdlib).
+	ErfExact = mathx.Exact
+	// ErfFast routes through the polynomial approximation.
+	ErfFast = mathx.Fast
+)
+
+// SetErfMode switches the process-global erf implementation. The switch is
+// atomic and safe to call concurrently with estimation, but an estimate in
+// flight during the switch may evaluate some dimensions under each mode —
+// switch at a quiet moment if bit-reproducibility matters.
+func SetErfMode(m ErfMode) { mathx.SetMode(m) }
+
+// ParseErfMode parses "exact" or "fast" (the CLI flag grammar); ok is
+// false for anything else.
+func ParseErfMode(s string) (ErfMode, bool) { return mathx.ParseMode(s) }
 
 // RestoreCheckpoint reconstructs an estimator from an atomic, CRC-checked
 // checkpoint written by Estimator.Checkpoint, bound to tab and optionally
