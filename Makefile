@@ -5,10 +5,10 @@ GO ?= go
 
 # Which PR's benchmark suite `make bench` regenerates (bench-PR2, bench-PR4,
 # ...); e.g. `BENCH=PR2 make bench` rebuilds BENCH_PR2.json.
-BENCH ?= PR4
+BENCH ?= PR5
 
 .PHONY: verify fmtcheck build test race race-resilience mathx-accuracy chaos vet \
-	bench bench-PR2 bench-PR4 bench-parallel bench-throughput
+	bench bench-PR2 bench-PR4 bench-PR5 bench-parallel bench-throughput
 
 verify: fmtcheck vet build race-resilience mathx-accuracy race
 
@@ -99,3 +99,22 @@ bench-PR4:
 		-cmd "$(BENCH_CMD4)" -cmd "$(BENCH_CMD4B)" -cmd "$(BENCH_CMD4C)" \
 		-out BENCH_PR4.json bench4.out
 	rm -f bench4.out
+
+# PR5: snapshot-isolated serving. BenchmarkAnalyzeUnderLoad runs the
+# closed-loop ANALYZE-under-load experiment — the estimate p99 inside ANALYZE
+# windows with estimates serialized behind the writer mutex versus served
+# lock-free from the published snapshot; the acceptance criterion is
+# p99-speedup ≥ 10. BenchmarkServeThroughput re-baselines end-to-end serving
+# on the snapshot path.
+BENCH_CMD5 = $(GO) test -run TestNothing -bench BenchmarkAnalyzeUnderLoad -benchtime 1x .
+BENCH_CMD5B = $(GO) test -run TestNothing -bench BenchmarkServeThroughput -benchtime 3x .
+
+bench-PR5:
+	$(BENCH_CMD5) > bench5.out
+	$(BENCH_CMD5B) >> bench5.out
+	$(GO) run ./cmd/benchjson -pr 5 \
+		-title "Snapshot-isolated serving: tuning never blocks estimates; coalescer deadline and accounting fixes" \
+		-note "BenchmarkAnalyzeUnderLoad drives 8 closed-loop estimate clients while ANALYZE (Reoptimize) runs concurrently and reports the estimate p99 over queries whose lifetime overlapped an ANALYZE window: serialized-p99-ms is the pre-PR behavior (every estimate queues behind the writer mutex for the whole re-optimization), snapshot-p99-ms serves lock-free from the published model snapshot; the acceptance criterion is p99-speedup >= 10, with snapshot-path estimates bit-identical to the locked path (TestSnapshotPathBitIdenticalAllModes). BenchmarkServeThroughput re-baselines coalesced serving throughput on the snapshot path." \
+		-cmd "$(BENCH_CMD5)" -cmd "$(BENCH_CMD5B)" \
+		-out BENCH_PR5.json bench5.out
+	rm -f bench5.out

@@ -374,6 +374,31 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeUnderLoad measures the estimate-latency tail while an
+// ANALYZE (Reoptimize) pass runs concurrently, comparing the serialized
+// baseline (every estimate queues behind the writer mutex for the whole
+// re-optimization) against snapshot-isolated serving (estimates keep reading
+// the pre-ANALYZE model lock-free). The acceptance criterion for snapshot
+// isolation is serialized p99 / snapshot p99 ≥ 10 inside ANALYZE windows.
+func BenchmarkAnalyzeUnderLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AnalyzeUnderLoad(experiments.AnalyzeLoadConfig{
+			Dims:       4,
+			SampleSize: 4096,
+			Clients:    8,
+			Feedback:   150,
+			Rounds:     2,
+			Seed:       int64(41 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Serialized.P99.Seconds()*1e3, "serialized-p99-ms")
+		b.ReportMetric(res.Snapshot.P99.Seconds()*1e3, "snapshot-p99-ms")
+		b.ReportMetric(res.Speedup, "p99-speedup")
+	}
+}
+
 // BenchmarkKDEGradient measures one estimate-plus-gradient pass (eq. 17),
 // the adaptive estimator's per-query extra work.
 func BenchmarkKDEGradient(b *testing.B) {

@@ -30,6 +30,9 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Metrics carries any custom units a benchmark reported via
+	// b.ReportMetric (qps, p99-speedup, err/op, ...), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type hostInfo struct {
@@ -168,6 +171,11 @@ func parseBench(r io.Reader, rep *report) error {
 			case "allocs/op":
 				n := int64(v)
 				res.AllocsPerOp = &n
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[fields[i+1]] = v
 			}
 		}
 		if seen {

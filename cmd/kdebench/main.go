@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig4, fig5, table1, fig6, fig7, fig8, shift, serve, ablations, all")
+		exp   = flag.String("exp", "all", "experiment: fig4, fig5, table1, fig6, fig7, fig8, shift, serve, analyze, ablations, all")
 		seed  = flag.Int64("seed", 42, "random seed")
 		quick = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
 		rows  = flag.Int("rows", 0, "override dataset rows (0 = experiment default)")
@@ -281,6 +281,25 @@ func main() {
 		res.WriteTable(os.Stdout)
 		return nil
 	}
+	runAnalyze := func() error {
+		cfg := experiments.AnalyzeLoadConfig{
+			Seed:     *seed,
+			MaxBatch: *serveBatch,
+			MaxWait:  *serveWait,
+			Metrics:  reg,
+		}
+		if *quick {
+			cfg.SampleSize = 1024
+			cfg.Feedback = 40
+			cfg.Rounds = 2
+		}
+		res, err := experiments.AnalyzeUnderLoad(cfg)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	}
 	runAblations := func() error {
 		cfg := experiments.AblationConfig{Seed: *seed, Metrics: reg, Checkpoints: ckpts}
 		if *quick {
@@ -327,6 +346,8 @@ func main() {
 		run("workload shift (extension)", runShift)
 	case "serve":
 		run("serving throughput (coalescing)", runServe)
+	case "analyze":
+		run("ANALYZE under load (snapshot isolation)", runAnalyze)
 	case "ablations":
 		run("ablations", runAblations)
 	case "all":
@@ -338,6 +359,7 @@ func main() {
 		run("figure 8 (changing data)", runFig8)
 		run("workload shift (extension)", runShift)
 		run("serving throughput (coalescing)", runServe)
+		run("ANALYZE under load (snapshot isolation)", runAnalyze)
 		run("ablations", runAblations)
 	default:
 		fmt.Fprintf(os.Stderr, "kdebench: unknown experiment %q\n", *exp)

@@ -17,8 +17,12 @@
 //
 // -serve-batch N (with N > 1) serves the positional queries concurrently
 // through the coalescing server, sharing fused sample traversals between
-// them; -serve-wait bounds the batch fill deadline. -erf fast switches the
-// Gaussian kernels to the polynomial erf (|error| ≤ 1e-7, ~4× faster).
+// them; -serve-wait bounds the batch fill deadline (armed once per batch).
+// The server stays open through the -truth feedback loop and -checkpoint:
+// writer operations take its writer lock while estimates serve lock-free
+// from the published model snapshot, as in an embedded deployment. -erf
+// fast switches the Gaussian kernels to the polynomial erf (|error| ≤
+// 1e-7, ~4× faster).
 //
 // -checkpoint/-restore use the framed, CRC-checked checkpoint format of
 // internal/checkpoint, which additionally carries the learner accumulators,
@@ -178,10 +182,15 @@ func main() {
 		queries[i] = q
 	}
 	sels := make([]float64, len(queries))
+	var srv *kdesel.Server
 	if *serveBatch > 1 && len(queries) > 1 {
 		// Concurrent serving path: all queries in flight at once, coalesced
-		// into shared fused traversals. Output order stays positional.
-		srv := kdesel.NewServer(est, kdesel.ServeConfig{MaxBatch: *serveBatch, MaxWait: *serveWait, Metrics: reg})
+		// into shared fused traversals. Output order stays positional. The
+		// server stays open through the feedback loop and checkpoint below —
+		// writer operations go through its writer lock while the estimator
+		// remains servable, exactly as in an embedded deployment.
+		srv = kdesel.NewServer(est, kdesel.ServeConfig{MaxBatch: *serveBatch, MaxWait: *serveWait, Metrics: reg})
+		defer srv.Close()
 		var wg sync.WaitGroup
 		estErrs := make([]error, len(queries))
 		for i, q := range queries {
@@ -193,7 +202,6 @@ func main() {
 			}()
 		}
 		wg.Wait()
-		srv.Close() // the estimator is safe to use directly again below
 		for i, err := range estErrs {
 			if err != nil {
 				fail("estimating %q: %v", flag.Arg(i), err)
@@ -213,8 +221,15 @@ func main() {
 		if *truth {
 			actual, _ := tab.Selectivity(q)
 			line += fmt.Sprintf("  actual=%.6f", actual)
-			// Close the feedback loop so adaptive models keep learning.
-			if err := est.Feedback(q, actual); err != nil {
+			// Close the feedback loop so adaptive models keep learning —
+			// through the server's writer path when one is serving.
+			var err error
+			if srv != nil {
+				err = srv.Feedback(q, actual)
+			} else {
+				err = est.Feedback(q, actual)
+			}
+			if err != nil {
 				fail("feedback: %v", err)
 			}
 		}
@@ -222,14 +237,24 @@ func main() {
 	}
 
 	if *ckptPath != "" {
-		if err := est.Checkpoint(*ckptPath); err != nil {
+		var err error
+		if srv != nil {
+			err = srv.Checkpoint(*ckptPath)
+		} else {
+			err = est.Checkpoint(*ckptPath)
+		}
+		if err != nil {
 			fail("writing checkpoint: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "checkpoint written to %s\n", *ckptPath)
 	}
 
-	if h := est.Health(); h != kdesel.Healthy {
-		fmt.Fprintf(os.Stderr, "health: %s (last degradation: %s)\n", h, est.LastDegradation())
+	health := est.Health()
+	if srv != nil {
+		health = srv.Health()
+	}
+	if health != kdesel.Healthy {
+		fmt.Fprintf(os.Stderr, "health: %s (last degradation: %s)\n", health, est.LastDegradation())
 	}
 
 	if *metricsOut != "" {

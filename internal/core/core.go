@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"kdesel/internal/bandwidth"
@@ -193,8 +194,15 @@ type Estimator struct {
 	lastContrib []float64
 	hasEst      bool
 
-	queries      int
+	// queries is atomic because the snapshot read path (snapshot.go) counts
+	// served estimates without holding the writer lock.
+	queries      atomic.Int64
 	replacements int
+
+	// Snapshot-isolated serving state (snapshot.go): snap holds the current
+	// immutable read view, snapOn gates publishing (enabled by core.Server).
+	snap   atomic.Pointer[modelSnapshot]
+	snapOn atomic.Bool
 }
 
 // Build constructs an estimator over tab — the ANALYZE step. For Batch
@@ -384,6 +392,11 @@ type coreMetrics struct {
 	ignoredDeletes  *metrics.Counter
 	ignoredUpdates  *metrics.Counter
 	checkpoints     *metrics.Counter
+
+	// Serving-path instruments: queries that reached the device as part of a
+	// coalesced batch call, and read-snapshot publications (snapshot.go).
+	deviceBatchQueries *metrics.Counter
+	snapshotSwaps      *metrics.Counter
 }
 
 // Instrument attaches a metrics registry to the estimator and all layers
@@ -416,6 +429,9 @@ func (e *Estimator) Instrument(reg *metrics.Registry) {
 		ignoredDeletes:  reg.Counter("core.ignored_deletes"),
 		ignoredUpdates:  reg.Counter("core.ignored_updates"),
 		checkpoints:     reg.Counter("core.checkpoints_written"),
+
+		deviceBatchQueries: reg.Counter("core.device_batch_queries"),
+		snapshotSwaps:      reg.Counter("core.snapshot_swaps"),
 	}
 	if e.learn != nil {
 		e.learn.Instrument(reg)
@@ -432,6 +448,16 @@ func (e *Estimator) Instrument(reg *metrics.Registry) {
 	// Degradation state as a pull-style gauge: 0 healthy, 1 degraded,
 	// 2 fallback (see health.go).
 	reg.RegisterGaugeFunc("core.health", func() float64 { return float64(e.health) })
+	// Age of the published read snapshot: how stale a lock-free estimate can
+	// be relative to the writer's latest mutation. 0 when snapshot-isolated
+	// serving is off (no Server, or SerializeEstimates).
+	reg.RegisterGaugeFunc("core.snapshot_age_seconds", func() float64 {
+		ms := e.snap.Load()
+		if ms == nil {
+			return 0
+		}
+		return time.Since(ms.published).Seconds()
+	})
 	// Per-dimension bandwidth drift relative to the bandwidth at attach
 	// time, as pull-style gauges evaluated only at snapshot time.
 	h0 := e.Bandwidth()
@@ -455,8 +481,10 @@ func (e *Estimator) Dims() int { return e.d }
 // SampleSize returns the model size s.
 func (e *Estimator) SampleSize() int { return e.s }
 
-// Queries returns the number of estimates served.
-func (e *Estimator) Queries() int { return e.queries }
+// Queries returns the number of estimates actually served: queries that
+// errored out (invalid ranges, failed batches) are not counted. Safe to call
+// concurrently with snapshot-path estimates.
+func (e *Estimator) Queries() int { return int(e.queries.Load()) }
 
 // Replacements returns the number of sample points replaced by maintenance.
 func (e *Estimator) Replacements() int { return e.replacements }
@@ -492,6 +520,7 @@ func (e *Estimator) SetWorkers(n int) {
 	if e.host != nil {
 		e.host.SetWorkers(n)
 		e.host.Pool().Instrument(e.met.reg)
+		e.publishSnapshot() // future views evaluate on the new pool
 	}
 }
 
@@ -521,11 +550,13 @@ func (e *Estimator) Estimate(q query.Range) (float64, error) {
 		start := time.Now()
 		defer func() { e.met.estimateSec.ObserveDuration(time.Since(start)) }()
 	}
-	e.queries++
 	est, err := e.estimateRaw(q)
 	if err != nil {
 		return 0, err
 	}
+	// Count only after the estimate was actually produced, so errored calls
+	// never inflate Queries().
+	e.queries.Add(1)
 	return e.sanitizeEstimate(q, est), nil
 }
 
@@ -605,6 +636,9 @@ func (e *Estimator) Feedback(q query.Range, actual float64) (err error) {
 		start := time.Now()
 		defer func() { e.met.feedbackSec.ObserveDuration(time.Since(start)) }()
 	}
+	// Whatever the learning step and karma maintenance did to the model,
+	// readers see it only through the next published snapshot.
+	defer e.publishSnapshot()
 	defer func() {
 		if r := recover(); r != nil {
 			e.met.feedbackPanics.Inc()
@@ -622,7 +656,7 @@ func (e *Estimator) Feedback(q query.Range, actual float64) (err error) {
 		if _, err := e.Estimate(q); err != nil {
 			return err
 		}
-		e.queries-- // re-estimation for feedback is not a user query
+		e.queries.Add(-1) // re-estimation for feedback is not a user query
 	}
 
 	// Bandwidth learning step: ∇_H L = ∂L/∂p̂ · ∂p̂/∂H (eq. 14).
@@ -643,7 +677,7 @@ func (e *Estimator) Feedback(q query.Range, actual float64) (err error) {
 			if _, err := e.Estimate(q); err != nil {
 				return err
 			}
-			e.queries--
+			e.queries.Add(-1)
 		}
 		grad = make([]float64, e.d)
 		var herr error
@@ -729,6 +763,7 @@ func (e *Estimator) FeedbackBatch(fbs []query.Feedback) error {
 			return fmt.Errorf("%w: non-finite true selectivity %v", ErrInvalidFeedback, fb.Actual)
 		}
 	}
+	defer e.publishSnapshot()
 	h := e.Bandwidth()
 	var grads []float64
 	if e.eng != nil {
@@ -849,6 +884,7 @@ func (e *Estimator) replacePoint(i int, row []float64) error {
 // Reoptimize re-runs the batch bandwidth optimization over fresh feedback,
 // usable from any mode (e.g. periodic re-tuning of a Batch estimator).
 func (e *Estimator) Reoptimize(fbs []query.Feedback) error {
+	defer e.publishSnapshot()
 	flat, err := e.sampleHost()
 	if err != nil {
 		return err
@@ -905,6 +941,7 @@ func (e *Estimator) OnInsert(row []float64) {
 		return
 	}
 	e.met.resAccepts.Inc()
+	defer e.publishSnapshot()
 	r := make([]float64, len(row))
 	copy(r, row)
 	if err := e.replacePoint(slot, r); err != nil {

@@ -233,6 +233,9 @@ func (e *Estimator) fallbackToHost(reason string) error {
 	e.met.gpuFallbacks.Inc()
 	e.setHealth(Degraded, reason)
 	host.Pool().Instrument(e.met.reg)
+	// The model now lives on the host, which makes it servable lock-free:
+	// publish the first snapshot of the rebuilt estimator.
+	e.publishSnapshot()
 	return nil
 }
 
@@ -247,6 +250,7 @@ func (e *Estimator) enterSerialFallback(reason string) {
 	}
 	e.met.serialFallbacks.Inc()
 	e.setHealth(Fallback, reason)
+	e.publishSnapshot()
 }
 
 // resetToScott abandons the learned bandwidth and reinstalls Scott's rule
@@ -276,6 +280,7 @@ func (e *Estimator) resetToScott(reason string) error {
 	}
 	e.met.bandwidthResets.Inc()
 	e.setHealth(Degraded, reason)
+	e.publishSnapshot()
 	return nil
 }
 

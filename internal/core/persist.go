@@ -64,7 +64,7 @@ func (e *Estimator) makeSnapshot(flat []float64) snapshot {
 		LossName:     e.lf.Name(),
 		Seed:         e.cfg.Seed,
 		Maintained:   e.maintain,
-		Queries:      e.queries,
+		Queries:      int(e.queries.Load()),
 		Replacements: e.replacements,
 		LearnerCfg:   e.cfg.Learner,
 		KarmaCfg: karmaCfgSnapshot{
@@ -141,9 +141,9 @@ func restoreFromSnapshot(snap snapshot, tab *table.Table, dev *gpu.Device) (*Est
 		lf:           lf,
 		rng:          rand.New(src),
 		src:          src,
-		queries:      snap.Queries,
 		replacements: snap.Replacements,
 	}
+	e.queries.Store(int64(snap.Queries))
 
 	var err error
 	if dev != nil {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"kdesel/internal/mathx"
 	"kdesel/internal/metrics"
 	"kdesel/internal/query"
 	"kdesel/internal/serve"
@@ -40,41 +41,35 @@ func (e *Estimator) EstimateBatch(qs []query.Range, ests []float64) error {
 		start := time.Now()
 		defer func() { e.met.estimateSec.ObserveDuration(time.Since(start)) }()
 	}
-	e.queries += len(qs)
 	if err := e.estimateBatchRaw(qs, ests); err != nil {
 		return err
 	}
+	// Count only after the whole batch produced estimates, so an errored
+	// batch never inflates Queries() — same contract as single Estimate.
+	e.queries.Add(int64(len(qs)))
 	for i, q := range qs {
 		ests[i] = e.sanitizeEstimate(q, ests[i])
 	}
 	return nil
 }
 
-// estimateBatchRaw runs the batch on the active execution path. The
-// simulated device evaluates queries one transfer+launch at a time (its
-// protocol is single-query); a mid-batch fallback redoes the whole batch on
-// the host so one degradation event cannot split a batch across paths.
+// estimateBatchRaw runs the batch on the active execution path. The device
+// evaluates the whole batch with one bounds-tile transfer and one launch
+// (gpu.Engine.EstimateBatch) instead of paying a PCIe round-trip per query;
+// a mid-batch fallback redoes the whole batch on the host so one degradation
+// event cannot split a batch across paths.
 func (e *Estimator) estimateBatchRaw(qs []query.Range, ests []float64) error {
 	if e.eng != nil {
-		ok := true
-		for i, q := range qs {
-			var est float64
-			if err := e.deviceOp("estimate", func() error {
-				var derr error
-				est, derr = e.eng.Estimate(q)
-				return derr
-			}); err != nil {
-				return err
-			}
-			if e.eng == nil {
-				ok = false // fell back mid-batch: host redo below
-				break
-			}
-			ests[i] = est
+		if err := e.deviceOp("batch estimate", func() error {
+			return e.eng.EstimateBatch(qs, ests)
+		}); err != nil {
+			return err
 		}
-		if ok {
+		if e.eng != nil {
+			e.met.deviceBatchQueries.Add(int64(len(qs)))
 			return nil
 		}
+		// Fell back mid-batch: host redo below.
 	}
 	return e.host.SelectivityBatch(qs, ests)
 }
@@ -100,29 +95,50 @@ type ServeConfig struct {
 	// ProfileLabel tags the scheduler goroutine with pprof label
 	// kdesel_serve=batcher for CPU-profile attribution.
 	ProfileLabel bool
+	// SerializeEstimates disables snapshot-isolated serving: every Estimate
+	// takes the writer mutex, so estimates and writer operations (Feedback,
+	// ANALYZE, Checkpoint) strictly serialize — the pre-snapshot behavior.
+	// Useful as a baseline for measuring what the snapshot path buys, and
+	// irrelevant for device-placed models (which always serialize, see
+	// snapshot.go).
+	SerializeEstimates bool
 }
 
-// Server wraps an Estimator for concurrent use. The underlying estimator is
-// single-threaded by design (learning and maintenance mutate the model);
-// Server serializes all access behind one mutex and, when coalescing is
-// enabled, funnels concurrent Estimate calls through a serve.Batcher so a
-// mutex acquisition evaluates up to MaxBatch queries in one fused pass
-// instead of one.
+// Server wraps an Estimator for concurrent use with a single-writer /
+// lock-free-reader split. The underlying estimator is single-threaded by
+// design (learning and maintenance mutate the model); Server routes all
+// mutation — Feedback, ANALYZE (Reoptimize), Checkpoint — through one writer
+// mutex, while Estimate and coalesced batches serve from the immutable model
+// snapshot the writer publishes (snapshot.go). A multi-second bandwidth
+// re-optimization therefore never blocks the estimate path; readers see the
+// pre-ANALYZE model until the writer publishes the new one.
+//
+// When coalescing is enabled, concurrent Estimate calls additionally share
+// one fused traversal of up to MaxBatch queries through a serve.Batcher.
+// Device-placed models and SerializeEstimates configurations fall back to
+// serializing estimates behind the writer mutex.
 //
 // Methods on Server are safe for concurrent use. The zero Server is not
 // usable; construct with NewServer.
 type Server struct {
-	mu  sync.Mutex
-	est *Estimator
-	b   *serve.Batcher
+	mu        sync.Mutex // writer lock: model mutation + serialized estimates
+	est       *Estimator
+	b         *serve.Batcher
+	serialize bool
 }
 
 // NewServer wraps est for concurrent serving. The caller must stop using
 // est directly — all access, including Feedback and Checkpoint, must go
 // through the returned Server or races ensue.
 func NewServer(est *Estimator, cfg ServeConfig) *Server {
-	s := &Server{est: est}
+	s := &Server{est: est, serialize: cfg.SerializeEstimates}
+	if !s.serialize {
+		est.enableSnapshots()
+	}
 	s.b = serve.New(func(qs []query.Range, ests []float64) error {
+		if !s.serialize && est.estimateBatchSnapshot(qs, ests) {
+			return nil
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return est.EstimateBatch(qs, ests)
@@ -141,7 +157,8 @@ func NewServer(est *Estimator, cfg ServeConfig) *Server {
 func (s *Server) Coalescing() bool { return s.b != nil }
 
 // Estimate returns the estimated selectivity of q, sharing a fused
-// traversal with concurrent callers when coalescing is enabled.
+// traversal with concurrent callers when coalescing is enabled and serving
+// lock-free from the published model snapshot when possible.
 //
 // Validation happens before enqueueing, lock-free: validateQuery reads only
 // the immutable dimensionality, so malformed queries are rejected at memory
@@ -153,6 +170,11 @@ func (s *Server) Estimate(q query.Range) (float64, error) {
 	}
 	if s.b != nil {
 		return s.b.Estimate(q)
+	}
+	if !s.serialize {
+		if est, ok := s.est.estimateSnapshot(q); ok {
+			return est, nil
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -174,11 +196,32 @@ func (s *Server) FeedbackBatch(fbs []query.Feedback) error {
 	return s.est.FeedbackBatch(fbs)
 }
 
+// Reoptimize re-runs the batch bandwidth optimization over fresh feedback —
+// the ANALYZE step — under the writer lock. Concurrent estimates keep
+// serving the pre-ANALYZE snapshot throughout; the re-optimized model
+// becomes visible when the writer publishes it at completion.
+func (s *Server) Reoptimize(fbs []query.Feedback) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.Reoptimize(fbs)
+}
+
 // Checkpoint atomically persists the model; see Estimator.Checkpoint.
 func (s *Server) Checkpoint(path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.est.Checkpoint(path)
+}
+
+// SetErfMode switches the process-global erf implementation (see
+// internal/mathx) and republishes the snapshot so lock-free readers pick up
+// the pinned new mode; in-flight estimates finish under the mode they
+// started with.
+func (s *Server) SetErfMode(m mathx.Mode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mathx.SetMode(m)
+	s.est.publishSnapshot()
 }
 
 // Health returns the estimator's degradation state.
@@ -188,12 +231,9 @@ func (s *Server) Health() Health {
 	return s.est.Health()
 }
 
-// Queries returns the number of estimates served.
-func (s *Server) Queries() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.est.Queries()
-}
+// Queries returns the number of estimates served. Lock-free: the counter is
+// atomic because snapshot-path estimates bump it without the writer lock.
+func (s *Server) Queries() int { return s.est.Queries() }
 
 // Close drains in-flight coalesced requests and stops the scheduler
 // goroutine. The wrapped estimator remains valid and can be used directly

@@ -6,13 +6,16 @@ import (
 	"math/rand"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"kdesel/internal/fault"
 	"kdesel/internal/gpu"
+	"kdesel/internal/learner"
 	"kdesel/internal/metrics"
 	"kdesel/internal/query"
+	"kdesel/internal/serve"
 )
 
 // TestEstimateBatchMatchesEstimate: the batch entry point must be
@@ -328,5 +331,253 @@ func TestServerDeviceFaultDegradesCleanly(t *testing.T) {
 	}
 	if got, want := s.Queries(), clients*perClient; got != want {
 		t.Errorf("Queries() = %d, want %d (no lost or duplicated requests)", got, want)
+	}
+}
+
+// TestEstimateBatchErrorAccounting extends the injected-fault accounting to
+// the error path: when the device fails persistently AND the host fallback
+// itself is impossible (sabotaged sample mirror), Estimate and EstimateBatch
+// must surface the error without counting any query — Queries() only moves
+// when an estimate was actually produced.
+func TestEstimateBatchErrorAccounting(t *testing.T) {
+	tab := buildClusteredTable(t, 300, 27)
+	dev, err := gpu.NewDevice(gpu.GTX460())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Build(tab, Config{
+		Mode:           Heuristic,
+		SampleSize:     64,
+		Seed:           33,
+		Device:         dev,
+		RetryBaseDelay: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(51))
+	qs := make([]query.Range, 4)
+	for i := range qs {
+		qs[i] = dataQuery(tab, rng, 1.5)
+	}
+
+	// A few healthy estimates first, so the later failures must leave the
+	// counter where it stands rather than merely keep it at zero.
+	ests := make([]float64, len(qs))
+	if err := e.EstimateBatch(qs, ests); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Estimate(qs[0]); err != nil {
+		t.Fatal(err)
+	}
+	want := len(qs) + 1
+	if got := e.Queries(); got != want {
+		t.Fatalf("Queries() = %d after healthy serving, want %d", got, want)
+	}
+
+	// Now every transfer fails, defeating the retry policy, and the host
+	// mirror is gone, so fallbackToHost cannot rebuild either: both entry
+	// points must error out.
+	dev.SetFaultInjector(fault.New(9, fault.Schedule{
+		fault.DeviceTransfer: {Every: 1},
+	}))
+	e.hostMirror = nil
+	if err := e.EstimateBatch(qs, ests); err == nil {
+		t.Fatal("EstimateBatch succeeded with a dead device and no fallback")
+	}
+	if _, err := e.Estimate(qs[0]); err == nil {
+		t.Fatal("Estimate succeeded with a dead device and no fallback")
+	}
+	if got := e.Queries(); got != want {
+		t.Errorf("Queries() = %d after errored estimates, want %d (errors must not count)", got, want)
+	}
+}
+
+// TestServerCloseRacesEstimateFeedback races Close against in-flight
+// Estimate and Feedback traffic: every estimate either completes with a
+// sane value or reports serve.ErrClosed, Feedback keeps working throughout
+// (Close only stops the coalescer, not the writer path), and nothing
+// panics or deadlocks. Run with -race.
+func TestServerCloseRacesEstimateFeedback(t *testing.T) {
+	tab := buildClusteredTable(t, 400, 41)
+	e, err := Build(tab, Config{Mode: Adaptive, SampleSize: 64, Seed: 43, DisableMaintenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(e, ServeConfig{MaxBatch: 8, MaxWait: 20 * time.Microsecond})
+
+	const clients = 8
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(300 + c)))
+			for i := 0; i < 400; i++ {
+				est, err := s.Estimate(dataQuery(tab, rng, 1.5))
+				if errors.Is(err, serve.ErrClosed) {
+					return
+				}
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if math.IsNaN(est) || est < 0 || est > 1 {
+					t.Errorf("client %d: estimate %v escapes [0,1]", c, est)
+					return
+				}
+				served.Add(1)
+			}
+		}()
+	}
+	// Feedback writer: mutates the model while estimates race Close.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(999))
+		for i := 0; i < 100; i++ {
+			q := dataQuery(tab, rng, 1.5)
+			actual, err := tab.Selectivity(q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.Feedback(q, actual); err != nil {
+				t.Errorf("feedback round %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	// Close once some traffic has demonstrably flowed, so the shutdown
+	// genuinely overlaps live estimates instead of winning trivially.
+	for served.Load() < 50 {
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	wg.Wait()
+
+	if _, err := s.Estimate(dataQuery(tab, rand.New(rand.NewSource(7)), 1.5)); !errors.Is(err, serve.ErrClosed) {
+		t.Errorf("Estimate after Close: err = %v, want serve.ErrClosed", err)
+	}
+	// The writer path outlives the coalescer.
+	q := dataQuery(tab, rand.New(rand.NewSource(8)), 1.5)
+	actual, err := tab.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Feedback(q, actual); err != nil {
+		t.Errorf("Feedback after Close: %v", err)
+	}
+}
+
+// TestSnapshotPathBitIdenticalAllModes is the property test for snapshot
+// isolation: across every estimator mode, estimates served lock-free from
+// the published snapshot must be bit-identical to the pre-snapshot behavior
+// of serializing every estimate behind the writer mutex — including while
+// feedback keeps mutating the model between rounds — and the two twins'
+// bandwidths must stay bit-identical throughout.
+func TestSnapshotPathBitIdenticalAllModes(t *testing.T) {
+	cases := []struct {
+		name        string
+		mode        Mode
+		logarithmic bool
+	}{
+		{"heuristic", Heuristic, false},
+		{"scv", SCV, false},
+		{"batch", Batch, false},
+		{"adaptive", Adaptive, false},
+		{"log-adaptive", Adaptive, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab := buildClusteredTable(t, 400, 13)
+			fbs := chaosWorkload(t, tab, 23, 60)
+			cfg := Config{
+				Mode:       tc.mode,
+				SampleSize: 64,
+				Seed:       17,
+				Learner:    learner.Config{Logarithmic: tc.logarithmic},
+			}
+			if tc.mode == Batch {
+				cfg.Training = feedbackSet(t, tab, rand.New(rand.NewSource(3)), 30, 2)
+			}
+			eSnap, err := Build(tab, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eLock, err := Build(tab, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// MaxBatch 1 disables coalescing so each Estimate exercises the
+			// single-query path directly; the serialized twin is the pre-PR
+			// mutex-everything configuration.
+			sSnap := NewServer(eSnap, ServeConfig{MaxBatch: 1})
+			sLock := NewServer(eLock, ServeConfig{MaxBatch: 1, SerializeEstimates: true})
+			defer sSnap.Close()
+			defer sLock.Close()
+
+			if _, ok := eSnap.SnapshotGen(); !ok {
+				t.Fatal("server did not publish a snapshot for a host model")
+			}
+			if _, ok := eLock.SnapshotGen(); ok {
+				t.Fatal("SerializeEstimates twin published a snapshot")
+			}
+			// Prove the lock-free path is actually taken, not silently
+			// falling through to the mutex.
+			if _, ok := eSnap.estimateSnapshot(fbs[0].Query); !ok {
+				t.Fatal("estimateSnapshot refused a published snapshot")
+			}
+			eSnap.queries.Add(-1) // undo the probe's count to keep twins aligned
+
+			for i, fb := range fbs {
+				a, err := sSnap.Estimate(fb.Query)
+				if err != nil {
+					t.Fatalf("round %d: snapshot estimate: %v", i, err)
+				}
+				b, err := sLock.Estimate(fb.Query)
+				if err != nil {
+					t.Fatalf("round %d: locked estimate: %v", i, err)
+				}
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("round %d: snapshot %v != locked %v", i, a, b)
+				}
+				// Mutate between rounds so later estimates run against a
+				// model the writer has since republished.
+				if i%3 == 0 {
+					if err := sSnap.Feedback(fb.Query, fb.Actual); err != nil {
+						t.Fatal(err)
+					}
+					if err := sLock.Feedback(fb.Query, fb.Actual); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			// Batch path: the coalescer's snapshot evaluation against the
+			// locked EstimateBatch.
+			qs := probeQueries(tab, 31, 16)
+			estsA := make([]float64, len(qs))
+			estsB := make([]float64, len(qs))
+			if !eSnap.estimateBatchSnapshot(qs, estsA) {
+				t.Fatal("batch was not served from the snapshot")
+			}
+			if err := eLock.EstimateBatch(qs, estsB); err != nil {
+				t.Fatal(err)
+			}
+			for i := range qs {
+				if math.Float64bits(estsA[i]) != math.Float64bits(estsB[i]) {
+					t.Fatalf("batch query %d: snapshot %v != locked %v", i, estsA[i], estsB[i])
+				}
+			}
+			hA, hB := eSnap.Bandwidth(), eLock.Bandwidth()
+			for j := range hA {
+				if math.Float64bits(hA[j]) != math.Float64bits(hB[j]) {
+					t.Fatalf("bandwidth dim %d diverged: %v vs %v", j, hA, hB)
+				}
+			}
+		})
 	}
 }

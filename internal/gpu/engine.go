@@ -32,6 +32,13 @@ type Engine struct {
 	hasEst  bool      // contribBuf holds contributions of lastQ
 	lastQ   query.Range
 	lastEst float64
+
+	// Batch-path buffers (EstimateBatch), grown lazily to the largest batch
+	// seen: the 2d·nq bounds tile, the s·nq query-major contribution planes,
+	// and the s-value packing column the per-query reductions run over.
+	batchBoundsBuf  *Buffer
+	batchContribBuf *Buffer
+	batchColBuf     *Buffer
 }
 
 // NewEngine creates an engine for a d-dimensional sample, transferring the
@@ -188,6 +195,92 @@ func (e *Engine) Estimate(q query.Range) (float64, error) {
 	e.lastQ = q.Clone()
 	e.lastEst = est
 	return est, nil
+}
+
+// EstimateBatch computes the selectivity of every query of qs with one
+// bounds-tile transfer and one contribution launch for the whole batch —
+// the device-side counterpart of the serve-layer coalescer. Query-at-a-time
+// evaluation pays the PCIe round-trip latency per query (§5.2); here the
+// 2d·nq bounds tile crosses once, one kernel of complexity d·nq scores
+// every sample row against every query, and only nq scalars return.
+//
+// Each query's contributions are packed into a scratch column and reduced
+// with the same pairwise tree over the same values as a single-query
+// Estimate, so batch estimates are bit-identical to calling Estimate per
+// query. The single-query retention state (contribBuf, lastQ) is left
+// untouched: karma maintenance keys on the feedback path's own Estimate.
+func (e *Engine) EstimateBatch(qs []query.Range, ests []float64) error {
+	nq := len(qs)
+	if len(ests) != nq {
+		return fmt.Errorf("gpu: estimate buffer has %d entries, want %d", len(ests), nq)
+	}
+	for i := range qs {
+		if qs[i].Dims() != e.d {
+			return fmt.Errorf("gpu: batch query %d has %d dims, want %d", i, qs[i].Dims(), e.d)
+		}
+		if err := qs[i].Validate(); err != nil {
+			return fmt.Errorf("gpu: batch query %d: %w", i, err)
+		}
+	}
+	if nq == 0 {
+		return nil
+	}
+	if e.batchBoundsBuf == nil || e.batchBoundsBuf.Len() < 2*e.d*nq {
+		e.batchBoundsBuf = e.dev.Alloc(2 * e.d * nq)
+	}
+	if e.batchContribBuf == nil || e.batchContribBuf.Len() < e.s*nq {
+		e.batchContribBuf = e.dev.Alloc(e.s * nq)
+	}
+	if e.batchColBuf == nil {
+		e.batchColBuf = e.dev.Alloc(e.s)
+	}
+	// One transfer: the whole batch's bounds, query-major [lo|hi] pairs.
+	tile := make([]float64, 2*e.d*nq)
+	for iq, q := range qs {
+		o := iq * 2 * e.d
+		copy(tile[o:o+e.d], q.Lo)
+		copy(tile[o+e.d:o+2*e.d], q.Hi)
+	}
+	if err := e.dev.CopyToDevice(e.batchBoundsBuf, 0, tile); err != nil {
+		return err
+	}
+	smp := e.sampleBuf.slice()
+	batch := e.batchContribBuf.slice()
+	bounds := e.batchBoundsBuf.slice()
+	h := e.hBuf.slice()
+	kern := e.kern
+	d := e.d
+	s := e.s
+	// One launch: each item scores its sample row against every query —
+	// the same ascending-dimension mass product with zero short-circuit as
+	// the single-query kernel, per query plane.
+	e.dev.Launch(s, float64(d*nq), func(i int) {
+		row := smp[i*d : (i+1)*d]
+		for iq := 0; iq < nq; iq++ {
+			b := bounds[iq*2*d : (iq+1)*2*d]
+			m := 1.0
+			for j := 0; j < d; j++ {
+				m *= kern.Mass(b[j], b[d+j], row[j], h[j])
+				if m == 0 {
+					break
+				}
+			}
+			batch[iq*s+i] = m
+		}
+	})
+	col := e.batchColBuf.slice()
+	for iq := 0; iq < nq; iq++ {
+		o := iq * s
+		e.dev.Launch(s, 1, func(i int) { col[i] = batch[o+i] })
+		sum, err := e.dev.Reduce(e.batchColBuf, s)
+		if err != nil {
+			return err
+		}
+		ests[iq] = sum / float64(s)
+	}
+	// nq scalars return to the host in one transfer.
+	e.dev.ChargeBits(64*nq, false)
+	return nil
 }
 
 // Gradient computes ∂p̂/∂h for the given query on the device (steps 5–6 of

@@ -129,10 +129,11 @@ func (e *Estimator) queryConsts(q query.Range, qc []float64) {
 // with zero short-circuit as fusedMassChunk, so the result is bit-identical
 // to that row's entry in a fused Contributions buffer.
 func (e *Estimator) fusedPointMass(row []float64, q query.Range) float64 {
+	fast := e.fastErf()
 	m := 0.0
 	for j := 0; j < e.d; j++ {
 		inv, _, _ := kernel.GaussianConsts(e.h[j])
-		mass := kernel.GaussianMassScaled(q.Lo[j], q.Hi[j], row[j], inv)
+		mass := kernel.GaussianMassScaled(q.Lo[j], q.Hi[j], row[j], inv, fast)
 		if j == 0 {
 			m = mass
 		} else if m != 0 {
@@ -147,16 +148,16 @@ func (e *Estimator) fusedPointMass(row []float64, q query.Range) float64 {
 // products, zero rows short-circuited) and returns their row-order sum.
 // When out is non-nil, out[lo:hi] additionally receives the per-row masses
 // (the Contributions buffer).
-func (e *Estimator) fusedMassChunk(qc []float64, lo, hi int, acc, out []float64) float64 {
+func (e *Estimator) fusedMassChunk(qc []float64, lo, hi int, acc, out []float64, fast bool) float64 {
 	n := hi - lo
 	acc = acc[:n]
 	for j := 0; j < e.d; j++ {
 		col := e.col(j)[lo:hi]
 		o := j * qcStride
 		if j == 0 {
-			kernel.GaussianMassFill(acc, col, qc[o], qc[o+1], qc[o+2])
+			kernel.GaussianMassFill(acc, col, qc[o], qc[o+1], qc[o+2], fast)
 		} else {
-			kernel.GaussianMassMul(acc, col, qc[o], qc[o+1], qc[o+2])
+			kernel.GaussianMassMul(acc, col, qc[o], qc[o+1], qc[o+2], fast)
 		}
 	}
 	if out != nil {
@@ -173,6 +174,7 @@ func (e *Estimator) fusedMassChunk(qc []float64, lo, hi int, acc, out []float64)
 // non-nil out, of Contributions). Callers have validated the query.
 func (e *Estimator) fusedSelectivity(q query.Range, out []float64) float64 {
 	s := e.Size()
+	fast := e.fastErf()
 	fs := e.getFused()
 	qc := fs.qcBuf(e.d * qcStride)
 	e.queryConsts(q, qc)
@@ -181,14 +183,14 @@ func (e *Estimator) fusedSelectivity(q query.Range, out []float64) float64 {
 		acc := fs.accBuf(parallel.ChunkSize)
 		for c, nc := 0, parallel.Chunks(s); c < nc; c++ {
 			lo, hi := parallel.ChunkBounds(c, s)
-			total += e.fusedMassChunk(qc, lo, hi, acc, out)
+			total += e.fusedMassChunk(qc, lo, hi, acc, out, fast)
 		}
 	} else {
 		nc := parallel.Chunks(s)
 		partials := e.bufs.Get(nc)
 		e.pool.Run(s, func(c, lo, hi int) {
 			ws := e.getFused()
-			partials[c] = e.fusedMassChunk(qc, lo, hi, ws.accBuf(parallel.ChunkSize), out)
+			partials[c] = e.fusedMassChunk(qc, lo, hi, ws.accBuf(parallel.ChunkSize), out, fast)
 			e.putFused(ws)
 		})
 		for _, v := range partials {
@@ -208,7 +210,7 @@ func (e *Estimator) fusedSelectivity(q query.Range, out []float64) float64 {
 // same suffix-descending/prefix-ascending sweep as the generic gradPoint.
 // SelectivityGradient and GradientBatch both run their chunks through this
 // one routine, which is what keeps them bit-identical to each other.
-func (e *Estimator) fusedGradChunk(qc []float64, lo, hi int, scr *gradScratch, pgrad []float64) float64 {
+func (e *Estimator) fusedGradChunk(qc []float64, lo, hi int, scr *gradScratch, pgrad []float64, fast bool) float64 {
 	d := e.d
 	fm, fg, suffix := scr.fmasses, scr.fgrads, scr.suffix
 	sum := 0.0
@@ -220,7 +222,7 @@ func (e *Estimator) fusedGradChunk(qc []float64, lo, hi int, scr *gradScratch, p
 			kernel.GaussianMassGradFill(
 				fm[j*gradTileRows:j*gradTileRows+n],
 				fg[j*gradTileRows:j*gradTileRows+n],
-				col, qc[o], qc[o+1], qc[o+2], qc[o+3], qc[o+4])
+				col, qc[o], qc[o+1], qc[o+2], qc[o+3], qc[o+4], fast)
 		}
 		for i := 0; i < n; i++ {
 			suffix[d] = 1
@@ -242,6 +244,7 @@ func (e *Estimator) fusedGradChunk(qc []float64, lo, hi int, scr *gradScratch, p
 // Callers have validated the query and zeroed grad.
 func (e *Estimator) fusedSelectivityGradient(q query.Range, grad []float64) float64 {
 	s, d := e.Size(), e.d
+	fast := e.fastErf()
 	fs := e.getFused()
 	qc := fs.qcBuf(d * qcStride)
 	e.queryConsts(q, qc)
@@ -253,7 +256,7 @@ func (e *Estimator) fusedSelectivityGradient(q query.Range, grad []float64) floa
 			for j := range scr.pgrad {
 				scr.pgrad[j] = 0
 			}
-			sum += e.fusedGradChunk(qc, lo, hi, scr, scr.pgrad)
+			sum += e.fusedGradChunk(qc, lo, hi, scr, scr.pgrad, fast)
 			for j := 0; j < d; j++ {
 				grad[j] += scr.pgrad[j]
 			}
@@ -265,7 +268,7 @@ func (e *Estimator) fusedSelectivityGradient(q query.Range, grad []float64) floa
 		e.pool.Run(s, func(c, lo, hi int) {
 			scr := e.getScratch()
 			row := partials[c*(d+1) : (c+1)*(d+1)]
-			row[0] = e.fusedGradChunk(qc, lo, hi, scr, row[1:])
+			row[0] = e.fusedGradChunk(qc, lo, hi, scr, row[1:], fast)
 			e.putScratch(scr)
 		})
 		for c := 0; c < nc; c++ {
@@ -292,6 +295,7 @@ func (e *Estimator) fusedSelectivityGradient(q query.Range, grad []float64) floa
 func (e *Estimator) fusedSelectivityBatch(qs []query.Range, ests []float64) {
 	nq := len(qs)
 	s, d := e.Size(), e.d
+	fast := e.fastErf()
 	fs := e.getFused()
 	qcAll := fs.qcBuf(nq * d * qcStride)
 	for i := range qs {
@@ -312,9 +316,9 @@ func (e *Estimator) fusedSelectivityBatch(qs []query.Range, ests []float64) {
 					o := (q0+t)*d*qcStride + j*qcStride
 					a := acc[t*parallel.ChunkSize : t*parallel.ChunkSize+n]
 					if j == 0 {
-						kernel.GaussianMassFill(a, col, qcAll[o], qcAll[o+1], qcAll[o+2])
+						kernel.GaussianMassFill(a, col, qcAll[o], qcAll[o+1], qcAll[o+2], fast)
 					} else {
-						kernel.GaussianMassMul(a, col, qcAll[o], qcAll[o+1], qcAll[o+2])
+						kernel.GaussianMassMul(a, col, qcAll[o], qcAll[o+1], qcAll[o+2], fast)
 					}
 				}
 			}
@@ -348,6 +352,7 @@ func (e *Estimator) fusedGradientBatch(qs []query.Range, ests, grads []float64) 
 	nq := len(qs)
 	s, d := e.Size(), e.d
 	stride := d + 1
+	fast := e.fastErf()
 	fs := e.getFused()
 	qcAll := fs.qcBuf(nq * d * qcStride)
 	for i := range qs {
@@ -361,7 +366,7 @@ func (e *Estimator) fusedGradientBatch(qs []query.Range, ests, grads []float64) 
 		for iq := 0; iq < nq; iq++ {
 			qc := qcAll[iq*d*qcStride : (iq+1)*d*qcStride]
 			pr := base[iq*stride : (iq+1)*stride]
-			pr[0] = e.fusedGradChunk(qc, lo, hi, scr, pr[1:])
+			pr[0] = e.fusedGradChunk(qc, lo, hi, scr, pr[1:], fast)
 		}
 		e.putScratch(scr)
 	})

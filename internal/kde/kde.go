@@ -18,6 +18,7 @@ import (
 
 	"kdesel/internal/kernel"
 	"kdesel/internal/loss"
+	"kdesel/internal/mathx"
 	"kdesel/internal/parallel"
 	"kdesel/internal/query"
 	"kdesel/internal/stats"
@@ -55,10 +56,33 @@ type Estimator struct {
 	cols         []float64
 	forceGeneric bool
 
+	// gen counts sample-content generations: SetSampleFlat and ReplacePoint
+	// bump it, so Snapshot can tell a bandwidth-only change (share the frozen
+	// sample buffers) from a sample mutation (deep-copy them).
+	gen uint64
+
+	// erfPinned freezes the Gaussian erf mode for this estimator instead of
+	// following the process-global mathx switch. Snapshot sets it on the
+	// frozen copy so every estimate served from one snapshot uses one
+	// consistent erf implementation, whatever the global switch does.
+	erfPinned bool
+	erfFast   bool
+
 	pool      *parallel.Pool      // nil = serial execution
 	scratch   sync.Pool           // *gradScratch, one per concurrent worker
 	fusedPool sync.Pool           // *fusedScratch (fused.go)
 	bufs      parallel.BufferPool // chunk partial-sum buffers
+}
+
+// fastErf resolves the erf mode for one fused evaluation: the pinned mode on
+// snapshot copies, the process-global mathx mode otherwise. Resolving once
+// per evaluation (rather than per kernel-fill call) means a single estimate
+// can never mix modes even if the global switch flips mid-call.
+func (e *Estimator) fastErf() bool {
+	if e.erfPinned {
+		return e.erfFast
+	}
+	return mathx.CurrentMode() == mathx.Fast
 }
 
 // gradScratch holds the per-worker working set of the gradient map of
@@ -180,6 +204,7 @@ func (e *Estimator) SetSampleFlat(data []float64) error {
 	}
 	e.data = data
 	e.rebuildColumns()
+	e.gen++
 	return nil
 }
 
@@ -205,6 +230,7 @@ func (e *Estimator) ReplacePoint(i int, p []float64) error {
 	for j, v := range p {
 		e.cols[j*s+i] = v
 	}
+	e.gen++
 	return nil
 }
 

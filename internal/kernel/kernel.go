@@ -81,9 +81,11 @@ func GaussianConsts(h float64) (inv, c1, c2 float64) {
 // interval mass of [l, u] for the kernel centered at t with the hoisted
 // scaling inv = 1/(√2·h). It evaluates the exact expression of the
 // GaussianMassFill/GaussianMassMul loops, so single-point and columnar
-// results agree bit for bit.
-func GaussianMassScaled(l, u, t, inv float64) float64 {
-	if mathx.CurrentMode() == mathx.Fast {
+// results agree bit for bit. fast selects the polynomial erf (callers
+// resolve the mathx mode — or a snapshot-pinned copy of it — once per
+// evaluation and thread it through).
+func GaussianMassScaled(l, u, t, inv float64, fast bool) float64 {
+	if fast {
 		return 0.5 * (mathx.FastErf((u-t)*inv) - mathx.FastErf((l-t)*inv))
 	}
 	return 0.5 * (math.Erf((u-t)*inv) - math.Erf((l-t)*inv))
@@ -92,10 +94,11 @@ func GaussianMassScaled(l, u, t, inv float64) float64 {
 // GaussianMassFill writes into dst[i] the Gaussian interval mass of [l, u]
 // for the kernel centered at col[i]:
 // dst[i] = ½·[erf((u−col[i])·inv) − erf((l−col[i])·inv)], with inv from
-// GaussianConsts. The erf mode (mathx Exact/Fast) is resolved once per call,
-// outside the loop, so the switch costs nothing per sample point.
-func GaussianMassFill(dst, col []float64, l, u, inv float64) {
-	if mathx.CurrentMode() == mathx.Fast {
+// GaussianConsts. The erf mode is an explicit argument (resolved by the
+// caller once per evaluation, not per fill), so a whole estimate sees one
+// consistent mode even if the process-global switch flips mid-call.
+func GaussianMassFill(dst, col []float64, l, u, inv float64, fast bool) {
+	if fast {
 		for i, t := range col {
 			dst[i] = 0.5 * (mathx.FastErf((u-t)*inv) - mathx.FastErf((l-t)*inv))
 		}
@@ -111,8 +114,8 @@ func GaussianMassFill(dst, col []float64, l, u, inv float64) {
 // counterpart of the early-exit in the row-major product loop (it also keeps
 // a zero product zero even if a later dimension evaluates to NaN, matching
 // the row-major short-circuit exactly).
-func GaussianMassMul(dst, col []float64, l, u, inv float64) {
-	if mathx.CurrentMode() == mathx.Fast {
+func GaussianMassMul(dst, col []float64, l, u, inv float64, fast bool) {
+	if fast {
 		for i, t := range col {
 			if dst[i] != 0 {
 				dst[i] *= 0.5 * (mathx.FastErf((u-t)*inv) - mathx.FastErf((l-t)*inv))
@@ -131,8 +134,7 @@ func GaussianMassMul(dst, col []float64, l, u, inv float64) {
 // derivatives ∂Mass/∂h into gdst for the kernel centered at col[i], using
 // the hoisted constants of GaussianConsts. The mass expression matches
 // GaussianMassFill bit for bit so estimate and gradient paths agree.
-func GaussianMassGradFill(mdst, gdst, col []float64, l, u, inv, c1, c2 float64) {
-	fast := mathx.CurrentMode() == mathx.Fast
+func GaussianMassGradFill(mdst, gdst, col []float64, l, u, inv, c1, c2 float64, fast bool) {
 	for i, t := range col {
 		dl := l - t
 		du := u - t

@@ -54,9 +54,12 @@ type Config struct {
 	// callers fall back to their direct path — the disabled batcher costs
 	// nothing.
 	MaxBatch int
-	// MaxWait bounds how long the scheduler waits for a batch to fill
-	// after the first request arrives (default DefaultMaxWait). Zero waits
-	// not at all: a batch is whatever is already queued.
+	// MaxWait bounds how long the scheduler waits for a batch to fill after
+	// the first request arrives (default DefaultMaxWait). The deadline is
+	// armed once per batch and is NOT extended by straggler arrivals, so the
+	// first request's coalescing delay is at most MaxWait even under a
+	// steady trickle. Zero waits not at all: a batch is whatever is already
+	// queued.
 	MaxWait time.Duration
 	// Queue is the pending-request channel capacity (default 4·MaxBatch).
 	Queue int
@@ -242,9 +245,11 @@ func (b *Batcher) run() {
 				return
 			}
 		}
-		// Fill up to MaxBatch: take whatever is queued, then wait out the
-		// remainder of MaxWait for stragglers.
-	fill:
+		// Fill up to MaxBatch: take whatever is already queued without
+		// waiting, then wait out one MaxWait deadline for stragglers. The
+		// deadline is armed ONCE when the batch opens — straggler arrivals
+		// must not extend it, or a steady trickle would hold the first
+		// request hostage for up to (MaxBatch−1)·MaxWait.
 		for len(batch) < b.maxBatch {
 			select {
 			case r := <-b.reqs:
@@ -252,23 +257,25 @@ func (b *Batcher) run() {
 				continue
 			default:
 			}
-			if b.maxWait <= 0 {
-				break fill
-			}
+			break
+		}
+		if len(batch) < b.maxBatch && b.maxWait > 0 {
 			timer.Reset(b.maxWait)
-			select {
-			case r := <-b.reqs:
-				if !timer.Stop() {
-					<-timer.C
+			armed := true
+		fill:
+			for len(batch) < b.maxBatch {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+				case <-timer.C:
+					armed = false
+					break fill
+				case <-b.done:
+					break fill
 				}
-				batch = append(batch, r)
-			case <-timer.C:
-				break fill
-			case <-b.done:
-				if !timer.Stop() {
-					<-timer.C
-				}
-				break fill
+			}
+			if armed && !timer.Stop() {
+				<-timer.C
 			}
 		}
 

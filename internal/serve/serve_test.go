@@ -203,6 +203,52 @@ func TestCloseDrainsAndRejects(t *testing.T) {
 	b.Close() // repeated Close must be safe
 }
 
+// TestFillDeadlineNotExtendedByStragglers is the regression test for the
+// re-arming fill timer: the scheduler used to Reset the MaxWait deadline on
+// every straggler arrival, so a steady trickle spaced just under MaxWait
+// kept the batch open for up to (MaxBatch−1)·MaxWait. The deadline must be
+// armed once per batch, bounding the first request's wait by MaxWait.
+func TestFillDeadlineNotExtendedByStragglers(t *testing.T) {
+	const maxWait = 50 * time.Millisecond
+	b := New(areaEval(nil, nil), Config{MaxBatch: 8, MaxWait: maxWait})
+	defer b.Close()
+
+	// Trickle one straggler every MaxWait·0.9: under the buggy behavior each
+	// arrival pushed the deadline out another full MaxWait, so it never
+	// expired before the batch filled.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(maxWait * 9 / 10)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					b.Estimate(q1(1)) //nolint:errcheck // timing probe only
+				}()
+			}
+		}
+	}()
+
+	start := time.Now()
+	if _, err := b.Estimate(q1(2)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if elapsed >= 2*maxWait {
+		t.Errorf("first request waited %v under a straggler trickle, want < %v (2·MaxWait)", elapsed, 2*maxWait)
+	}
+}
+
 // TestZeroMaxWaitServesImmediately: MaxWait < 0 means a batch is whatever
 // is queued — a lone request must not wait for companions.
 func TestZeroMaxWaitServesImmediately(t *testing.T) {

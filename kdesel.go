@@ -118,15 +118,19 @@ var (
 	ErrInvalidFeedback = core.ErrInvalidFeedback
 )
 
-// Server wraps an Estimator for concurrent use, coalescing simultaneous
-// Estimate calls into shared fused traversals of the sample (see
-// internal/serve). All access to the wrapped estimator — including Feedback
-// and Checkpoint — must go through the Server.
+// Server wraps an Estimator for concurrent use with a single-writer /
+// lock-free-reader split: Estimate calls serve from an immutable model
+// snapshot (and coalesce into shared fused traversals, see internal/serve),
+// while Feedback, Reoptimize (ANALYZE), and Checkpoint mutate under the
+// writer lock and publish a fresh snapshot on completion — tuning never
+// blocks estimates. All access to the wrapped estimator — including
+// Feedback and Checkpoint — must go through the Server.
 type Server = core.Server
 
 // ServeConfig tunes a Server's request coalescing; the zero value enables
-// batching with the defaults (64-query batches, 100µs fill deadline).
-// MaxBatch ≤ 1 disables coalescing and serves through a plain mutex.
+// batching with the defaults (64-query batches, 100µs fill deadline armed
+// once per batch). MaxBatch ≤ 1 disables coalescing; SerializeEstimates
+// restores the pre-snapshot everything-behind-one-mutex baseline.
 type ServeConfig = core.ServeConfig
 
 // NewServer wraps est for concurrent serving.
