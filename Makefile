@@ -5,12 +5,13 @@ GO ?= go
 
 # Which PR's benchmark suite `make bench` regenerates (bench-PR2, bench-PR4,
 # ...); e.g. `BENCH=PR2 make bench` rebuilds BENCH_PR2.json.
-BENCH ?= PR5
+BENCH ?= PR6
 
-.PHONY: verify fmtcheck build test race race-resilience mathx-accuracy chaos vet \
-	bench bench-PR2 bench-PR4 bench-PR5 bench-parallel bench-throughput
+.PHONY: verify fmtcheck build test race race-resilience mathx-accuracy \
+	precision-accuracy chaos vet \
+	bench bench-PR2 bench-PR4 bench-PR5 bench-PR6 bench-parallel bench-throughput
 
-verify: fmtcheck vet build race-resilience mathx-accuracy race
+verify: fmtcheck vet build race-resilience mathx-accuracy precision-accuracy race
 
 # Fail when any file needs gofmt; list the offenders.
 fmtcheck:
@@ -34,7 +35,8 @@ race:
 # erf switch are the most concurrency-sensitive code in the tree. (Go's test
 # cache makes the overlap with `race` free when nothing changed.)
 race-resilience:
-	$(GO) test -race ./internal/fault/... ./internal/core/... ./internal/serve/... ./internal/mathx/...
+	$(GO) test -race ./internal/fault/... ./internal/core/... ./internal/serve/... \
+		./internal/mathx/... ./internal/kde/... ./internal/checkpoint/...
 
 # The fast-erf accuracy contract (|error| ≤ 1e-7 over the 2M-point sweep)
 # must actually run — a skipped sweep fails verify, not just a failing one.
@@ -46,6 +48,23 @@ mathx-accuracy:
 		{ echo "mathx accuracy sweep did not run"; exit 1; }; \
 	echo "$$out" | grep -q -- '--- PASS: TestModeDefaultExact' || \
 		{ echo "mathx exact-mode bit-identity check did not run"; exit 1; }
+
+# The precision-tier error contracts must actually run, like mathx-accuracy:
+# the float32 segment-table sweep (|error| ≤ 1e-6) and the end-to-end tier
+# contracts (float32 ≤ 1e-5, quantized ≤ 1e-3 max relative estimate error
+# against the float64 path, and the verify gate's fallback behavior).
+precision-accuracy:
+	@out="$$($(GO) test -count=1 -run 'TestFastErf32Accuracy' -v ./internal/mathx/ && \
+		$(GO) test -count=1 -run 'TestPrecisionTierContracts' -v ./internal/kde/ && \
+		$(GO) test -count=1 -run 'TestPrecisionVerifyGate' -v ./internal/core/)"; \
+	status=$$?; echo "$$out"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	echo "$$out" | grep -q -- '--- PASS: TestFastErf32Accuracy' || \
+		{ echo "float32 erf accuracy sweep did not run"; exit 1; }; \
+	echo "$$out" | grep -q -- '--- PASS: TestPrecisionTierContracts' || \
+		{ echo "precision tier contract sweep did not run"; exit 1; }; \
+	echo "$$out" | grep -q -- '--- PASS: TestPrecisionVerifyGate' || \
+		{ echo "precision verify-gate check did not run"; exit 1; }
 
 # Chaos suite: deterministic fault schedules (failed transfers/launches,
 # diverged optimizers, non-finite gradients, corrupted checkpoints) against
@@ -118,3 +137,22 @@ bench-PR5:
 		-cmd "$(BENCH_CMD5)" -cmd "$(BENCH_CMD5B)" \
 		-out BENCH_PR5.json bench5.out
 	rm -f bench5.out
+
+# PR6: the compressed float32/int16 columnar serving tiers. The batch
+# evaluator across all five configurations (generic-exact, fused-exact,
+# fused-fast, fused-float32, fused-quantized — each reporting bytes/query
+# for the tier it streams), plus the mass-kernel micro-benchmarks per
+# element width. The acceptance criterion is fused-float32 ≥ 2x fused-fast
+# (PR4's recorded 57ms serving baseline).
+BENCH_CMD6 = $(GO) test -run TestNothing -bench BenchmarkSelectivityBatch -benchmem -benchtime 30x .
+BENCH_CMD6B = $(GO) test -run TestNothing -bench 'BenchmarkGaussianMassFill|BenchmarkGaussianMassMul' -benchtime 1000x ./internal/kernel/
+
+bench-PR6:
+	$(BENCH_CMD6) > bench6.out
+	$(BENCH_CMD6B) >> bench6.out
+	$(GO) run ./cmd/benchjson -pr 6 \
+		-title "Compressed float32 columnar tier with error-contracted precision modes" \
+		-note "BenchmarkSelectivityBatch compares the float64 paths (generic-exact, fused-exact, fused-fast) against the compressed tiers (fused-float32, fused-quantized); the acceptance criterion is fused-float32 >= 2x fused-fast, the PR4 serving baseline. Each variant reports bytes/query (rows x dims x element size: 8, 4, or 2 bytes per value) and benchjson derives the effective streaming bandwidth (derived-GB/s). The internal/kernel entries are the per-column mass kernels at each element width. Tier error contracts (float32 <= 1e-5, quantized <= 1e-3 max relative error) are enforced separately by 'make precision-accuracy'." \
+		-cmd "$(BENCH_CMD6)" -cmd "$(BENCH_CMD6B)" \
+		-out BENCH_PR6.json bench6.out
+	rm -f bench6.out

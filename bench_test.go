@@ -280,31 +280,43 @@ func BenchmarkKDEEstimate(b *testing.B) {
 // BenchmarkSelectivityBatch measures a 64-query batched estimate pass on
 // the 8-D, 4096-point model — the serving path's unit of work. The generic
 // variant forces the pre-PR row-major query-at-a-time inner loops; fused is
-// the columnar tiled layout with hoisted scalings, in both erf modes. The
-// ≥2× serving-path criterion compares fused/fast against generic/exact (the
-// pre-PR serving configuration).
+// the columnar tiled layout with hoisted scalings, in both erf modes; the
+// float32 and quantized variants read the compressed columnar tiers. The
+// serving-path criteria compare fused/fast against generic/exact and
+// fused/float32 against fused/fast. Each variant reports bytes/query (the
+// sample bytes one query streams: rows × dims × element size) and
+// queries/op, from which cmd/benchjson derives effective bandwidth.
 func BenchmarkSelectivityBatch(b *testing.B) {
+	const d, s = 8, 4096
 	for _, v := range []struct {
 		name    string
 		generic bool
 		mode    mathx.Mode
+		prec    mathx.Precision
 	}{
-		{"generic-exact", true, mathx.Exact},
-		{"fused-exact", false, mathx.Exact},
-		{"fused-fast", false, mathx.Fast},
+		{"generic-exact", true, mathx.Exact, mathx.Float64},
+		{"fused-exact", false, mathx.Exact, mathx.Float64},
+		{"fused-fast", false, mathx.Fast, mathx.Float64},
+		{"fused-float32", false, mathx.Fast, mathx.Float32},
+		{"fused-quantized", false, mathx.Fast, mathx.Quantized},
 	} {
 		b.Run(v.name, func(b *testing.B) {
-			e, qs := benchEstimatorAndQueries(b, 8, 4096)
+			e, qs := benchEstimatorAndQueries(b, d, s)
 			e.ForceGenericLayout(v.generic)
+			e.SetPrecision(v.prec)
 			mathx.SetMode(v.mode)
 			defer mathx.SetMode(mathx.Exact)
 			ests := make([]float64, len(qs))
+			bytesPerQuery := float64(s * d * v.prec.ElementSize())
+			b.SetBytes(int64(len(qs)) * int64(bytesPerQuery))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := e.SelectivityBatch(qs, ests); err != nil {
 					b.Fatal(err)
 				}
 			}
+			b.ReportMetric(bytesPerQuery, "bytes/query")
+			b.ReportMetric(float64(len(qs)), "queries/op")
 		})
 	}
 }

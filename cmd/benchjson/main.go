@@ -30,6 +30,10 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// BytesMovedPerQuery is promoted from the "bytes/query" custom metric
+	// (the sample bytes one query streams through the serving kernels —
+	// rows × dims × element size, so it shrinks with the precision tier).
+	BytesMovedPerQuery *float64 `json:"bytes_moved_per_query,omitempty"`
 	// Metrics carries any custom units a benchmark reported via
 	// b.ReportMetric (qps, p99-speedup, err/op, ...), keyed by unit.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
@@ -179,6 +183,17 @@ func parseBench(r io.Reader, rep *report) error {
 			}
 		}
 		if seen {
+			// Promote bytes/query to a first-class field and, when the
+			// benchmark also reported queries/op, derive the effective
+			// streaming bandwidth: bytes/query × queries/op ÷ ns/op is
+			// bytes per nanosecond, i.e. GB/s.
+			if bq, ok := res.Metrics["bytes/query"]; ok {
+				v := bq
+				res.BytesMovedPerQuery = &v
+				if qpo, ok := res.Metrics["queries/op"]; ok && res.NsPerOp > 0 {
+					res.Metrics["derived-GB/s"] = bq * qpo / res.NsPerOp
+				}
+			}
 			rep.Results[name] = res
 		}
 	}

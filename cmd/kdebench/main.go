@@ -48,12 +48,18 @@ func main() {
 		serveWait  = flag.Duration("serve-wait", 0, "serve experiment: batch fill deadline (0 = default 100µs; negative = no wait)")
 		profServe  = flag.Bool("profile-serve", false, "label the serve scheduler goroutine in CPU profiles (pprof label kdesel_serve=batcher; combine with -cpuprofile)")
 		erfMode    = flag.String("erf", "exact", "erf implementation for Gaussian kernels: exact (math.Erf) | fast (polynomial, |err| ≤ 1e-7)")
+		precFlag   = flag.String("precision", "float64", "serve experiment: serving precision tier, float64 | float32 | quantized (reduced tiers fall back to float64 if over their error contract)")
 	)
 	flag.Parse()
 	if m, ok := mathx.ParseMode(*erfMode); ok {
 		mathx.SetMode(m)
 	} else {
 		fmt.Fprintf(os.Stderr, "kdebench: bad -erf %q (want exact or fast)\n", *erfMode)
+		os.Exit(2)
+	}
+	prec, ok := mathx.ParsePrecision(*precFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "kdebench: bad -precision %q (want float64, float32, or quantized)\n", *precFlag)
 		os.Exit(2)
 	}
 	ckpts := experiments.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery}
@@ -269,6 +275,7 @@ func main() {
 			MaxWait:      *serveWait,
 			Metrics:      reg,
 			ProfileLabel: *profServe,
+			Precision:    prec,
 		}
 		if *quick {
 			cfg.SampleSize = 1024
@@ -278,6 +285,8 @@ func main() {
 		if err != nil {
 			return err
 		}
+		fmt.Printf("serving: precision=%s (requested %s), erf=%s\n",
+			res.ActivePrecision, prec, mathx.CurrentMode())
 		res.WriteTable(os.Stdout)
 		return nil
 	}

@@ -22,7 +22,10 @@
 // writer operations take its writer lock while estimates serve lock-free
 // from the published model snapshot, as in an embedded deployment. -erf
 // fast switches the Gaussian kernels to the polynomial erf (|error| ≤
-// 1e-7, ~4× faster).
+// 1e-7, ~4× faster). -precision float32|quantized serves estimates from a
+// compressed columnar tier (4 or 2 bytes per sample value); the tier is
+// verified against its error contract before it is served and silently
+// falls back to float64 (with a stderr note) if it misses.
 //
 // -checkpoint/-restore use the framed, CRC-checked checkpoint format of
 // internal/checkpoint, which additionally carries the learner accumulators,
@@ -68,12 +71,17 @@ func main() {
 		serveBatch = flag.Int("serve-batch", 0, "serve the positional queries concurrently, coalescing up to this many estimates per evaluation (0 = sequential)")
 		serveWait  = flag.Duration("serve-wait", 0, "coalescer batch fill deadline (0 = default 100µs; used with -serve-batch)")
 		erfMode    = flag.String("erf", "exact", "erf implementation for Gaussian kernels: exact (math.Erf) | fast (polynomial, |err| ≤ 1e-7)")
+		precFlag   = flag.String("precision", "float64", "serving precision tier: float64 (exact) | float32 (4 B/value, rel err ≤ 1e-5) | quantized (int16, 2 B/value, rel err ≤ 1e-3); reduced tiers fall back to float64 if they miss their error contract")
 	)
 	flag.Parse()
 	if m, ok := kdesel.ParseErfMode(*erfMode); ok {
 		kdesel.SetErfMode(m)
 	} else {
 		fail("bad -erf %q (want exact or fast)", *erfMode)
+	}
+	prec, ok := kdesel.ParsePrecision(*precFlag)
+	if !ok {
+		fail("bad -precision %q (want float64, float32, or quantized)", *precFlag)
 	}
 	if *dataPath == "" {
 		fail("missing -data")
@@ -189,7 +197,7 @@ func main() {
 		// server stays open through the feedback loop and checkpoint below —
 		// writer operations go through its writer lock while the estimator
 		// remains servable, exactly as in an embedded deployment.
-		srv = kdesel.NewServer(est, kdesel.ServeConfig{MaxBatch: *serveBatch, MaxWait: *serveWait, Metrics: reg})
+		srv = kdesel.NewServer(est, kdesel.ServeConfig{MaxBatch: *serveBatch, MaxWait: *serveWait, Metrics: reg, Precision: prec})
 		defer srv.Close()
 		var wg sync.WaitGroup
 		estErrs := make([]error, len(queries))
@@ -208,12 +216,31 @@ func main() {
 			}
 		}
 	} else {
+		if prec != kdesel.PrecisionFloat64 {
+			// Reduced-precision serving is a server-level contract (the tier
+			// passes its verify gate at publish time), so the sequential path
+			// routes through an uncoalesced server rather than the bare
+			// estimator.
+			srv = kdesel.NewServer(est, kdesel.ServeConfig{MaxBatch: 1, Metrics: reg, Precision: prec})
+			defer srv.Close()
+		}
 		for i, q := range queries {
-			sel, err := est.Estimate(q)
+			var sel float64
+			var err error
+			if srv != nil {
+				sel, err = srv.Estimate(q)
+			} else {
+				sel, err = est.Estimate(q)
+			}
 			if err != nil {
 				fail("estimating %q: %v", flag.Arg(i), err)
 			}
 			sels[i] = sel
+		}
+	}
+	if srv != nil && prec != kdesel.PrecisionFloat64 {
+		if act := srv.ActivePrecision(); act != prec {
+			fmt.Fprintf(os.Stderr, "kdesel: precision tier %s over its error contract; estimates served at %s\n", prec, act)
 		}
 	}
 	for i, q := range queries {

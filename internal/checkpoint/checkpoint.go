@@ -35,8 +35,10 @@ import (
 	"kdesel/internal/fault"
 )
 
-// Version is the current frame format version.
-const Version = 1
+// Version is the current frame format version. Version 2 added the meta
+// word (serving precision in the low byte); version-1 frames are still
+// read, with meta 0 (Float64).
+const Version = 2
 
 // magic identifies a kdesel checkpoint frame.
 var magic = [4]byte{'K', 'D', 'C', 'P'}
@@ -59,12 +61,27 @@ func (e *VersionError) Error() string {
 // both x86 and ARM, the standard choice for storage checksums).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// frame layout: magic(4) version(u32 LE) payloadLen(u64 LE) payload crc32c(u32 LE)
-const headerLen = 4 + 4 + 8
+// frame layouts:
+//
+//	v1: magic(4) version(u32 LE) payloadLen(u64 LE) payload crc32c(u32 LE)
+//	v2: magic(4) version(u32 LE) meta(u32 LE) payloadLen(u64 LE) payload crc32c(u32 LE)
+//
+// The meta word carries small fixed-width frame attributes outside the gob
+// payload; the low byte holds the serving precision the model was
+// checkpointed with (mathx.Precision), so restore can republish the same
+// tier. The CRC covers the payload only — meta corruption is bounded by
+// the version check and the consumer's own validation of the byte.
+const (
+	headerLenV1 = 4 + 4 + 8
+	headerLen   = 4 + 4 + 4 + 8
+)
 
-// Marshal frames a gob-encoded payload: magic, version, length, payload,
-// CRC-32C of the payload.
-func Marshal(payload any) ([]byte, error) {
+// Marshal frames a gob-encoded payload with a zero meta word.
+func Marshal(payload any) ([]byte, error) { return MarshalMeta(payload, 0) }
+
+// MarshalMeta frames a gob-encoded payload: magic, version, meta, length,
+// payload, CRC-32C of the payload.
+func MarshalMeta(payload any, meta uint32) ([]byte, error) {
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(payload); err != nil {
 		return nil, fmt.Errorf("checkpoint: encoding payload: %w", err)
@@ -72,36 +89,56 @@ func Marshal(payload any) ([]byte, error) {
 	buf := make([]byte, headerLen+body.Len()+4)
 	copy(buf[0:4], magic[:])
 	binary.LittleEndian.PutUint32(buf[4:8], Version)
-	binary.LittleEndian.PutUint64(buf[8:16], uint64(body.Len()))
+	binary.LittleEndian.PutUint32(buf[8:12], meta)
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(body.Len()))
 	copy(buf[headerLen:], body.Bytes())
 	sum := crc32.Checksum(buf[headerLen:headerLen+body.Len()], castagnoli)
 	binary.LittleEndian.PutUint32(buf[headerLen+body.Len():], sum)
 	return buf, nil
 }
 
-// Unmarshal verifies a frame and gob-decodes its payload into out. It
-// returns ErrCorrupt for bad framing or checksum mismatch and a
-// *VersionError for an unknown version.
+// Unmarshal verifies a frame and gob-decodes its payload into out,
+// discarding the meta word. It returns ErrCorrupt for bad framing or
+// checksum mismatch and a *VersionError for an unknown version.
 func Unmarshal(b []byte, out any) error {
-	if len(b) < headerLen+4 || !bytes.Equal(b[0:4], magic[:]) {
-		return ErrCorrupt
+	_, err := UnmarshalMeta(b, out)
+	return err
+}
+
+// UnmarshalMeta verifies a frame, gob-decodes its payload into out, and
+// returns the frame's meta word. Version-1 frames (which predate the meta
+// word) decode with meta 0.
+func UnmarshalMeta(b []byte, out any) (uint32, error) {
+	if len(b) < headerLenV1+4 || !bytes.Equal(b[0:4], magic[:]) {
+		return 0, ErrCorrupt
 	}
-	if v := binary.LittleEndian.Uint32(b[4:8]); v != Version {
-		return &VersionError{Got: v}
+	var meta uint32
+	var hdr int
+	switch v := binary.LittleEndian.Uint32(b[4:8]); v {
+	case 1:
+		hdr = headerLenV1
+	case Version:
+		if len(b) < headerLen+4 {
+			return 0, ErrCorrupt
+		}
+		meta = binary.LittleEndian.Uint32(b[8:12])
+		hdr = headerLen
+	default:
+		return 0, &VersionError{Got: v}
 	}
-	n := binary.LittleEndian.Uint64(b[8:16])
-	if n > uint64(len(b)-headerLen-4) {
-		return ErrCorrupt
+	n := binary.LittleEndian.Uint64(b[hdr-8 : hdr])
+	if n > uint64(len(b)-hdr-4) {
+		return 0, ErrCorrupt
 	}
-	payload := b[headerLen : headerLen+int(n)]
-	want := binary.LittleEndian.Uint32(b[headerLen+int(n) : headerLen+int(n)+4])
+	payload := b[hdr : hdr+int(n)]
+	want := binary.LittleEndian.Uint32(b[hdr+int(n) : hdr+int(n)+4])
 	if crc32.Checksum(payload, castagnoli) != want {
-		return ErrCorrupt
+		return 0, ErrCorrupt
 	}
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
-		return fmt.Errorf("checkpoint: decoding payload: %w (%v)", ErrCorrupt, err)
+		return 0, fmt.Errorf("checkpoint: decoding payload: %w (%v)", ErrCorrupt, err)
 	}
-	return nil
+	return meta, nil
 }
 
 // WriteFile atomically writes a framed payload to path: the frame is
@@ -114,7 +151,12 @@ func Unmarshal(b []byte, out any) error {
 // after the checksum was computed) — the simulated disk corruption of the
 // chaos suite. Pass nil in production.
 func WriteFile(path string, payload any, inj *fault.Injector) error {
-	buf, err := Marshal(payload)
+	return WriteFileMeta(path, payload, 0, inj)
+}
+
+// WriteFileMeta is WriteFile with an explicit frame meta word.
+func WriteFileMeta(path string, payload any, meta uint32, inj *fault.Injector) error {
+	buf, err := MarshalMeta(payload, meta)
 	if err != nil {
 		return err
 	}
@@ -156,9 +198,16 @@ func WriteFile(path string, payload any, inj *fault.Injector) error {
 // *VersionError for unknown versions; callers fall back to an older
 // checkpoint or rebuild from scratch on either.
 func ReadFile(path string, out any) error {
+	_, err := ReadFileMeta(path, out)
+	return err
+}
+
+// ReadFileMeta is ReadFile returning the frame's meta word (0 for
+// version-1 frames).
+func ReadFileMeta(path string, out any) (uint32, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return Unmarshal(b, out)
+	return UnmarshalMeta(b, out)
 }

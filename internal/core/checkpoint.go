@@ -4,6 +4,7 @@ import (
 	"kdesel/internal/checkpoint"
 	"kdesel/internal/gpu"
 	"kdesel/internal/learner"
+	"kdesel/internal/mathx"
 	"kdesel/internal/sample"
 	"kdesel/internal/table"
 )
@@ -50,7 +51,9 @@ func (e *Estimator) Checkpoint(path string) error {
 	if e.res != nil {
 		st.ReservoirSeen = e.res.Seen()
 	}
-	if err := checkpoint.WriteFile(path, &st, e.faults); err != nil {
+	// The configured serving precision rides in the frame's meta word (low
+	// byte), so restore rebuilds — and re-verifies — the same tier.
+	if err := checkpoint.WriteFileMeta(path, &st, uint32(e.precWant), e.faults); err != nil {
 		return err
 	}
 	e.met.checkpoints.Inc()
@@ -66,7 +69,8 @@ func (e *Estimator) Checkpoint(path string) error {
 // Instrument afterwards to attach telemetry (registries are not persisted).
 func RestoreCheckpoint(path string, tab *table.Table, dev *gpu.Device) (*Estimator, error) {
 	var st chkState
-	if err := checkpoint.ReadFile(path, &st); err != nil {
+	meta, err := checkpoint.ReadFileMeta(path, &st)
+	if err != nil {
 		return nil, err
 	}
 	e, err := restoreFromSnapshot(st.Snap, tab, dev)
@@ -94,5 +98,12 @@ func RestoreCheckpoint(path string, tab *table.Table, dev *gpu.Device) (*Estimat
 	e.health = Health(st.Health)
 	e.lastEvent = st.LastEvent
 	e.gradTrips = st.GradTrips
+	// Reapply the checkpointed serving precision (v1 frames carry meta 0 =
+	// Float64). The tier is rebuilt from the restored sample and passes
+	// the verify gate again before serving; an unknown byte from a future
+	// format degrades to Float64 rather than failing the restore.
+	if p := mathx.Precision(meta & 0xff); p <= mathx.Quantized {
+		e.configurePrecision(p)
+	}
 	return e, nil
 }

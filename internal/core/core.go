@@ -32,6 +32,7 @@ import (
 	"kdesel/internal/kernel"
 	"kdesel/internal/learner"
 	"kdesel/internal/loss"
+	"kdesel/internal/mathx"
 	"kdesel/internal/metrics"
 	"kdesel/internal/query"
 	"kdesel/internal/sample"
@@ -203,6 +204,15 @@ type Estimator struct {
 	// immutable read view, snapOn gates publishing (enabled by core.Server).
 	snap   atomic.Pointer[modelSnapshot]
 	snapOn atomic.Bool
+
+	// Serving-precision state (precision.go): precWant is the configured
+	// tier; precVerified/precGen track the last verify-gate pass and the
+	// sample generation it ran at; precDisabled parks a request the gate
+	// refused until invalidatePrecision.
+	precWant     mathx.Precision
+	precVerified bool
+	precDisabled bool
+	precGen      uint64
 }
 
 // Build constructs an estimator over tab — the ANALYZE step. For Batch
@@ -397,6 +407,7 @@ type coreMetrics struct {
 	// coalesced batch call, and read-snapshot publications (snapshot.go).
 	deviceBatchQueries *metrics.Counter
 	snapshotSwaps      *metrics.Counter
+	precisionFallbacks *metrics.Counter
 }
 
 // Instrument attaches a metrics registry to the estimator and all layers
@@ -432,6 +443,7 @@ func (e *Estimator) Instrument(reg *metrics.Registry) {
 
 		deviceBatchQueries: reg.Counter("core.device_batch_queries"),
 		snapshotSwaps:      reg.Counter("core.snapshot_swaps"),
+		precisionFallbacks: reg.Counter("core.precision_fallbacks"),
 	}
 	if e.learn != nil {
 		e.learn.Instrument(reg)
@@ -884,6 +896,9 @@ func (e *Estimator) replacePoint(i int, row []float64) error {
 // Reoptimize re-runs the batch bandwidth optimization over fresh feedback,
 // usable from any mode (e.g. periodic re-tuning of a Batch estimator).
 func (e *Estimator) Reoptimize(fbs []query.Feedback) error {
+	// The tier's error profile depends on the bandwidth: force the next
+	// publish to re-verify (and retry a previously refused tier).
+	e.invalidatePrecision()
 	defer e.publishSnapshot()
 	flat, err := e.sampleHost()
 	if err != nil {

@@ -260,6 +260,7 @@ func (e *Estimator) enterSerialFallback(reason string) {
 // quarantined (dropped), since it accumulated gradients under the abandoned
 // bandwidth.
 func (e *Estimator) resetToScott(reason string) error {
+	e.invalidatePrecision() // the new bandwidth changes the tier error profile
 	flat, err := e.sampleHostLocal()
 	if err != nil {
 		return err

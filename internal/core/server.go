@@ -102,6 +102,16 @@ type ServeConfig struct {
 	// irrelevant for device-placed models (which always serialize, see
 	// snapshot.go).
 	SerializeEstimates bool
+	// Precision selects the numeric tier estimates are served from
+	// (default mathx.Float64, the exact pre-tier path). Float32 and
+	// Quantized build a compressed columnar mirror of the sample that is
+	// verified against an error contract before it is ever served
+	// (precision.go): a tier over contract falls back to float64 and
+	// increments core.precision_fallbacks. The precision is pinned into
+	// each published snapshot — it changes only at snapshot swaps, never
+	// mid-estimate. Feedback, gradients, and bandwidth learning always run
+	// float64 regardless of this setting.
+	Precision mathx.Precision
 }
 
 // Server wraps an Estimator for concurrent use with a single-writer /
@@ -132,6 +142,11 @@ type Server struct {
 // through the returned Server or races ensue.
 func NewServer(est *Estimator, cfg ServeConfig) *Server {
 	s := &Server{est: est, serialize: cfg.SerializeEstimates}
+	// Configure the serving tier before the first publish. For serialize
+	// mode this is also the only application point: no snapshots are ever
+	// published, so the tier must be built (and verified) here for the
+	// locked estimate path to serve it.
+	est.configurePrecision(cfg.Precision)
 	if !s.serialize {
 		est.enableSnapshots()
 	}
@@ -222,6 +237,34 @@ func (s *Server) SetErfMode(m mathx.Mode) {
 	defer s.mu.Unlock()
 	mathx.SetMode(m)
 	s.est.publishSnapshot()
+}
+
+// SetPrecision reconfigures the serving precision and republishes the
+// snapshot so lock-free readers pick up the new tier; in-flight estimates
+// finish on the tier pinned into the snapshot they started with. The tier
+// passes the verify gate before publication (see ServeConfig.Precision);
+// on refusal the server keeps serving float64.
+func (s *Server) SetPrecision(p mathx.Precision) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.est.configurePrecision(p)
+	s.est.publishSnapshot()
+}
+
+// ConfiguredPrecision returns the requested serving precision.
+func (s *Server) ConfiguredPrecision() mathx.Precision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.ConfiguredPrecision()
+}
+
+// ActivePrecision returns the tier estimates are actually served from —
+// Float64 when the verify gate refused the configured tier or the model is
+// device-placed.
+func (s *Server) ActivePrecision() mathx.Precision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.ActivePrecision()
 }
 
 // Health returns the estimator's degradation state.

@@ -54,6 +54,10 @@ func (e *Estimator) publishSnapshot() {
 	if !e.snapOn.Load() || e.host == nil {
 		return
 	}
+	// Reconcile the served tier with the configured precision first: the
+	// view freezes whatever tier the host model carries, and the verify
+	// gate must run before a compressed tier can reach readers.
+	e.ensurePrecision()
 	var prevView *kde.View
 	if prev := e.snap.Load(); prev != nil {
 		prevView = prev.view

@@ -11,6 +11,7 @@ import (
 
 	"kdesel/internal/core"
 	"kdesel/internal/datagen"
+	"kdesel/internal/mathx"
 	"kdesel/internal/metrics"
 	"kdesel/internal/query"
 	"kdesel/internal/table"
@@ -48,6 +49,9 @@ type ThroughputConfig struct {
 	// ProfileLabel tags the coalescer's scheduler goroutine in CPU profiles
 	// (kdebench -profile-serve).
 	ProfileLabel bool
+	// Precision selects the serving tier (core.ServeConfig.Precision); the
+	// result records the tier actually served after the verify gate.
+	Precision mathx.Precision
 }
 
 func (c ThroughputConfig) withDefaults() ThroughputConfig {
@@ -85,6 +89,9 @@ type ThroughputResult struct {
 	Config  ThroughputConfig
 	Points  []ThroughputPoint
 	Metrics *metrics.Snapshot
+	// ActivePrecision is the tier estimates were actually served from —
+	// Config.Precision unless the publish-time verify gate refused it.
+	ActivePrecision mathx.Precision
 }
 
 // Throughput runs the closed-loop concurrency sweep. Every sweep point
@@ -137,7 +144,9 @@ func Throughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 			MaxWait:      cfg.MaxWait,
 			Metrics:      reg,
 			ProfileLabel: cfg.ProfileLabel,
+			Precision:    cfg.Precision,
 		})
+		res.ActivePrecision = srv.ActivePrecision()
 
 		var wg sync.WaitGroup
 		var firstErr error

@@ -158,11 +158,14 @@ func (b *Buffer) slice() []float64 { return b.data }
 
 const bytesPerValue = 8
 
-func (d *Device) chargeTransfer(values int) {
+func (d *Device) chargeTransferBytes(bytes int) {
 	d.stats.Transfers++
 	d.stats.Clock += d.profile.TransferLatency
-	bytes := float64(values * bytesPerValue)
-	d.stats.Clock += time.Duration(bytes / d.profile.TransferBandwidth * float64(time.Second))
+	d.stats.Clock += time.Duration(float64(bytes) / d.profile.TransferBandwidth * float64(time.Second))
+}
+
+func (d *Device) chargeTransfer(values int) {
+	d.chargeTransferBytes(values * bytesPerValue)
 }
 
 // CopyToDevice transfers src into dst starting at value offset off,
@@ -180,6 +183,29 @@ func (d *Device) CopyToDevice(dst *Buffer, off int, src []float64) error {
 	copy(dst.data[off:], src)
 	d.chargeTransfer(len(src))
 	d.stats.BytesToDevice += int64(len(src) * bytesPerValue)
+	return nil
+}
+
+// CopyToDevice32 transfers src into dst starting at value offset off as
+// float32 lanes: every value is rounded through float32 before landing in
+// the buffer, and the transfer is charged at 4 bytes per value — half the
+// PCIe traffic of CopyToDevice. It models the narrowed bounds-tile
+// transfers of the compressed serving tiers (engine.SetPrecision).
+func (d *Device) CopyToDevice32(dst *Buffer, off int, src []float64) error {
+	if dst.dev != d {
+		return fmt.Errorf("gpu: buffer belongs to device %q", dst.dev.profile.Name)
+	}
+	if off < 0 || off+len(src) > len(dst.data) {
+		return fmt.Errorf("gpu: transfer [%d,%d) exceeds buffer of %d", off, off+len(src), len(dst.data))
+	}
+	if err := d.inj.Err(fault.DeviceTransfer, "copy-to-device32"); err != nil {
+		return err
+	}
+	for i, v := range src {
+		dst.data[off+i] = float64(float32(v))
+	}
+	d.chargeTransferBytes(len(src) * bytesPerValue / 2)
+	d.stats.BytesToDevice += int64(len(src) * bytesPerValue / 2)
 	return nil
 }
 

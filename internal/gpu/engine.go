@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"kdesel/internal/kernel"
+	"kdesel/internal/mathx"
 	"kdesel/internal/query"
 	"kdesel/internal/sample"
 )
@@ -39,6 +40,11 @@ type Engine struct {
 	batchBoundsBuf  *Buffer
 	batchContribBuf *Buffer
 	batchColBuf     *Buffer
+
+	// prec narrows the serving-path bounds-tile transfers: with a reduced
+	// precision configured, EstimateBatch ships its bounds through
+	// CopyToDevice32 at half the bytes. See SetPrecision.
+	prec mathx.Precision
 }
 
 // NewEngine creates an engine for a d-dimensional sample, transferring the
@@ -78,6 +84,20 @@ func NewEngine(dev *Device, d int, kern kernel.Kernel, sampleFlat []float64) (*E
 
 // Device returns the engine's device.
 func (e *Engine) Device() *Device { return e.dev }
+
+// SetPrecision configures the serving precision of the batch estimate
+// path: with Float32 or Quantized, EstimateBatch bounds tiles transfer as
+// float32 lanes (4 bytes per value, rounding the bounds through float32).
+// Both reduced tiers ship float32 bounds — query bounds are continuous
+// values, so snapping them to the quantized sample grid would be wrong.
+// The single-query Estimate/Gradient path is unaffected: it feeds the
+// feedback and karma maintenance loop, which stays float64 end to end,
+// mirroring the host tiers (reduced precision is a serving optimization,
+// never a training one).
+func (e *Engine) SetPrecision(p mathx.Precision) { e.prec = p }
+
+// Precision returns the configured serving precision.
+func (e *Engine) Precision() mathx.Precision { return e.prec }
 
 // Size returns the sample size s.
 func (e *Engine) Size() int { return e.s }
@@ -241,7 +261,12 @@ func (e *Engine) EstimateBatch(qs []query.Range, ests []float64) error {
 		copy(tile[o:o+e.d], q.Lo)
 		copy(tile[o+e.d:o+2*e.d], q.Hi)
 	}
-	if err := e.dev.CopyToDevice(e.batchBoundsBuf, 0, tile); err != nil {
+	if e.prec != mathx.Float64 {
+		// Compressed serving tier: bounds cross the bus as float32 lanes.
+		if err := e.dev.CopyToDevice32(e.batchBoundsBuf, 0, tile); err != nil {
+			return err
+		}
+	} else if err := e.dev.CopyToDevice(e.batchBoundsBuf, 0, tile); err != nil {
 		return err
 	}
 	smp := e.sampleBuf.slice()

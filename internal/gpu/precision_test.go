@@ -1,0 +1,107 @@
+package gpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdesel/internal/mathx"
+	"kdesel/internal/query"
+)
+
+// TestEngineBatchPrecisionHalvesBoundsTraffic: with a reduced serving
+// precision configured, EstimateBatch ships its query-bounds tiles at
+// float32 width — exactly half the host→device bytes of the float64 path —
+// while estimates stay within float32 rounding of the exact ones. The
+// single-query path is deliberately unaffected (it feeds feedback and
+// bandwidth learning, which stay float64).
+func TestEngineBatchPrecisionHalvesBoundsTraffic(t *testing.T) {
+	const d, s = 4, 512
+	eng64, _ := buildEngine(t, d, s, 29)
+	eng32, _ := buildEngine(t, d, s, 29)
+	h := []float64{0.5, 0.7, 0.9, 1.1}
+	if err := eng64.SetBandwidth(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng32.SetBandwidth(h); err != nil {
+		t.Fatal(err)
+	}
+	eng32.SetPrecision(mathx.Float32)
+	if got := eng32.Precision(); got != mathx.Float32 {
+		t.Fatalf("Precision = %v, want Float32", got)
+	}
+
+	rng := rand.New(rand.NewSource(31))
+	qs := make([]query.Range, 40)
+	for i := range qs {
+		qs[i] = randQuery(rng, d)
+	}
+	ests64 := make([]float64, len(qs))
+	ests32 := make([]float64, len(qs))
+	base64 := eng64.Device().Stats()
+	if err := eng64.EstimateBatch(qs, ests64); err != nil {
+		t.Fatal(err)
+	}
+	base32 := eng32.Device().Stats()
+	if err := eng32.EstimateBatch(qs, ests32); err != nil {
+		t.Fatal(err)
+	}
+	to64 := eng64.Device().Stats().BytesToDevice - base64.BytesToDevice
+	to32 := eng32.Device().Stats().BytesToDevice - base32.BytesToDevice
+	if to64 <= 0 || to32 != to64/2 {
+		t.Errorf("host→device bytes: float32 batch moved %d, want exactly half of float64's %d", to32, to64)
+	}
+	for i := range qs {
+		if math.Abs(ests32[i]-ests64[i]) > 1e-5 {
+			t.Errorf("query %d: float32-bounds estimate %v vs float64 %v", i, ests32[i], ests64[i])
+		}
+	}
+
+	// Single-query estimates stay on the float64 transfer path: identical
+	// results and identical per-call traffic on both engines.
+	q := randQuery(rng, d)
+	pre64 := eng64.Device().Stats()
+	pre32 := eng32.Device().Stats()
+	e64, err := eng64.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e32, err := eng32.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(e64) != math.Float64bits(e32) {
+		t.Errorf("single-query estimate diverged under reduced precision: %v vs %v", e32, e64)
+	}
+	d64 := eng64.Device().Stats().BytesToDevice - pre64.BytesToDevice
+	d32 := eng32.Device().Stats().BytesToDevice - pre32.BytesToDevice
+	if d64 != d32 {
+		t.Errorf("single-query host→device bytes: %d under Float32 vs %d under Float64, want equal", d32, d64)
+	}
+}
+
+// TestCopyToDevice32 pins the narrow-transfer primitive: values round
+// through float32, accounting charges 4 bytes per value, and bounds are
+// checked like the wide path.
+func TestCopyToDevice32(t *testing.T) {
+	dev := newTestDevice(t)
+	buf := dev.Alloc(8)
+	src := []float64{1.0 / 3.0, -2.5, 1e-300, math.Pi}
+	base := dev.Stats()
+	if err := dev.CopyToDevice32(buf, 2, src); err != nil {
+		t.Fatal(err)
+	}
+	moved := dev.Stats().BytesToDevice - base.BytesToDevice
+	if want := int64(len(src) * 4); moved != want {
+		t.Errorf("CopyToDevice32 charged %d bytes, want %d", moved, want)
+	}
+	got := buf.slice()[2 : 2+len(src)]
+	for i, v := range src {
+		if want := float64(float32(v)); got[i] != want {
+			t.Errorf("value %d: stored %v, want float32-rounded %v", i, got[i], want)
+		}
+	}
+	if err := dev.CopyToDevice32(buf, 6, src); err == nil {
+		t.Error("out-of-bounds CopyToDevice32 should error")
+	}
+}

@@ -41,11 +41,14 @@ const (
 
 // fusedScratch recycles the fused paths' working buffers. qc holds hoisted
 // per-(query,dimension) constants; acc holds product-accumulator tiles.
-// A dedicated pool (rather than the chunk-partial BufferPool) keeps the two
-// recurring sizes from evicting each other.
+// qc32/acc32 are their float32 counterparts for the compressed tiers
+// (fused32.go). A dedicated pool (rather than the chunk-partial BufferPool)
+// keeps the recurring sizes from evicting each other.
 type fusedScratch struct {
-	qc  []float64
-	acc []float64
+	qc    []float64
+	acc   []float64
+	qc32  []float32
+	acc32 []float32
 }
 
 func (s *fusedScratch) qcBuf(n int) []float64 {

@@ -56,6 +56,20 @@ type Estimator struct {
 	cols         []float64
 	forceGeneric bool
 
+	// Compressed columnar read tiers (fused32.go). prec selects the tier the
+	// serving entry points (Selectivity, SelectivityBatch) read through;
+	// cols32 is the float32 mirror of cols, and q16/qScale/qOff are the int16
+	// fixed-point tier with per-dimension dequantization constants. The tiers
+	// are rebuilt by SetSampleFlat and patched in place by ReplacePoint, so
+	// like cols they are always in sync with data. Gradient, contribution,
+	// and density paths always read the float64 buffers regardless of prec:
+	// reduced precision is a serving optimization, never a training one.
+	prec   mathx.Precision
+	cols32 []float32
+	q16    []int16
+	qScale []float32
+	qOff   []float32
+
 	// gen counts sample-content generations: SetSampleFlat and ReplacePoint
 	// bump it, so Snapshot can tell a bandwidth-only change (share the frozen
 	// sample buffers) from a sample mutation (deep-copy them).
@@ -204,6 +218,7 @@ func (e *Estimator) SetSampleFlat(data []float64) error {
 	}
 	e.data = data
 	e.rebuildColumns()
+	e.rebuildTiers()
 	e.gen++
 	return nil
 }
@@ -230,6 +245,7 @@ func (e *Estimator) ReplacePoint(i int, p []float64) error {
 	for j, v := range p {
 		e.cols[j*s+i] = v
 	}
+	e.replaceTierPoint(i, p)
 	e.gen++
 	return nil
 }
@@ -343,6 +359,9 @@ func (e *Estimator) Selectivity(q query.Range) (float64, error) {
 		return 0, err
 	}
 	if e.fusedOK() {
+		if p := e.servePrecision(); p != mathx.Float64 {
+			return e.fusedSelectivity32(q, p == mathx.Quantized), nil
+		}
 		return e.fusedSelectivity(q, nil), nil
 	}
 	s := e.Size()
@@ -552,6 +571,10 @@ func (e *Estimator) SelectivityBatch(qs []query.Range, ests []float64) error {
 		return nil
 	}
 	if e.fusedOK() {
+		if p := e.servePrecision(); p != mathx.Float64 {
+			e.fusedSelectivityBatch32(qs, ests, p == mathx.Quantized)
+			return nil
+		}
 		e.fusedSelectivityBatch(qs, ests)
 		return nil
 	}
@@ -794,7 +817,7 @@ func (e *Estimator) Density(x []float64) (float64, error) {
 // Clone returns a deep copy of the estimator (sample and bandwidth buffers
 // are copied; the worker pool, which is stateless, is shared).
 func (e *Estimator) Clone() *Estimator {
-	out := &Estimator{d: e.d, kern: e.kern, pool: e.pool, forceGeneric: e.forceGeneric}
+	out := &Estimator{d: e.d, kern: e.kern, pool: e.pool, forceGeneric: e.forceGeneric, prec: e.prec}
 	if e.kerns != nil {
 		out.kerns = make([]kernel.Kernel, len(e.kerns))
 		copy(out.kerns, e.kerns)
@@ -803,6 +826,7 @@ func (e *Estimator) Clone() *Estimator {
 	copy(out.data, e.data)
 	if len(out.data) > 0 {
 		out.rebuildColumns()
+		out.rebuildTiers()
 	}
 	if e.h != nil {
 		out.h = make([]float64, len(e.h))

@@ -2,6 +2,7 @@ package kde
 
 import (
 	"kdesel/internal/kernel"
+	"kdesel/internal/mathx"
 	"kdesel/internal/query"
 )
 
@@ -15,9 +16,10 @@ import (
 // written after construction (Snapshot copies them out of the writer, or
 // reuses a previous view's frozen buffers); the scratch pools start as fresh
 // zero values (sync.Pool and parallel.BufferPool are safe for concurrent
-// use); and the erf mode is pinned at snapshot time, so every estimate
-// served from one view uses one consistent erf implementation even if the
-// process-global mathx switch flips mid-flight.
+// use); and the erf mode and serving precision are pinned at snapshot time,
+// so every estimate served from one view uses one consistent erf
+// implementation and one numeric tier even if the process-global mathx
+// switch flips or the writer reconfigures precision mid-flight.
 type View struct {
 	est *Estimator
 }
@@ -43,6 +45,7 @@ func (e *Estimator) Snapshot(prev *View) *View {
 		gen:          e.gen,
 		erfPinned:    true,
 		erfFast:      e.fastErf(),
+		prec:         e.prec,
 		pool:         e.pool,
 	}
 	if e.kerns != nil {
@@ -52,17 +55,35 @@ func (e *Estimator) Snapshot(prev *View) *View {
 	v.h = make([]float64, len(e.h))
 	copy(v.h, e.h)
 	if prev != nil && prev.est.gen == e.gen && prev.est.d == e.d &&
-		len(prev.est.data) == len(e.data) {
+		len(prev.est.data) == len(e.data) && prev.est.prec == e.prec {
 		// Sample content unchanged since the previous view: its buffers are
 		// frozen (no writer ever touches a published view), so they can be
-		// shared instead of copied.
+		// shared instead of copied. The compressed tiers are derived from the
+		// same content at the same precision, so they are shared on the same
+		// condition.
 		v.data = prev.est.data
 		v.cols = prev.est.cols
+		v.cols32 = prev.est.cols32
+		v.q16 = prev.est.q16
+		v.qScale = prev.est.qScale
+		v.qOff = prev.est.qOff
 	} else {
 		v.data = make([]float64, len(e.data))
 		copy(v.data, e.data)
 		v.cols = make([]float64, len(e.cols))
 		copy(v.cols, e.cols)
+		if len(e.cols32) > 0 {
+			v.cols32 = make([]float32, len(e.cols32))
+			copy(v.cols32, e.cols32)
+		}
+		if len(e.q16) > 0 {
+			v.q16 = make([]int16, len(e.q16))
+			copy(v.q16, e.q16)
+			v.qScale = make([]float32, len(e.qScale))
+			copy(v.qScale, e.qScale)
+			v.qOff = make([]float32, len(e.qOff))
+			copy(v.qOff, e.qOff)
+		}
 	}
 	return &View{est: v}
 }
@@ -100,3 +121,8 @@ func (v *View) Gen() uint64 { return v.est.gen }
 
 // FastErf reports the erf mode pinned into the view at snapshot time.
 func (v *View) FastErf() bool { return v.est.erfFast }
+
+// Precision reports the serving precision pinned into the view at snapshot
+// time: the tier every estimate served from this view reads through.
+// Precision changes only by publishing a new snapshot, never mid-flight.
+func (v *View) Precision() mathx.Precision { return v.est.prec }

@@ -1,6 +1,7 @@
 //go:build ignore
 
-// Coefficient generator for FastErf (mathx.go). Run with:
+// Coefficient generator for FastErf (mathx.go) and FastErf32 (fast32.go).
+// Run with:
 //
 //	go run gen_coeffs.go
 //
@@ -11,6 +12,14 @@
 // smallest that reaches the error floor set by the |x| ≥ 4 saturation
 // (erfc(4) ≈ 1.54e-8); higher degrees buy nothing, so that set is what
 // mathx.go embeds.
+//
+// For FastErf32 it additionally fits segmented centered cubics on [0, 4),
+// rounds the coefficients to float32, sweeps the table evaluated in float32
+// arithmetic, and prints the table for the chosen segment count. The sweep
+// over 16/32/64 segments shows 32 is the smallest power of two meeting the
+// 1e-6 float32 contract with margin (measured ≈4.3e-7; 16 segments miss the
+// bar, 64 only shave the already-subdominant fit term), so 32 is what
+// fast32.go embeds.
 package main
 
 import (
@@ -160,6 +169,62 @@ func main() {
 				for _, v := range p {
 					fmt.Printf("\t%.17g,\n", v)
 				}
+			}
+		}
+	}
+	genErf32()
+}
+
+// genErf32 fits the FastErf32 segment table: per width-(tail/segs) segment
+// a degree-3 Chebyshev interpolant of erf expressed in the centered
+// variable u = x − mid (so the float32 coefficients stay O(1) and the
+// subtraction is exact — the segment width is a power of two). The table is
+// rounded to float32 and the composite is swept in float32 arithmetic,
+// which is what bounds the error fast32_test.go enforces.
+func genErf32() {
+	const tail = 4.0
+	for _, segs := range []int{16, 32, 64} {
+		c32 := make([]float32, segs*4)
+		for k := 0; k < segs; k++ {
+			a := tail * float64(k) / float64(segs)
+			b := tail * float64(k+1) / float64(segs)
+			// t = 2/(b−a)·(x − mid): compose onto u = x − mid with zero shift.
+			p := compose(cheb2poly(chebFit(math.Erf, a, b, 4)), 2/(b-a), 0)
+			for j := 0; j < 4; j++ {
+				c32[k*4+j] = float32(p[j])
+			}
+		}
+		scale := float32(segs) / tail
+		eval := func(x float32) float32 {
+			ax, sign := x, float32(1)
+			if x < 0 {
+				ax, sign = -x, -1
+			}
+			if ax >= tail {
+				return sign
+			}
+			k := int(ax * scale)
+			u := ax - (float32(k)+0.5)*(1/scale)
+			c := c32[k*4 : k*4+4]
+			return sign * (((c[3]*u+c[2])*u+c[1])*u + c[0])
+		}
+		maxErr, argmax := 0.0, 0.0
+		const N = 4_000_000
+		for i := 0; i <= N; i++ {
+			x := -5 + 10*float64(i)/N
+			if e := math.Abs(float64(eval(float32(x))) - math.Erf(x)); e > maxErr {
+				maxErr, argmax = e, x
+			}
+		}
+		fmt.Printf("erf32 segs %d: max abs err (float32 eval) %.3g at x=%.6f\n", segs, maxErr, argmax)
+		if segs == 32 {
+			fmt.Println("erf32C:")
+			for k := 0; k < segs; k++ {
+				fmt.Printf("\t")
+				for j := 0; j < 4; j++ {
+					fmt.Printf("%v, ", c32[k*4+j])
+				}
+				fmt.Printf("// [%.3f, %.3f)\n", tail*float64(k)/float64(segs), tail*float64(k+1)/float64(segs))
 			}
 		}
 	}
