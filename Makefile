@@ -5,11 +5,12 @@ GO ?= go
 
 # Which PR's benchmark suite `make bench` regenerates (bench-PR2, bench-PR4,
 # ...); e.g. `BENCH=PR2 make bench` rebuilds BENCH_PR2.json.
-BENCH ?= PR6
+BENCH ?= PR7
 
 .PHONY: verify fmtcheck build test race race-resilience mathx-accuracy \
 	precision-accuracy chaos vet \
-	bench bench-PR2 bench-PR4 bench-PR5 bench-PR6 bench-parallel bench-throughput
+	bench bench-PR2 bench-PR4 bench-PR5 bench-PR6 bench-PR7 \
+	bench-parallel bench-throughput
 
 verify: fmtcheck vet build race-resilience mathx-accuracy precision-accuracy race
 
@@ -31,12 +32,14 @@ race:
 	$(GO) test -race ./...
 
 # Race-check the resilience and serving layers first: the fault injector,
-# the degradation machinery, the request coalescer, and the process-global
-# erf switch are the most concurrency-sensitive code in the tree. (Go's test
-# cache makes the overlap with `race` free when nothing changed.)
+# the degradation machinery, the request coalescer, the multi-model registry
+# lifecycle, and the process-global erf switch are the most
+# concurrency-sensitive code in the tree. (Go's test cache makes the overlap
+# with `race` free when nothing changed.)
 race-resilience:
 	$(GO) test -race ./internal/fault/... ./internal/core/... ./internal/serve/... \
-		./internal/mathx/... ./internal/kde/... ./internal/checkpoint/...
+		./internal/mathx/... ./internal/kde/... ./internal/checkpoint/... \
+		./internal/registry/...
 
 # The fast-erf accuracy contract (|error| ≤ 1e-7 over the 2M-point sweep)
 # must actually run — a skipped sweep fails verify, not just a failing one.
@@ -156,3 +159,22 @@ bench-PR6:
 		-cmd "$(BENCH_CMD6)" -cmd "$(BENCH_CMD6B)" \
 		-out BENCH_PR6.json bench6.out
 	rm -f bench6.out
+
+# PR7: the multi-model registry. BenchmarkRegistryMixedTraffic serves eight
+# single-table models plus one join model from one registry under skewed
+# closed-loop traffic with a mid-run ANALYZE and eviction; the isolation
+# criterion is other-p99-ratio <= 2 (worst during-ANALYZE / load-matched
+# quiescent p99 over models that were not the lifecycle targets).
+# BenchmarkAnalyzeUnderLoad re-baselines single-model ANALYZE isolation.
+BENCH_CMD7 = $(GO) test -run TestNothing -bench BenchmarkRegistryMixedTraffic -benchtime 3x .
+BENCH_CMD7B = $(GO) test -run TestNothing -bench BenchmarkAnalyzeUnderLoad -benchtime 1x .
+
+bench-PR7:
+	$(BENCH_CMD7) > bench7.out
+	$(BENCH_CMD7B) >> bench7.out
+	$(GO) run ./cmd/benchjson -pr 7 \
+		-title "Multi-model registry for one-process serving" \
+		-note "BenchmarkRegistryMixedTraffic admits eight single-table models plus one join model into one registry.Registry sharing a worker pool, device, and metrics registry, then drives skewed closed-loop traffic while an ANALYZE fires on the second-hottest model and an eviction (checkpoint-to-disk, transparent restore on the next routed estimate) on the third-hottest. other-p99-ratio is the worst during-ANALYZE / quiescent p99 over non-target models, with the quiescent phase load-matched by a CPU burner so the comparison isolates lock coupling from time-slicing; the acceptance criterion is <= 2. evictions/restores confirm the lifecycle actually exercised. BenchmarkAnalyzeUnderLoad re-baselines the single-model snapshot-isolation speedup the registry builds on." \
+		-cmd "$(BENCH_CMD7)" -cmd "$(BENCH_CMD7B)" \
+		-out BENCH_PR7.json bench7.out
+	rm -f bench7.out

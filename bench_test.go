@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"kdesel/internal/core"
 	"kdesel/internal/datagen"
@@ -409,6 +410,44 @@ func BenchmarkAnalyzeUnderLoad(b *testing.B) {
 		b.ReportMetric(res.Snapshot.P99.Seconds()*1e3, "snapshot-p99-ms")
 		b.ReportMetric(res.Speedup, "p99-speedup")
 	}
+}
+
+// BenchmarkRegistryMixedTraffic drives the multi-model registry the way one
+// process serves a whole schema: eight single-table models plus one join
+// model behind one registry, skewed closed-loop traffic, and a mid-run
+// ANALYZE plus eviction on two of the models. "other-p99-ratio" is the
+// isolation figure — the worst during-ANALYZE / quiescent p99 over models
+// that were not the lifecycle targets (≤ 2 expected); "qps" aggregates all
+// models' served estimates over the measured window.
+func BenchmarkRegistryMixedTraffic(b *testing.B) {
+	totalServed := 0
+	var last *experiments.RegistryLoadResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RegistryLoad(experiments.RegistryLoadConfig{
+			Models:     8,
+			JoinModel:  true,
+			Rows:       1500,
+			SampleSize: 192,
+			Clients:    6,
+			Duration:   400 * time.Millisecond,
+			Feedback:   96,
+			MaxBatch:   4,
+			Seed:       int64(61 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range res.Stats {
+			totalServed += st.Served
+		}
+		last = res
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(totalServed)/sec, "qps")
+	}
+	b.ReportMetric(last.MaxOtherRatio, "other-p99-ratio")
+	b.ReportMetric(float64(last.Evictions), "evictions")
+	b.ReportMetric(float64(last.Restores), "restores")
 }
 
 // BenchmarkKDEGradient measures one estimate-plus-gradient pass (eq. 17),

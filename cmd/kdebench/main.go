@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig4, fig5, table1, fig6, fig7, fig8, shift, serve, analyze, ablations, all")
+		exp   = flag.String("exp", "all", "experiment: fig4, fig5, table1, fig6, fig7, fig8, shift, serve, analyze, registry, ablations, all")
 		seed  = flag.Int64("seed", 42, "random seed")
 		quick = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
 		rows  = flag.Int("rows", 0, "override dataset rows (0 = experiment default)")
@@ -47,6 +47,7 @@ func main() {
 		serveBatch = flag.Int("serve-batch", 0, "serve experiment: max queries coalesced per evaluation (0 = default 64; 1 disables coalescing)")
 		serveWait  = flag.Duration("serve-wait", 0, "serve experiment: batch fill deadline (0 = default 100µs; negative = no wait)")
 		profServe  = flag.Bool("profile-serve", false, "label the serve scheduler goroutine in CPU profiles (pprof label kdesel_serve=batcher; combine with -cpuprofile)")
+		regModels  = flag.Int("registry-models", 0, "registry experiment: single-table model count (0 = default 8)")
 		erfMode    = flag.String("erf", "exact", "erf implementation for Gaussian kernels: exact (math.Erf) | fast (polynomial, |err| ≤ 1e-7)")
 		precFlag   = flag.String("precision", "float64", "serve experiment: serving precision tier, float64 | float32 | quantized (reduced tiers fall back to float64 if over their error contract)")
 	)
@@ -309,6 +310,28 @@ func main() {
 		res.WriteTable(os.Stdout)
 		return nil
 	}
+	runRegistry := func() error {
+		cfg := experiments.RegistryLoadConfig{
+			Seed:      *seed,
+			Models:    *regModels,
+			JoinModel: true,
+			MaxBatch:  *serveBatch,
+			MaxWait:   *serveWait,
+			Metrics:   reg,
+		}
+		if *quick {
+			cfg.Rows = 1500
+			cfg.SampleSize = 192
+			cfg.Duration = 400 * time.Millisecond
+			cfg.Feedback = 96
+		}
+		res, err := experiments.RegistryLoad(cfg)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	}
 	runAblations := func() error {
 		cfg := experiments.AblationConfig{Seed: *seed, Metrics: reg, Checkpoints: ckpts}
 		if *quick {
@@ -357,6 +380,8 @@ func main() {
 		run("serving throughput (coalescing)", runServe)
 	case "analyze":
 		run("ANALYZE under load (snapshot isolation)", runAnalyze)
+	case "registry":
+		run("multi-model registry (mixed traffic)", runRegistry)
 	case "ablations":
 		run("ablations", runAblations)
 	case "all":
@@ -369,6 +394,7 @@ func main() {
 		run("workload shift (extension)", runShift)
 		run("serving throughput (coalescing)", runServe)
 		run("ANALYZE under load (snapshot isolation)", runAnalyze)
+		run("multi-model registry (mixed traffic)", runRegistry)
 		run("ablations", runAblations)
 	default:
 		fmt.Fprintf(os.Stderr, "kdebench: unknown experiment %q\n", *exp)

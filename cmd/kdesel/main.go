@@ -27,6 +27,19 @@
 // verified against its error contract before it is served and silently
 // falls back to float64 (with a stderr note) if it misses.
 //
+// -models "0,1;1,2" switches to multi-model mode: each semicolon-separated
+// ordered column subset becomes one model over the projection of the CSV
+// table, admitted into a process-level registry (kdesel.Registry) that
+// shares one metrics registry and worker pool across the models. Queries
+// gain a routing prefix — "0,1@lo1,lo2:hi1,hi2" routes the range to the
+// model over columns (0,1). -analyze "0,1" (or "all") re-optimizes the
+// named model(s) ANALYZE-style from -train self-generated feedbacks before
+// queries are served; -max-resident bounds resident models (LRU eviction to
+// -checkpoint-dir with transparent restore on the next routed estimate);
+// -truth feedback flows through the registry to the routed model. The
+// single-model persistence flags (-save/-load/-restore/-checkpoint) do not
+// apply in this mode.
+//
 // -checkpoint/-restore use the framed, CRC-checked checkpoint format of
 // internal/checkpoint, which additionally carries the learner accumulators,
 // reservoir position, and random stream so a restored estimator continues
@@ -41,9 +54,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"kdesel"
 	"kdesel/internal/core"
@@ -71,6 +86,10 @@ func main() {
 		serveBatch = flag.Int("serve-batch", 0, "serve the positional queries concurrently, coalescing up to this many estimates per evaluation (0 = sequential)")
 		serveWait  = flag.Duration("serve-wait", 0, "coalescer batch fill deadline (0 = default 100µs; used with -serve-batch)")
 		erfMode    = flag.String("erf", "exact", "erf implementation for Gaussian kernels: exact (math.Erf) | fast (polynomial, |err| ≤ 1e-7)")
+		modelsSpec = flag.String("models", "", "multi-model mode: semicolon-separated ordered column subsets, e.g. \"0,1;1,2\"; queries then use cols@lo:hi routing")
+		analyzeSp  = flag.String("analyze", "", "with -models: re-optimize the model over these columns (or \"all\") from -train self-generated feedbacks before serving queries")
+		maxResid   = flag.Int("max-resident", 0, "with -models: cap resident models; LRU victims are checkpointed to -checkpoint-dir and restored on their next query (0 = unbounded)")
+		ckptDir    = flag.String("checkpoint-dir", "", "with -models: directory for per-model checkpoint rotation (also written on exit)")
 		precFlag   = flag.String("precision", "float64", "serving precision tier: float64 (exact) | float32 (4 B/value, rel err ≤ 1e-5) | quantized (int16, 2 B/value, rel err ≤ 1e-3); reduced tiers fall back to float64 if they miss their error contract")
 	)
 	flag.Parse()
@@ -117,6 +136,34 @@ func main() {
 	var reg *metrics.Registry
 	if *metricsOut != "" {
 		reg = metrics.New()
+	}
+
+	if *modelsSpec != "" {
+		if *savePath != "" || *loadPath != "" || *restore != "" || *ckptPath != "" {
+			fail("-models is incompatible with -save/-load/-restore/-checkpoint (use -checkpoint-dir)")
+		}
+		runModels(modelsRun{
+			spec:        *modelsSpec,
+			analyze:     *analyzeSp,
+			tab:         tab,
+			tableName:   strings.TrimSuffix(filepath.Base(*dataPath), filepath.Ext(*dataPath)),
+			mode:        *mode,
+			sampleN:     *sampleN,
+			trainN:      *trainN,
+			workers:     *workers,
+			maxResident: *maxResid,
+			seed:        *seed,
+			truth:       *truth,
+			ckptDir:     *ckptDir,
+			metricsOut:  *metricsOut,
+			met:         reg,
+			serveBatch:  *serveBatch,
+			serveWait:   *serveWait,
+			prec:        prec,
+			faults:      inj,
+			queries:     flag.Args(),
+		})
+		return
 	}
 
 	var est *kdesel.Estimator
@@ -297,6 +344,210 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
 	}
+}
+
+// modelsRun carries the flag values the multi-model path needs.
+type modelsRun struct {
+	spec, analyze   string
+	tab             *kdesel.Table
+	tableName       string
+	mode            string
+	sampleN, trainN int
+	workers         int
+	maxResident     int
+	seed            int64
+	truth           bool
+	ckptDir         string
+	metricsOut      string
+	met             *metrics.Registry
+	serveBatch      int
+	serveWait       time.Duration
+	prec            kdesel.Precision
+	faults          *fault.Injector
+	queries         []string
+}
+
+// runModels is the multi-model path: one model per -models column subset,
+// admitted into a process-level registry, with every query routed by its
+// cols@ prefix and -truth feedback flowing back through the registry.
+func runModels(r modelsRun) {
+	subsets, err := parseModelSpec(r.spec, r.tab.Dims())
+	if err != nil {
+		fail("bad -models: %v", err)
+	}
+	reg := kdesel.NewRegistry(kdesel.RegistryConfig{
+		MaxResident:   r.maxResident,
+		CheckpointDir: r.ckptDir,
+		Workers:       r.workers,
+		Metrics:       r.met,
+	})
+
+	serveCfg := kdesel.ServeConfig{MaxBatch: r.serveBatch, MaxWait: r.serveWait, Precision: r.prec}
+	keys := make([]kdesel.ModelKey, len(subsets))
+	for i, cols := range subsets {
+		key := kdesel.NewModelKey(r.tableName, cols...)
+		proj, err := kdesel.ProjectTable(r.tab, cols)
+		if err != nil {
+			fail("projecting %s: %v", key, err)
+		}
+		cfg := kdesel.Config{SampleSize: r.sampleN, Seed: r.seed + int64(i), Faults: r.faults}
+		switch r.mode {
+		case "heuristic":
+			cfg.Mode = kdesel.Heuristic
+		case "scv":
+			cfg.Mode = kdesel.SCV
+		case "batch":
+			cfg.Mode = kdesel.Batch
+			cfg.Training = selfTrain(proj, r.trainN, r.seed+int64(i))
+		case "adaptive":
+			cfg.Mode = kdesel.Adaptive
+		default:
+			fail("unknown mode %q", r.mode)
+		}
+		if err := reg.Admit(key, proj, cfg, serveCfg); err != nil {
+			fail("admitting %s: %v", key, err)
+		}
+		keys[i] = key
+	}
+	fmt.Fprintf(os.Stderr, "registry: %d models admitted over %s\n", len(keys), r.tableName)
+
+	if r.analyze != "" {
+		targets := keys
+		if r.analyze != "all" {
+			cols, err := parseCols(r.analyze)
+			if err != nil {
+				fail("bad -analyze: %v", err)
+			}
+			targets = []kdesel.ModelKey{kdesel.NewModelKey(r.tableName, cols...)}
+		}
+		for _, key := range targets {
+			proj := reg.Table(key)
+			if proj == nil {
+				fail("analyze: unknown model %s", key)
+			}
+			train := selfTrain(proj, r.trainN, r.seed+999)
+			if err := reg.Analyze(key, train); err != nil {
+				fail("analyze %s: %v", key, err)
+			}
+			fmt.Fprintf(os.Stderr, "analyzed %s with %d feedbacks\n", key, len(train))
+		}
+	}
+
+	// Parse every routed query up front so a typo fails before any serving.
+	type routed struct {
+		key kdesel.ModelKey
+		q   kdesel.Range
+	}
+	qs := make([]routed, len(r.queries))
+	for i, arg := range r.queries {
+		cols, rest, err := splitRoutedQuery(arg)
+		if err != nil {
+			fail("query %q: %v", arg, err)
+		}
+		q, err := parseQuery(rest, len(cols))
+		if err != nil {
+			fail("query %q: %v", arg, err)
+		}
+		qs[i] = routed{kdesel.NewModelKey(r.tableName, cols...), q}
+	}
+
+	// All queries go in flight at once; each model's coalescer batches its
+	// own share while the registry routes lock-free. Output stays positional.
+	sels := make([]float64, len(qs))
+	estErrs := make([]error, len(qs))
+	var wg sync.WaitGroup
+	for i, rq := range qs {
+		i, rq := i, rq
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sels[i], estErrs[i] = reg.Estimate(rq.key, rq.q)
+		}()
+	}
+	wg.Wait()
+	for i, err := range estErrs {
+		if err != nil {
+			fail("estimating %q: %v", r.queries[i], err)
+		}
+	}
+	for i, rq := range qs {
+		proj := reg.Table(rq.key)
+		line := fmt.Sprintf("%s %s  estimate=%.6f  rows~%.0f", rq.key, rq.q, sels[i], sels[i]*float64(proj.Len()))
+		if r.truth {
+			actual, _ := proj.Selectivity(rq.q)
+			line += fmt.Sprintf("  actual=%.6f", actual)
+			if err := reg.Feedback(rq.key, rq.q, actual); err != nil {
+				fail("feedback: %v", err)
+			}
+		}
+		fmt.Println(line)
+	}
+
+	// Close checkpoints every resident model when -checkpoint-dir is set.
+	reg.Close()
+	if r.ckptDir != "" {
+		fmt.Fprintf(os.Stderr, "model checkpoints written to %s\n", r.ckptDir)
+	}
+
+	if r.metricsOut != "" {
+		f, err := os.Create(r.metricsOut)
+		if err != nil {
+			fail("creating metrics file: %v", err)
+		}
+		if err := r.met.WriteJSON(f); err != nil {
+			fail("writing metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("closing metrics file: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", r.metricsOut)
+	}
+}
+
+// parseModelSpec parses "0,1;1,2" into ordered column subsets, validating
+// every index against the table dimensionality.
+func parseModelSpec(spec string, dims int) ([][]int, error) {
+	var out [][]int
+	for _, group := range strings.Split(spec, ";") {
+		cols, err := parseCols(group)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cols {
+			if c >= dims {
+				return nil, fmt.Errorf("column %d out of range (table has %d)", c, dims)
+			}
+		}
+		out = append(out, cols)
+	}
+	return out, nil
+}
+
+// parseCols parses a comma-separated list of non-negative column indices.
+func parseCols(s string) ([]int, error) {
+	fields := strings.Split(s, ",")
+	cols := make([]int, 0, len(fields))
+	for _, f := range fields {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c < 0 {
+			return nil, fmt.Errorf("invalid column %q", f)
+		}
+		cols = append(cols, c)
+	}
+	return cols, nil
+}
+
+// splitRoutedQuery splits "0,1@lo...:hi..." into routing columns and range.
+func splitRoutedQuery(s string) ([]int, string, error) {
+	at := strings.IndexByte(s, '@')
+	if at < 0 {
+		return nil, "", fmt.Errorf("want cols@lo...:hi... in -models mode")
+	}
+	cols, err := parseCols(s[:at])
+	if err != nil {
+		return nil, "", err
+	}
+	return cols, s[at+1:], nil
 }
 
 func fail(format string, args ...any) {

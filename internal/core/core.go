@@ -34,6 +34,7 @@ import (
 	"kdesel/internal/loss"
 	"kdesel/internal/mathx"
 	"kdesel/internal/metrics"
+	"kdesel/internal/parallel"
 	"kdesel/internal/query"
 	"kdesel/internal/sample"
 	"kdesel/internal/table"
@@ -532,6 +533,20 @@ func (e *Estimator) SetWorkers(n int) {
 	if e.host != nil {
 		e.host.SetWorkers(n)
 		e.host.Pool().Instrument(e.met.reg)
+		e.publishSnapshot() // future views evaluate on the new pool
+	}
+}
+
+// SetPool installs a specific host worker pool instead of letting the
+// estimator derive one from a Workers count — the model registry hands the
+// same pool to every resident model so cross-model host parallelism is
+// arbitrated by one set of instruments and one worker budget. A nil pool
+// selects serial execution. Results are unaffected (see Config.Workers);
+// no-op on the device path.
+func (e *Estimator) SetPool(p *parallel.Pool) {
+	e.cfg.Workers = p.Workers()
+	if e.host != nil {
+		e.host.SetPool(p)
 		e.publishSnapshot() // future views evaluate on the new pool
 	}
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kdesel/internal/mathx"
@@ -92,6 +94,11 @@ type ServeConfig struct {
 	// addition to whatever registry the estimator itself is instrumented
 	// with (the two are usually the same registry).
 	Metrics *metrics.Registry
+	// MetricPrefix namespaces the serve.* instruments on a shared registry
+	// (see serve.Config.MetricPrefix). Servers sharing one registry must use
+	// distinct prefixes or their queue-depth gauges collide; the model
+	// registry derives one per model key automatically.
+	MetricPrefix string
 	// ProfileLabel tags the scheduler goroutine with pprof label
 	// kdesel_serve=batcher for CPU-profile attribution.
 	ProfileLabel bool
@@ -131,9 +138,12 @@ type ServeConfig struct {
 // Methods on Server are safe for concurrent use. The zero Server is not
 // usable; construct with NewServer.
 type Server struct {
-	mu        sync.Mutex // writer lock: model mutation + serialized estimates
-	est       *Estimator
-	b         *serve.Batcher
+	mu  sync.Mutex // writer lock: model mutation + serialized estimates
+	est *Estimator
+	// b is the coalescer, atomic because Close (and an Estimate discovering
+	// a closed batcher) detaches it while lock-free estimates race the load:
+	// Estimate must never take the writer mutex just to read the pointer.
+	b         atomic.Pointer[serve.Batcher]
 	serialize bool
 }
 
@@ -150,7 +160,7 @@ func NewServer(est *Estimator, cfg ServeConfig) *Server {
 	if !s.serialize {
 		est.enableSnapshots()
 	}
-	s.b = serve.New(func(qs []query.Range, ests []float64) error {
+	s.b.Store(serve.New(func(qs []query.Range, ests []float64) error {
 		if !s.serialize && est.estimateBatchSnapshot(qs, ests) {
 			return nil
 		}
@@ -162,18 +172,21 @@ func NewServer(est *Estimator, cfg ServeConfig) *Server {
 		MaxWait:      cfg.MaxWait,
 		Queue:        cfg.Queue,
 		Metrics:      cfg.Metrics,
+		MetricPrefix: cfg.MetricPrefix,
 		ProfileLabel: cfg.ProfileLabel,
-	})
+	}))
 	return s
 }
 
 // Coalescing reports whether concurrent estimates are batched (false when
-// the config disabled it with MaxBatch ≤ 1).
-func (s *Server) Coalescing() bool { return s.b != nil }
+// the config disabled it with MaxBatch ≤ 1, or after Close).
+func (s *Server) Coalescing() bool { return s.b.Load() != nil }
 
 // Estimate returns the estimated selectivity of q, sharing a fused
 // traversal with concurrent callers when coalescing is enabled and serving
-// lock-free from the published model snapshot when possible.
+// lock-free from the published model snapshot when possible. After Close it
+// keeps serving through the snapshot (or writer-mutex) path — only the
+// coalescer is gone, not the model.
 //
 // Validation happens before enqueueing, lock-free: validateQuery reads only
 // the immutable dimensionality, so malformed queries are rejected at memory
@@ -183,8 +196,16 @@ func (s *Server) Estimate(q query.Range) (float64, error) {
 		s.est.met.invalidQueries.Inc()
 		return 0, err
 	}
-	if s.b != nil {
-		return s.b.Estimate(q)
+	if b := s.b.Load(); b != nil {
+		est, err := b.Estimate(q)
+		if err == nil || !errors.Is(err, serve.ErrClosed) {
+			return est, err
+		}
+		// The batcher was closed (Server.Close, possibly racing this call).
+		// Close's documented contract is that the model remains servable, so
+		// detach the dead batcher and fall through to the direct path rather
+		// than reporting "batcher closed" forever.
+		s.b.CompareAndSwap(b, nil)
 	}
 	if !s.serialize {
 		if est, ok := s.est.estimateSnapshot(q); ok {
@@ -278,7 +299,16 @@ func (s *Server) Health() Health {
 // atomic because snapshot-path estimates bump it without the writer lock.
 func (s *Server) Queries() int { return s.est.Queries() }
 
-// Close drains in-flight coalesced requests and stops the scheduler
-// goroutine. The wrapped estimator remains valid and can be used directly
-// again after Close returns.
-func (s *Server) Close() { s.b.Close() }
+// Close drains in-flight coalesced requests, stops the scheduler goroutine,
+// and unregisters the coalescer's queue-depth gauge. The Server itself
+// remains fully usable: Estimate falls back to the snapshot (or writer-
+// mutex) path, and Feedback/Reoptimize/Checkpoint are unaffected — Close
+// only retires the coalescer, e.g. before process shutdown or when the
+// model registry evicts a model. The wrapped estimator likewise remains
+// valid for direct single-threaded use after Close returns.
+func (s *Server) Close() {
+	if b := s.b.Load(); b != nil {
+		b.Close()
+		s.b.CompareAndSwap(b, nil)
+	}
+}

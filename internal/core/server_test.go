@@ -15,7 +15,6 @@ import (
 	"kdesel/internal/learner"
 	"kdesel/internal/metrics"
 	"kdesel/internal/query"
-	"kdesel/internal/serve"
 )
 
 // TestEstimateBatchMatchesEstimate: the batch entry point must be
@@ -394,10 +393,11 @@ func TestEstimateBatchErrorAccounting(t *testing.T) {
 }
 
 // TestServerCloseRacesEstimateFeedback races Close against in-flight
-// Estimate and Feedback traffic: every estimate either completes with a
-// sane value or reports serve.ErrClosed, Feedback keeps working throughout
-// (Close only stops the coalescer, not the writer path), and nothing
-// panics or deadlocks. Run with -race.
+// Estimate and Feedback traffic: every estimate completes with a sane value
+// — callers that lose the race to the batcher shutdown are transparently
+// rerouted to the direct path, never surfaced serve.ErrClosed — Feedback
+// keeps working throughout (Close only stops the coalescer, not the writer
+// path), and nothing panics or deadlocks. Run with -race.
 func TestServerCloseRacesEstimateFeedback(t *testing.T) {
 	tab := buildClusteredTable(t, 400, 41)
 	e, err := Build(tab, Config{Mode: Adaptive, SampleSize: 64, Seed: 43, DisableMaintenance: true})
@@ -417,9 +417,6 @@ func TestServerCloseRacesEstimateFeedback(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(300 + c)))
 			for i := 0; i < 400; i++ {
 				est, err := s.Estimate(dataQuery(tab, rng, 1.5))
-				if errors.Is(err, serve.ErrClosed) {
-					return
-				}
 				if err != nil {
 					t.Errorf("client %d: %v", c, err)
 					return
@@ -458,8 +455,8 @@ func TestServerCloseRacesEstimateFeedback(t *testing.T) {
 	s.Close()
 	wg.Wait()
 
-	if _, err := s.Estimate(dataQuery(tab, rand.New(rand.NewSource(7)), 1.5)); !errors.Is(err, serve.ErrClosed) {
-		t.Errorf("Estimate after Close: err = %v, want serve.ErrClosed", err)
+	if est, err := s.Estimate(dataQuery(tab, rand.New(rand.NewSource(7)), 1.5)); err != nil || math.IsNaN(est) {
+		t.Errorf("Estimate after Close: est = %v, err = %v, want a direct-path estimate", est, err)
 	}
 	// The writer path outlives the coalescer.
 	q := dataQuery(tab, rand.New(rand.NewSource(8)), 1.5)
@@ -580,4 +577,83 @@ func TestSnapshotPathBitIdenticalAllModes(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestServerEstimateAfterClose is the regression test for the post-Close
+// routing bug: Close documents that the Server remains usable, but Estimate
+// used to route into the closed batcher and return "serve: batcher closed"
+// forever. After Close, estimates must flow through the direct path and
+// match a never-coalescing twin bit-for-bit.
+func TestServerEstimateAfterClose(t *testing.T) {
+	tab := buildClusteredTable(t, 300, 15)
+	build := func() *Estimator {
+		e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 128, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	s := NewServer(build(), ServeConfig{MaxBatch: 8, MaxWait: 20 * time.Microsecond})
+	rng := rand.New(rand.NewSource(16))
+	warm := dataQuery(tab, rng, 1.5)
+	if _, err := s.Estimate(warm); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if s.Coalescing() {
+		t.Error("Coalescing() true after Close")
+	}
+	twin := NewServer(build(), ServeConfig{MaxBatch: 1})
+	for i := 0; i < 10; i++ {
+		q := dataQuery(tab, rng, 1.5)
+		got, err := s.Estimate(q)
+		if err != nil {
+			t.Fatalf("Estimate %d after Close: %v", i, err)
+		}
+		want, err := twin.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("query %d: post-Close estimate %v != direct-path %v", i, got, want)
+		}
+	}
+	s.Close() // repeated Close stays safe
+	if _, err := s.Estimate(dataQuery(tab, rng, 1.5)); err != nil {
+		t.Errorf("Estimate after double Close: %v", err)
+	}
+}
+
+// TestTwoServersOneMetricsRegistry is the regression test for the serve
+// gauge collision: two Servers sharing one metrics registry used to clobber
+// each other's serve.queue_depth gauge func (last registration won), and
+// closing either left a stale closure reporting forever. With per-model
+// prefixes both gauges coexist, and Close removes exactly its own.
+func TestTwoServersOneMetricsRegistry(t *testing.T) {
+	tab := buildClusteredTable(t, 200, 18)
+	reg := metrics.New()
+	build := func(seed int64) *Estimator {
+		e, err := Build(tab, Config{Mode: Heuristic, SampleSize: 64, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	sa := NewServer(build(1), ServeConfig{MaxBatch: 8, Metrics: reg, MetricPrefix: "model.a."})
+	sb := NewServer(build(2), ServeConfig{MaxBatch: 8, Metrics: reg, MetricPrefix: "model.b."})
+	snap := reg.Snapshot()
+	for _, name := range []string{"model.a.serve.queue_depth", "model.b.serve.queue_depth"} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %s missing: servers on one registry collided", name)
+		}
+	}
+	sa.Close()
+	snap = reg.Snapshot()
+	if _, ok := snap.Gauges["model.a.serve.queue_depth"]; ok {
+		t.Error("closed server's queue-depth gauge still registered")
+	}
+	if _, ok := snap.Gauges["model.b.serve.queue_depth"]; !ok {
+		t.Error("surviving server's gauge removed by the other's Close")
+	}
+	sb.Close()
 }

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"kdesel/internal/metrics"
+)
+
+// TestRegistryLoadSmoke runs a shrunken mixed-traffic experiment end to
+// end: every model serves traffic, the mid-run eviction is restored under
+// load, and the per-model metric namespaces survive. Latency ratios are
+// reported, not asserted — single-CPU CI schedulers make tail timing
+// assertions flaky; kdebench -exp registry prints the isolation verdict.
+func TestRegistryLoadSmoke(t *testing.T) {
+	reg := metrics.New()
+	res, err := RegistryLoad(RegistryLoadConfig{
+		Models:     8,
+		JoinModel:  true,
+		Rows:       1200,
+		SampleSize: 128,
+		Clients:    4,
+		Duration:   250 * time.Millisecond,
+		Feedback:   16,
+		MaxBatch:   4,
+		Seed:       1,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Stats); got != 9 { // 8 single-table + 1 join
+		t.Fatalf("stats for %d models, want 9", got)
+	}
+	for _, st := range res.Stats {
+		if st.Served == 0 {
+			t.Errorf("model %s served no traffic", st.Key)
+		}
+	}
+	if res.Evictions < 1 {
+		t.Errorf("evictions = %d, want ≥ 1 (mid-run eviction)", res.Evictions)
+	}
+	if res.Restores < 1 {
+		t.Errorf("restores = %d, want ≥ 1 (evicted model restored under load)", res.Restores)
+	}
+	if !res.MetricsIntact {
+		t.Error("per-model metric namespaces did not survive the run")
+	}
+	if res.AnalyzeWindow <= 0 {
+		t.Error("no ANALYZE window recorded")
+	}
+	var buf bytes.Buffer
+	res.WriteTable(&buf)
+	if buf.Len() == 0 {
+		t.Error("WriteTable produced nothing")
+	}
+}

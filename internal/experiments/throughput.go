@@ -167,6 +167,9 @@ func Throughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 		}
 		wg.Wait()
 		elapsed := time.Since(start)
+		// Capture before Close: Close retires the coalescer, so afterwards
+		// Coalescing reports false even for a run that batched throughout.
+		coalesced := srv.Coalescing()
 		srv.Close()
 		if firstErr != nil {
 			return nil, firstErr
@@ -179,7 +182,7 @@ func Throughput(cfg ThroughputConfig) (*ThroughputResult, error) {
 			Elapsed: elapsed,
 			QPS:     float64(total) / elapsed.Seconds(),
 		}
-		if srv.Coalescing() {
+		if coalesced {
 			pt.Batches = reg.Histogram("serve.batch_size").Count() - batchesBefore
 			if pt.Batches > 0 {
 				pt.AvgBatch = (reg.Histogram("serve.batch_size").Sum() - queriesBefore) / float64(pt.Batches)

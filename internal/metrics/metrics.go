@@ -23,6 +23,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -183,12 +184,25 @@ func (h *Histogram) Sum() float64 {
 // which is how instrumentation is disabled. Instrument lookup takes a lock
 // (do it at setup time, not per event); the instruments themselves are
 // lock-free.
+//
+// A registry can hand out prefixed views of itself (WithPrefix): a view
+// shares the parent's instrument maps but prepends a fixed prefix to every
+// name it touches, which is how many models share one process registry
+// without metric-name collisions (model.A.core.estimate_seconds vs
+// model.B.core.estimate_seconds).
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	hists      map[string]*Histogram
 	gaugeFuncs map[string]func() float64
+
+	// prefix/root implement WithPrefix views: on a view, root points at the
+	// registry that owns the maps above (which the view leaves nil) and
+	// prefix is prepended to every instrument name. On a root registry both
+	// are zero.
+	prefix string
+	root   *Registry
 }
 
 // New returns an empty registry.
@@ -201,18 +215,51 @@ func New() *Registry {
 	}
 }
 
+// base returns the registry that owns the instrument maps: the receiver
+// itself, or the root behind a WithPrefix view.
+func (r *Registry) base() *Registry {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// WithPrefix returns a view of the registry that prepends prefix to every
+// instrument name it registers or looks up. Views share the parent's
+// instruments — a snapshot of either covers both — and compose: a view of a
+// view concatenates the prefixes. Nil-safe (a view of the nil registry is
+// nil) and free on the hot path (the prefix is applied at instrument-lookup
+// time, never per event).
+func (r *Registry) WithPrefix(prefix string) *Registry {
+	if r == nil || prefix == "" {
+		return r
+	}
+	return &Registry{prefix: r.prefix + prefix, root: r.base()}
+}
+
+// Prefix returns the view's accumulated name prefix ("" on a root registry
+// or a nil one).
+func (r *Registry) Prefix() string {
+	if r == nil {
+		return ""
+	}
+	return r.prefix
+}
+
 // Counter returns the named counter, creating it on first use. Returns nil
 // (a valid no-op counter) on a nil registry.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	name = r.prefix + name
+	c, ok := b.counters[name]
 	if !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		b.counters[name] = c
 	}
 	return c
 }
@@ -223,12 +270,14 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	name = r.prefix + name
+	g, ok := b.gauges[name]
 	if !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		b.gauges[name] = g
 	}
 	return g
 }
@@ -239,12 +288,14 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	name = r.prefix + name
+	h, ok := b.hists[name]
 	if !ok {
 		h = newHistogram()
-		r.hists[name] = h
+		b.hists[name] = h
 	}
 	return h
 }
@@ -254,11 +305,49 @@ func (r *Registry) Histogram(name string) *Histogram {
 // Stats) into the registry without touching its hot path. Re-registering a
 // name replaces the previous function. No-op on a nil registry. fn must be
 // safe to call whenever Snapshot is.
+//
+// A gauge func pins whatever its closure references for the life of the
+// registration; components that can be closed or evicted must pair every
+// RegisterGaugeFunc with an UnregisterGaugeFunc on teardown, or the dead
+// closure keeps reporting stale values and leaks its referents.
 func (r *Registry) RegisterGaugeFunc(name string, fn func() float64) {
 	if r == nil || fn == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.gaugeFuncs[name] = fn
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gaugeFuncs[r.prefix+name] = fn
+}
+
+// UnregisterGaugeFunc removes a previously registered gauge function; the
+// name no longer appears in snapshots and the closure is released. Removing
+// a name that is not registered is a no-op, as is the nil registry.
+func (r *Registry) UnregisterGaugeFunc(name string) {
+	if r == nil {
+		return
+	}
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.gaugeFuncs, r.prefix+name)
+}
+
+// UnregisterGaugeFuncsPrefix removes every gauge function whose full name
+// starts with prefix (resolved under the view's own prefix, like every other
+// name). It is the bulk teardown used when evicting a model whose layers
+// registered gauge funcs under one shared name prefix.
+func (r *Registry) UnregisterGaugeFuncsPrefix(prefix string) {
+	if r == nil {
+		return
+	}
+	b := r.base()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	full := r.prefix + prefix
+	for name := range b.gaugeFuncs {
+		if strings.HasPrefix(name, full) {
+			delete(b.gaugeFuncs, name)
+		}
+	}
 }

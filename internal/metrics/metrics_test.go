@@ -211,3 +211,101 @@ func TestObserveDoesNotAllocate(t *testing.T) {
 		t.Fatalf("nil instruments allocate %v allocs/op, want 0", allocs)
 	}
 }
+
+// TestWithPrefixViews: views share the parent's instruments under prefixed
+// names, compose, and are nil-safe.
+func TestWithPrefixViews(t *testing.T) {
+	r := New()
+	a := r.WithPrefix("model.a.")
+	b := r.WithPrefix("model.b.")
+	a.Counter("queries").Inc()
+	b.Counter("queries").Add(2)
+	r.Counter("queries").Add(5)
+	if got := r.Counter("model.a.queries").Value(); got != 1 {
+		t.Errorf("model.a.queries = %d, want 1", got)
+	}
+	if got := r.Counter("model.b.queries").Value(); got != 2 {
+		t.Errorf("model.b.queries = %d, want 2", got)
+	}
+	if got := r.Counter("queries").Value(); got != 5 {
+		t.Errorf("root queries = %d, want 5", got)
+	}
+	// Same name through the same view is the same instrument.
+	if a.Counter("queries") != a.Counter("queries") {
+		t.Error("view lookups not idempotent")
+	}
+	// Views compose, and a view of a view still resolves on the root maps.
+	aa := a.WithPrefix("serve.")
+	aa.Gauge("depth").Set(7)
+	if got := r.Gauge("model.a.serve.depth").Value(); got != 7 {
+		t.Errorf("composed view gauge = %v, want 7", got)
+	}
+	if got := aa.Prefix(); got != "model.a.serve." {
+		t.Errorf("Prefix() = %q", got)
+	}
+	// A view's snapshot covers the whole shared registry.
+	snap := a.Snapshot()
+	if _, ok := snap.Counters["model.b.queries"]; !ok {
+		t.Error("view snapshot missing sibling view's instruments")
+	}
+	// Nil and empty-prefix cases.
+	var nilReg *Registry
+	if nilReg.WithPrefix("x.") != nil {
+		t.Error("view of nil registry must be nil")
+	}
+	if r.WithPrefix("") != r {
+		t.Error("empty prefix must return the receiver")
+	}
+}
+
+// TestUnregisterGaugeFunc: the gauge-func lifecycle that serve.Batcher.Close
+// depends on — register, observe, unregister, gone (and re-registration by a
+// successor under the same name works).
+func TestUnregisterGaugeFunc(t *testing.T) {
+	r := New()
+	r.RegisterGaugeFunc("depth", func() float64 { return 1 })
+	if got := r.Snapshot().Gauges["depth"]; got != 1 {
+		t.Fatalf("depth = %v, want 1", got)
+	}
+	r.UnregisterGaugeFunc("depth")
+	if _, ok := r.Snapshot().Gauges["depth"]; ok {
+		t.Fatal("depth survives UnregisterGaugeFunc")
+	}
+	r.UnregisterGaugeFunc("depth")                // unknown name: no-op
+	(*Registry)(nil).UnregisterGaugeFunc("depth") // nil-safe
+	r.RegisterGaugeFunc("depth", func() float64 { return 2 })
+	if got := r.Snapshot().Gauges["depth"]; got != 2 {
+		t.Fatalf("re-registered depth = %v, want 2", got)
+	}
+	// Through a view, the name resolves under the view's prefix.
+	v := r.WithPrefix("m.")
+	v.RegisterGaugeFunc("depth", func() float64 { return 3 })
+	v.UnregisterGaugeFunc("depth")
+	snap := r.Snapshot()
+	if _, ok := snap.Gauges["m.depth"]; ok {
+		t.Error("view-registered gauge func survives view unregister")
+	}
+	if got := snap.Gauges["depth"]; got != 2 {
+		t.Errorf("root gauge func clobbered by view unregister: %v", got)
+	}
+}
+
+// TestUnregisterGaugeFuncsPrefix: bulk namespace teardown on model eviction.
+func TestUnregisterGaugeFuncsPrefix(t *testing.T) {
+	r := New()
+	for _, name := range []string{"model.a.x", "model.a.y", "model.ab.x", "model.b.x"} {
+		r.RegisterGaugeFunc(name, func() float64 { return 1 })
+	}
+	r.UnregisterGaugeFuncsPrefix("model.a.")
+	snap := r.Snapshot()
+	for _, gone := range []string{"model.a.x", "model.a.y"} {
+		if _, ok := snap.Gauges[gone]; ok {
+			t.Errorf("%s survives prefix unregister", gone)
+		}
+	}
+	for _, kept := range []string{"model.ab.x", "model.b.x"} {
+		if _, ok := snap.Gauges[kept]; !ok {
+			t.Errorf("%s wrongly removed (prefix must match whole segments given a trailing dot)", kept)
+		}
+	}
+}

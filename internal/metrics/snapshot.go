@@ -45,7 +45,8 @@ func finite(v float64) float64 {
 
 // Snapshot captures the current state of every instrument. On a nil
 // registry it returns an empty (but fully-formed) snapshot, so downstream
-// consumers need no nil checks.
+// consumers need no nil checks. Snapshotting a WithPrefix view snapshots
+// the whole shared registry, not just the view's namespace.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   map[string]int64{},
@@ -55,6 +56,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	r = r.base()
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {

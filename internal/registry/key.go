@@ -1,0 +1,95 @@
+package registry
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// Key identifies one model in a registry: a table name plus the ordered
+// column subset the model covers. Order matters — a model over (0,1) and a
+// model over (1,0) answer queries phrased in different column orders and are
+// distinct models — and the canonical textual form "table(0,1)" is the
+// identity used for lookup, metric prefixes, and checkpoint file names.
+//
+// A join model uses the same scheme with a synthesized table name (e.g.
+// "orders⋈customers") over the combined attribute order of the join result.
+type Key struct {
+	Table   string
+	Columns []int
+}
+
+// NewKey builds a key, copying cols so callers can reuse their slice.
+func NewKey(table string, cols ...int) Key {
+	c := make([]int, len(cols))
+	copy(c, cols)
+	return Key{Table: table, Columns: c}
+}
+
+// String renders the canonical form "table(c0,c1,...)". An empty column
+// list renders as "table()" — a key over no columns is never valid, so the
+// form stays unambiguous.
+func (k Key) String() string {
+	var sb strings.Builder
+	sb.WriteString(k.Table)
+	sb.WriteByte('(')
+	for i, c := range k.Columns {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(c))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// ParseKey parses the canonical form produced by String: a table name
+// followed by a parenthesized, comma-separated list of non-negative column
+// indices, e.g. "orders(0,2)".
+func ParseKey(s string) (Key, error) {
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return Key{}, fmt.Errorf("registry: malformed key %q (want table(c0,c1,...))", s)
+	}
+	k := Key{Table: s[:open]}
+	body := s[open+1 : len(s)-1]
+	if body == "" {
+		return Key{}, fmt.Errorf("registry: key %q has no columns", s)
+	}
+	for _, part := range strings.Split(body, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c < 0 {
+			return Key{}, fmt.Errorf("registry: key %q has invalid column %q", s, part)
+		}
+		k.Columns = append(k.Columns, c)
+	}
+	return k, nil
+}
+
+// MetricPrefix returns the per-model metric namespace, "model.<key>.". Every
+// instrument a model's layers register on the shared process registry goes
+// under this prefix, and eviction tears the whole namespace down with one
+// metrics.UnregisterGaugeFuncsPrefix call.
+func (k Key) MetricPrefix() string {
+	return "model." + k.String() + "."
+}
+
+// fileStem returns a filesystem-safe stem for the key's checkpoint files:
+// the key with non-portable runes replaced, plus a short hash of the exact
+// canonical form so two keys that sanitize identically cannot share files.
+func (k Key) fileStem() string {
+	s := k.String()
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return fmt.Sprintf("%s-%08x", sb.String(), h.Sum32())
+}

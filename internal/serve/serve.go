@@ -67,6 +67,14 @@ type Config struct {
 	// serve.batch_size (histogram), and serve.wait_seconds (histogram,
 	// enqueue-to-evaluation latency). Nil disables instrumentation.
 	Metrics *metrics.Registry
+	// MetricPrefix is prepended to every metric name this batcher registers
+	// (e.g. "model.orders(0,1)." yields model.orders(0,1).serve.queue_depth).
+	// Batchers sharing one registry MUST use distinct prefixes, or their
+	// instruments collide: the queue-depth gauge func of the second would
+	// silently replace the first's. Close unregisters the gauge func under
+	// the same prefixed name, so a closed batcher neither reports a stale
+	// depth nor stays pinned in memory by the leaked closure.
+	MetricPrefix string
 	// ProfileLabel, when true, tags the scheduler goroutine with the pprof
 	// label kdesel_serve=batcher so CPU profiles separate coalescing
 	// overhead from kernel time (kdebench -profile-serve).
@@ -129,6 +137,11 @@ type Batcher struct {
 
 	batchSize *metrics.Histogram
 	waitSec   *metrics.Histogram
+	// met/gaugeName identify the queue-depth gauge func registered in New so
+	// Close can unregister it (metrics.UnregisterGaugeFunc); nil/"" when no
+	// registry is attached.
+	met       *metrics.Registry
+	gaugeName string
 }
 
 // New starts a batcher draining into eval. It returns nil when cfg disables
@@ -147,9 +160,11 @@ func New(eval EvalFunc, cfg Config) *Batcher {
 		done:     make(chan struct{}),
 	}
 	if r := cfg.Metrics; r != nil {
-		b.batchSize = r.Histogram("serve.batch_size")
-		b.waitSec = r.Histogram("serve.wait_seconds")
-		r.RegisterGaugeFunc("serve.queue_depth", func() float64 { return float64(len(b.reqs)) })
+		b.batchSize = r.Histogram(cfg.MetricPrefix + "serve.batch_size")
+		b.waitSec = r.Histogram(cfg.MetricPrefix + "serve.wait_seconds")
+		b.met = r
+		b.gaugeName = cfg.MetricPrefix + "serve.queue_depth"
+		r.RegisterGaugeFunc(b.gaugeName, func() float64 { return float64(len(b.reqs)) })
 	}
 	b.stopped.Add(1)
 	if cfg.ProfileLabel {
@@ -199,7 +214,9 @@ func (b *Batcher) Estimate(q query.Range) (float64, error) {
 
 // Close stops intake, serves every already-enqueued request, and waits for
 // the scheduler to exit. Concurrent and repeated calls are safe; Estimate
-// calls racing Close either complete normally or return ErrClosed.
+// calls racing Close either complete normally or return ErrClosed. Close
+// also unregisters the queue-depth gauge func, so the dead batcher stops
+// reporting and is no longer pinned by the registry.
 func (b *Batcher) Close() {
 	if b == nil {
 		return
@@ -211,6 +228,9 @@ func (b *Batcher) Close() {
 	}
 	b.mu.Unlock()
 	b.stopped.Wait()
+	if b.met != nil {
+		b.met.UnregisterGaugeFunc(b.gaugeName)
+	}
 }
 
 // run is the scheduler: collect one batch, evaluate, deliver, repeat.

@@ -287,7 +287,6 @@ func TestMetrics(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	b.Close()
 
 	bs := reg.Histogram("serve.batch_size")
 	if bs.Count() == 0 {
@@ -299,8 +298,13 @@ func TestMetrics(t *testing.T) {
 	if ws := reg.Histogram("serve.wait_seconds"); ws.Count() != callers {
 		t.Errorf("serve.wait_seconds count = %d, want %d", ws.Count(), callers)
 	}
-	snap := reg.Snapshot()
-	if _, ok := snap.Gauges["serve.queue_depth"]; !ok {
+	if _, ok := reg.Snapshot().Gauges["serve.queue_depth"]; !ok {
 		t.Error("serve.queue_depth gauge not registered")
+	}
+	// Close must unregister the gauge func: a dead batcher neither reports a
+	// stale depth nor stays pinned in memory by the leaked closure.
+	b.Close()
+	if _, ok := reg.Snapshot().Gauges["serve.queue_depth"]; ok {
+		t.Error("serve.queue_depth gauge still registered after Close")
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"kdesel/internal/kde"
 	"kdesel/internal/mathx"
 	"kdesel/internal/query"
+	"kdesel/internal/registry"
 	"kdesel/internal/table"
 )
 
@@ -230,3 +231,41 @@ func BuildJoinEstimator(fkTab, pkTab *Table, fkCol, pkCol, sampleSize int, rng *
 func BandJoinSelectivity(r, s *kde.Estimator, aCol, bCol int, eps float64) (float64, error) {
 	return join.BandSelectivity(r, s, aCol, bCol, eps)
 }
+
+// Registry is the process-level model registry for one-process serving of
+// many models: admission under a (table, ordered column subset) key,
+// routing of Estimate/Feedback/Analyze to the right Server, shared worker
+// pool / device / metrics registry with per-model metric namespaces,
+// periodic checkpoint rotation, and LRU/idle eviction with transparent
+// restore on the next estimate.
+type Registry = registry.Registry
+
+// RegistryConfig tunes a Registry; see registry.Config for all fields.
+type RegistryConfig = registry.Config
+
+// ModelKey identifies one model in a Registry: a table name plus the
+// ordered column subset it covers, canonically rendered "table(c0,c1)".
+type ModelKey = registry.Key
+
+// NewRegistry builds a model registry and starts its background ANALYZE
+// worker and janitor.
+func NewRegistry(cfg RegistryConfig) *Registry { return registry.New(cfg) }
+
+// NewModelKey builds a model key over table's given columns.
+func NewModelKey(table string, cols ...int) ModelKey { return registry.NewKey(table, cols...) }
+
+// ParseModelKey parses the canonical "table(c0,c1,...)" form.
+func ParseModelKey(s string) (ModelKey, error) { return registry.ParseKey(s) }
+
+// ProjectTable materializes an ordered column subset of tab as a new table
+// — the canonical way to derive per-model tables for a Registry from one
+// base table.
+func ProjectTable(tab *Table, cols []int) (*Table, error) { return registry.Project(tab, cols) }
+
+// Registry routing errors; match with errors.Is.
+var (
+	// ErrUnknownModel: the key was never admitted.
+	ErrUnknownModel = registry.ErrUnknownModel
+	// ErrDuplicateModel: Admit of an already-admitted key.
+	ErrDuplicateModel = registry.ErrDuplicateModel
+)
