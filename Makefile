@@ -5,14 +5,14 @@ GO ?= go
 
 # Which PR's benchmark suite `make bench` regenerates (bench-PR2, bench-PR4,
 # ...); e.g. `BENCH=PR2 make bench` rebuilds BENCH_PR2.json.
-BENCH ?= PR7
+BENCH ?= PR8
 
 .PHONY: verify fmtcheck build test race race-resilience mathx-accuracy \
-	precision-accuracy chaos vet \
-	bench bench-PR2 bench-PR4 bench-PR5 bench-PR6 bench-PR7 \
+	precision-accuracy network-resilience chaos vet \
+	bench bench-PR2 bench-PR4 bench-PR5 bench-PR6 bench-PR7 bench-PR8 \
 	bench-parallel bench-throughput
 
-verify: fmtcheck vet build race-resilience mathx-accuracy precision-accuracy race
+verify: fmtcheck vet build race-resilience mathx-accuracy precision-accuracy network-resilience race
 
 # Fail when any file needs gofmt; list the offenders.
 fmtcheck:
@@ -68,6 +68,25 @@ precision-accuracy:
 		{ echo "precision tier contract sweep did not run"; exit 1; }; \
 	echo "$$out" | grep -q -- '--- PASS: TestPrecisionVerifyGate' || \
 		{ echo "precision verify-gate check did not run"; exit 1; }
+
+# The networked-serving robustness contract must actually run, mirroring
+# mathx-accuracy: the wire-layer chaos test (injected drops/5xx/latency at
+# 4× overload with exact admission accounting), the cancellation race on the
+# request coalescer (a cancelled caller's batch slot is reclaimed, never
+# double-counted), and the client retry/idempotency contract (feedback is
+# never retried). All three run under the race detector.
+network-resilience:
+	@out="$$($(GO) test -race -count=1 -run 'TestNetworkChaosAccountingExact|TestShedWhenSaturated|TestDeadlinePropagatesToModel' -v ./internal/httpserve/ && \
+		$(GO) test -race -count=1 -run 'TestCancelRaceExactAccounting|TestCloseDrainsWithCancelledRequests' -v ./internal/serve/ && \
+		$(GO) test -race -count=1 -run 'TestFeedbackAndAnalyzeNeverRetried|TestEstimateRetriesTransientFailures' -v ./internal/httpclient/)"; \
+	status=$$?; echo "$$out"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	echo "$$out" | grep -q -- '--- PASS: TestNetworkChaosAccountingExact' || \
+		{ echo "network chaos accounting test did not run"; exit 1; }; \
+	echo "$$out" | grep -q -- '--- PASS: TestCancelRaceExactAccounting' || \
+		{ echo "coalescer cancellation race test did not run"; exit 1; }; \
+	echo "$$out" | grep -q -- '--- PASS: TestFeedbackAndAnalyzeNeverRetried' || \
+		{ echo "client idempotency contract test did not run"; exit 1; }
 
 # Chaos suite: deterministic fault schedules (failed transfers/launches,
 # diverged optimizers, non-finite gradients, corrupted checkpoints) against
@@ -178,3 +197,20 @@ bench-PR7:
 		-cmd "$(BENCH_CMD7)" -cmd "$(BENCH_CMD7B)" \
 		-out BENCH_PR7.json bench7.out
 	rm -f bench7.out
+
+# PR8: the networked serving frontend. BenchmarkNetworkResilience runs the
+# paired baseline/chaos experiment on a real loopback listener: 24 no-retry
+# closed-loop clients against 4 in-flight slots + 4 queue seats, then the
+# same workload under the injected-fault schedule (periodic added latency,
+# 5xx answers, severed connections). Acceptance: shed-p50-ratio < 0.10,
+# p99-ratio <= 2, accounting-exact == 1.
+BENCH_CMD8 = $(GO) test -run TestNothing -bench BenchmarkNetworkResilience -benchtime 3x .
+
+bench-PR8:
+	$(BENCH_CMD8) > bench8.out
+	$(GO) run ./cmd/benchjson -pr 8 \
+		-title "Networked serving frontend with deadline propagation, admission control, and fault-injected resilience" \
+		-note "BenchmarkNetworkResilience serves one model through internal/httpserve on a real 127.0.0.1 listener and drives it with internal/httpclient clients whose retries are disabled so every outcome maps 1:1 to one wire request. The baseline run is fault-free at 6x overload; the chaos run repeats the identical workload under netdelay:every=7,delay=2ms + net5xx:every=31 + netdrop:every=43 injected at request intake. shed-p50-ratio is chaos shed p50 / accepted p50 (< 0.10 required: rejections must be the fast path); p99-ratio is chaos accepted p99 / baseline accepted p99 (<= 2 required: faults fail fast instead of occupying capacity); accounting-exact verifies accepted + shed + failed == issued with client- and server-side counters agreeing exactly. The admission-bound regime uses a 10ms coalescer batch-fill window as the service time so admission control, not host CPU scheduling, decides who waits." \
+		-cmd "$(BENCH_CMD8)" \
+		-out BENCH_PR8.json bench8.out
+	rm -f bench8.out

@@ -412,6 +412,35 @@ func BenchmarkAnalyzeUnderLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkNetworkResilience drives the HTTP frontend over a real loopback
+// listener at 6× overload, fault-free and then under the chaos schedule
+// (injected latency, 5xx, and connection drops). The acceptance criteria:
+// shed-p50/accepted-p50 < 0.10 (rejections are the fast path), chaos
+// accepted p99 ≤ 2× the no-fault baseline p99 (bounded tail), and
+// accounting-exact == 1 (accepted + shed + failed == issued, with client-
+// and server-side counters agreeing exactly).
+func BenchmarkNetworkResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Network(experiments.NetworkConfig{
+			Seed: int64(71 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Baseline.AcceptedP99.Seconds()*1e3, "baseline-p99-ms")
+		b.ReportMetric(res.Chaos.AcceptedP99.Seconds()*1e3, "chaos-p99-ms")
+		b.ReportMetric(res.P99Ratio, "p99-ratio")
+		b.ReportMetric(res.Chaos.ShedP50.Seconds()*1e6, "shed-p50-us")
+		b.ReportMetric(res.ShedRatio, "shed-p50-ratio")
+		exact := 0.0
+		if res.AccountingExact {
+			exact = 1.0
+		}
+		b.ReportMetric(exact, "accounting-exact")
+		b.ReportMetric(float64(res.Chaos.Drops+res.Chaos.Errors5xx+res.Chaos.Delays), "faults-injected")
+	}
+}
+
 // BenchmarkRegistryMixedTraffic drives the multi-model registry the way one
 // process serves a whole schema: eight single-table models plus one join
 // model behind one registry, skewed closed-loop traffic, and a mid-run

@@ -10,16 +10,24 @@
 // defaults run a faithful scaled-down version of the paper's protocol.
 // -metrics-out writes an instrumentation snapshot (JSON) covering every
 // estimator the run built; -cpuprofile/-memprofile write pprof profiles.
+//
+// SIGINT/SIGTERM stops cooperatively: training loops halt at the next
+// feedback boundary, a final checkpoint is written when -checkpoint-dir is
+// set, and profiles/metrics flush before the process exits with status 130.
+// A second signal forces an immediate exit.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"kdesel/internal/experiments"
@@ -30,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig4, fig5, table1, fig6, fig7, fig8, shift, serve, analyze, registry, ablations, all")
+		exp   = flag.String("exp", "all", "experiment: fig4, fig5, table1, fig6, fig7, fig8, shift, serve, analyze, registry, network, ablations, all")
 		seed  = flag.Int64("seed", 42, "random seed")
 		quick = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
 		rows  = flag.Int("rows", 0, "override dataset rows (0 = experiment default)")
@@ -141,10 +149,31 @@ func main() {
 		}
 	}
 
+	// First SIGINT/SIGTERM raises the cooperative interrupt flag so training
+	// loops stop at a feedback boundary with a final checkpoint written; a
+	// second signal forces an immediate exit.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "kdebench: %v: stopping at next feedback boundary (send again to force exit)\n", sig)
+		experiments.Interrupt()
+		sig = <-sigCh
+		fmt.Fprintf(os.Stderr, "kdebench: %v again: forcing exit\n", sig)
+		os.Exit(130)
+	}()
+
 	run := func(name string, fn func() error) {
 		start := time.Now()
 		fmt.Printf("==> %s\n", name)
 		if err := fn(); err != nil {
+			if errors.Is(err, experiments.ErrInterrupted) {
+				// Interrupted runs still flush their artifacts — the final
+				// checkpoint is already on disk, so a rerun resumes from it.
+				fmt.Fprintf(os.Stderr, "kdebench: %s: interrupted; flushing artifacts\n", name)
+				finish()
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "kdebench: %s: %v\n", name, err)
 			finish()
 			os.Exit(1)
@@ -332,6 +361,19 @@ func main() {
 		res.WriteTable(os.Stdout)
 		return nil
 	}
+	runNetwork := func() error {
+		cfg := experiments.NetworkConfig{Seed: *seed, Metrics: reg}
+		if *quick {
+			cfg.SampleSize = 512
+			cfg.QueriesPerClient = 40
+		}
+		res, err := experiments.Network(cfg)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	}
 	runAblations := func() error {
 		cfg := experiments.AblationConfig{Seed: *seed, Metrics: reg, Checkpoints: ckpts}
 		if *quick {
@@ -382,6 +424,8 @@ func main() {
 		run("ANALYZE under load (snapshot isolation)", runAnalyze)
 	case "registry":
 		run("multi-model registry (mixed traffic)", runRegistry)
+	case "network":
+		run("network resilience (chaos under overload)", runNetwork)
 	case "ablations":
 		run("ablations", runAblations)
 	case "all":
@@ -395,6 +439,7 @@ func main() {
 		run("serving throughput (coalescing)", runServe)
 		run("ANALYZE under load (snapshot isolation)", runAnalyze)
 		run("multi-model registry (mixed traffic)", runRegistry)
+		run("network resilience (chaos under overload)", runNetwork)
 		run("ablations", runAblations)
 	default:
 		fmt.Fprintf(os.Stderr, "kdebench: unknown experiment %q\n", *exp)

@@ -40,6 +40,17 @@
 // single-model persistence flags (-save/-load/-restore/-checkpoint) do not
 // apply in this mode.
 //
+// -listen :8080 switches to serving mode: instead of answering positional
+// queries, the process admits the model(s) into a registry and serves the
+// HTTP/JSON wire protocol of internal/httpserve (POST /estimate, /feedback,
+// /analyze; GET /models, /healthz, /readyz, /metrics) until SIGINT/SIGTERM.
+// The first signal drains gracefully — intake is refused with 503 +
+// Retry-After, in-flight requests finish (bounded by -drain-timeout), and
+// resident models checkpoint to -checkpoint-dir; a second signal forces an
+// immediate exit. -http-timeout sets the default per-request deadline
+// (callers override per request via timeout_ms). With -models, queries must
+// name their model; without it the single all-column model is the default.
+//
 // -checkpoint/-restore use the framed, CRC-checked checkpoint format of
 // internal/checkpoint, which additionally carries the learner accumulators,
 // reservoir position, and random stream so a restored estimator continues
@@ -91,6 +102,9 @@ func main() {
 		maxResid   = flag.Int("max-resident", 0, "with -models: cap resident models; LRU victims are checkpointed to -checkpoint-dir and restored on their next query (0 = unbounded)")
 		ckptDir    = flag.String("checkpoint-dir", "", "with -models: directory for per-model checkpoint rotation (also written on exit)")
 		precFlag   = flag.String("precision", "float64", "serving precision tier: float64 (exact) | float32 (4 B/value, rel err ≤ 1e-5) | quantized (int16, 2 B/value, rel err ≤ 1e-3); reduced tiers fall back to float64 if they miss their error contract")
+		listen     = flag.String("listen", "", "serve the model(s) over HTTP/JSON on this address (e.g. :8080) instead of answering positional queries; SIGINT/SIGTERM drains gracefully")
+		httpTo     = flag.Duration("http-timeout", time.Second, "with -listen: default per-request deadline (callers override via timeout_ms)")
+		drainTo    = flag.Duration("drain-timeout", 10*time.Second, "with -listen: how long a graceful drain waits for in-flight requests")
 	)
 	flag.Parse()
 	if m, ok := kdesel.ParseErfMode(*erfMode); ok {
@@ -138,6 +152,15 @@ func main() {
 		reg = metrics.New()
 	}
 
+	if *listen != "" {
+		if *savePath != "" || *loadPath != "" || *restore != "" || *ckptPath != "" {
+			fail("-listen is incompatible with -save/-load/-restore/-checkpoint (use -checkpoint-dir; models checkpoint there on drain)")
+		}
+		if *modelsSpec == "" && flag.NArg() > 0 {
+			fail("-listen serves queries over HTTP; positional queries are not answered")
+		}
+	}
+
 	if *modelsSpec != "" {
 		if *savePath != "" || *loadPath != "" || *restore != "" || *ckptPath != "" {
 			fail("-models is incompatible with -save/-load/-restore/-checkpoint (use -checkpoint-dir)")
@@ -162,7 +185,60 @@ func main() {
 			prec:        prec,
 			faults:      inj,
 			queries:     flag.Args(),
+			listen:      *listen,
+			httpTimeout: *httpTo,
+			drainTime:   *drainTo,
 		})
+		return
+	}
+
+	if *listen != "" {
+		// Serving mode: admit one all-column model into a registry so the HTTP
+		// frontend routes by model key and Close checkpoints on drain.
+		tableName := strings.TrimSuffix(filepath.Base(*dataPath), filepath.Ext(*dataPath))
+		cols := make([]int, tab.Dims())
+		for i := range cols {
+			cols[i] = i
+		}
+		key := kdesel.NewModelKey(tableName, cols...)
+		rreg := kdesel.NewRegistry(kdesel.RegistryConfig{
+			CheckpointDir: *ckptDir,
+			Workers:       *workers,
+			Metrics:       reg,
+		})
+		cfg := kdesel.Config{SampleSize: *sampleN, Seed: *seed, Faults: inj}
+		switch *mode {
+		case "heuristic":
+			cfg.Mode = kdesel.Heuristic
+		case "scv":
+			cfg.Mode = kdesel.SCV
+		case "batch":
+			cfg.Mode = kdesel.Batch
+			cfg.Training = selfTrain(tab, *trainN, *seed)
+		case "adaptive":
+			cfg.Mode = kdesel.Adaptive
+		default:
+			fail("unknown mode %q", *mode)
+		}
+		serveCfg := kdesel.ServeConfig{MaxBatch: *serveBatch, MaxWait: *serveWait, Precision: prec}
+		if err := rreg.Admit(key, tab, cfg, serveCfg); err != nil {
+			fail("admitting %s: %v", key, err)
+		}
+		if err := serveHTTP(rreg, serveOpts{
+			addr:         *listen,
+			deft:         key.String(),
+			timeout:      *httpTo,
+			drainTimeout: *drainTo,
+			met:          reg,
+			faults:       inj,
+		}); err != nil {
+			fail("%v", err)
+		}
+		rreg.Close()
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "model checkpoints written to %s\n", *ckptDir)
+		}
+		flushMetrics(*metricsOut, reg)
 		return
 	}
 
@@ -363,6 +439,9 @@ type modelsRun struct {
 	serveBatch      int
 	serveWait       time.Duration
 	prec            kdesel.Precision
+	listen          string
+	httpTimeout     time.Duration
+	drainTime       time.Duration
 	faults          *fault.Injector
 	queries         []string
 }
@@ -433,6 +512,31 @@ func runModels(r modelsRun) {
 		}
 	}
 
+	if r.listen != "" {
+		// Multi-model serving: callers route by naming a model; a default is
+		// only safe when there is exactly one.
+		deft := ""
+		if len(keys) == 1 {
+			deft = keys[0].String()
+		}
+		if err := serveHTTP(reg, serveOpts{
+			addr:         r.listen,
+			deft:         deft,
+			timeout:      r.httpTimeout,
+			drainTimeout: r.drainTime,
+			met:          r.met,
+			faults:       r.faults,
+		}); err != nil {
+			fail("%v", err)
+		}
+		reg.Close()
+		if r.ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "model checkpoints written to %s\n", r.ckptDir)
+		}
+		flushMetrics(r.metricsOut, r.met)
+		return
+	}
+
 	// Parse every routed query up front so a typo fails before any serving.
 	type routed struct {
 		key kdesel.ModelKey
@@ -489,19 +593,25 @@ func runModels(r modelsRun) {
 		fmt.Fprintf(os.Stderr, "model checkpoints written to %s\n", r.ckptDir)
 	}
 
-	if r.metricsOut != "" {
-		f, err := os.Create(r.metricsOut)
-		if err != nil {
-			fail("creating metrics file: %v", err)
-		}
-		if err := r.met.WriteJSON(f); err != nil {
-			fail("writing metrics: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			fail("closing metrics file: %v", err)
-		}
-		fmt.Fprintf(os.Stderr, "metrics written to %s\n", r.metricsOut)
+	flushMetrics(r.metricsOut, r.met)
+}
+
+// flushMetrics writes a JSON snapshot to path when -metrics-out asked for one.
+func flushMetrics(path string, met *metrics.Registry) {
+	if path == "" {
+		return
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail("creating metrics file: %v", err)
+	}
+	if err := met.WriteJSON(f); err != nil {
+		fail("writing metrics: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("closing metrics file: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "metrics written to %s\n", path)
 }
 
 // parseModelSpec parses "0,1;1,2" into ordered column subsets, validating

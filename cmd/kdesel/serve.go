@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kdesel"
+	"kdesel/internal/fault"
+	"kdesel/internal/metrics"
+)
+
+// serveOpts carries the -listen serving-mode knobs.
+type serveOpts struct {
+	addr         string
+	deft         string // default model key ("" = callers must name one)
+	timeout      time.Duration
+	drainTimeout time.Duration
+	met          *metrics.Registry
+	faults       *fault.Injector
+}
+
+// serveHTTP runs the HTTP frontend over reg until SIGINT/SIGTERM, then
+// drains gracefully: intake stops (503 + Retry-After), in-flight requests
+// finish (bounded by -drain-timeout), and the function returns so the
+// caller can checkpoint and close the registry. A second signal forces an
+// immediate exit — the escape hatch when a drain wedges.
+func serveHTTP(reg *kdesel.Registry, o serveOpts) error {
+	fe, err := kdesel.NewHTTPServer(kdesel.HTTPConfig{
+		Registry:       reg,
+		DefaultModel:   o.deft,
+		DefaultTimeout: o.timeout,
+		Metrics:        o.met,
+		Faults:         o.faults,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: fe}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	fmt.Fprintf(os.Stderr, "serving on http://%s (default model %q); SIGINT/SIGTERM drains, second signal forces exit\n",
+		ln.Addr(), o.deft)
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("http server: %w", err)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "kdesel: %v: draining (send again to force exit)\n", sig)
+	}
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "kdesel: %v again: forcing exit\n", sig)
+		os.Exit(130)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := fe.Drain(ctx); err != nil {
+		// Keep shutting down: a wedged in-flight request must not block the
+		// final checkpoint.
+		fmt.Fprintf(os.Stderr, "kdesel: %v\n", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		hs.Close()
+	}
+	return nil
+}

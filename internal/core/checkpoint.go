@@ -40,7 +40,7 @@ func (e *Estimator) Checkpoint(path string) error {
 		Snap:      e.makeSnapshot(flat),
 		RNGDraws:  e.src.Draws(),
 		Workers:   e.cfg.Workers,
-		Health:    int(e.health),
+		Health:    int(e.Health()),
 		LastEvent: e.lastEvent,
 		GradTrips: e.gradTrips,
 	}
@@ -95,7 +95,7 @@ func RestoreCheckpoint(path string, tab *table.Table, dev *gpu.Device) (*Estimat
 	if e.host != nil {
 		e.host.SetWorkers(st.Workers)
 	}
-	e.health = Health(st.Health)
+	e.health.Store(int32(st.Health))
 	e.lastEvent = st.LastEvent
 	e.gradTrips = st.GradTrips
 	// Reapply the checkpointed serving precision (v1 frames carry meta 0 =

@@ -178,7 +178,7 @@ type Estimator struct {
 	// injector; gradTrips counts consecutive rejected feedback gradients,
 	// fbPanics the panics recovered out of the feedback path.
 	faults    *fault.Injector
-	health    Health
+	health    atomic.Int32 // Health; atomic so Health() is lock-free for readiness probes
 	lastEvent string
 	gradTrips int
 	fbPanics  int
@@ -296,7 +296,7 @@ func Build(tab *table.Table, cfg Config) (*Estimator, error) {
 			// A diverged optimizer must not fail ANALYZE: degrade to the
 			// Scott's-rule starting point and flag the model.
 			h = kde.ScottBandwidth(flat, d)
-			e.health = Degraded
+			e.health.Store(int32(Degraded))
 			e.lastEvent = "batch optimizer diverged; using Scott's rule"
 			buildResets++
 		}
@@ -324,7 +324,7 @@ func Build(tab *table.Table, cfg Config) (*Estimator, error) {
 			e.hostMirror = append([]float64(nil), flat...)
 			onDevice = true
 		case errors.Is(err, fault.ErrInjected):
-			e.health = Degraded
+			e.health.Store(int32(Degraded))
 			e.lastEvent = "device unavailable at build; placed model on host"
 			buildFallbacks++
 		default:
@@ -368,7 +368,7 @@ func Build(tab *table.Table, cfg Config) (*Estimator, error) {
 		}
 	}
 	e.Instrument(cfg.Metrics)
-	if e.health != Healthy {
+	if e.Health() != Healthy {
 		e.met.degradations.Inc()
 		e.met.bandwidthResets.Add(int64(buildResets))
 		e.met.gpuFallbacks.Add(int64(buildFallbacks))
@@ -460,7 +460,7 @@ func (e *Estimator) Instrument(reg *metrics.Registry) {
 	}
 	// Degradation state as a pull-style gauge: 0 healthy, 1 degraded,
 	// 2 fallback (see health.go).
-	reg.RegisterGaugeFunc("core.health", func() float64 { return float64(e.health) })
+	reg.RegisterGaugeFunc("core.health", func() float64 { return float64(e.health.Load()) })
 	// Age of the published read snapshot: how stale a lock-free estimate can
 	// be relative to the writer's latest mutation. 0 when snapshot-isolated
 	// serving is off (no Server, or SerializeEstimates).

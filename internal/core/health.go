@@ -65,8 +65,10 @@ func (h Health) String() string {
 	}
 }
 
-// Health returns the estimator's current degradation state.
-func (e *Estimator) Health() Health { return e.health }
+// Health returns the estimator's current degradation state. It is safe to
+// call without the owner's writer lock: the state is atomic so health and
+// readiness probes never block behind a long ANALYZE.
+func (e *Estimator) Health() Health { return Health(e.health.Load()) }
 
 // SetFaultInjector attaches an estimator-level fault injector (normally
 // wired through Config.Faults); nil detaches. Injectors are not part of
@@ -82,9 +84,15 @@ func (e *Estimator) LastDegradation() string { return e.lastEvent }
 // clear it).
 func (e *Estimator) setHealth(h Health, reason string) {
 	e.lastEvent = reason
-	if h > e.health {
-		e.health = h
-		e.met.degradations.Inc()
+	for {
+		cur := e.health.Load()
+		if int32(h) <= cur {
+			return
+		}
+		if e.health.CompareAndSwap(cur, int32(h)) {
+			e.met.degradations.Inc()
+			return
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -192,12 +193,27 @@ func (s *Server) Coalescing() bool { return s.b.Load() != nil }
 // the immutable dimensionality, so malformed queries are rejected at memory
 // speed without occupying a batch slot or waking the scheduler.
 func (s *Server) Estimate(q query.Range) (float64, error) {
+	return s.EstimateContext(context.Background(), q)
+}
+
+// EstimateContext is Estimate with deadline/cancellation propagation, the
+// entry point for networked serving: an expired context unblocks the caller
+// immediately — including while the request is parked in the coalescer's
+// queue, where the abandoned slot is reclaimed without riding a batch (see
+// serve.Batcher.EstimateContext) — and a request that would otherwise wait
+// on the writer mutex behind a long ANALYZE gives up instead. A context that
+// expires after evaluation returns the computed (and counted) estimate, so
+// Queries() accounting matches delivered results exactly.
+func (s *Server) EstimateContext(ctx context.Context, q query.Range) (float64, error) {
 	if err := s.est.validateQuery(q); err != nil {
 		s.est.met.invalidQueries.Inc()
 		return 0, err
 	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if b := s.b.Load(); b != nil {
-		est, err := b.Estimate(q)
+		est, err := b.EstimateContext(ctx, q)
 		if err == nil || !errors.Is(err, serve.ErrClosed) {
 			return est, err
 		}
@@ -212,9 +228,48 @@ func (s *Server) Estimate(q query.Range) (float64, error) {
 			return est, nil
 		}
 	}
-	s.mu.Lock()
+	// The writer mutex can be held for seconds by ANALYZE; poll the context
+	// while contending so a deadline-bound caller is never parked on it.
+	if err := acquireCtx(ctx, &s.mu); err != nil {
+		return 0, err
+	}
 	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	return s.est.Estimate(q)
+}
+
+// acquireCtx locks mu unless ctx expires first. sync.Mutex has no native
+// cancellable acquire; a TryLock spin with a short parked wait approximates
+// one without spawning a goroutine per contended request.
+func acquireCtx(ctx context.Context, mu *sync.Mutex) error {
+	if mu.TryLock() {
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		mu.Lock()
+		return nil
+	}
+	const park = 100 * time.Microsecond
+	for {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+		if mu.TryLock() {
+			return nil
+		}
+		timer := time.NewTimer(park)
+		select {
+		case <-done:
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
 }
 
 // Feedback delivers observed true selectivity; see Estimator.Feedback.
@@ -288,12 +343,10 @@ func (s *Server) ActivePrecision() mathx.Precision {
 	return s.est.ActivePrecision()
 }
 
-// Health returns the estimator's degradation state.
-func (s *Server) Health() Health {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.est.Health()
-}
+// Health returns the estimator's degradation state. Lock-free: the state is
+// atomic, so readiness probes never block behind a long ANALYZE holding the
+// writer mutex.
+func (s *Server) Health() Health { return s.est.Health() }
 
 // Queries returns the number of estimates served. Lock-free: the counter is
 // atomic because snapshot-path estimates bump it without the writer lock.

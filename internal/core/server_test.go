@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -656,4 +657,71 @@ func TestTwoServersOneMetricsRegistry(t *testing.T) {
 		t.Error("surviving server's gauge removed by the other's Close")
 	}
 	sb.Close()
+}
+
+// TestEstimateContext covers the deadline-propagation contract of the
+// serving entry point: an expired context is rejected before any work, a
+// deadline-bound request contending the writer mutex (serialize mode, no
+// snapshots to fall back to) gives up with the context's error instead of
+// parking behind the writer, and Health stays readable throughout — the
+// readiness probe must never block behind a stuck writer.
+func TestEstimateContext(t *testing.T) {
+	tab := buildClusteredTable(t, 300, 5)
+	est, err := Build(tab, Config{Mode: Heuristic, SampleSize: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize mode with coalescing off: every estimate goes through the
+	// writer mutex, the worst case for deadline propagation.
+	s := NewServer(est, ServeConfig{MaxBatch: -1, SerializeEstimates: true})
+	defer s.Close()
+	rng := rand.New(rand.NewSource(5))
+	q := dataQuery(tab, rng, 1.5)
+
+	expired, stop := context.WithCancel(context.Background())
+	stop()
+	if _, err := s.EstimateContext(expired, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired ctx: err = %v, want context.Canceled", err)
+	}
+	if got := est.Queries(); got != 0 {
+		t.Fatalf("expired ctx was counted: Queries() = %d", got)
+	}
+
+	// Park a fake writer on the mutex (stands in for a long ANALYZE).
+	release := make(chan struct{})
+	held := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		close(held)
+		<-release
+		s.mu.Unlock()
+	}()
+	<-held
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := s.EstimateContext(ctx, q); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("contended writer: err = %v, want context.DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("caller parked %v on a held writer mutex despite a 5ms deadline", waited)
+	}
+	if h := s.Health(); h != Healthy {
+		t.Fatalf("Health() = %v while writer held, want Healthy (and non-blocking)", h)
+	}
+	close(release)
+
+	// With the writer free again, a generous deadline serves normally and
+	// the query is counted exactly once.
+	got, err := s.EstimateContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(got) || got < 0 || got > 1 {
+		t.Fatalf("estimate = %v", got)
+	}
+	if n := est.Queries(); n != 1 {
+		t.Fatalf("Queries() = %d, want 1", n)
+	}
 }

@@ -258,20 +258,38 @@ func (c CheckpointConfig) enabled() bool { return c.Dir != "" && c.Every > 0 }
 // trainEstimator runs the training workload through the feedback loop —
 // a no-op for Heuristic/SCV, model refinement for STHoles and Adaptive
 // (Batch consumed the training set at construction) — checkpointing the
-// model periodically when ckpt is enabled.
+// model periodically when ckpt is enabled. It polls the process-level
+// interrupt flag between feedbacks: on interrupt it writes one final
+// checkpoint (when enabled) and returns ErrInterrupted, so a signal lands
+// with model state persisted rather than discarded.
 func trainEstimator(e estimator, train []query.Feedback, ckpt CheckpointConfig) error {
 	ce, _ := e.(*coreEstimator)
+	checkpoint := func() error {
+		if !ckpt.enabled() || ce == nil {
+			return nil
+		}
+		path := filepath.Join(ckpt.Dir, ce.name+".ckpt")
+		if err := ce.est.Checkpoint(path); err != nil {
+			return fmt.Errorf("experiments: checkpointing %s: %w", ce.name, err)
+		}
+		return nil
+	}
 	for i, fb := range train {
+		if Interrupted() {
+			if err := checkpoint(); err != nil {
+				return err
+			}
+			return ErrInterrupted
+		}
 		if _, err := e.Estimate(fb.Query); err != nil {
 			return err
 		}
 		if err := e.Feedback(fb.Query, fb.Actual); err != nil {
 			return err
 		}
-		if ckpt.enabled() && ce != nil && (i+1)%ckpt.Every == 0 {
-			path := filepath.Join(ckpt.Dir, ce.name+".ckpt")
-			if err := ce.est.Checkpoint(path); err != nil {
-				return fmt.Errorf("experiments: checkpointing %s: %w", ce.name, err)
+		if ckpt.enabled() && (i+1)%ckpt.Every == 0 {
+			if err := checkpoint(); err != nil {
+				return err
 			}
 		}
 	}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInterrupted reports that an experiment stopped early because the
+// process-level interrupt flag was raised (typically by a SIGINT/SIGTERM
+// handler in the driving binary). The experiment has already written a
+// final checkpoint when checkpointing is enabled, so a rerun can resume
+// instead of restarting.
+var ErrInterrupted = errors.New("experiments: interrupted")
+
+// interrupted is the process-level cooperative stop flag. Training loops
+// poll it between feedbacks — the one place an experiment can stop with
+// its state consistent and checkpointable.
+var interrupted atomic.Bool
+
+// Interrupt raises the cooperative stop flag. Safe to call from a signal
+// handler goroutine; idempotent.
+func Interrupt() { interrupted.Store(true) }
+
+// Interrupted reports whether the stop flag is raised.
+func Interrupted() bool { return interrupted.Load() }
+
+// ResetInterrupt lowers the stop flag (used by tests).
+func ResetInterrupt() { interrupted.Store(false) }

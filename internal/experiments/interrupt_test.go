@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kdesel/internal/datagen"
+	"kdesel/internal/table"
+	"kdesel/internal/workload"
+)
+
+// TestTrainEstimatorInterrupt raises the process interrupt flag mid-train
+// and asserts the loop stops with ErrInterrupted after writing one final
+// checkpoint — the contract the kdebench signal handler relies on.
+func TestTrainEstimatorInterrupt(t *testing.T) {
+	defer ResetInterrupt()
+
+	rng := rand.New(rand.NewSource(5))
+	ds := datagen.Synthetic(rng, 1200, 2, 10, 0.1)
+	tab, err := table.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.InsertMany(ds.Rows); err != nil {
+		t.Fatal(err)
+	}
+	train, _, err := makeWorkload(tab, workload.UV, 30, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := buildEstimator(buildSpec{name: "Adaptive", tab: tab, budget: 256 * 8 * 2, seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ckpt := CheckpointConfig{Dir: dir, Every: 1000} // period never reached
+	path := filepath.Join(dir, "Adaptive.ckpt")
+
+	Interrupt()
+	if !Interrupted() {
+		t.Fatal("Interrupt() did not raise the flag")
+	}
+	if err := trainEstimator(e, train, ckpt); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("trainEstimator under interrupt: err = %v, want ErrInterrupted", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("interrupt must leave a final checkpoint: %v", err)
+	}
+
+	// Lowering the flag lets the same loop run to completion.
+	ResetInterrupt()
+	if err := trainEstimator(e, train, ckpt); err != nil {
+		t.Fatalf("trainEstimator after reset: %v", err)
+	}
+
+	// Without checkpointing enabled the interrupt still stops the loop but
+	// writes nothing.
+	Interrupt()
+	if err := trainEstimator(e, train, CheckpointConfig{}); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("trainEstimator (no ckpt) under interrupt: err = %v, want ErrInterrupted", err)
+	}
+}

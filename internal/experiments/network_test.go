@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kdesel/internal/metrics"
+)
+
+func TestNetworkShape(t *testing.T) {
+	reg := metrics.New()
+	res, err := Network(NetworkConfig{
+		SampleSize:       512,
+		MaxInFlight:      2,
+		MaxQueue:         2,
+		Overload:         4,
+		QueriesPerClient: 30,
+		Seed:             11,
+		Metrics:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []NetworkPoint{res.Baseline, res.Chaos} {
+		name := "baseline"
+		if p.Faulted {
+			name = "chaos"
+		}
+		if p.Issued != p.Clients*30 {
+			t.Errorf("%s: issued = %d, want %d", name, p.Issued, p.Clients*30)
+		}
+		if p.Accepted == 0 {
+			t.Errorf("%s: no requests accepted", name)
+		}
+		// 8 closed-loop clients over 2 slots + 2 queue seats must shed.
+		if p.Shed == 0 {
+			t.Errorf("%s: overload produced no shed requests", name)
+		}
+		// The accounting identity is the experiment's hard guarantee:
+		// accepted + shed + failed == issued, client and server agreeing.
+		if !p.Exact {
+			t.Errorf("%s: accounting not exact: issued=%d accepted=%d shed=%d failed=%d server(req=%d acc=%d shed=%d)",
+				name, p.Issued, p.Accepted, p.Shed, p.Failed,
+				p.ServerRequests, p.ServerAccepted, p.ServerShed)
+		}
+	}
+	if res.Baseline.Failed != 0 {
+		t.Errorf("baseline run failed %d requests without fault injection", res.Baseline.Failed)
+	}
+	// The chaos schedule must actually fire; drops and 5xx surface as
+	// client-side failures.
+	if res.Chaos.Drops == 0 || res.Chaos.Errors5xx == 0 || res.Chaos.Delays == 0 {
+		t.Errorf("chaos run fired no faults: delays=%d 5xx=%d drops=%d",
+			res.Chaos.Delays, res.Chaos.Errors5xx, res.Chaos.Drops)
+	}
+	if res.Chaos.Failed == 0 {
+		t.Error("chaos run reports no failed requests despite injected faults")
+	}
+	if !res.AccountingExact {
+		t.Error("AccountingExact = false")
+	}
+	if res.Metrics == nil {
+		t.Error("metrics snapshot missing")
+	}
+	var buf bytes.Buffer
+	res.WriteTable(&buf)
+	for _, want := range []string{"accounting exact", "fast rejection", "bounded tail"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("network table missing %q", want)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Point names an injectable failure site in the pipeline.
@@ -51,10 +52,21 @@ const (
 	// CheckpointCorrupt flips a byte in a written checkpoint so the CRC
 	// check fails on restore.
 	CheckpointCorrupt Point = "checkpoint"
+	// NetDrop severs a network connection mid-request (the HTTP frontend
+	// aborts the response stream without writing a status line).
+	NetDrop Point = "netdrop"
+	// NetError makes the HTTP frontend answer a request with a 500 before
+	// any estimator work runs.
+	NetError Point = "net5xx"
+	// NetDelay stalls a request at the network edge for the rule's Delay
+	// before normal processing, simulating congestion or a slow proxy hop.
+	// Pair it with a delay= term; a delay-only rule fires on every
+	// occurrence.
+	NetDelay Point = "netdelay"
 )
 
 // Points lists every defined fault point.
-var Points = []Point{DeviceTransfer, KernelLaunch, OptimizerDiverge, GradientNonFinite, CheckpointCorrupt}
+var Points = []Point{DeviceTransfer, KernelLaunch, OptimizerDiverge, GradientNonFinite, CheckpointCorrupt, NetDrop, NetError, NetDelay}
 
 // ErrInjected is the sentinel wrapped by every injected failure. The
 // resilience layer retries and degrades only on errors in this class.
@@ -92,6 +104,10 @@ type Rule struct {
 	// Limit caps the number of injected failures for this point; 0 means
 	// unlimited.
 	Limit int
+	// Delay is the stall injected when a latency point (NetDelay) fires.
+	// A rule whose only clause is Delay fires on every occurrence; combine
+	// with At/Every/Prob/Limit to stall selectively.
+	Delay time.Duration
 }
 
 // matches reports whether occurrence n (1-based) fires under the rule,
@@ -109,6 +125,11 @@ func (r Rule) matches(n int, fired int, rng *rand.Rand) bool {
 		return true
 	}
 	if r.Prob > 0 && rng.Float64() < r.Prob {
+		return true
+	}
+	// A delay-only rule has no firing clause of its own: it stalls every
+	// occurrence (subject to Limit, checked above).
+	if r.Delay > 0 && len(r.At) == 0 && r.Every == 0 && r.Prob == 0 {
 		return true
 	}
 	return false
@@ -185,6 +206,29 @@ func (in *Injector) Err(p Point, op string) error {
 	return &Error{Point: p, Op: op, Occurrence: n}
 }
 
+// FireDelay registers one occurrence of point p and returns the stall to
+// inject if the rule fires, 0 otherwise. It is the latency counterpart of
+// Fire: the caller is expected to sleep for the returned duration. A firing
+// rule without a delay= term counts as fired but stalls nothing. Always 0 on
+// a nil injector, with no occurrence counted.
+func (in *Injector) FireDelay(p Point) time.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seen[p]++
+	r, ok := in.rules[p]
+	if !ok {
+		return 0
+	}
+	if r.matches(in.seen[p], in.fired[p], in.rng) {
+		in.fired[p]++
+		return r.Delay
+	}
+	return 0
+}
+
 // Seen returns how many occurrences of p were registered; 0 on nil.
 func (in *Injector) Seen(p Point) int {
 	if in == nil {
@@ -212,17 +256,44 @@ func (in *Injector) String() string {
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	points := make([]string, 0, len(in.rules))
-	for p := range in.rules {
+	return "fault: " + in.rules.String()
+}
+
+// String renders the schedule in the canonical ParseSchedule grammar:
+// clauses sorted by point name, terms ordered At (ascending), every=,
+// prob=, limit=, delay=. The rendering round-trips — ParseSchedule of the
+// result reproduces an equivalent schedule — so specs can be logged,
+// stored, and replayed.
+func (s Schedule) String() string {
+	points := make([]string, 0, len(s))
+	for p := range s {
 		points = append(points, string(p))
 	}
 	sort.Strings(points)
-	parts := make([]string, 0, len(points))
+	clauses := make([]string, 0, len(points))
 	for _, p := range points {
-		r := in.rules[Point(p)]
-		parts = append(parts, fmt.Sprintf("%s%v", p, r))
+		r := s[Point(p)]
+		at := append([]int(nil), r.At...)
+		sort.Ints(at)
+		terms := make([]string, 0, len(at)+4)
+		for _, a := range at {
+			terms = append(terms, strconv.Itoa(a))
+		}
+		if r.Every > 0 {
+			terms = append(terms, fmt.Sprintf("every=%d", r.Every))
+		}
+		if r.Prob > 0 {
+			terms = append(terms, fmt.Sprintf("prob=%s", strconv.FormatFloat(r.Prob, 'g', -1, 64)))
+		}
+		if r.Limit > 0 {
+			terms = append(terms, fmt.Sprintf("limit=%d", r.Limit))
+		}
+		if r.Delay > 0 {
+			terms = append(terms, fmt.Sprintf("delay=%s", r.Delay))
+		}
+		clauses = append(clauses, p+":"+strings.Join(terms, ","))
 	}
-	return "fault: " + strings.Join(parts, " ")
+	return strings.Join(clauses, ";")
 }
 
 // EnvVar and EnvSeedVar name the environment knobs read by FromEnv.
@@ -258,14 +329,18 @@ func FromEnv() (*Injector, error) {
 //
 //	spec     = clause *(";" clause)
 //	clause   = point ":" term *("," term)
-//	term     = INDEX | "every=" N | "prob=" P | "limit=" N
+//	term     = INDEX | "every=" N | "prob=" P | "limit=" N | "delay=" DUR
 //
-// where point is one of transfer, launch, optimizer, gradient, checkpoint.
-// Bare integers are exact 1-based occurrence indices. Examples:
+// where point is one of transfer, launch, optimizer, gradient, checkpoint,
+// netdrop, net5xx, netdelay. Bare integers are exact 1-based occurrence
+// indices; DUR is a time.ParseDuration string (e.g. 5ms). A clause whose
+// only term is delay= stalls every occurrence. Examples:
 //
 //	transfer:3,5                 third and fifth transfers fail
 //	gradient:every=7,limit=3     every 7th gradient, at most 3 times
 //	launch:prob=0.05;checkpoint:1
+//	netdelay:delay=5ms           stall every request 5ms at the edge
+//	netdelay:every=4,delay=20ms  stall every 4th request 20ms
 func ParseSchedule(spec string) (Schedule, error) {
 	s := make(Schedule)
 	for _, clause := range strings.Split(spec, ";") {
@@ -306,6 +381,12 @@ func ParseSchedule(spec string) (Schedule, error) {
 					return nil, fmt.Errorf("fault: bad term %q in %q", term, clause)
 				}
 				r.Limit = n
+			case strings.HasPrefix(term, "delay="):
+				d, err := time.ParseDuration(term[len("delay="):])
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("fault: bad term %q in %q", term, clause)
+				}
+				r.Delay = d
 			default:
 				n, err := strconv.Atoi(term)
 				if err != nil || n <= 0 {

@@ -2,7 +2,10 @@ package fault
 
 import (
 	"errors"
+	"reflect"
+	"sort"
 	"testing"
+	"time"
 )
 
 func TestNilInjectorIsNoOp(t *testing.T) {
@@ -162,4 +165,123 @@ func TestFromEnv(t *testing.T) {
 	if _, err := FromEnv(); err == nil {
 		t.Fatal("malformed env seed accepted")
 	}
+}
+
+func TestFireDelay(t *testing.T) {
+	in := New(1, Schedule{NetDelay: {Delay: 5 * time.Millisecond}})
+	for i := 1; i <= 3; i++ {
+		if d := in.FireDelay(NetDelay); d != 5*time.Millisecond {
+			t.Fatalf("occurrence %d: delay = %v, want 5ms", i, d)
+		}
+	}
+	if in.Seen(NetDelay) != 3 || in.Fired(NetDelay) != 3 {
+		t.Fatalf("seen=%d fired=%d, want 3/3", in.Seen(NetDelay), in.Fired(NetDelay))
+	}
+
+	var nilIn *Injector
+	if d := nilIn.FireDelay(NetDelay); d != 0 {
+		t.Fatalf("nil injector delay = %v", d)
+	}
+}
+
+func TestFireDelaySelective(t *testing.T) {
+	in := New(1, Schedule{NetDelay: {Every: 3, Delay: 20 * time.Millisecond, Limit: 2}})
+	var stalled []int
+	for i := 1; i <= 12; i++ {
+		if d := in.FireDelay(NetDelay); d > 0 {
+			if d != 20*time.Millisecond {
+				t.Fatalf("occurrence %d: delay = %v, want 20ms", i, d)
+			}
+			stalled = append(stalled, i)
+		}
+	}
+	if len(stalled) != 2 || stalled[0] != 3 || stalled[1] != 6 {
+		t.Fatalf("stalled at %v, want [3 6]", stalled)
+	}
+}
+
+func TestParseDelayTerm(t *testing.T) {
+	s, err := ParseSchedule("netdelay:delay=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s[NetDelay]
+	if r.Delay != 5*time.Millisecond {
+		t.Fatalf("Delay = %v, want 5ms", r.Delay)
+	}
+	// A delay-only rule fires on every occurrence.
+	in := New(1, s)
+	for i := 1; i <= 4; i++ {
+		if d := in.FireDelay(NetDelay); d != 5*time.Millisecond {
+			t.Fatalf("occurrence %d: delay = %v", i, d)
+		}
+	}
+
+	s, err = ParseSchedule("netdelay:every=4,delay=250us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s[NetDelay]; r.Every != 4 || r.Delay != 250*time.Microsecond {
+		t.Fatalf("rule = %+v", r)
+	}
+
+	for _, bad := range []string{"netdelay:delay=", "netdelay:delay=-5ms", "netdelay:delay=0s", "netdelay:delay=fast"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Fatalf("ParseSchedule(%q) accepted a bad delay", bad)
+		}
+	}
+}
+
+func TestParseNetworkPoints(t *testing.T) {
+	s, err := ParseSchedule("netdrop:prob=0.1;net5xx:every=9;netdelay:delay=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[NetDrop].Prob != 0.1 || s[NetError].Every != 9 || s[NetDelay].Delay != time.Millisecond {
+		t.Fatalf("schedule = %+v", s)
+	}
+}
+
+func TestScheduleStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"transfer:3,5",
+		"gradient:every=7,limit=3",
+		"launch:prob=0.05;checkpoint:1",
+		"netdelay:delay=5ms",
+		"netdelay:every=4,delay=20ms,limit=2",
+		"netdrop:prob=0.25;net5xx:every=9,limit=4;netdelay:delay=250us",
+		"transfer:5,3,1,every=2,prob=0.5,limit=9,delay=1.5ms",
+	}
+	for _, spec := range specs {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", spec, err)
+		}
+		rendered := s.String()
+		back, err := ParseSchedule(rendered)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q) [rendered from %q]: %v", rendered, spec, err)
+		}
+		if !reflect.DeepEqual(normalizeSchedule(back), normalizeSchedule(s)) {
+			t.Fatalf("round trip of %q: got %+v via %q, want %+v", spec, back, rendered, s)
+		}
+		// The canonical rendering is a fixed point.
+		if again := back.String(); again != rendered {
+			t.Fatalf("String not canonical: %q -> %q", rendered, again)
+		}
+	}
+}
+
+func normalizeSchedule(s Schedule) Schedule {
+	out := make(Schedule, len(s))
+	for p, r := range s {
+		at := append([]int(nil), r.At...)
+		sort.Ints(at)
+		if len(at) == 0 {
+			at = nil
+		}
+		r.At = at
+		out[p] = r
+	}
+	return out
 }

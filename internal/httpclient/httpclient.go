@@ -1,0 +1,344 @@
+// Package httpclient is the Go client for the httpserve wire protocol,
+// built around the protocol's retry/idempotency contract:
+//
+//   - Estimates are idempotent — re-asking the same selectivity question is
+//     free — so the client retries them on transport errors, 429 (shed),
+//     and 5xx, with capped exponential backoff plus jitter, honouring the
+//     server's Retry-After / Retry-After-Ms hints.
+//
+//   - Feedback and ANALYZE are NOT idempotent: each feedback delivery is
+//     one learning observation, and a duplicated delivery would double its
+//     weight in the bandwidth learner. The client never retries them; a
+//     failed delivery surfaces to the caller, who owns the decision (the
+//     observation is advisory tuning signal and is usually just dropped).
+//
+// Retries respect the caller's context end to end: backoff sleeps abort on
+// cancellation, and the per-attempt request carries the context, so a
+// deadline bounds the whole retry loop, not one attempt.
+package httpclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Defaults for the retry policy; see Config.
+const (
+	DefaultMaxRetries  = 3
+	DefaultBaseBackoff = 5 * time.Millisecond
+	DefaultMaxBackoff  = 250 * time.Millisecond
+)
+
+// Config tunes a Client. BaseURL is required; everything else defaults.
+type Config struct {
+	// BaseURL is the frontend's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient is the underlying transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxRetries caps retry attempts after the first try of an idempotent
+	// call (default DefaultMaxRetries; negative disables retrying).
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff (default DefaultBaseBackoff);
+	// each subsequent retry doubles it up to MaxBackoff, then adds up to 50%
+	// jitter. A server Retry-After hint overrides the computed backoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default DefaultMaxBackoff).
+	MaxBackoff time.Duration
+	// Seed seeds the jitter stream (default 1), so tests can fix it.
+	Seed int64
+}
+
+// StatusError is a non-2xx response decoded from the wire error taxonomy.
+type StatusError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Code is the machine-readable taxonomy code ("shed", "deadline", ...).
+	Code string
+	// Message is the human-readable error.
+	Message string
+	// RetryAfter is the server's backoff hint, 0 when absent.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("httpclient: server answered %d (%s): %s", e.StatusCode, e.Code, e.Message)
+}
+
+// ErrShed marks 429 responses — the request was load-shed and retrying
+// after backoff is expected to succeed. Match with errors.Is.
+var ErrShed = errors.New("httpclient: request shed")
+
+// ErrUnavailable marks 503 responses — the server is draining or closed.
+var ErrUnavailable = errors.New("httpclient: server unavailable")
+
+// Is routes errors.Is(err, ErrShed) and errors.Is(err, ErrUnavailable).
+func (e *StatusError) Is(target error) bool {
+	switch target {
+	case ErrShed:
+		return e.StatusCode == http.StatusTooManyRequests
+	case ErrUnavailable:
+		return e.StatusCode == http.StatusServiceUnavailable
+	}
+	return false
+}
+
+// Client talks to one httpserve frontend. Safe for concurrent use.
+// Construct with New.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	baseBo  time.Duration
+	maxBo   time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Retries counts retry attempts actually performed (for tests and
+	// experiment accounting).
+	retried int64
+}
+
+// New builds a client for the frontend at cfg.BaseURL.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("httpclient: Config.BaseURL is required")
+	}
+	c := &Client{
+		base:    cfg.BaseURL,
+		hc:      cfg.HTTPClient,
+		retries: cfg.MaxRetries,
+		baseBo:  cfg.BaseBackoff,
+		maxBo:   cfg.MaxBackoff,
+	}
+	if c.hc == nil {
+		c.hc = http.DefaultClient
+	}
+	switch {
+	case c.retries == 0:
+		c.retries = DefaultMaxRetries
+	case c.retries < 0:
+		c.retries = 0
+	}
+	if c.baseBo <= 0 {
+		c.baseBo = DefaultBaseBackoff
+	}
+	if c.maxBo <= 0 {
+		c.maxBo = DefaultMaxBackoff
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c.rng = rand.New(rand.NewSource(seed))
+	return c, nil
+}
+
+// Retried returns how many retry attempts the client has performed.
+func (c *Client) Retried() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retried
+}
+
+type estimateRequest struct {
+	Model string    `json:"model,omitempty"`
+	Lo    []float64 `json:"lo"`
+	Hi    []float64 `json:"hi"`
+}
+
+type estimateResponse struct {
+	Model       string  `json:"model"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+type feedbackRequest struct {
+	Model  string    `json:"model,omitempty"`
+	Lo     []float64 `json:"lo"`
+	Hi     []float64 `json:"hi"`
+	Actual float64   `json:"actual"`
+}
+
+// Estimate asks for the selectivity of [lo, hi] on model (empty model uses
+// the server's default). Idempotent: transport errors, 429, and 5xx are
+// retried with backoff until ctx expires or retries are exhausted; the last
+// error is returned.
+func (c *Client) Estimate(ctx context.Context, model string, lo, hi []float64) (float64, error) {
+	body, err := json.Marshal(estimateRequest{Model: model, Lo: lo, Hi: hi})
+	if err != nil {
+		return 0, err
+	}
+	var out estimateResponse
+	if err := c.doRetry(ctx, "/estimate", body, &out); err != nil {
+		return 0, err
+	}
+	return out.Selectivity, nil
+}
+
+// Feedback delivers one observed true selectivity. NEVER retried: a
+// duplicated delivery would double-weight the observation in the learner.
+// Callers treat a failed delivery as a dropped advisory signal.
+func (c *Client) Feedback(ctx context.Context, model string, lo, hi []float64, actual float64) error {
+	body, err := json.Marshal(feedbackRequest{Model: model, Lo: lo, Hi: hi, Actual: actual})
+	if err != nil {
+		return err
+	}
+	return c.doOnce(ctx, "/feedback", body, nil)
+}
+
+// Analyze submits a feedback batch for background re-optimization (the
+// ANALYZE step). Like Feedback it is not idempotent and never retried.
+func (c *Client) Analyze(ctx context.Context, model string, lo, hi [][]float64, actual []float64) error {
+	if len(lo) != len(hi) || len(lo) != len(actual) {
+		return errors.New("httpclient: Analyze wants equal-length lo/hi/actual")
+	}
+	type fb struct {
+		Lo     []float64 `json:"lo"`
+		Hi     []float64 `json:"hi"`
+		Actual float64   `json:"actual"`
+	}
+	req := struct {
+		Model    string `json:"model,omitempty"`
+		Feedback []fb   `json:"feedback"`
+	}{Model: model}
+	for i := range lo {
+		req.Feedback = append(req.Feedback, fb{Lo: lo[i], Hi: hi[i], Actual: actual[i]})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return c.doOnce(ctx, "/analyze", body, nil)
+}
+
+// Healthy reports whether the server's readiness probe answers 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// doOnce performs one POST with no retries.
+func (c *Client) doOnce(ctx context.Context, path string, body []byte, out any) error {
+	return c.attempt(ctx, path, body, out)
+}
+
+// doRetry performs a POST with the idempotent retry policy.
+func (c *Client) doRetry(ctx context.Context, path string, body []byte, out any) error {
+	var err error
+	for try := 0; ; try++ {
+		err = c.attempt(ctx, path, body, out)
+		if err == nil || !retryable(err) || try == c.retries {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if serr := c.sleepBackoff(ctx, try, err); serr != nil {
+			return err // context expired during backoff; report the last real error
+		}
+		c.mu.Lock()
+		c.retried++
+		c.mu.Unlock()
+	}
+}
+
+// retryable reports whether err is in the idempotent-retry class: transport
+// errors (status 0), shed (429), and server-side 5xx. Client errors (4xx)
+// and context expiry are terminal.
+func retryable(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	var serr *StatusError
+	if errors.As(err, &serr) {
+		return serr.StatusCode == http.StatusTooManyRequests || serr.StatusCode >= 500
+	}
+	return true // transport-level failure (conn dropped, reset, ...)
+}
+
+// sleepBackoff waits out the backoff for retry number try (0-based): the
+// server's Retry-After hint when present, else capped exponential backoff
+// with up to 50% added jitter.
+func (c *Client) sleepBackoff(ctx context.Context, try int, cause error) error {
+	d := c.baseBo << uint(try)
+	if d > c.maxBo || d <= 0 {
+		d = c.maxBo
+	}
+	var serr *StatusError
+	if errors.As(cause, &serr) && serr.RetryAfter > 0 {
+		d = serr.RetryAfter
+	}
+	c.mu.Lock()
+	d += time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// attempt is one POST round-trip: 2xx decodes into out (when non-nil),
+// anything else becomes a *StatusError.
+func (c *Client) attempt(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	serr := &StatusError{StatusCode: resp.StatusCode}
+	var wire struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&wire); derr == nil {
+		serr.Code = wire.Code
+		serr.Message = wire.Error
+	}
+	if ms := resp.Header.Get("Retry-After-Ms"); ms != "" {
+		if v, perr := strconv.ParseInt(ms, 10, 64); perr == nil && v > 0 {
+			serr.RetryAfter = time.Duration(v) * time.Millisecond
+		}
+	} else if sec := resp.Header.Get("Retry-After"); sec != "" {
+		if v, perr := strconv.Atoi(sec); perr == nil && v > 0 {
+			serr.RetryAfter = time.Duration(v) * time.Second
+		}
+	}
+	return serr
+}

@@ -1,0 +1,196 @@
+package httpclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedServer answers /estimate with the scripted status codes in order
+// (0 means: sever the connection), then 200s forever.
+func scriptedServer(t *testing.T, attempts *atomic.Int64, script ...int) *httptest.Server {
+	t.Helper()
+	var n atomic.Int64
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		i := int(n.Add(1)) - 1
+		if i < len(script) {
+			switch code := script[i]; code {
+			case 0:
+				panic(http.ErrAbortHandler)
+			case http.StatusOK:
+			default:
+				w.Header().Set("Retry-After-Ms", "1")
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(code)
+				fmt.Fprintf(w, `{"error":"scripted","code":"c%d"}`, code)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"model":"t(0,1)","selectivity":0.25}`)
+	}))
+}
+
+func newClient(t *testing.T, url string, retries int) *Client {
+	t.Helper()
+	c, err := New(Config{BaseURL: url, MaxRetries: retries, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEstimateRetriesTransientFailures(t *testing.T) {
+	// 500, conn-drop, 429, then success: all three transient classes in one
+	// retry chain.
+	var attempts atomic.Int64
+	ts := scriptedServer(t, &attempts, 500, 0, 429)
+	defer ts.Close()
+	c := newClient(t, ts.URL, 3)
+	sel, err := c.Estimate(context.Background(), "t(0,1)", []float64{0, 0}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel != 0.25 {
+		t.Fatalf("selectivity = %v", sel)
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("attempts = %d, want 4 (1 try + 3 retries)", got)
+	}
+	if got := c.Retried(); got != 3 {
+		t.Fatalf("Retried() = %d, want 3", got)
+	}
+}
+
+func TestEstimateExhaustsRetries(t *testing.T) {
+	var attempts atomic.Int64
+	ts := scriptedServer(t, &attempts, 500, 500, 500, 500, 500, 500)
+	defer ts.Close()
+	c := newClient(t, ts.URL, 2)
+	_, err := c.Estimate(context.Background(), "", []float64{0}, []float64{1})
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.StatusCode != 500 {
+		t.Fatalf("err = %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 try + 2 retries)", got)
+	}
+}
+
+func TestClientErrorsAreTerminal(t *testing.T) {
+	var attempts atomic.Int64
+	ts := scriptedServer(t, &attempts, 400)
+	defer ts.Close()
+	c := newClient(t, ts.URL, 5)
+	if _, err := c.Estimate(context.Background(), "", []float64{0}, []float64{1}); err == nil {
+		t.Fatal("want 400 error")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (4xx must not be retried)", got)
+	}
+}
+
+func TestFeedbackAndAnalyzeNeverRetried(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, `{"error":"boom","code":"internal"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := newClient(t, ts.URL, 5)
+
+	if err := c.Feedback(context.Background(), "t(0,1)", []float64{0}, []float64{1}, 0.5); err == nil {
+		t.Fatal("want feedback error")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("feedback attempts = %d, want 1 (feedback is never retried)", got)
+	}
+	attempts.Store(0)
+	if err := c.Analyze(context.Background(), "t(0,1)", [][]float64{{0}}, [][]float64{{1}}, []float64{0.5}); err == nil {
+		t.Fatal("want analyze error")
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("analyze attempts = %d, want 1 (analyze is never retried)", got)
+	}
+	if got := c.Retried(); got != 0 {
+		t.Fatalf("Retried() = %d, want 0", got)
+	}
+}
+
+func TestRetryBoundedByContext(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.Header().Set("Retry-After-Ms", "5000") // hint far beyond the deadline
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"draining","code":"draining"}`)
+	}))
+	defer ts.Close()
+	c := newClient(t, ts.URL, 10)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Estimate(ctx, "", []float64{0}, []float64{1})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	// The deadline bounds the whole retry loop: the 5s Retry-After hint must
+	// not be slept out.
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("retry loop ran %v past a 50ms deadline", took)
+	}
+	// The reported error is the last real server answer, not a bare
+	// context error.
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestStatusErrorClassification(t *testing.T) {
+	shed := &StatusError{StatusCode: http.StatusTooManyRequests, Code: "shed", RetryAfter: 50 * time.Millisecond}
+	if !errors.Is(shed, ErrShed) || errors.Is(shed, ErrUnavailable) {
+		t.Fatal("429 must match ErrShed only")
+	}
+	drain := &StatusError{StatusCode: http.StatusServiceUnavailable, Code: "draining"}
+	if !errors.Is(drain, ErrUnavailable) || errors.Is(drain, ErrShed) {
+		t.Fatal("503 must match ErrUnavailable only")
+	}
+}
+
+func TestRetryAfterHintParsed(t *testing.T) {
+	var attempts atomic.Int64
+	ts := scriptedServer(t, &attempts, 429)
+	defer ts.Close()
+	// MaxRetries < 0 disables retrying entirely.
+	c, err := New(Config{BaseURL: ts.URL, MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Estimate(context.Background(), "", []float64{0}, []float64{1})
+	var serr *StatusError
+	if !errors.As(err, &serr) {
+		t.Fatalf("err = %v", err)
+	}
+	if serr.RetryAfter != time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 1ms (from Retry-After-Ms)", serr.RetryAfter)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 with retries disabled", got)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty BaseURL")
+	}
+}

@@ -33,6 +33,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -392,6 +393,28 @@ func (r *Registry) Estimate(key Key, q query.Range) (float64, error) {
 	return s.Estimate(q)
 }
 
+// EstimateContext is Estimate with deadline/cancellation propagation: the
+// context threads through core.Server.EstimateContext into the model's
+// coalescer, so a networked caller that gives up unblocks immediately and
+// its abandoned batch slot is reclaimed. Restore-on-demand of an evicted
+// model is not cancellable (the restored model outlives the request that
+// triggered it); the context applies from routing onward.
+func (r *Registry) EstimateContext(ctx context.Context, key Key, q query.Range) (float64, error) {
+	ent, err := r.entryFor(key)
+	if err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	s, err := r.server(ent)
+	if err != nil {
+		return 0, err
+	}
+	ent.touch()
+	return s.EstimateContext(ctx, q)
+}
+
 // Feedback routes an observed true selectivity to key's model. A feedback
 // racing that model's eviction may be dropped (the serving handle is gone
 // by the time it would apply): feedback is advisory tuning signal, and
@@ -633,6 +656,47 @@ func (r *Registry) Keys() []Key {
 	r.mu.Unlock()
 	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
 	return keys
+}
+
+// ModelStatus is one model's serving state as reported by Status.
+type ModelStatus struct {
+	// Key identifies the model.
+	Key Key
+	// Resident reports whether the model is in memory; a non-resident model
+	// still serves (restore-on-demand) but its Health/Queries are unknown
+	// without paying the restore, so they are zero.
+	Resident bool
+	// Health is the degradation-ladder state (core.Healthy/Degraded/
+	// Fallback) of a resident model.
+	Health core.Health
+	// Queries is the number of estimates a resident model has served.
+	Queries int
+}
+
+// Status reports every admitted model's serving state, sorted by key, for
+// readiness probes and operator endpoints. Reads are lock-free per model
+// (atomic server pointer + atomic health), so Status never blocks behind an
+// ANALYZE, restore, or eviction in progress — a model mid-transition just
+// reports non-resident.
+func (r *Registry) Status() []ModelStatus {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.models))
+	for _, ent := range r.models {
+		entries = append(entries, ent)
+	}
+	r.mu.Unlock()
+	out := make([]ModelStatus, 0, len(entries))
+	for _, ent := range entries {
+		st := ModelStatus{Key: ent.key}
+		if s := ent.srv.Load(); s != nil {
+			st.Resident = true
+			st.Health = s.Health()
+			st.Queries = s.Queries()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
 }
 
 // Resident returns how many models are currently resident (in memory).

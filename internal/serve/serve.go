@@ -25,6 +25,7 @@ import (
 	"errors"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kdesel/internal/metrics"
@@ -64,8 +65,10 @@ type Config struct {
 	// Queue is the pending-request channel capacity (default 4·MaxBatch).
 	Queue int
 	// Metrics, when non-nil, receives serve.queue_depth (gauge),
-	// serve.batch_size (histogram), and serve.wait_seconds (histogram,
-	// enqueue-to-evaluation latency). Nil disables instrumentation.
+	// serve.batch_size (histogram), serve.wait_seconds (histogram,
+	// enqueue-to-evaluation latency), and serve.cancelled (counter of
+	// requests abandoned by their caller before evaluation). Nil disables
+	// instrumentation.
 	Metrics *metrics.Registry
 	// MetricPrefix is prepended to every metric name this batcher registers
 	// (e.g. "model.orders(0,1)." yields model.orders(0,1).serve.queue_depth).
@@ -105,14 +108,29 @@ func (c Config) queue(maxBatch int) int {
 	return 4 * maxBatch
 }
 
+// Lifecycle of an enqueued request, tracked in request.state. Ownership is
+// settled by a single CAS race: the scheduler claims the request at flush
+// time (reqPending→reqClaimed) and a cancelling caller abandons it
+// (reqPending→reqCancelled). Exactly one transition wins, which is what
+// keeps batch accounting exact — a request is evaluated (and counted by the
+// evaluator) if and only if the claim won.
+const (
+	reqPending   int32 = iota // enqueued, owner undecided
+	reqClaimed                // scheduler won: will evaluate and signal done
+	reqCancelled              // caller won: scheduler recycles without evaluating
+)
+
 // request is one enqueued Estimate call. done is a reusable 1-slot signal
-// channel; the scheduler fills est/err before signalling.
+// channel; the scheduler fills est/err before signalling. done is signalled
+// for claimed requests only, so pooled requests always carry an empty
+// channel.
 type request struct {
-	q    query.Range
-	enq  time.Time
-	est  float64
-	err  error
-	done chan struct{}
+	q     query.Range
+	enq   time.Time
+	est   float64
+	err   error
+	state atomic.Int32
+	done  chan struct{}
 }
 
 // Batcher coalesces concurrent Estimate calls into batched evaluations.
@@ -137,6 +155,7 @@ type Batcher struct {
 
 	batchSize *metrics.Histogram
 	waitSec   *metrics.Histogram
+	cancelled *metrics.Counter
 	// met/gaugeName identify the queue-depth gauge func registered in New so
 	// Close can unregister it (metrics.UnregisterGaugeFunc); nil/"" when no
 	// registry is attached.
@@ -162,6 +181,7 @@ func New(eval EvalFunc, cfg Config) *Batcher {
 	if r := cfg.Metrics; r != nil {
 		b.batchSize = r.Histogram(cfg.MetricPrefix + "serve.batch_size")
 		b.waitSec = r.Histogram(cfg.MetricPrefix + "serve.wait_seconds")
+		b.cancelled = r.Counter(cfg.MetricPrefix + "serve.cancelled")
 		b.met = r
 		b.gaugeName = cfg.MetricPrefix + "serve.queue_depth"
 		r.RegisterGaugeFunc(b.gaugeName, func() float64 { return float64(len(b.reqs)) })
@@ -187,29 +207,83 @@ func (b *Batcher) MaxWait() time.Duration { return b.maxWait }
 // returning the query's estimate. Safe for any number of concurrent
 // callers. After Close it fails fast with ErrClosed.
 func (b *Batcher) Estimate(q query.Range) (float64, error) {
+	return b.EstimateContext(context.Background(), q)
+}
+
+// EstimateContext is Estimate with cancellation: when ctx expires before the
+// request's batch is evaluated, the caller unblocks immediately with
+// ctx.Err() and the abandoned slot is reclaimed by the scheduler at flush
+// time — a cancelled request never rides in an evaluated batch, so the
+// evaluator's query accounting stays exact. If cancellation races the
+// scheduler's claim and loses, the batch already evaluated (and counted) the
+// query, so its real result is returned instead of ctx.Err().
+func (b *Batcher) EstimateContext(ctx context.Context, q query.Range) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
 		return 0, ErrClosed
 	}
+	r := b.getRequest(q)
+	// A full queue blocks here, but only while the scheduler is live: Close
+	// cannot take the write lock until this send completes, and the
+	// scheduler keeps draining until then. A caller whose context expires
+	// while blocked still owns the request (it was never enqueued) and
+	// recycles it itself.
+	select {
+	case b.reqs <- r:
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		b.putRequest(r)
+		return 0, ctx.Err()
+	}
+	b.mu.RUnlock()
+	select {
+	case <-r.done:
+		est, err := r.est, r.err
+		b.putRequest(r)
+		return est, err
+	case <-ctx.Done():
+		if r.state.CompareAndSwap(reqPending, reqCancelled) {
+			// Cancellation won: the scheduler now owns the request and will
+			// recycle it, unevaluated, when its batch flushes. Touching r
+			// after this point would race the recycle.
+			return 0, ctx.Err()
+		}
+		// The scheduler claimed the request first: its evaluation is done or
+		// imminent, and the query is already counted. Consume the result so
+		// the pooled request is never abandoned with a pending done signal.
+		<-r.done
+		est, err := r.est, r.err
+		b.putRequest(r)
+		return est, err
+	}
+}
+
+// getRequest readies a pooled (or fresh) request for q.
+func (b *Batcher) getRequest(q query.Range) *request {
 	r, _ := b.pool.Get().(*request)
 	if r == nil {
 		r = &request{done: make(chan struct{}, 1)}
 	}
 	r.q = q
 	r.est, r.err = 0, nil
+	r.state.Store(reqPending)
 	if b.waitSec != nil {
 		r.enq = time.Now()
 	}
-	// A full queue blocks here, but only while the scheduler is live: Close
-	// cannot take the write lock until this send completes, and the
-	// scheduler keeps draining until then.
-	b.reqs <- r
-	b.mu.RUnlock()
-	<-r.done
-	est, err := r.est, r.err
+	return r
+}
+
+// putRequest resets a request and returns it to the pool. Callers must own
+// the request exclusively (delivered, never-enqueued, or reclaimed-by-
+// scheduler states only).
+func (b *Batcher) putRequest(r *request) {
+	r.q = query.Range{}
+	r.state.Store(reqPending)
 	b.pool.Put(r)
-	return est, err
 }
 
 // Close stops intake, serves every already-enqueued request, and waits for
@@ -299,21 +373,36 @@ func (b *Batcher) run() {
 			}
 		}
 
-		n := len(batch)
+		// Claim the batch. Each request is settled by one CAS against its
+		// cancelling caller: winners are compacted to the front and ride the
+		// evaluation; losers (cancelled while queued) are recycled here, so
+		// an abandoned request neither occupies a batch slot nor reaches the
+		// evaluator's accounting.
+		n := 0
 		for i, r := range batch {
-			qs[i] = r.q
+			batch[i] = nil
+			if !r.state.CompareAndSwap(reqPending, reqClaimed) {
+				b.cancelled.Inc()
+				b.putRequest(r)
+				continue
+			}
 			if b.waitSec != nil {
 				b.waitSec.ObserveDuration(time.Since(r.enq))
 			}
+			qs[n] = r.q
+			batch[n] = r
+			n++
 		}
-		err := b.eval(qs[:n], ests[:n])
-		if b.batchSize != nil {
-			b.batchSize.Observe(float64(n))
-		}
-		for i, r := range batch {
-			r.est, r.err = ests[i], err
-			r.done <- struct{}{}
-			batch[i] = nil
+		if n > 0 {
+			err := b.eval(qs[:n], ests[:n])
+			if b.batchSize != nil {
+				b.batchSize.Observe(float64(n))
+			}
+			for i, r := range batch[:n] {
+				r.est, r.err = ests[i], err
+				r.done <- struct{}{}
+				batch[i] = nil
+			}
 		}
 		batch = batch[:0]
 

@@ -25,6 +25,8 @@ import (
 	"kdesel/internal/core"
 	"kdesel/internal/fault"
 	"kdesel/internal/gpu"
+	"kdesel/internal/httpclient"
+	"kdesel/internal/httpserve"
 	"kdesel/internal/join"
 	"kdesel/internal/kde"
 	"kdesel/internal/mathx"
@@ -268,4 +270,37 @@ var (
 	ErrUnknownModel = registry.ErrUnknownModel
 	// ErrDuplicateModel: Admit of an already-admitted key.
 	ErrDuplicateModel = registry.ErrDuplicateModel
+)
+
+// HTTPServer is the networked serving frontend: an HTTP/JSON facade over a
+// Registry with per-request deadline propagation, bounded admission (load
+// shedding with 429 + Retry-After), graceful drain, health/readiness
+// probes, and a /metrics snapshot endpoint. It implements http.Handler.
+type HTTPServer = httpserve.Server
+
+// HTTPConfig tunes an HTTPServer; see httpserve.Config for all fields.
+type HTTPConfig = httpserve.Config
+
+// NewHTTPServer builds the HTTP frontend over cfg.Registry.
+func NewHTTPServer(cfg HTTPConfig) (*HTTPServer, error) { return httpserve.New(cfg) }
+
+// HTTPClient is the Go client for the wire protocol. It retries idempotent
+// estimates (with capped exponential backoff, jitter, and Retry-After
+// hints) and never retries feedback or ANALYZE — a duplicated feedback
+// delivery would double its weight in the learner.
+type HTTPClient = httpclient.Client
+
+// HTTPClientConfig tunes an HTTPClient; see httpclient.Config.
+type HTTPClientConfig = httpclient.Config
+
+// NewHTTPClient builds a client for the frontend at cfg.BaseURL.
+func NewHTTPClient(cfg HTTPClientConfig) (*HTTPClient, error) { return httpclient.New(cfg) }
+
+// Wire-protocol error classes; match with errors.Is against HTTPClient
+// errors.
+var (
+	// ErrRequestShed: the server answered 429 (admission queue full).
+	ErrRequestShed = httpclient.ErrShed
+	// ErrServerUnavailable: the server answered 503 (draining or closed).
+	ErrServerUnavailable = httpclient.ErrUnavailable
 )
