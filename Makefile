@@ -5,14 +5,14 @@ GO ?= go
 
 # Which PR's benchmark suite `make bench` regenerates (bench-PR2, bench-PR4,
 # ...); e.g. `BENCH=PR2 make bench` rebuilds BENCH_PR2.json.
-BENCH ?= PR8
+BENCH ?= PR9
 
 .PHONY: verify fmtcheck build test race race-resilience mathx-accuracy \
-	precision-accuracy network-resilience chaos vet \
+	precision-accuracy network-resilience shard-determinism chaos vet \
 	bench bench-PR2 bench-PR4 bench-PR5 bench-PR6 bench-PR7 bench-PR8 \
-	bench-parallel bench-throughput
+	bench-PR9 bench-parallel bench-throughput
 
-verify: fmtcheck vet build race-resilience mathx-accuracy precision-accuracy network-resilience race
+verify: fmtcheck vet build race-resilience mathx-accuracy precision-accuracy network-resilience shard-determinism race
 
 # Fail when any file needs gofmt; list the offenders.
 fmtcheck:
@@ -39,7 +39,7 @@ race:
 race-resilience:
 	$(GO) test -race ./internal/fault/... ./internal/core/... ./internal/serve/... \
 		./internal/mathx/... ./internal/kde/... ./internal/checkpoint/... \
-		./internal/registry/...
+		./internal/registry/... ./internal/shard/...
 
 # The fast-erf accuracy contract (|error| ≤ 1e-7 over the 2M-point sweep)
 # must actually run — a skipped sweep fails verify, not just a failing one.
@@ -87,6 +87,22 @@ network-resilience:
 		{ echo "coalescer cancellation race test did not run"; exit 1; }; \
 	echo "$$out" | grep -q -- '--- PASS: TestFeedbackAndAnalyzeNeverRetried' || \
 		{ echo "client idempotency contract test did not run"; exit 1; }
+
+# The sharding determinism contract must actually run, like mathx-accuracy:
+# K-shard scatter/gather must be bit-identical (Float64bits) to the
+# single-shard estimator at every shard count, precision tier, and erf
+# mode, and a checkpointed group restored from disk must continue
+# bit-identically. A skipped sweep fails verify, not just a failing one.
+shard-determinism:
+	@out="$$($(GO) test -count=1 -run 'TestShardBitIdentity|TestShardCheckpointRoundTrip|TestShardFeedbackInvariance' -v ./internal/shard/)"; \
+	status=$$?; echo "$$out"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	echo "$$out" | grep -q -- '--- PASS: TestShardBitIdentity' || \
+		{ echo "shard bit-identity sweep did not run"; exit 1; }; \
+	echo "$$out" | grep -q -- '--- PASS: TestShardCheckpointRoundTrip' || \
+		{ echo "shard checkpoint round-trip check did not run"; exit 1; }; \
+	echo "$$out" | grep -q -- '--- PASS: TestShardFeedbackInvariance' || \
+		{ echo "shard feedback-invariance check did not run"; exit 1; }
 
 # Chaos suite: deterministic fault schedules (failed transfers/launches,
 # diverged optimizers, non-finite gradients, corrupted checkpoints) against
@@ -214,3 +230,28 @@ bench-PR8:
 		-cmd "$(BENCH_CMD8)" \
 		-out BENCH_PR8.json bench8.out
 	rm -f bench8.out
+
+# PR9: sharded scale-out serving. BenchmarkShardedEstimate runs the
+# shard-isolation experiment per iteration: closed-loop estimate clients
+# drive a K=4 sharded group's scatter/gather path through alternating
+# paired legs — a quiescent leg where a burner dry-runs the identical
+# bandwidth optimization (same sample size, result discarded, so both
+# legs carry the same scheduler and allocator pressure) and a churn leg
+# of back-to-back real ANALYZEs on one shard. Each round yields a paired
+# ratio (churn-leg gather p99 / adjacent quiescent-leg p99); the verdict
+# is the median across all rounds of all iterations, after two untimed
+# warm-up rounds. Paired adjacent legs plus a median are load-bearing
+# here: this host delivers hypervisor steal in ~100ms bursts that wreck
+# individual legs, and a null experiment (identical dry work in both
+# legs) showed sequential two-phase designs measure host drift, not lock
+# coupling. Acceptance: during-p99-ratio <= 2.
+BENCH_CMD9 = $(GO) test -run TestNothing -bench BenchmarkShardedEstimate -benchtime 3x .
+
+bench-PR9:
+	$(BENCH_CMD9) > bench9.out
+	$(GO) run ./cmd/benchjson -pr 9 \
+		-title "Sharded scale-out serving: partitioned sample shards with deterministic scatter/gather" \
+		-note "BenchmarkShardedEstimate drives the shard-isolation experiment (internal/experiments.ShardLoad): closed-loop clients estimate through a K=4 sharded group's scatter/gather path across alternating paired legs — a quiescent leg load-matched by a burner dry-running the identical bandwidth optimization (same sample size, result discarded), then a churn leg of back-to-back ANALYZEs re-optimizing one shard's bandwidth under that shard's lock alone. Each round yields a paired ratio of churn-leg gather p99 over the adjacent quiescent-leg p99; during-p99-ratio is the median across all rounds of all iterations, after two untimed warm-up rounds absorb cold-process ramp. Pairing adjacent legs and taking a median is deliberate: the host delivers hypervisor steal in ~100ms bursts that can wreck any single leg, and sequential two-phase designs were shown (via a null experiment) to measure host drift rather than lock coupling. Acceptance: during-p99-ratio <= 2. Bit-identity of K-shard gathers against the single-shard estimator is enforced separately by 'make shard-determinism'." \
+		-cmd "$(BENCH_CMD9)" \
+		-out BENCH_PR9.json bench9.out
+	rm -f bench9.out

@@ -102,6 +102,7 @@ func main() {
 		maxResid   = flag.Int("max-resident", 0, "with -models: cap resident models; LRU victims are checkpointed to -checkpoint-dir and restored on their next query (0 = unbounded)")
 		ckptDir    = flag.String("checkpoint-dir", "", "with -models: directory for per-model checkpoint rotation (also written on exit)")
 		precFlag   = flag.String("precision", "float64", "serving precision tier: float64 (exact) | float32 (4 B/value, rel err ≤ 1e-5) | quantized (int16, 2 B/value, rel err ≤ 1e-3); reduced tiers fall back to float64 if they miss their error contract")
+		shardsN    = flag.Int("shards", 1, "with -listen or -models: partition each model's sample across this many shard estimators (scatter/gather serving, bit-identical results at any count; ANALYZE touches one shard's lock only)")
 		listen     = flag.String("listen", "", "serve the model(s) over HTTP/JSON on this address (e.g. :8080) instead of answering positional queries; SIGINT/SIGTERM drains gracefully")
 		httpTo     = flag.Duration("http-timeout", time.Second, "with -listen: default per-request deadline (callers override via timeout_ms)")
 		drainTo    = flag.Duration("drain-timeout", 10*time.Second, "with -listen: how long a graceful drain waits for in-flight requests")
@@ -121,6 +122,9 @@ func main() {
 	}
 	if *loadPath != "" && *restore != "" {
 		fail("-load and -restore are mutually exclusive")
+	}
+	if *shardsN > 1 && *listen == "" && *modelsSpec == "" {
+		fail("-shards needs a registry serving path: pass -listen and/or -models")
 	}
 
 	// -faults overrides the environment knobs; both disabled leave injection
@@ -175,6 +179,7 @@ func main() {
 			trainN:      *trainN,
 			workers:     *workers,
 			maxResident: *maxResid,
+			shards:      *shardsN,
 			seed:        *seed,
 			truth:       *truth,
 			ckptDir:     *ckptDir,
@@ -221,7 +226,13 @@ func main() {
 			fail("unknown mode %q", *mode)
 		}
 		serveCfg := kdesel.ServeConfig{MaxBatch: *serveBatch, MaxWait: *serveWait, Precision: prec}
-		if err := rreg.Admit(key, tab, cfg, serveCfg); err != nil {
+		if *shardsN > 1 {
+			// Sharded models start from the heuristic bandwidth and adapt
+			// through feedback; -mode shapes only the unsharded path.
+			if err := rreg.AdmitSharded(key, tab, cfg, *shardsN, serveCfg); err != nil {
+				fail("admitting %s (%d shards): %v", key, *shardsN, err)
+			}
+		} else if err := rreg.Admit(key, tab, cfg, serveCfg); err != nil {
 			fail("admitting %s: %v", key, err)
 		}
 		if err := serveHTTP(rreg, serveOpts{
@@ -431,6 +442,7 @@ type modelsRun struct {
 	sampleN, trainN int
 	workers         int
 	maxResident     int
+	shards          int
 	seed            int64
 	truth           bool
 	ckptDir         string
@@ -483,7 +495,11 @@ func runModels(r modelsRun) {
 		default:
 			fail("unknown mode %q", r.mode)
 		}
-		if err := reg.Admit(key, proj, cfg, serveCfg); err != nil {
+		if r.shards > 1 {
+			if err := reg.AdmitSharded(key, proj, cfg, r.shards, serveCfg); err != nil {
+				fail("admitting %s (%d shards): %v", key, r.shards, err)
+			}
+		} else if err := reg.Admit(key, proj, cfg, serveCfg); err != nil {
 			fail("admitting %s: %v", key, err)
 		}
 		keys[i] = key

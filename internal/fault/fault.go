@@ -63,10 +63,17 @@ const (
 	// Pair it with a delay= term; a delay-only rule fires on every
 	// occurrence.
 	NetDelay Point = "netdelay"
+
+	// ShardFail fails one shard of a sharded estimator during scatter, so
+	// the gather path's partial-failure degradation (serve from the
+	// surviving shards, renormalized, flagged Degraded) can be exercised
+	// deterministically. Occurrences count per-shard scatter attempts in
+	// shard-index order within each gather.
+	ShardFail Point = "shard"
 )
 
 // Points lists every defined fault point.
-var Points = []Point{DeviceTransfer, KernelLaunch, OptimizerDiverge, GradientNonFinite, CheckpointCorrupt, NetDrop, NetError, NetDelay}
+var Points = []Point{DeviceTransfer, KernelLaunch, OptimizerDiverge, GradientNonFinite, CheckpointCorrupt, NetDrop, NetError, NetDelay, ShardFail}
 
 // ErrInjected is the sentinel wrapped by every injected failure. The
 // resilience layer retries and degrades only on errors in this class.
@@ -332,7 +339,7 @@ func FromEnv() (*Injector, error) {
 //	term     = INDEX | "every=" N | "prob=" P | "limit=" N | "delay=" DUR
 //
 // where point is one of transfer, launch, optimizer, gradient, checkpoint,
-// netdrop, net5xx, netdelay. Bare integers are exact 1-based occurrence
+// netdrop, net5xx, netdelay, shard. Bare integers are exact 1-based occurrence
 // indices; DUR is a time.ParseDuration string (e.g. 5ms). A clause whose
 // only term is delay= stalls every occurrence. Examples:
 //

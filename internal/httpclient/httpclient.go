@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -100,13 +101,36 @@ type Client struct {
 	retries int
 	baseBo  time.Duration
 	maxBo   time.Duration
+	jit     *jitter
 
+	// retried counts retry attempts actually performed (for tests and
+	// experiment accounting).
+	retried atomic.Int64
+}
+
+// jitter is the client's seeded backoff-jitter stream. math/rand.Rand is
+// not safe for concurrent use and the Client is, so the stream carries its
+// own mutex — draws from concurrent retry loops serialize here without
+// contending with anything else, and a fixed Config.Seed still yields a
+// deterministic draw sequence (in lock-acquisition order; single-goroutine
+// use sees exactly the seeded sequence).
+type jitter struct {
 	mu  sync.Mutex
 	rng *rand.Rand
+}
 
-	// Retries counts retry attempts actually performed (for tests and
-	// experiment accounting).
-	retried int64
+func newJitter(seed int64) *jitter {
+	return &jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// upTo draws a uniform duration in [0, max].
+func (j *jitter) upTo(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return time.Duration(j.rng.Int63n(int64(max) + 1))
 }
 
 // New builds a client for the frontend at cfg.BaseURL.
@@ -140,16 +164,12 @@ func New(cfg Config) (*Client, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	c.rng = rand.New(rand.NewSource(seed))
+	c.jit = newJitter(seed)
 	return c, nil
 }
 
 // Retried returns how many retry attempts the client has performed.
-func (c *Client) Retried() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.retried
-}
+func (c *Client) Retried() int64 { return c.retried.Load() }
 
 type estimateRequest struct {
 	Model string    `json:"model,omitempty"`
@@ -160,6 +180,7 @@ type estimateRequest struct {
 type estimateResponse struct {
 	Model       string  `json:"model"`
 	Selectivity float64 `json:"selectivity"`
+	Degraded    bool    `json:"degraded,omitempty"`
 }
 
 type feedbackRequest struct {
@@ -174,15 +195,23 @@ type feedbackRequest struct {
 // retried with backoff until ctx expires or retries are exhausted; the last
 // error is returned.
 func (c *Client) Estimate(ctx context.Context, model string, lo, hi []float64) (float64, error) {
+	sel, _, err := c.EstimateDetail(ctx, model, lo, hi)
+	return sel, err
+}
+
+// EstimateDetail is Estimate plus the server's degraded flag: true when a
+// sharded model lost shards during the scatter and the selectivity is the
+// renormalized estimate over the surviving shards.
+func (c *Client) EstimateDetail(ctx context.Context, model string, lo, hi []float64) (float64, bool, error) {
 	body, err := json.Marshal(estimateRequest{Model: model, Lo: lo, Hi: hi})
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	var out estimateResponse
 	if err := c.doRetry(ctx, "/estimate", body, &out); err != nil {
-		return 0, err
+		return 0, false, err
 	}
-	return out.Selectivity, nil
+	return out.Selectivity, out.Degraded, nil
 }
 
 // Feedback delivers one observed true selectivity. NEVER retried: a
@@ -255,9 +284,7 @@ func (c *Client) doRetry(ctx context.Context, path string, body []byte, out any)
 		if serr := c.sleepBackoff(ctx, try, err); serr != nil {
 			return err // context expired during backoff; report the last real error
 		}
-		c.mu.Lock()
-		c.retried++
-		c.mu.Unlock()
+		c.retried.Add(1)
 	}
 }
 
@@ -287,9 +314,7 @@ func (c *Client) sleepBackoff(ctx context.Context, try int, cause error) error {
 	if errors.As(cause, &serr) && serr.RetryAfter > 0 {
 		d = serr.RetryAfter
 	}
-	c.mu.Lock()
-	d += time.Duration(c.rng.Int63n(int64(d)/2 + 1))
-	c.mu.Unlock()
+	d += c.jit.upTo(d / 2)
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

@@ -2,10 +2,12 @@ package httpclient
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -192,5 +194,77 @@ func TestRetryAfterHintParsed(t *testing.T) {
 func TestNewValidates(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("New accepted an empty BaseURL")
+	}
+}
+
+// TestJitterDeterministicSeed: a fixed seed yields a fixed jitter draw
+// sequence, so retry timing in experiments replays exactly.
+func TestJitterDeterministicSeed(t *testing.T) {
+	draw := func() []time.Duration {
+		j := newJitter(42)
+		out := make([]time.Duration, 16)
+		for i := range out {
+			out[i] = j.upTo(time.Duration(i+1) * time.Millisecond)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v != %v with the same seed", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] > time.Duration(i+1)*time.Millisecond {
+			t.Fatalf("draw %d = %v out of [0, %v]", i, a[i], time.Duration(i+1)*time.Millisecond)
+		}
+	}
+	if j := newJitter(42); j.upTo(0) != 0 || j.upTo(-time.Second) != 0 {
+		t.Fatal("non-positive bound must draw 0 without touching the stream")
+	}
+}
+
+// TestJitterConcurrentRetries: one client's retry loops running from many
+// goroutines share the jitter stream; under -race this proves the stream
+// (formerly a bare rand.Rand) is properly serialized.
+func TestJitterConcurrentRetries(t *testing.T) {
+	// Each goroutine's first attempt fails with a 500 (Retry-After-Ms: 1)
+	// and its retry succeeds, so every goroutine exercises exactly one
+	// backoff sleep and one jitter draw. The server tells attempts apart by
+	// the per-goroutine model name in the request body.
+	var mu sync.Mutex
+	seen := make(map[string]bool)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Model string `json:"model"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		mu.Lock()
+		first := !seen[req.Model]
+		seen[req.Model] = true
+		mu.Unlock()
+		if first {
+			w.Header().Set("Retry-After-Ms", "1")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":"flaky","code":"c500"}`)
+			return
+		}
+		fmt.Fprintf(w, `{"model":%q,"selectivity":0.25}`, req.Model)
+	}))
+	defer ts.Close()
+	c := newClient(t, ts.URL, 3)
+	const goroutines = 16
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			_, err := c.Estimate(context.Background(), fmt.Sprintf("t%d(0,1)", g), []float64{0}, []float64{1})
+			errs <- err
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Errorf("concurrent estimate: %v", err)
+		}
+	}
+	if c.Retried() == 0 {
+		t.Fatal("no retries recorded; the test exercised nothing")
 	}
 }

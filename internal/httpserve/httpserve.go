@@ -60,6 +60,7 @@ import (
 	"kdesel/internal/metrics"
 	"kdesel/internal/query"
 	"kdesel/internal/registry"
+	"kdesel/internal/shard"
 )
 
 // Defaults for the admission and deadline knobs; see Config.
@@ -461,9 +462,14 @@ func (s *Server) writeModelErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, core.ErrInvalidQuery), errors.Is(err, core.ErrInvalidFeedback):
 		s.met.failed.Inc()
 		s.writeErr(w, http.StatusBadRequest, "invalid_query", err.Error())
-	case errors.Is(err, registry.ErrClosed):
+	case errors.Is(err, registry.ErrClosed), errors.Is(err, shard.ErrClosed):
 		s.met.rejected.Inc()
 		s.writeErr(w, http.StatusServiceUnavailable, "draining", "model registry closed")
+	case errors.Is(err, shard.ErrAllShardsFailed):
+		// Every shard of a sharded model failed the scatter: nothing to
+		// renormalize over, so the request cannot be served at all.
+		s.met.failed.Inc()
+		s.writeErr(w, http.StatusServiceUnavailable, "shards_failed", err.Error())
 	default:
 		s.met.failed.Inc()
 		s.writeErr(w, http.StatusInternalServerError, "internal", err.Error())
@@ -483,10 +489,13 @@ type estimateRequest struct {
 	Hi    []float64 `json:"hi"`
 }
 
-// estimateResponse is the wire form of a successful estimate.
+// estimateResponse is the wire form of a successful estimate. Degraded is
+// set when a sharded model lost one or more shards during the scatter and
+// the selectivity is the renormalized survivor estimate.
 type estimateResponse struct {
 	Model       string  `json:"model"`
 	Selectivity float64 `json:"selectivity"`
+	Degraded    bool    `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -519,14 +528,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	sel, err := s.reg.EstimateContext(ctx, key, query.NewRange(req.Lo, req.Hi))
+	sel, degraded, err := s.reg.EstimateContextDetail(ctx, key, query.NewRange(req.Lo, req.Hi))
 	if err != nil {
 		s.writeModelErr(w, err)
 		return
 	}
 	s.met.accepted.Inc()
 	s.met.reqSec.ObserveDuration(time.Since(start))
-	writeJSON(w, http.StatusOK, estimateResponse{Model: key.String(), Selectivity: sel})
+	writeJSON(w, http.StatusOK, estimateResponse{Model: key.String(), Selectivity: sel, Degraded: degraded})
 }
 
 // feedbackRequest is the wire form of POST /feedback. Feedback is NOT
@@ -634,6 +643,7 @@ type readyzModel struct {
 	Resident bool   `json:"resident"`
 	Health   string `json:"health,omitempty"`
 	Queries  int    `json:"queries,omitempty"`
+	Shards   int    `json:"shards,omitempty"`
 }
 
 // handleReadyz is the readiness probe, backed by the core degradation
@@ -647,7 +657,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	models := make([]readyzModel, len(sts))
 	status := "ok"
 	for i, st := range sts {
-		m := readyzModel{Model: st.Key.String(), Resident: st.Resident}
+		m := readyzModel{Model: st.Key.String(), Resident: st.Resident, Shards: st.Shards}
 		if st.Resident {
 			m.Health = st.Health.String()
 			m.Queries = st.Queries
@@ -682,7 +692,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	sts := s.reg.Status()
 	models := make([]readyzModel, len(sts))
 	for i, st := range sts {
-		models[i] = readyzModel{Model: st.Key.String(), Resident: st.Resident}
+		models[i] = readyzModel{Model: st.Key.String(), Resident: st.Resident, Shards: st.Shards}
 		if st.Resident {
 			models[i].Health = st.Health.String()
 			models[i].Queries = st.Queries

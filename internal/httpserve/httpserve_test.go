@@ -473,3 +473,109 @@ func TestNewRequiresRegistry(t *testing.T) {
 		t.Fatal("New accepted an unparseable DefaultModel")
 	}
 }
+
+// TestShardedEstimateEndpoint drives a sharded model through the HTTP
+// scatter/gather path: a healthy gather answers with degraded unset, an
+// injected single-shard failure answers 200 with the renormalized survivor
+// estimate and degraded:true, readiness reports the Degraded rung with the
+// shard count, and an all-shards failure maps to 503 shards_failed.
+func TestShardedEstimateEndpoint(t *testing.T) {
+	reg := registry.New(registry.Config{})
+	t.Cleanup(reg.Close)
+	key := registry.NewKey("t", 0, 1)
+	tab := buildTable(t, 400, 2, 11)
+	// Shard attempts count per gather in shard-index order: the first
+	// gather draws attempts 1 (shard 0) and 2 (shard 1), the second 3 and
+	// 4, and so on. Attempt 4 fails one shard of gather #2; attempts 5 and
+	// 6 fail both shards of gather #3.
+	inj := fault.New(1, fault.Schedule{fault.ShardFail: {At: []int{4, 5, 6}}})
+	err := reg.AdmitSharded(key, tab, core.Config{SampleSize: 512, Seed: 7, Faults: inj}, 2, core.ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := `{"model":"t(0,1)","lo":[-2,-2],"hi":[8,8]}`
+
+	// Gather #1: all shards answer.
+	resp, b := postJSON(t, ts.URL+"/estimate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy gather: status = %d, body %s", resp.StatusCode, b)
+	}
+	var er estimateResponse
+	if err := json.Unmarshal(b, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Degraded {
+		t.Fatalf("healthy gather reported degraded: %+v", er)
+	}
+	healthy := er.Selectivity
+
+	// Gather #2: one shard fails; the request still answers 200 from the
+	// renormalized survivors and is flagged degraded.
+	resp, b = postJSON(t, ts.URL+"/estimate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded gather: status = %d, body %s", resp.StatusCode, b)
+	}
+	er = estimateResponse{}
+	if err := json.Unmarshal(b, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !er.Degraded {
+		t.Fatalf("degraded gather not flagged: %+v", er)
+	}
+	if er.Selectivity <= 0 || er.Selectivity > 1 {
+		t.Fatalf("degraded selectivity %v implausible (healthy was %v)", er.Selectivity, healthy)
+	}
+
+	// Readiness reflects the Degraded health rung and the shard count.
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	var ready struct {
+		Status string        `json:"status"`
+		Models []readyzModel `json:"models"`
+	}
+	if err := json.Unmarshal(rb, &ready); err != nil {
+		t.Fatalf("readyz body %s: %v", rb, err)
+	}
+	if ready.Status != "degraded" {
+		t.Fatalf("readyz status = %q after shard loss, want degraded (body %s)", ready.Status, rb)
+	}
+	if len(ready.Models) != 1 || ready.Models[0].Shards != 2 {
+		t.Fatalf("readyz models = %+v, want one model with 2 shards", ready.Models)
+	}
+
+	// Gather #3: every shard fails; nothing to renormalize over.
+	resp, b = postJSON(t, ts.URL+"/estimate", body)
+	if resp.StatusCode != http.StatusServiceUnavailable || errCode(t, b) != "shards_failed" {
+		t.Fatalf("all-shards failure: status=%d code=%s body=%s, want 503 shards_failed",
+			resp.StatusCode, errCode(t, b), b)
+	}
+
+	// Gather #4: the injector is exhausted; service recovers (health stays
+	// Degraded — the rung is monotone — but estimates flow undegraded).
+	resp, b = postJSON(t, ts.URL+"/estimate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-fault gather: status = %d, body %s", resp.StatusCode, b)
+	}
+	er = estimateResponse{}
+	if err := json.Unmarshal(b, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Degraded {
+		t.Fatalf("post-fault gather still degraded: %+v", er)
+	}
+	if er.Selectivity != healthy {
+		t.Fatalf("post-fault selectivity %v != healthy %v (determinism)", er.Selectivity, healthy)
+	}
+}

@@ -297,6 +297,26 @@ func (e *Estimator) fusedSelectivityGradient(q query.Range, grad []float64) floa
 // tile (Q×N blocking). Callers have validated the queries.
 func (e *Estimator) fusedSelectivityBatch(qs []query.Range, ests []float64) {
 	nq := len(qs)
+	s := e.Size()
+	nc := parallel.Chunks(s)
+	partials := e.bufs.Get(nc * nq)
+	e.fusedBatchPartials(qs, partials)
+	for iq := 0; iq < nq; iq++ {
+		sum := 0.0
+		for c := 0; c < nc; c++ {
+			sum += partials[c*nq+iq]
+		}
+		ests[iq] = sum / float64(s)
+	}
+	e.bufs.Put(partials)
+}
+
+// fusedBatchPartials fills partials[c*nq+iq] with chunk c's unnormalized
+// mass sum for query iq — the shared partial-fill stage behind both
+// fusedSelectivityBatch and SelectivityBatchPartials. Every entry is
+// assigned (not accumulated), so caller-provided buffers need no zeroing.
+func (e *Estimator) fusedBatchPartials(qs []query.Range, partials []float64) {
+	nq := len(qs)
 	s, d := e.Size(), e.d
 	fast := e.fastErf()
 	fs := e.getFused()
@@ -304,8 +324,6 @@ func (e *Estimator) fusedSelectivityBatch(qs []query.Range, ests []float64) {
 	for i := range qs {
 		e.queryConsts(qs[i], qcAll[i*d*qcStride:(i+1)*d*qcStride])
 	}
-	nc := parallel.Chunks(s)
-	partials := e.bufs.Get(nc * nq)
 	e.pool.Run(s, func(c, lo, hi int) {
 		ws := e.getFused()
 		acc := ws.accBuf(batchQTile * parallel.ChunkSize)
@@ -336,14 +354,6 @@ func (e *Estimator) fusedSelectivityBatch(qs []query.Range, ests []float64) {
 		}
 		e.putFused(ws)
 	})
-	for iq := 0; iq < nq; iq++ {
-		sum := 0.0
-		for c := 0; c < nc; c++ {
-			sum += partials[c*nq+iq]
-		}
-		ests[iq] = sum / float64(s)
-	}
-	e.bufs.Put(partials)
 	e.putFused(fs)
 }
 
@@ -355,24 +365,9 @@ func (e *Estimator) fusedGradientBatch(qs []query.Range, ests, grads []float64) 
 	nq := len(qs)
 	s, d := e.Size(), e.d
 	stride := d + 1
-	fast := e.fastErf()
-	fs := e.getFused()
-	qcAll := fs.qcBuf(nq * d * qcStride)
-	for i := range qs {
-		e.queryConsts(qs[i], qcAll[i*d*qcStride:(i+1)*d*qcStride])
-	}
 	nc := parallel.Chunks(s)
 	partials := e.bufs.Get(nc * nq * stride)
-	e.pool.Run(s, func(c, lo, hi int) {
-		scr := e.getScratch()
-		base := partials[c*nq*stride : (c+1)*nq*stride]
-		for iq := 0; iq < nq; iq++ {
-			qc := qcAll[iq*d*qcStride : (iq+1)*d*qcStride]
-			pr := base[iq*stride : (iq+1)*stride]
-			pr[0] = e.fusedGradChunk(qc, lo, hi, scr, pr[1:], fast)
-		}
-		e.putScratch(scr)
-	})
+	e.fusedGradPartials(qs, partials)
 	inv := 1 / float64(s)
 	for iq := 0; iq < nq; iq++ {
 		sum := 0.0
@@ -393,6 +388,37 @@ func (e *Estimator) fusedGradientBatch(qs []query.Range, ests, grads []float64) 
 		ests[iq] = sum * inv
 	}
 	e.bufs.Put(partials)
+}
+
+// fusedGradPartials fills partials[(c*nq+iq)*(d+1)] with chunk c's
+// unnormalized mass sum for query iq and the d following entries with the
+// chunk's unnormalized bandwidth-gradient terms — the shared partial-fill
+// stage behind fusedGradientBatch and GradientBatchPartials. The gradient
+// entries are accumulated by fusedGradChunk, so they are zeroed here first;
+// caller-provided buffers need no pre-zeroing.
+func (e *Estimator) fusedGradPartials(qs []query.Range, partials []float64) {
+	nq := len(qs)
+	s, d := e.Size(), e.d
+	stride := d + 1
+	fast := e.fastErf()
+	fs := e.getFused()
+	qcAll := fs.qcBuf(nq * d * qcStride)
+	for i := range qs {
+		e.queryConsts(qs[i], qcAll[i*d*qcStride:(i+1)*d*qcStride])
+	}
+	e.pool.Run(s, func(c, lo, hi int) {
+		scr := e.getScratch()
+		base := partials[c*nq*stride : (c+1)*nq*stride]
+		for iq := 0; iq < nq; iq++ {
+			qc := qcAll[iq*d*qcStride : (iq+1)*d*qcStride]
+			pr := base[iq*stride : (iq+1)*stride]
+			for j := range pr[1:] {
+				pr[1+j] = 0
+			}
+			pr[0] = e.fusedGradChunk(qc, lo, hi, scr, pr[1:], fast)
+		}
+		e.putScratch(scr)
+	})
 	e.putFused(fs)
 }
 

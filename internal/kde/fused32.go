@@ -1,6 +1,7 @@
 package kde
 
 import (
+	"fmt"
 	"math"
 
 	"kdesel/internal/kernel"
@@ -143,10 +144,71 @@ func (e *Estimator) quantizeColumns() {
 		e.qOff = make([]float32, d)
 	}
 	e.qScale, e.qOff = e.qScale[:d], e.qOff[:d]
+	if len(e.pinScale) == d && len(e.pinOff) == d {
+		copy(e.qScale, e.pinScale)
+		copy(e.qOff, e.pinOff)
+	} else {
+		for j := 0; j < d; j++ {
+			col := e.cols[j*s : (j+1)*s]
+			lo, hi := col[0], col[0]
+			for _, v := range col {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			e.qScale[j], e.qOff[j] = quantConsts(lo, hi)
+		}
+	}
 	for j := 0; j < d; j++ {
 		col := e.cols[j*s : (j+1)*s]
-		lo, hi := col[0], col[0]
-		for _, v := range col {
+		q := e.q16[j*s : (j+1)*s]
+		scale := e.qScale[j]
+		if scale == 0 {
+			// Degenerate (constant) dimension, or a range that underflows
+			// float32: every code decodes to the offset.
+			for i := range q {
+				q[i] = 0
+			}
+			continue
+		}
+		effStep := float64(scale)
+		effLo := float64(e.qOff[j]) - 32768*effStep
+		for i, v := range col {
+			q[i] = quantize16(v, effLo, effStep)
+		}
+	}
+}
+
+// quantConsts derives one dimension's dequantization constants from its
+// value range: qScale = step, qOff = lo + 32768·step (see quantizeColumns).
+// A degenerate or float32-underflowing range yields scale 0.
+func quantConsts(lo, hi float64) (scale, off float32) {
+	step := (hi - lo) / 65535
+	scale = float32(step)
+	if !(step > 0) || scale == 0 {
+		return 0, float32(lo)
+	}
+	return scale, float32(lo + 32768*step)
+}
+
+// QuantConstants derives the per-dimension quantized-tier constants from a
+// row-major sample — exactly the constants quantizeColumns would derive for
+// an estimator holding that sample. A sharded group computes them once over
+// the full pre-partition sample and pins them into every shard
+// (PinQuantConstants), so shard-local column ranges never perturb the codes.
+func QuantConstants(data []float64, d int) (scale, off []float32) {
+	scale = make([]float32, d)
+	off = make([]float32, d)
+	if len(data) < d || d == 0 {
+		return scale, off
+	}
+	for j := 0; j < d; j++ {
+		lo, hi := data[j], data[j]
+		for i := d + j; i < len(data); i += d {
+			v := data[i]
 			if v < lo {
 				lo = v
 			}
@@ -154,27 +216,29 @@ func (e *Estimator) quantizeColumns() {
 				hi = v
 			}
 		}
-		step := (hi - lo) / 65535
-		scale := float32(step)
-		if !(step > 0) || scale == 0 {
-			// Degenerate (constant) dimension, or a range that underflows
-			// float32: every code decodes to the offset.
-			e.qScale[j], e.qOff[j] = 0, float32(lo)
-			q := e.q16[j*s : (j+1)*s]
-			for i := range q {
-				q[i] = 0
-			}
-			continue
-		}
-		e.qScale[j] = scale
-		e.qOff[j] = float32(lo + 32768*step)
-		effStep := float64(scale)
-		effLo := float64(e.qOff[j]) - 32768*effStep
-		q := e.q16[j*s : (j+1)*s]
-		for i, v := range col {
-			q[i] = quantize16(v, effLo, effStep)
-		}
+		scale[j], off[j] = quantConsts(lo, hi)
 	}
+	return scale, off
+}
+
+// PinQuantConstants freezes the quantized tier's dequantization constants to
+// the supplied per-dimension scale/offset pairs; the tier is rebuilt if it is
+// currently active so existing codes re-encode against the pinned constants.
+// Passing nil slices unpins (constants derive from the sample again).
+func (e *Estimator) PinQuantConstants(scale, off []float32) error {
+	if scale == nil && off == nil {
+		e.pinScale, e.pinOff = nil, nil
+	} else {
+		if len(scale) != e.d || len(off) != e.d {
+			return fmt.Errorf("kde: pinned quant constants have dims (%d,%d), want %d", len(scale), len(off), e.d)
+		}
+		e.pinScale = append([]float32(nil), scale...)
+		e.pinOff = append([]float32(nil), off...)
+	}
+	if e.prec == mathx.Quantized && len(e.cols) > 0 {
+		e.quantizeColumns()
+	}
+	return nil
 }
 
 // quantize16 encodes one value against the effective (float32-rounded)
@@ -303,14 +367,32 @@ func (e *Estimator) fusedSelectivity32(q query.Range, quant bool) float64 {
 // per-query path. Callers have validated the queries and resolved the tier.
 func (e *Estimator) fusedSelectivityBatch32(qs []query.Range, ests []float64, quant bool) {
 	nq := len(qs)
+	s := e.Size()
+	nc := parallel.Chunks(s)
+	partials := e.bufs.Get(nc * nq)
+	e.fusedBatchPartials32(qs, partials, quant)
+	for iq := 0; iq < nq; iq++ {
+		sum := 0.0
+		for c := 0; c < nc; c++ {
+			sum += partials[c*nq+iq]
+		}
+		ests[iq] = sum / float64(s)
+	}
+	e.bufs.Put(partials)
+}
+
+// fusedBatchPartials32 fills partials[c*nq+iq] with chunk c's unnormalized
+// mass sum for query iq through the compressed tier — the shared
+// partial-fill stage behind fusedSelectivityBatch32 and
+// SelectivityBatchPartials. Every entry is assigned, never accumulated.
+func (e *Estimator) fusedBatchPartials32(qs []query.Range, partials []float64, quant bool) {
+	nq := len(qs)
 	s, d := e.Size(), e.d
 	fs := e.getFused()
 	qcAll := fs.qc32Buf(nq * d * qc32Stride)
 	for i := range qs {
 		e.queryConsts32(qs[i], qcAll[i*d*qc32Stride:(i+1)*d*qc32Stride])
 	}
-	nc := parallel.Chunks(s)
-	partials := e.bufs.Get(nc * nq)
 	e.pool.Run(s, func(c, lo, hi int) {
 		ws := e.getFused()
 		acc := ws.acc32Buf(batchQTile32 * parallel.ChunkSize)
@@ -363,13 +445,5 @@ func (e *Estimator) fusedSelectivityBatch32(qs []query.Range, ests []float64, qu
 		}
 		e.putFused(ws)
 	})
-	for iq := 0; iq < nq; iq++ {
-		sum := 0.0
-		for c := 0; c < nc; c++ {
-			sum += partials[c*nq+iq]
-		}
-		ests[iq] = sum / float64(s)
-	}
-	e.bufs.Put(partials)
 	e.putFused(fs)
 }

@@ -70,6 +70,16 @@ type Estimator struct {
 	qScale []float32
 	qOff   []float32
 
+	// pinScale/pinOff, when non-nil, freeze the quantized tier's
+	// per-dimension dequantization constants instead of deriving them from
+	// this estimator's own column ranges (PinQuantConstants). A sharded
+	// group pins one set of globally derived constants into every shard so
+	// all shards encode identical int16 codes for identical values — the
+	// property that keeps quantized shard partials bit-identical to the
+	// single-estimator path.
+	pinScale []float32
+	pinOff   []float32
+
 	// gen counts sample-content generations: SetSampleFlat and ReplacePoint
 	// bump it, so Snapshot can tell a bandwidth-only change (share the frozen
 	// sample buffers) from a sample mutation (deep-copy them).
@@ -581,15 +591,7 @@ func (e *Estimator) SelectivityBatch(qs []query.Range, ests []float64) error {
 	s := e.Size()
 	nc := parallel.Chunks(s)
 	partials := e.bufs.Get(nc * nq)
-	e.pool.Run(s, func(c, lo, hi int) {
-		pr := partials[c*nq : (c+1)*nq]
-		for i := lo; i < hi; i++ {
-			row := e.data[i*e.d : (i+1)*e.d]
-			for iq := 0; iq < nq; iq++ {
-				pr[iq] += e.pointMass(row, qs[iq])
-			}
-		}
-	})
+	e.genericBatchPartials(qs, partials)
 	for iq := 0; iq < nq; iq++ {
 		sum := 0.0
 		for c := 0; c < nc; c++ {
@@ -598,6 +600,90 @@ func (e *Estimator) SelectivityBatch(qs []query.Range, ests []float64) error {
 		ests[iq] = sum / float64(s)
 	}
 	e.bufs.Put(partials)
+	return nil
+}
+
+// genericBatchPartials fills partials[c*nq+iq] with chunk c's unnormalized
+// mass sum for query iq through the row-major generic path — the shared
+// partial-fill stage behind SelectivityBatch and SelectivityBatchPartials.
+// Each chunk's slice is zeroed in the chunk body before accumulation, so
+// caller-provided buffers need no pre-zeroing.
+func (e *Estimator) genericBatchPartials(qs []query.Range, partials []float64) {
+	nq := len(qs)
+	e.pool.Run(e.Size(), func(c, lo, hi int) {
+		pr := partials[c*nq : (c+1)*nq]
+		for iq := range pr {
+			pr[iq] = 0
+		}
+		for i := lo; i < hi; i++ {
+			row := e.data[i*e.d : (i+1)*e.d]
+			for iq := 0; iq < nq; iq++ {
+				pr[iq] += e.pointMass(row, qs[iq])
+			}
+		}
+	})
+}
+
+// SelectivityBatchPartials runs the batched estimate pass but stops before
+// the reduction: partials (length parallel.Chunks(Size())·len(qs)) receives
+// every chunk's unnormalized mass sum, laid out partials[c*nq+iq] for chunk
+// c and query iq. The estimate of qs[iq] is Σ_c partials[c*nq+iq] / Size(),
+// summed in ascending chunk order — exactly the reduction SelectivityBatch
+// performs. Exposing the partials lets a sharded estimator interleave
+// per-shard chunk sums into the global chunk order and reproduce the
+// single-estimator float-addition sequence bit for bit (internal/shard).
+// The dispatch (fused / compressed tier / generic) matches SelectivityBatch.
+func (e *Estimator) SelectivityBatchPartials(qs []query.Range, partials []float64) error {
+	nq := len(qs)
+	for i := range qs {
+		if err := e.checkReady(qs[i]); err != nil {
+			return fmt.Errorf("kde: batch query %d: %w", i, err)
+		}
+	}
+	if want := parallel.Chunks(e.Size()) * nq; len(partials) != want {
+		return fmt.Errorf("kde: partials buffer has %d entries, want %d", len(partials), want)
+	}
+	if nq == 0 {
+		return nil
+	}
+	if e.fusedOK() {
+		if p := e.servePrecision(); p != mathx.Float64 {
+			e.fusedBatchPartials32(qs, partials, p == mathx.Quantized)
+			return nil
+		}
+		e.fusedBatchPartials(qs, partials)
+		return nil
+	}
+	e.genericBatchPartials(qs, partials)
+	return nil
+}
+
+// GradientBatchPartials is the gradient counterpart of
+// SelectivityBatchPartials: partials (length
+// parallel.Chunks(Size())·len(qs)·(Dims()+1)) receives, at
+// partials[(c*nq+iq)*(d+1)], chunk c's unnormalized mass sum for query iq
+// followed by its d unnormalized bandwidth-gradient terms. GradientBatch's
+// results are recovered by summing each slot in ascending chunk order and
+// scaling by 1/Size(). The dispatch (fused / generic) matches GradientBatch;
+// gradients always read the float64 buffers regardless of precision tier.
+func (e *Estimator) GradientBatchPartials(qs []query.Range, partials []float64) error {
+	nq := len(qs)
+	for i := range qs {
+		if err := e.checkReady(qs[i]); err != nil {
+			return fmt.Errorf("kde: batch query %d: %w", i, err)
+		}
+	}
+	if want := parallel.Chunks(e.Size()) * nq * (e.d + 1); len(partials) != want {
+		return fmt.Errorf("kde: partials buffer has %d entries, want %d", len(partials), want)
+	}
+	if nq == 0 {
+		return nil
+	}
+	if e.fusedOK() {
+		e.fusedGradPartials(qs, partials)
+		return nil
+	}
+	e.genericGradPartials(qs, partials)
 	return nil
 }
 
@@ -632,18 +718,7 @@ func (e *Estimator) GradientBatch(qs []query.Range, ests, grads []float64) error
 	stride := d + 1
 	nc := parallel.Chunks(s)
 	partials := e.bufs.Get(nc * nq * stride)
-	e.pool.Run(s, func(c, lo, hi int) {
-		scr := e.getScratch()
-		base := partials[c*nq*stride : (c+1)*nq*stride]
-		for p := lo; p < hi; p++ {
-			row := e.data[p*d : (p+1)*d]
-			for iq := 0; iq < nq; iq++ {
-				pr := base[iq*stride : (iq+1)*stride]
-				pr[0] += e.gradPoint(row, qs[iq], scr, pr[1:])
-			}
-		}
-		e.putScratch(scr)
-	})
+	e.genericGradPartials(qs, partials)
 	inv := 1 / float64(s)
 	for iq := 0; iq < nq; iq++ {
 		sum := 0.0
@@ -665,6 +740,31 @@ func (e *Estimator) GradientBatch(qs []query.Range, ests, grads []float64) error
 	}
 	e.bufs.Put(partials)
 	return nil
+}
+
+// genericGradPartials fills the GradientBatchPartials layout through the
+// row-major generic path — the shared partial-fill stage behind
+// GradientBatch and GradientBatchPartials. Each chunk's slice is zeroed in
+// the chunk body, so caller-provided buffers need no pre-zeroing.
+func (e *Estimator) genericGradPartials(qs []query.Range, partials []float64) {
+	nq := len(qs)
+	d := e.d
+	stride := d + 1
+	e.pool.Run(e.Size(), func(c, lo, hi int) {
+		scr := e.getScratch()
+		base := partials[c*nq*stride : (c+1)*nq*stride]
+		for i := range base {
+			base[i] = 0
+		}
+		for p := lo; p < hi; p++ {
+			row := e.data[p*d : (p+1)*d]
+			for iq := 0; iq < nq; iq++ {
+				pr := base[iq*stride : (iq+1)*stride]
+				pr[0] += e.gradPoint(row, qs[iq], scr, pr[1:])
+			}
+		}
+		e.putScratch(scr)
+	})
 }
 
 // Objective returns the training objective of optimization problem (5) for
@@ -821,6 +921,10 @@ func (e *Estimator) Clone() *Estimator {
 	if e.kerns != nil {
 		out.kerns = make([]kernel.Kernel, len(e.kerns))
 		copy(out.kerns, e.kerns)
+	}
+	if e.pinScale != nil {
+		out.pinScale = append([]float32(nil), e.pinScale...)
+		out.pinOff = append([]float32(nil), e.pinOff...)
 	}
 	out.data = make([]float64, len(e.data))
 	copy(out.data, e.data)

@@ -102,6 +102,14 @@ func (v *View) SelectivityBatch(qs []query.Range, ests []float64) error {
 	return v.est.SelectivityBatch(qs, ests)
 }
 
+// SelectivityBatchPartials runs the batched estimate pass against the frozen
+// model but stops before the reduction, filling partials with per-chunk
+// unnormalized mass sums (see Estimator.SelectivityBatchPartials). Safe for
+// concurrent use; this is the per-shard scatter primitive of internal/shard.
+func (v *View) SelectivityBatchPartials(qs []query.Range, partials []float64) error {
+	return v.est.SelectivityBatchPartials(qs, partials)
+}
+
 // Bandwidth returns a copy of the frozen bandwidth vector.
 func (v *View) Bandwidth() []float64 { return v.est.Bandwidth() }
 

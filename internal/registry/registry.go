@@ -50,6 +50,7 @@ import (
 	"kdesel/internal/metrics"
 	"kdesel/internal/parallel"
 	"kdesel/internal/query"
+	"kdesel/internal/shard"
 	"kdesel/internal/table"
 )
 
@@ -132,8 +133,16 @@ type entry struct {
 	tab      *table.Table
 	serveCfg core.ServeConfig
 
+	// sharded entries serve through grp instead of srv; shardCfg keeps the
+	// runtime half of the group configuration (loss, learner, karma,
+	// shard count) for restore-on-demand, which rebuilds the model state
+	// itself from the checkpoint frames.
+	sharded  bool
+	shardCfg shard.Config
+
 	mu  sync.Mutex
 	srv atomic.Pointer[core.Server]
+	grp atomic.Pointer[shard.Group]
 
 	lastUsed atomic.Int64 // UnixNano of last estimate/feedback
 	lastCkpt atomic.Int64 // UnixNano of last checkpoint
@@ -144,6 +153,10 @@ type entry struct {
 }
 
 func (e *entry) touch() { e.lastUsed.Store(time.Now().UnixNano()) }
+
+// resident reports whether the entry currently holds a live serving
+// handle of either kind.
+func (e *entry) resident() bool { return e.srv.Load() != nil || e.grp.Load() != nil }
 
 // Registry routes per-model operations to the right core.Server and owns
 // admission, checkpoint rotation, eviction, and restore. Safe for
@@ -263,6 +276,81 @@ func (r *Registry) Admit(key Key, tab *table.Table, buildCfg core.Config, serveC
 	return nil
 }
 
+// AdmitSharded admits a sharded model: the sample is partitioned across
+// shards shard estimators (internal/shard) whose scatter/gather serving
+// is bit-identical to the single-shard path at any shard count. The
+// build-config fields that shape the model (SampleSize, Seed, Loss,
+// Learner, Karma, Faults) carry over; Metrics and Workers are overridden
+// by the registry's shared resources exactly as in Admit, and
+// serveCfg.Precision selects every shard's serving tier. Sharded models
+// get the same lifecycle as plain ones: per-model metric namespace (plus
+// shard<i>. sub-namespaces), checkpoint rotation (one atomic multi-frame
+// file covering all shards), eviction, and restore-on-demand.
+func (r *Registry) AdmitSharded(key Key, tab *table.Table, buildCfg core.Config, shards int, serveCfg core.ServeConfig) error {
+	if len(key.Columns) == 0 {
+		return fmt.Errorf("registry: key %q has no columns", key.Table)
+	}
+	if tab == nil {
+		return errors.New("registry: nil table")
+	}
+	if tab.Dims() != len(key.Columns) {
+		return fmt.Errorf("registry: key %v names %d columns but table has %d",
+			key, len(key.Columns), tab.Dims())
+	}
+	ent := &entry{
+		key: key, tab: tab, serveCfg: serveCfg, sharded: true,
+		shardCfg: shard.Config{
+			Shards:     shards,
+			SampleSize: buildCfg.SampleSize,
+			Seed:       buildCfg.Seed,
+			Loss:       buildCfg.Loss,
+			Learner:    buildCfg.Learner,
+			Karma:      buildCfg.Karma,
+			Precision:  serveCfg.Precision,
+			Workers:    r.cfg.Workers,
+			Faults:     buildCfg.Faults,
+		},
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := r.models[key.String()]; dup {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrDuplicateModel, key)
+	}
+	r.models[key.String()] = ent
+	r.mu.Unlock()
+
+	ent.mu.Lock()
+	err := r.buildGroupLocked(ent)
+	ent.mu.Unlock()
+	if err != nil {
+		r.mu.Lock()
+		delete(r.models, key.String())
+		r.mu.Unlock()
+		return err
+	}
+	r.admissions.Inc()
+	r.enforceResidency(key)
+	return nil
+}
+
+// buildGroupLocked builds the shard group for ent; caller holds ent.mu.
+func (r *Registry) buildGroupLocked(ent *entry) error {
+	cfg := ent.shardCfg
+	cfg.Metrics = r.met.WithPrefix(ent.key.MetricPrefix())
+	cfg.Pool = r.pool
+	g, err := shard.Build(ent.tab, cfg)
+	if err != nil {
+		return err
+	}
+	ent.grp.Store(g)
+	ent.touch()
+	return nil
+}
+
 // AdmitJoin admits a join model: it samples the fkTab ⋈ pkTab join result
 // (join.SampleResult), materializes the joined rows as a synthetic table,
 // and admits a normal model over it — so join models get the same serving,
@@ -353,6 +441,37 @@ func (r *Registry) server(ent *entry) (*core.Server, error) {
 	return s, nil
 }
 
+// group returns the live shard group for ent, restoring from the newest
+// checkpoint when the model was evicted. The fast path is one atomic load.
+func (r *Registry) group(ent *entry) (*shard.Group, error) {
+	if g := ent.grp.Load(); g != nil {
+		return g, nil
+	}
+	ent.mu.Lock()
+	g := ent.grp.Load()
+	if g == nil {
+		if len(ent.ckpts) == 0 {
+			ent.mu.Unlock()
+			return nil, fmt.Errorf("registry: model %v is not resident and has no checkpoint", ent.key)
+		}
+		cfg := ent.shardCfg
+		cfg.Metrics = r.met.WithPrefix(ent.key.MetricPrefix())
+		cfg.Pool = r.pool
+		var err error
+		g, err = shard.Restore(ent.ckpts[len(ent.ckpts)-1], ent.tab, cfg)
+		if err != nil {
+			ent.mu.Unlock()
+			return nil, fmt.Errorf("registry: restore %v: %w", ent.key, err)
+		}
+		ent.grp.Store(g)
+		ent.touch()
+		r.restores.Inc()
+	}
+	ent.mu.Unlock()
+	r.enforceResidency(ent.key)
+	return g, nil
+}
+
 // restoreLocked rebuilds ent's server from its newest checkpoint; caller
 // holds ent.mu. Restoration is bit-identical continuation (persist.go), and
 // the restored model is re-instrumented under the same metric namespace and
@@ -385,6 +504,14 @@ func (r *Registry) Estimate(key Key, q query.Range) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if ent.sharded {
+		g, err := r.group(ent)
+		if err != nil {
+			return 0, err
+		}
+		ent.touch()
+		return g.Estimate(q)
+	}
 	s, err := r.server(ent)
 	if err != nil {
 		return 0, err
@@ -400,19 +527,37 @@ func (r *Registry) Estimate(key Key, q query.Range) (float64, error) {
 // model is not cancellable (the restored model outlives the request that
 // triggered it); the context applies from routing onward.
 func (r *Registry) EstimateContext(ctx context.Context, key Key, q query.Range) (float64, error) {
+	est, _, err := r.EstimateContextDetail(ctx, key, q)
+	return est, err
+}
+
+// EstimateContextDetail is EstimateContext plus the degraded flag: true
+// when a sharded model lost shards during the scatter and served the
+// renormalized survivor estimate. Unsharded models never degrade a single
+// request this way and always report false.
+func (r *Registry) EstimateContextDetail(ctx context.Context, key Key, q query.Range) (float64, bool, error) {
 	ent, err := r.entryFor(key)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	if err := ctx.Err(); err != nil {
-		return 0, err
+		return 0, false, err
+	}
+	if ent.sharded {
+		g, err := r.group(ent)
+		if err != nil {
+			return 0, false, err
+		}
+		ent.touch()
+		return g.EstimateDetail(ctx, q)
 	}
 	s, err := r.server(ent)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	ent.touch()
-	return s.EstimateContext(ctx, q)
+	est, err := s.EstimateContext(ctx, q)
+	return est, false, err
 }
 
 // Feedback routes an observed true selectivity to key's model. A feedback
@@ -424,6 +569,14 @@ func (r *Registry) Feedback(key Key, q query.Range, actual float64) error {
 	if err != nil {
 		return err
 	}
+	if ent.sharded {
+		g, err := r.group(ent)
+		if err != nil {
+			return err
+		}
+		ent.touch()
+		return g.Feedback(q, actual)
+	}
 	s, err := r.server(ent)
 	if err != nil {
 		return err
@@ -432,11 +585,26 @@ func (r *Registry) Feedback(key Key, q query.Range, actual float64) error {
 	return s.Feedback(q, actual)
 }
 
-// FeedbackBatch routes a slice of observations to key's model.
+// FeedbackBatch routes a slice of observations to key's model. For a
+// sharded model the records apply one at a time (the group's feedback
+// path includes karma sample maintenance, which is per-query).
 func (r *Registry) FeedbackBatch(key Key, fbs []query.Feedback) error {
 	ent, err := r.entryFor(key)
 	if err != nil {
 		return err
+	}
+	if ent.sharded {
+		g, err := r.group(ent)
+		if err != nil {
+			return err
+		}
+		ent.touch()
+		for _, fb := range fbs {
+			if err := g.Feedback(fb.Query, fb.Actual); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	s, err := r.server(ent)
 	if err != nil {
@@ -453,6 +621,19 @@ func (r *Registry) FeedbackBatch(key Key, fbs []query.Feedback) error {
 func (r *Registry) Analyze(key Key, fbs []query.Feedback) error {
 	ent, err := r.entryFor(key)
 	if err != nil {
+		return err
+	}
+	if ent.sharded {
+		g, err := r.group(ent)
+		if err != nil {
+			return err
+		}
+		// Round-robin over the shards: each ANALYZE optimizes over one
+		// shard's sample while the others keep serving undisturbed.
+		err = g.Analyze(fbs)
+		if err == nil {
+			r.analyzes.Inc()
+		}
 		return err
 	}
 	s, err := r.server(ent)
@@ -505,6 +686,9 @@ func (r *Registry) CheckpointNow(key Key) error {
 	}
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
+	if g := ent.grp.Load(); g != nil {
+		return r.checkpointLocked(ent, g)
+	}
 	s := ent.srv.Load()
 	if s == nil {
 		return nil // evicted: its checkpoint is already the latest state
@@ -512,8 +696,15 @@ func (r *Registry) CheckpointNow(key Key) error {
 	return r.checkpointLocked(ent, s)
 }
 
+// checkpointer is the one method checkpointLocked needs; both core.Server
+// and shard.Group satisfy it (a sharded group writes one multi-frame file
+// covering all its shards atomically).
+type checkpointer interface {
+	Checkpoint(path string) error
+}
+
 // checkpointLocked writes one rotation checkpoint; caller holds ent.mu.
-func (r *Registry) checkpointLocked(ent *entry, s *core.Server) error {
+func (r *Registry) checkpointLocked(ent *entry, s checkpointer) error {
 	if r.cfg.CheckpointDir == "" {
 		return errors.New("registry: no CheckpointDir configured")
 	}
@@ -550,6 +741,19 @@ func (r *Registry) Evict(key Key) error {
 func (r *Registry) evict(ent *entry) error {
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
+	if g := ent.grp.Load(); g != nil {
+		// Sharded: one multi-frame checkpoint covers every shard atomically,
+		// then the whole group (and its shard<i>.* sub-namespaces, nested
+		// under the model prefix) is torn down.
+		if err := r.checkpointLocked(ent, g); err != nil {
+			return fmt.Errorf("registry: evict %v: %w", ent.key, err)
+		}
+		ent.grp.Store(nil)
+		g.Close()
+		r.met.UnregisterGaugeFuncsPrefix(ent.key.MetricPrefix())
+		r.evictions.Inc()
+		return nil
+	}
 	s := ent.srv.Load()
 	if s == nil {
 		return nil
@@ -583,7 +787,7 @@ func (r *Registry) enforceResidency(keep Key) {
 		resident := 0
 		r.mu.Lock()
 		for _, ent := range r.models {
-			if ent.srv.Load() == nil {
+			if !ent.resident() {
 				continue
 			}
 			resident++
@@ -615,7 +819,7 @@ func (r *Registry) Sweep() {
 	}
 	r.mu.Unlock()
 	for _, ent := range ents {
-		if ent.srv.Load() == nil {
+		if !ent.resident() {
 			continue
 		}
 		if r.cfg.IdleAfter > 0 && now-ent.lastUsed.Load() > int64(r.cfg.IdleAfter) {
@@ -624,7 +828,9 @@ func (r *Registry) Sweep() {
 		}
 		if r.cfg.CheckpointEvery > 0 && now-ent.lastCkpt.Load() > int64(r.cfg.CheckpointEvery) {
 			ent.mu.Lock()
-			if s := ent.srv.Load(); s != nil {
+			if g := ent.grp.Load(); g != nil {
+				_ = r.checkpointLocked(ent, g)
+			} else if s := ent.srv.Load(); s != nil {
 				_ = r.checkpointLocked(ent, s)
 			}
 			ent.mu.Unlock()
@@ -671,6 +877,8 @@ type ModelStatus struct {
 	Health core.Health
 	// Queries is the number of estimates a resident model has served.
 	Queries int
+	// Shards is the shard count of a sharded model (0 for unsharded).
+	Shards int
 }
 
 // Status reports every admitted model's serving state, sorted by key, for
@@ -688,7 +896,12 @@ func (r *Registry) Status() []ModelStatus {
 	out := make([]ModelStatus, 0, len(entries))
 	for _, ent := range entries {
 		st := ModelStatus{Key: ent.key}
-		if s := ent.srv.Load(); s != nil {
+		if g := ent.grp.Load(); g != nil {
+			st.Resident = true
+			st.Health = g.Health()
+			st.Queries = int(g.Queries())
+			st.Shards = g.Shards()
+		} else if s := ent.srv.Load(); s != nil {
 			st.Resident = true
 			st.Health = s.Health()
 			st.Queries = s.Queries()
@@ -705,7 +918,7 @@ func (r *Registry) Resident() int {
 	defer r.mu.Unlock()
 	n := 0
 	for _, ent := range r.models {
-		if ent.srv.Load() != nil {
+		if ent.resident() {
 			n++
 		}
 	}
@@ -718,7 +931,7 @@ func (r *Registry) IsResident(key Key) bool {
 	r.mu.Lock()
 	ent, ok := r.models[key.String()]
 	r.mu.Unlock()
-	return ok && ent.srv.Load() != nil
+	return ok && ent.resident()
 }
 
 // Table returns the table backing key's model (for truth computation and
@@ -754,7 +967,14 @@ func (r *Registry) Close() {
 
 	for _, ent := range ents {
 		ent.mu.Lock()
-		if s := ent.srv.Load(); s != nil {
+		if g := ent.grp.Load(); g != nil {
+			if r.cfg.CheckpointDir != "" {
+				_ = r.checkpointLocked(ent, g)
+			}
+			ent.grp.Store(nil)
+			g.Close()
+			r.met.UnregisterGaugeFuncsPrefix(ent.key.MetricPrefix())
+		} else if s := ent.srv.Load(); s != nil {
 			if r.cfg.CheckpointDir != "" {
 				_ = r.checkpointLocked(ent, s)
 			}

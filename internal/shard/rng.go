@@ -1,0 +1,58 @@
+package shard
+
+import "math/rand"
+
+// countingSource wraps a math/rand source and counts how many times its
+// state has advanced, exactly like the serving core's counted source
+// (internal/core/rng.go): the draw count is persisted in the group
+// checkpoint frame so a restored group fast-forwards a freshly seeded
+// source to the same stream position, making every post-restore random
+// decision (karma replacement rows, reservoir accepts) bit-identical to
+// the group that took the checkpoint.
+type countingSource struct {
+	src   rand.Source
+	src64 rand.Source64 // non-nil when src natively produces 64-bit values
+	n     uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	s := rand.NewSource(seed)
+	s64, _ := s.(rand.Source64)
+	return &countingSource{src: s, src64: s64}
+}
+
+// Int63 implements rand.Source. One call advances the state once.
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64, composing two Int63 draws exactly like
+// rand.Rand does when the source lacks native 64-bit output, so the stream
+// matches rand.New(rand.NewSource(seed)) bit for bit either way.
+func (c *countingSource) Uint64() uint64 {
+	if c.src64 != nil {
+		c.n++
+		return c.src64.Uint64()
+	}
+	c.n += 2
+	return uint64(c.src.Int63())>>31 | uint64(c.src.Int63())<<32
+}
+
+// Seed implements rand.Source and resets the draw count.
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// Draws returns how many times the underlying state has advanced.
+func (c *countingSource) Draws() uint64 { return c.n }
+
+// FastForward advances a freshly seeded source n state steps, reproducing
+// the stream position recorded by Draws.
+func (c *countingSource) FastForward(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Int63()
+	}
+	c.n = n
+}
