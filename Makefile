@@ -5,14 +5,15 @@ GO ?= go
 
 # Which PR's benchmark suite `make bench` regenerates (bench-PR2, bench-PR4,
 # ...); e.g. `BENCH=PR2 make bench` rebuilds BENCH_PR2.json.
-BENCH ?= PR9
+BENCH ?= PR10
 
 .PHONY: verify fmtcheck build test race race-resilience mathx-accuracy \
-	precision-accuracy network-resilience shard-determinism chaos vet \
+	precision-accuracy network-resilience shard-determinism ingest-lag \
+	chaos vet \
 	bench bench-PR2 bench-PR4 bench-PR5 bench-PR6 bench-PR7 bench-PR8 \
-	bench-PR9 bench-parallel bench-throughput
+	bench-PR9 bench-PR10 bench-parallel bench-throughput
 
-verify: fmtcheck vet build race-resilience mathx-accuracy precision-accuracy network-resilience shard-determinism race
+verify: fmtcheck vet build race-resilience mathx-accuracy precision-accuracy network-resilience shard-determinism ingest-lag race
 
 # Fail when any file needs gofmt; list the offenders.
 fmtcheck:
@@ -39,7 +40,8 @@ race:
 race-resilience:
 	$(GO) test -race ./internal/fault/... ./internal/core/... ./internal/serve/... \
 		./internal/mathx/... ./internal/kde/... ./internal/checkpoint/... \
-		./internal/registry/... ./internal/shard/...
+		./internal/registry/... ./internal/shard/... ./internal/ingest/... \
+		./internal/table/...
 
 # The fast-erf accuracy contract (|error| ≤ 1e-7 over the 2M-point sweep)
 # must actually run — a skipped sweep fails verify, not just a failing one.
@@ -103,6 +105,27 @@ shard-determinism:
 		{ echo "shard checkpoint round-trip check did not run"; exit 1; }; \
 	echo "$$out" | grep -q -- '--- PASS: TestShardFeedbackInvariance' || \
 		{ echo "shard feedback-invariance check did not run"; exit 1; }
+
+# The continuous-ingestion contracts must actually run, like mathx-accuracy:
+# the serving-under-mutation race test (>= 10k concurrent mutations against
+# registry models, sharded and unsharded, under the race detector), the
+# exactly-once checkpoint/restore round-trips (core and sharded: replay from
+# the restored cursor is bit-identical to the uninterrupted run), and the
+# drift detector auto-triggering a background ANALYZE on an evolving
+# workload. A skipped test fails verify, not just a failing one.
+ingest-lag:
+	@out="$$($(GO) test -race -count=1 -run 'TestIngestRaceUnderServing' -v ./internal/ingest/ && \
+		$(GO) test -count=1 -run 'TestIngestExactlyOnceRestoreCore|TestIngestExactlyOnceRestoreSharded|TestIngestDriftTriggersAnalyze' -v ./internal/ingest/)"; \
+	status=$$?; echo "$$out"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	echo "$$out" | grep -q -- '--- PASS: TestIngestRaceUnderServing' || \
+		{ echo "ingest serving race test did not run"; exit 1; }; \
+	echo "$$out" | grep -q -- '--- PASS: TestIngestExactlyOnceRestoreCore' || \
+		{ echo "ingest exactly-once core restore round-trip did not run"; exit 1; }; \
+	echo "$$out" | grep -q -- '--- PASS: TestIngestExactlyOnceRestoreSharded' || \
+		{ echo "ingest exactly-once sharded restore round-trip did not run"; exit 1; }; \
+	echo "$$out" | grep -q -- '--- PASS: TestIngestDriftTriggersAnalyze' || \
+		{ echo "ingest drift-trigger test did not run"; exit 1; }
 
 # Chaos suite: deterministic fault schedules (failed transfers/launches,
 # diverged optimizers, non-finite gradients, corrupted checkpoints) against
@@ -255,3 +278,24 @@ bench-PR9:
 		-cmd "$(BENCH_CMD9)" \
 		-out BENCH_PR9.json bench9.out
 	rm -f bench9.out
+
+# PR10: continuous ingestion. BenchmarkIngestServing runs the bounded-lag
+# ingestion experiment per iteration: closed-loop estimate clients serve
+# from an adaptive model while the table's change feed replays an evolving
+# insert/delete stream through the ingestion bridge (SPSC ring, batched
+# synchronized applies, one snapshot republish per batch). Rounds pair
+# each churn leg's estimate p99 against the adjacent quiescent leg's —
+# the same paired-median design as bench-PR9, for the same hypervisor-
+# steal reasons. Exactly-once delivery (cursor == produced == applied)
+# and at least one drift-scheduled ANALYZE are asserted inside every
+# iteration. Acceptance: during-p99-ratio <= 2.
+BENCH_CMD10 = $(GO) test -run TestNothing -bench BenchmarkIngestServing -benchtime 3x .
+
+bench-PR10:
+	$(BENCH_CMD10) > bench10.out
+	$(GO) run ./cmd/benchjson -pr 10 \
+		-title "Synchronized change-feed ingestion: bounded-lag bridge from table mutations to serving models" \
+		-note "BenchmarkIngestServing drives the continuous-ingestion experiment (internal/experiments.IngestLoad): closed-loop clients estimate from an adaptive registry model while the table's change feed replays an evolving mutation stream at a paced rate through the ingestion bridge — a bounded SPSC ring whose consumer applies batches under the model's writer lock and republishes one serving snapshot per batch instead of per mutation (republish-saved counts the elided publishes). Each round pairs a churn leg's estimate p99 against the adjacent quiescent leg's; during-p99-ratio is the median paired ratio across all rounds of all iterations (<= 2 required: ingestion must not stall the lock-free estimate path). Every iteration asserts exactly-once delivery (final cursor == mutations produced == mutations applied after the ring drains) and that the drift detector's untimed phase schedules at least one background ANALYZE from per-dimension moment shift. Bit-identity of batched applies against the one-at-a-time path, the >= 10k-mutation serving race test, and the checkpoint/restore replay contract are enforced separately by 'make ingest-lag'." \
+		-cmd "$(BENCH_CMD10)" \
+		-out BENCH_PR10.json bench10.out
+	rm -f bench10.out

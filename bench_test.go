@@ -736,3 +736,60 @@ func BenchmarkShardedEstimate(b *testing.B) {
 	b.ReportMetric(float64(last.Config.Shards), "shards")
 	b.ReportMetric(float64(duringN), "during-samples")
 }
+
+// BenchmarkIngestServing runs the continuous-ingestion experiment (see
+// internal/experiments/ingest.go): an unsharded adaptive model serves
+// closed-loop estimate traffic while the change feed replays an evolving
+// mutation stream through the bounded-lag bridge. Rounds pair each churn
+// leg's estimate p99 against the adjacent quiescent leg's (same
+// median-of-paired-ratios design as BenchmarkShardedEstimate, for the
+// same 1-vCPU steal reasons); during-p99-ratio <= 2 is the acceptance
+// bar. Exactly-once delivery is asserted inside each iteration (cursor ==
+// produced == applied after the ring drains), and the untimed drift
+// phase after the timed rounds must schedule at least one background
+// ANALYZE from the detector.
+func BenchmarkIngestServing(b *testing.B) {
+	totalServed := 0
+	duringN := 0
+	var applied, saved, analyzes int64
+	var ratios []float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.IngestLoad(experiments.IngestLoadConfig{
+			Rows:       2000,
+			SampleSize: 512,
+			Clients:    2,
+			Duration:   300 * time.Millisecond,
+			Rounds:     3,
+			Rate:       3000,
+			Seed:       int64(71 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cursor != uint64(res.Produced) || res.Applied != int64(res.Produced) {
+			b.Fatalf("exactly-once violated: produced %d, applied %d, cursor %d",
+				res.Produced, res.Applied, res.Cursor)
+		}
+		if res.DriftAnalyzes == 0 {
+			b.Fatalf("drift detector never scheduled an ANALYZE (%d triggers)",
+				res.DriftTriggers)
+		}
+		totalServed += res.Served
+		duringN += res.DuringN
+		applied += res.Applied
+		saved += res.RepublishSaved
+		analyzes += res.DriftAnalyzes
+		ratios = append(ratios, res.RoundRatios...)
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(totalServed)/sec, "qps")
+		b.ReportMetric(float64(applied)/sec, "mut/s")
+	}
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		b.ReportMetric(ratios[len(ratios)/2], "during-p99-ratio")
+	}
+	b.ReportMetric(float64(duringN), "during-samples")
+	b.ReportMetric(float64(saved), "republish-saved")
+	b.ReportMetric(float64(analyzes), "drift-analyzes")
+}

@@ -38,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig4, fig5, table1, fig6, fig7, fig8, shift, serve, analyze, registry, shard, network, ablations, all")
+		exp   = flag.String("exp", "all", "experiment: fig4, fig5, table1, fig6, fig7, fig8, shift, serve, analyze, registry, shard, network, ingest, ablations, all")
 		seed  = flag.Int64("seed", 42, "random seed")
 		quick = flag.Bool("quick", false, "shrink sizes for a fast smoke run")
 		rows  = flag.Int("rows", 0, "override dataset rows (0 = experiment default)")
@@ -382,6 +382,25 @@ func main() {
 		res.WriteTable(os.Stdout)
 		return nil
 	}
+	runIngest := func() error {
+		cfg := experiments.IngestLoadConfig{
+			Seed:    *seed,
+			Shards:  *shards,
+			Metrics: reg,
+		}
+		if *quick {
+			cfg.Rows = 1500
+			cfg.SampleSize = 256
+			cfg.Duration = 250 * time.Millisecond
+			cfg.Rate = 3000
+		}
+		res, err := experiments.IngestLoad(cfg)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		return nil
+	}
 	runNetwork := func() error {
 		cfg := experiments.NetworkConfig{Seed: *seed, Metrics: reg}
 		if *quick {
@@ -449,6 +468,8 @@ func main() {
 		run("sharded serving (analyze isolation)", runShard)
 	case "network":
 		run("network resilience (chaos under overload)", runNetwork)
+	case "ingest":
+		run("continuous ingestion (bounded-lag serving)", runIngest)
 	case "ablations":
 		run("ablations", runAblations)
 	case "all":
@@ -464,6 +485,7 @@ func main() {
 		run("multi-model registry (mixed traffic)", runRegistry)
 		run("sharded serving (analyze isolation)", runShard)
 		run("network resilience (chaos under overload)", runNetwork)
+		run("continuous ingestion (bounded-lag serving)", runIngest)
 		run("ablations", runAblations)
 	default:
 		fmt.Fprintf(os.Stderr, "kdebench: unknown experiment %q\n", *exp)

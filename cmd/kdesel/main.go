@@ -69,6 +69,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kdesel"
@@ -104,6 +105,7 @@ func main() {
 		precFlag   = flag.String("precision", "float64", "serving precision tier: float64 (exact) | float32 (4 B/value, rel err ≤ 1e-5) | quantized (int16, 2 B/value, rel err ≤ 1e-3); reduced tiers fall back to float64 if they miss their error contract")
 		shardsN    = flag.Int("shards", 1, "with -listen or -models: partition each model's sample across this many shard estimators (scatter/gather serving, bit-identical results at any count; ANALYZE touches one shard's lock only)")
 		listen     = flag.String("listen", "", "serve the model(s) over HTTP/JSON on this address (e.g. :8080) instead of answering positional queries; SIGINT/SIGTERM drains gracefully")
+		ingestRate = flag.Float64("ingest-rate", 0, "with -listen: attach continuous ingestion to every model and replay synthetic rows (existing rows with small jitter) into each backing table at this many rows/second while serving (0 = off)")
 		httpTo     = flag.Duration("http-timeout", time.Second, "with -listen: default per-request deadline (callers override via timeout_ms)")
 		drainTo    = flag.Duration("drain-timeout", 10*time.Second, "with -listen: how long a graceful drain waits for in-flight requests")
 	)
@@ -193,6 +195,7 @@ func main() {
 			listen:      *listen,
 			httpTimeout: *httpTo,
 			drainTime:   *drainTo,
+			ingestRate:  *ingestRate,
 		})
 		return
 	}
@@ -235,6 +238,7 @@ func main() {
 		} else if err := rreg.Admit(key, tab, cfg, serveCfg); err != nil {
 			fail("admitting %s: %v", key, err)
 		}
+		stopIngest := startIngest(rreg, []kdesel.ModelKey{key}, *ingestRate, *seed)
 		if err := serveHTTP(rreg, serveOpts{
 			addr:         *listen,
 			deft:         key.String(),
@@ -245,6 +249,7 @@ func main() {
 		}); err != nil {
 			fail("%v", err)
 		}
+		stopIngest()
 		rreg.Close()
 		if *ckptDir != "" {
 			fmt.Fprintf(os.Stderr, "model checkpoints written to %s\n", *ckptDir)
@@ -454,6 +459,7 @@ type modelsRun struct {
 	listen          string
 	httpTimeout     time.Duration
 	drainTime       time.Duration
+	ingestRate      float64
 	faults          *fault.Injector
 	queries         []string
 }
@@ -535,6 +541,7 @@ func runModels(r modelsRun) {
 		if len(keys) == 1 {
 			deft = keys[0].String()
 		}
+		stopIngest := startIngest(reg, keys, r.ingestRate, r.seed)
 		if err := serveHTTP(reg, serveOpts{
 			addr:         r.listen,
 			deft:         deft,
@@ -545,6 +552,7 @@ func runModels(r modelsRun) {
 		}); err != nil {
 			fail("%v", err)
 		}
+		stopIngest()
 		reg.Close()
 		if r.ckptDir != "" {
 			fmt.Fprintf(os.Stderr, "model checkpoints written to %s\n", r.ckptDir)
@@ -610,6 +618,64 @@ func runModels(r modelsRun) {
 	}
 
 	flushMetrics(r.metricsOut, r.met)
+}
+
+// startIngest implements -ingest-rate: it attaches a continuous-ingestion
+// bridge to every model (registry.AttachIngest) and starts one replay
+// goroutine per model that inserts synthetic rows — existing rows re-drawn
+// from the backing table with ±1% jitter of the attribute range — at rate
+// rows/second each. The returned stop function ends the replay, waits for
+// the writers, and reports totals; with rate ≤ 0 everything is a no-op.
+func startIngest(reg *kdesel.Registry, keys []kdesel.ModelKey, rate float64, seed int64) (stop func()) {
+	if rate <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var inserted atomic.Int64
+	for i, key := range keys {
+		if err := reg.AttachIngest(key, kdesel.IngestOptions{}); err != nil {
+			fail("attaching ingestion to %s: %v", key, err)
+		}
+		tab := reg.Table(key)
+		rng := rand.New(rand.NewSource(seed + 7919*int64(i)))
+		interval := time.Duration(float64(time.Second) / rate)
+		if interval < time.Microsecond {
+			interval = time.Microsecond
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bounds, haveBounds := tab.Bounds()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					row, ok := tab.RandomRow(rng)
+					if !ok {
+						continue
+					}
+					if haveBounds {
+						for j := range row {
+							row[j] += (rng.Float64() - 0.5) * 0.02 * (bounds.Hi[j] - bounds.Lo[j])
+						}
+					}
+					if err := tab.Insert(row); err == nil {
+						inserted.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	fmt.Fprintf(os.Stderr, "ingest: replaying ~%.0f rows/s into %d model(s)\n", rate, len(keys))
+	return func() {
+		close(done)
+		wg.Wait()
+		fmt.Fprintf(os.Stderr, "ingest: %d rows replayed\n", inserted.Load())
+	}
 }
 
 // flushMetrics writes a JSON snapshot to path when -metrics-out asked for one.

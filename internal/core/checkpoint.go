@@ -25,6 +25,10 @@ type chkState struct {
 	Health        int
 	LastEvent     string
 	GradTrips     int
+	// IngestSeq is the change-feed cursor (see Estimator.IngestCursor).
+	// Gob omits zero values, so frames written before ingestion existed
+	// restore with cursor 0 — the correct "nothing applied" meaning.
+	IngestSeq uint64
 }
 
 // Checkpoint atomically writes the estimator's complete state to path in
@@ -43,6 +47,7 @@ func (e *Estimator) Checkpoint(path string) error {
 		Health:    int(e.Health()),
 		LastEvent: e.lastEvent,
 		GradTrips: e.gradTrips,
+		IngestSeq: e.ingestSeq,
 	}
 	if e.learn != nil {
 		ls := e.learn.State()
@@ -98,6 +103,7 @@ func RestoreCheckpoint(path string, tab *table.Table, dev *gpu.Device) (*Estimat
 	e.health.Store(int32(st.Health))
 	e.lastEvent = st.LastEvent
 	e.gradTrips = st.GradTrips
+	e.ingestSeq = st.IngestSeq
 	// Reapply the checkpointed serving precision (v1 frames carry meta 0 =
 	// Float64). The tier is rebuilt from the restored sample and passes
 	// the verify gate again before serving; an unknown byte from a future

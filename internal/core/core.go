@@ -201,6 +201,11 @@ type Estimator struct {
 	queries      atomic.Int64
 	replacements int
 
+	// ingestSeq is the change-feed cursor: the highest mutation sequence
+	// number applied through ApplyMutations. Checkpoints capture it so a
+	// restore can resume the feed exactly once (see internal/ingest).
+	ingestSeq uint64
+
 	// Snapshot-isolated serving state (snapshot.go): snap holds the current
 	// immutable read view, snapOn gates publishing (enabled by core.Server).
 	snap   atomic.Pointer[modelSnapshot]
@@ -402,6 +407,8 @@ type coreMetrics struct {
 	rejectedRows    *metrics.Counter
 	ignoredDeletes  *metrics.Counter
 	ignoredUpdates  *metrics.Counter
+	deleteEvicts    *metrics.Counter
+	updatePatches   *metrics.Counter
 	checkpoints     *metrics.Counter
 
 	// Serving-path instruments: queries that reached the device as part of a
@@ -440,6 +447,8 @@ func (e *Estimator) Instrument(reg *metrics.Registry) {
 		rejectedRows:    reg.Counter("core.rejected_rows"),
 		ignoredDeletes:  reg.Counter("core.ignored_deletes"),
 		ignoredUpdates:  reg.Counter("core.ignored_updates"),
+		deleteEvicts:    reg.Counter("core.delete_evictions"),
+		updatePatches:   reg.Counter("core.update_patches"),
 		checkpoints:     reg.Counter("core.checkpoints_written"),
 
 		deviceBatchQueries: reg.Counter("core.device_batch_queries"),
@@ -958,47 +967,207 @@ func (e *Estimator) sampleHost() ([]float64, error) {
 	return out, nil
 }
 
-// OnInsert implements table.Listener: reservoir sampling over the insert
-// stream (§4.2). Accepted tuples replace a random sample slot and reset
-// its karma.
-func (e *Estimator) OnInsert(row []float64) {
+// sampleRef returns the current sample row-major without copying: the
+// device mirror on the device path, the host estimator's backing store
+// otherwise. Callers may only read it.
+func (e *Estimator) sampleRef() []float64 {
+	if e.eng != nil {
+		return e.hostMirror
+	}
+	return e.host.SampleFlat()
+}
+
+// findSampleSlot scans the sample in slot order for an exact match of row,
+// returning -1 when absent. Exact float64 equality is the right predicate:
+// a table pre-image that entered the sample entered bit-identical. Slot
+// order makes the scan deterministic, so batched and one-at-a-time apply
+// pick the same slot even when the sample holds duplicates.
+func (e *Estimator) findSampleSlot(row []float64) int {
+	flat := e.sampleRef()
+	d := e.d
+slots:
+	for i := 0; (i+1)*d <= len(flat); i++ {
+		p := flat[i*d : (i+1)*d]
+		for j, v := range row {
+			if p[j] != v {
+				continue slots
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+// applyInsert runs reservoir sampling (§4.2) over one inserted row:
+// accepted tuples replace a random sample slot and reset its karma. It
+// reports whether the sample changed; the caller republishes.
+func (e *Estimator) applyInsert(row []float64) (bool, error) {
 	if e.res == nil {
-		return
+		return false, nil
 	}
 	e.met.resOffers.Inc()
 	slot, accept := e.res.Offer()
 	if !accept {
-		return
+		return false, nil
 	}
 	e.met.resAccepts.Inc()
-	defer e.publishSnapshot()
 	r := make([]float64, len(row))
 	copy(r, row)
 	if err := e.replacePoint(slot, r); err != nil {
-		return // row shape mismatch cannot happen for a subscribed table
+		return false, err
 	}
 	if e.karma != nil {
 		e.karma.Reset(slot)
 	}
+	return true, nil
 }
 
-// OnDelete implements table.Listener. The reservoir scheme of §4.2 is
-// insert-only (Vitter's Algorithm R has no delete operation, and the paper
-// assumes an append-mostly workload), so deletions take no immediate
-// action by design: a deleted tuple that lives in the sample keeps
-// contributing to estimates until the karma maintenance of §4.2 notices —
-// via feedback — that it misleads the model and replaces it. The event is
-// counted (core.ignored_deletes) so heavy delete workloads are visible in
-// telemetry rather than silently eroding accuracy.
-func (e *Estimator) OnDelete([]float64) {
-	e.met.ignoredDeletes.Inc()
+// applyDelete handles one deleted row. Vitter's Algorithm R is insert-only,
+// so deletion of a sampled tuple is handled by eviction: the pre-image is
+// located in the sample (exact match) and replaced with a copy of a
+// uniformly random surviving sample point, its karma reset. The replacement
+// deliberately comes from the sample's own empirical distribution, not the
+// base table: the apply path must never take table locks — it runs on the
+// ingest applier goroutine while table writers may be parked on ring
+// backpressure — and the sample is the model's unbiased view of the
+// relation; karma maintenance rebalances any duplicate mass. Deletes of
+// unsampled tuples — the common case — and deletes that empty the sample
+// are still deferred to karma and counted under core.ignored_deletes.
+func (e *Estimator) applyDelete(row []float64) (bool, error) {
+	if e.res == nil {
+		return false, nil
+	}
+	slot := e.findSampleSlot(row)
+	if slot < 0 {
+		e.met.ignoredDeletes.Inc()
+		return false, nil
+	}
+	if e.s < 2 {
+		e.met.ignoredDeletes.Inc()
+		return false, nil
+	}
+	// One rng draw, mapped around slot so the replacement is never the
+	// evicted point itself.
+	j := e.rng.Intn(e.s - 1)
+	if j >= slot {
+		j++
+	}
+	repl := make([]float64, e.d)
+	copy(repl, e.sampleRef()[j*e.d:(j+1)*e.d])
+	if err := e.replacePoint(slot, repl); err != nil {
+		return false, err
+	}
+	if e.karma != nil {
+		e.karma.Reset(slot)
+	}
+	e.met.deleteEvicts.Inc()
+	return true, nil
 }
 
-// OnUpdate implements table.Listener. Like deletions, updates are outside
-// the insert-only reservoir model of §4.2 and are handled lazily: the
-// stale pre-image decays out of the sample through karma-driven
-// replacement, and the post-image enters only if a future insert or
-// replacement draws it. The event is counted (core.ignored_updates).
-func (e *Estimator) OnUpdate(_, _ []float64) {
-	e.met.ignoredUpdates.Inc()
+// applyUpdate handles one in-place row change: when the pre-image is
+// sampled, it is patched to the post-image and its karma reset, keeping the
+// sample an unbiased snapshot of the live relation. Updates of unsampled
+// tuples are deferred to karma and counted under core.ignored_updates.
+func (e *Estimator) applyUpdate(pre, post []float64) (bool, error) {
+	if e.res == nil {
+		return false, nil
+	}
+	slot := e.findSampleSlot(pre)
+	if slot < 0 {
+		e.met.ignoredUpdates.Inc()
+		return false, nil
+	}
+	r := make([]float64, len(post))
+	copy(r, post)
+	if err := e.replacePoint(slot, r); err != nil {
+		return false, err
+	}
+	if e.karma != nil {
+		e.karma.Reset(slot)
+	}
+	e.met.updatePatches.Inc()
+	return true, nil
+}
+
+// applyMutation dispatches one change-feed event to the sample-maintenance
+// handler for its kind and advances the ingest cursor, without
+// republishing.
+func (e *Estimator) applyMutation(m *table.Mutation) (bool, error) {
+	var changed bool
+	var err error
+	switch m.Kind {
+	case table.MutInsert:
+		changed, err = e.applyInsert(m.Row)
+	case table.MutDelete:
+		changed, err = e.applyDelete(m.Row)
+	case table.MutUpdate:
+		changed, err = e.applyUpdate(m.Pre, m.Row)
+	}
+	if m.Seq > e.ingestSeq {
+		e.ingestSeq = m.Seq
+	}
+	return changed, err
+}
+
+// ApplyMutations applies a batch of change-feed events in sequence order
+// with a single snapshot republish at the end — the synchronized apply path
+// the ingestion bridge drives through core.Server.ApplyMutations. Callers
+// must hold the writer lock (or be the single writer). The result is
+// bit-identical to applying the same events one at a time: only the publish
+// frequency differs, and publishing never changes model state.
+func (e *Estimator) ApplyMutations(ms []table.Mutation) error {
+	changed := false
+	var firstErr error
+	for i := range ms {
+		c, err := e.applyMutation(&ms[i])
+		changed = changed || c
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if changed {
+		e.publishSnapshot()
+	}
+	return firstErr
+}
+
+// IngestCursor returns the highest change-feed sequence number applied so
+// far (0 before any batch carries sequence numbers). It is captured in
+// checkpoints for exactly-once resume.
+func (e *Estimator) IngestCursor() uint64 { return e.ingestSeq }
+
+// Detach removes the estimator's direct table subscription, if any. After
+// Detach returns no further change notifications reach the estimator; a
+// serving stack then routes the feed through ApplyMutations instead.
+func (e *Estimator) Detach() {
+	if e.tab != nil {
+		e.tab.Unsubscribe(e)
+	}
+}
+
+// OnInsert implements table.Listener: the direct single-writer path used by
+// the experiment drivers, where the estimator subscribes to its table
+// without a core.Server in front. Serving stacks detach this path and route
+// the feed through internal/ingest instead, which batches republishes and
+// holds the writer lock.
+func (e *Estimator) OnInsert(row []float64) {
+	if changed, _ := e.applyInsert(row); changed {
+		e.publishSnapshot()
+	}
+}
+
+// OnDelete implements table.Listener (direct single-writer path); see
+// applyDelete for the evict-and-resample semantics.
+func (e *Estimator) OnDelete(row []float64) {
+	if changed, _ := e.applyDelete(row); changed {
+		e.publishSnapshot()
+	}
+}
+
+// OnUpdate implements table.Listener (direct single-writer path); see
+// applyUpdate for the patch-in-place semantics.
+func (e *Estimator) OnUpdate(oldRow, newRow []float64) {
+	if changed, _ := e.applyUpdate(oldRow, newRow); changed {
+		e.publishSnapshot()
+	}
 }

@@ -170,7 +170,11 @@ func TestKarmaConfigOverride(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(45))
+	// The DeleteWhere evicts sampled pre-images through the change feed;
+	// those replacements are deliberate and not karma's. Count only what
+	// the feedback loop below adds.
 	_, _ = tab.DeleteWhere(dataQuery(tab, rng, 4))
+	base := e.Replacements()
 	for i := 0; i < 120; i++ {
 		q := dataQuery(tab, rng, 1.5)
 		_, _ = e.Estimate(q)
@@ -180,7 +184,7 @@ func TestKarmaConfigOverride(t *testing.T) {
 	// The empty-region shortcut can still fire, but the karma threshold
 	// path cannot; with clustered queries over live data, replacements
 	// should be rare or zero.
-	if e.Replacements() > 5 {
-		t.Errorf("threshold override ignored: %d replacements", e.Replacements())
+	if n := e.Replacements() - base; n > 5 {
+		t.Errorf("threshold override ignored: %d replacements", n)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"kdesel/internal/metrics"
 	"kdesel/internal/query"
 	"kdesel/internal/serve"
+	"kdesel/internal/table"
 )
 
 // EstimateBatch estimates the selectivity of every query in qs, writing one
@@ -176,7 +177,43 @@ func NewServer(est *Estimator, cfg ServeConfig) *Server {
 		MetricPrefix: cfg.MetricPrefix,
 		ProfileLabel: cfg.ProfileLabel,
 	}))
+	// Take over the estimator's change-feed subscription: the estimator's
+	// own listener path is single-writer by design, and once a Server exists
+	// concurrent Feedback would race it. The Server's callbacks apply under
+	// the writer lock, so table mutations are synchronized with every other
+	// model mutation by construction.
+	if est.tab != nil {
+		est.tab.Unsubscribe(est)
+		est.tab.Subscribe(s)
+	}
 	return s
+}
+
+// OnInsert implements table.Listener under the writer lock.
+func (s *Server) OnInsert(row []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if changed, _ := s.est.applyInsert(row); changed {
+		s.est.publishSnapshot()
+	}
+}
+
+// OnDelete implements table.Listener under the writer lock.
+func (s *Server) OnDelete(row []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if changed, _ := s.est.applyDelete(row); changed {
+		s.est.publishSnapshot()
+	}
+}
+
+// OnUpdate implements table.Listener under the writer lock.
+func (s *Server) OnUpdate(oldRow, newRow []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if changed, _ := s.est.applyUpdate(oldRow, newRow); changed {
+		s.est.publishSnapshot()
+	}
 }
 
 // Coalescing reports whether concurrent estimates are batched (false when
@@ -302,6 +339,39 @@ func (s *Server) Checkpoint(path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.est.Checkpoint(path)
+}
+
+// ApplyMutations applies a batch of change-feed events under the writer
+// lock with one snapshot republish — the entry point the ingestion bridge
+// (internal/ingest) drives. Concurrent estimates keep serving the published
+// snapshot throughout; see Estimator.ApplyMutations.
+func (s *Server) ApplyMutations(ms []table.Mutation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.ApplyMutations(ms)
+}
+
+// IngestCursor returns the highest change-feed sequence number applied so
+// far; see Estimator.IngestCursor.
+func (s *Server) IngestCursor() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.IngestCursor()
+}
+
+// DetachFeed removes the server's (and, defensively, the estimator's)
+// table subscription. The ingestion bridge path calls this before
+// subscribing its own listener, so a served model's change feed flows
+// exclusively through ApplyMutations; the registry calls it on eviction so
+// a torn-down server stops receiving callbacks. Deliberately lock-free:
+// Table.Unsubscribe waits out in-flight callbacks, which take s.mu —
+// holding it here would deadlock. Unsubscribe itself is the barrier: once
+// DetachFeed returns, no further callbacks run.
+func (s *Server) DetachFeed() {
+	if t := s.est.tab; t != nil {
+		t.Unsubscribe(s)
+		t.Unsubscribe(s.est)
+	}
 }
 
 // SetErfMode switches the process-global erf implementation (see

@@ -69,6 +69,9 @@ const (
 	DefaultTimeout     = time.Second
 	DefaultMaxTimeout  = 10 * time.Second
 	DefaultRetryAfter  = 50 * time.Millisecond
+	// DefaultIngestLagDegraded is the /readyz lag threshold; see
+	// Config.IngestLagDegraded.
+	DefaultIngestLagDegraded = 512
 )
 
 // TimeoutHeader and TimeoutParam let a caller bound one request's latency:
@@ -121,6 +124,13 @@ type Config struct {
 	// connection without a response. Injection happens before admission, so
 	// a faulted request is never counted as accepted.
 	Faults *fault.Injector
+	// IngestLagDegraded is the continuous-ingestion lag (buffered-but-
+	// unapplied mutations) at or above which a model reports degraded on
+	// /readyz (default DefaultIngestLagDegraded; negative disables
+	// lag-based degradation). Lagging models still serve — they answer
+	// from the latest published snapshot — so lag degrades readiness
+	// rather than failing it, same as the core health ladder.
+	IngestLagDegraded int
 }
 
 func (c Config) maxInFlight() int {
@@ -160,6 +170,17 @@ func (c Config) retryAfter() time.Duration {
 		return c.RetryAfter
 	}
 	return DefaultRetryAfter
+}
+
+func (c Config) ingestLagDegraded() int {
+	switch {
+	case c.IngestLagDegraded > 0:
+		return c.IngestLagDegraded
+	case c.IngestLagDegraded < 0:
+		return 0
+	default:
+		return DefaultIngestLagDegraded
+	}
 }
 
 // maxBody bounds request bodies; a feedback batch of a few thousand ranges
@@ -246,6 +267,7 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /estimate", s.handleEstimate)
 	mux.HandleFunc("POST /feedback", s.handleFeedback)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -573,6 +595,94 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// ingestRequest is the wire form of POST /ingest: rows to append and/or a
+// region to delete, applied to the model's backing table through its change
+// feed. The first ingest for a model attaches a default ingestion bridge
+// (registry.AttachIngest), so writes are batched under the model's writer
+// lock and never race serving. A full ingest ring blocks the handler —
+// backpressure propagates to the writing client rather than growing
+// unbounded maintenance lag.
+type ingestRequest struct {
+	Model string      `json:"model,omitempty"`
+	Rows  [][]float64 `json:"rows,omitempty"`
+	// DeleteLo/DeleteHi, when both present, delete every row inside the
+	// closed box they bound.
+	DeleteLo []float64 `json:"delete_lo,omitempty"`
+	DeleteHi []float64 `json:"delete_hi,omitempty"`
+}
+
+// ingestResponse reports what was applied to the table plus the bridge's
+// current lag, so writers can self-throttle before hitting backpressure.
+type ingestResponse struct {
+	Model    string `json:"model"`
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+	Lag      int    `json:"lag"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.exit()
+	var req ingestRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.met.failed.Inc()
+		s.writeErr(w, http.StatusBadRequest, "bad_request", "bad ingest body: "+err.Error())
+		return
+	}
+	key, err := s.modelKey(req.Model)
+	if err != nil {
+		s.met.failed.Inc()
+		s.writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	wantDelete := len(req.DeleteLo) > 0 || len(req.DeleteHi) > 0
+	if len(req.Rows) == 0 && !wantDelete {
+		s.met.failed.Inc()
+		s.writeErr(w, http.StatusBadRequest, "bad_request", "ingest body carries no rows and no delete region")
+		return
+	}
+	tab := s.reg.Table(key)
+	if tab == nil {
+		s.met.failed.Inc()
+		s.writeErr(w, http.StatusNotFound, "unknown_model", registry.ErrUnknownModel.Error()+": "+key.String())
+		return
+	}
+	for i, row := range req.Rows {
+		if len(row) != tab.Dims() {
+			s.met.failed.Inc()
+			s.writeErr(w, http.StatusBadRequest, "invalid_row",
+				fmt.Sprintf("row %d has %d values, model has %d dimensions", i, len(row), tab.Dims()))
+			return
+		}
+	}
+	resp := ingestResponse{Model: key.String()}
+	if len(req.Rows) > 0 {
+		if err := s.reg.IngestRows(key, req.Rows); err != nil {
+			s.writeModelErr(w, err)
+			return
+		}
+		resp.Inserted = len(req.Rows)
+	}
+	if wantDelete {
+		n, err := s.reg.IngestDeleteWhere(key, query.NewRange(req.DeleteLo, req.DeleteHi))
+		if err != nil {
+			if errors.Is(err, core.ErrInvalidQuery) || len(req.DeleteLo) != tab.Dims() || len(req.DeleteHi) != tab.Dims() {
+				s.met.failed.Inc()
+				s.writeErr(w, http.StatusBadRequest, "invalid_query", "bad delete region: "+err.Error())
+				return
+			}
+			s.writeModelErr(w, err)
+			return
+		}
+		resp.Deleted = n
+	}
+	resp.Lag = s.reg.IngestLag(key)
+	s.met.accepted.Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // analyzeRequest is the wire form of POST /analyze: a feedback batch to
 // re-optimize over. With sync=1 the call blocks through ANALYZE; otherwise
 // it enqueues on the registry's background worker and answers 202.
@@ -639,11 +749,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // readyzModel is one model's row in the readiness body.
 type readyzModel struct {
-	Model    string `json:"model"`
-	Resident bool   `json:"resident"`
-	Health   string `json:"health,omitempty"`
-	Queries  int    `json:"queries,omitempty"`
-	Shards   int    `json:"shards,omitempty"`
+	Model     string `json:"model"`
+	Resident  bool   `json:"resident"`
+	Health    string `json:"health,omitempty"`
+	Queries   int    `json:"queries,omitempty"`
+	Shards    int    `json:"shards,omitempty"`
+	Ingesting bool   `json:"ingesting,omitempty"`
+	// IngestLag is the model's buffered-but-unapplied change-feed
+	// mutation count; at or above Config.IngestLagDegraded it degrades
+	// readiness.
+	IngestLag int `json:"ingest_lag,omitempty"`
 }
 
 // handleReadyz is the readiness probe, backed by the core degradation
@@ -656,14 +771,24 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	sts := s.reg.Status()
 	models := make([]readyzModel, len(sts))
 	status := "ok"
+	lagDeg := s.cfg.ingestLagDegraded()
 	for i, st := range sts {
-		m := readyzModel{Model: st.Key.String(), Resident: st.Resident, Shards: st.Shards}
+		m := readyzModel{
+			Model: st.Key.String(), Resident: st.Resident, Shards: st.Shards,
+			Ingesting: st.Ingesting, IngestLag: st.IngestLag,
+		}
 		if st.Resident {
 			m.Health = st.Health.String()
 			m.Queries = st.Queries
 			if st.Health != core.Healthy {
 				status = "degraded"
 			}
+		}
+		// The ingestion rung of the ladder: a model whose applier cannot
+		// keep up with its change feed serves increasingly stale snapshots,
+		// which is degradation, not failure.
+		if st.Ingesting && lagDeg > 0 && st.IngestLag >= lagDeg {
+			status = "degraded"
 		}
 		models[i] = m
 	}

@@ -579,3 +579,91 @@ func TestShardedEstimateEndpoint(t *testing.T) {
 		t.Fatalf("post-fault selectivity %v != healthy %v (determinism)", er.Selectivity, healthy)
 	}
 }
+
+func TestIngestEndpoint(t *testing.T) {
+	s, reg, key := testStack(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Rows flow through the bridge; the response reports counts and lag.
+	resp, b := postJSON(t, ts.URL+"/ingest", `{"model":"t(0,1)","rows":[[1,2],[3,4]]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /ingest: %d %s", resp.StatusCode, b)
+	}
+	var ir struct {
+		Model    string `json:"model"`
+		Inserted int    `json:"inserted"`
+		Deleted  int    `json:"deleted"`
+		Lag      int    `json:"lag"`
+	}
+	if err := json.Unmarshal(b, &ir); err != nil {
+		t.Fatalf("bad body %q: %v", b, err)
+	}
+	if ir.Model != key.String() || ir.Inserted != 2 {
+		t.Fatalf("response %+v: want model %s inserted 2", ir, key)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, ok := reg.IngestStats(key)
+		if ok && st.Depth == 0 && st.Applied == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested rows never applied: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A delete region uses the same endpoint.
+	resp, b = postJSON(t, ts.URL+"/ingest", `{"model":"t(0,1)","delete_lo":[0.5,1.5],"delete_hi":[1.5,2.5]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /ingest delete: %d %s", resp.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Deleted < 1 {
+		t.Fatalf("response %+v: delete region covering an ingested row removed nothing", ir)
+	}
+
+	// Validation: wrong row width, empty body, unknown model.
+	resp, b = postJSON(t, ts.URL+"/ingest", `{"model":"t(0,1)","rows":[[1,2,3]]}`)
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, b) != "invalid_row" {
+		t.Fatalf("3-wide row on 2-d model: %d %s", resp.StatusCode, b)
+	}
+	resp, b = postJSON(t, ts.URL+"/ingest", `{"model":"t(0,1)"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty ingest body: %d %s", resp.StatusCode, b)
+	}
+	resp, b = postJSON(t, ts.URL+"/ingest", `{"model":"nope(0)","rows":[[1]]}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: %d %s", resp.StatusCode, b)
+	}
+
+	// readyz reports the ingestion state without degrading at zero lag.
+	rresp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /readyz: %d %s", rresp.StatusCode, rb)
+	}
+	var rz struct {
+		Status string `json:"status"`
+		Models []struct {
+			Ingesting bool `json:"ingesting"`
+			IngestLag int  `json:"ingest_lag"`
+		} `json:"models"`
+	}
+	if err := json.Unmarshal(rb, &rz); err != nil {
+		t.Fatal(err)
+	}
+	if rz.Status != "ok" || len(rz.Models) != 1 || !rz.Models[0].Ingesting {
+		t.Fatalf("readyz %s: want ok with one ingesting model", rb)
+	}
+}

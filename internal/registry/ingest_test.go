@@ -1,0 +1,201 @@
+package registry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"kdesel/internal/core"
+	"kdesel/internal/metrics"
+	"kdesel/internal/query"
+)
+
+// ingestCfg builds an Adaptive config so the apply path actually maintains
+// the sample (DisableMaintenance would reduce ingestion to cursor
+// bookkeeping).
+func ingestCfg(seed int64) core.Config {
+	return core.Config{Mode: core.Adaptive, SampleSize: 64, Seed: seed}
+}
+
+func drainIngest(t *testing.T, r *Registry, key Key) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, ok := r.IngestStats(key)
+		if !ok {
+			t.Fatal("no bridge attached")
+		}
+		if st.Depth == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ring never drained: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAttachIngestLifecycle(t *testing.T) {
+	reg := New(Config{Metrics: metrics.New(), SweepEvery: -1})
+	defer reg.Close()
+	key := NewKey("t", 0, 1)
+	tab := buildTable(t, 300, 2, 1)
+	if err := reg.Admit(key, tab, ingestCfg(7), core.ServeConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.IngestStats(key); ok {
+		t.Fatal("bridge reported before AttachIngest")
+	}
+	if err := reg.AttachIngest(key, IngestOptions{RingSize: 64}); err != nil {
+		t.Fatal(err)
+	}
+	// Attaching again is a no-op, not an error.
+	if err := reg.AttachIngest(key, IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	if err := reg.IngestRows(key, rows); err != nil {
+		t.Fatal(err)
+	}
+	drainIngest(t, reg, key)
+	st, _ := reg.IngestStats(key)
+	if st.Applied != int64(len(rows)) || st.Cursor != uint64(len(rows)) {
+		t.Fatalf("stats %+v: want Applied=Cursor=%d", st, len(rows))
+	}
+	found := false
+	for _, ms := range reg.Status() {
+		if ms.Key.String() == key.String() {
+			found = true
+			if !ms.Ingesting {
+				t.Fatalf("status %+v: want Ingesting", ms)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("model missing from Status")
+	}
+	n, err := reg.IngestDeleteWhere(key, query.NewRange([]float64{0.5, 1.5}, []float64{1.5, 2.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Fatalf("IngestDeleteWhere deleted %d rows, want >= 1 (the ingested {1,2})", n)
+	}
+	if err := reg.DetachIngest(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.IngestStats(key); ok {
+		t.Fatal("bridge survived DetachIngest")
+	}
+	// The direct per-mutation path is restored: mutations still reach the
+	// model (and an estimate still serves).
+	if err := tab.Insert([]float64{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Estimate(key, query.NewRange([]float64{0, 0}, []float64{4, 4})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestRowsAutoAttaches checks IngestRows on a model without a bridge
+// attaches one with default options first.
+func TestIngestRowsAutoAttaches(t *testing.T) {
+	reg := New(Config{Metrics: metrics.New(), SweepEvery: -1})
+	defer reg.Close()
+	key := NewKey("t", 0, 1)
+	if err := reg.Admit(key, buildTable(t, 200, 2, 2), ingestCfg(9), core.ServeConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.IngestRows(key, [][]float64{{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	drainIngest(t, reg, key)
+	if st, ok := reg.IngestStats(key); !ok || st.Applied != 1 {
+		t.Fatalf("auto-attach failed: ok=%v stats=%+v", ok, st)
+	}
+}
+
+// TestIngestSurvivesEvictRestore checks the sticky attachment: eviction
+// flushes and closes the bridge before the checkpoint, and restore-on-
+// demand re-attaches a new bridge that continues the cursor.
+func TestIngestSurvivesEvictRestore(t *testing.T) {
+	dir := t.TempDir()
+	reg := New(Config{Metrics: metrics.New(), CheckpointDir: dir, SweepEvery: -1})
+	defer reg.Close()
+	key := NewKey("t", 0, 1)
+	tab := buildTable(t, 300, 2, 3)
+	if err := reg.Admit(key, tab, ingestCfg(11), core.ServeConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AttachIngest(key, IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]float64, 40)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	if err := reg.IngestRows(key, rows); err != nil {
+		t.Fatal(err)
+	}
+	drainIngest(t, reg, key)
+
+	if err := reg.Evict(key); err != nil {
+		t.Fatal(err)
+	}
+	if reg.IsResident(key) {
+		t.Fatal("model still resident after Evict")
+	}
+	if _, ok := reg.IngestStats(key); ok {
+		t.Fatal("bridge survived eviction")
+	}
+	// Restore-on-demand: serving traffic brings the model back and
+	// re-attaches the bridge at the restored cursor.
+	if _, err := reg.Estimate(key, query.NewRange([]float64{-1, -1}, []float64{1, 1})); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := reg.IngestStats(key)
+	if !ok {
+		t.Fatal("bridge not re-attached after restore")
+	}
+	if st.Cursor != uint64(len(rows)) {
+		t.Fatalf("restored cursor %d, want %d (continuation)", st.Cursor, len(rows))
+	}
+	// The re-attached bridge keeps ingesting with continued numbering.
+	if err := reg.IngestRows(key, rows[:5]); err != nil {
+		t.Fatal(err)
+	}
+	drainIngest(t, reg, key)
+	st, _ = reg.IngestStats(key)
+	if st.Cursor != uint64(len(rows)+5) {
+		t.Fatalf("cursor %d after re-attach, want %d", st.Cursor, len(rows)+5)
+	}
+}
+
+// TestIngestShardedModel checks the bridge path through a shard group.
+func TestIngestShardedModel(t *testing.T) {
+	reg := New(Config{Metrics: metrics.New(), SweepEvery: -1})
+	defer reg.Close()
+	key := NewKey("t", 0, 1)
+	tab := buildTable(t, 400, 2, 5)
+	if err := reg.AdmitSharded(key, tab, ingestCfg(13), 4, core.ServeConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AttachIngest(key, IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		if err := tab.Insert([]float64{rng.NormFloat64(), rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainIngest(t, reg, key)
+	st, _ := reg.IngestStats(key)
+	if st.Applied != 30 || st.ApplyErrors != 0 {
+		t.Fatalf("stats %+v: want 30 applied, no errors", st)
+	}
+	if _, err := reg.Estimate(key, query.NewRange([]float64{-1, -1}, []float64{1, 1})); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -46,6 +46,7 @@ import (
 
 	"kdesel/internal/core"
 	"kdesel/internal/gpu"
+	"kdesel/internal/ingest"
 	"kdesel/internal/join"
 	"kdesel/internal/metrics"
 	"kdesel/internal/parallel"
@@ -150,6 +151,18 @@ type entry struct {
 	// ckpts is the rotation ring, oldest first; guarded by mu.
 	ckpts   []string
 	ckptSeq int
+
+	// Continuous ingestion (ingest.go). bridge is atomic so Status and the
+	// feedback recorder read it lock-free; ingOn marks that ingestion
+	// follows the model across evict/restore; ingCfg is written under mu
+	// before the bridge exists and read-only afterwards. fbBuf is the
+	// bounded ring of recent feedback for drift-triggered ANALYZE.
+	ingOn  atomic.Bool
+	ingCfg IngestOptions
+	bridge atomic.Pointer[ingest.Bridge]
+	fbMu   sync.Mutex
+	fbBuf  []query.Feedback
+	fbNext int
 }
 
 func (e *entry) touch() { e.lastUsed.Store(time.Now().UnixNano()) }
@@ -174,10 +187,11 @@ type Registry struct {
 	stop      chan struct{}
 	wg        sync.WaitGroup
 
-	admissions *metrics.Counter
-	evictions  *metrics.Counter
-	restores   *metrics.Counter
-	analyzes   *metrics.Counter
+	admissions    *metrics.Counter
+	evictions     *metrics.Counter
+	restores      *metrics.Counter
+	analyzes      *metrics.Counter
+	driftAnalyzes *metrics.Counter
 }
 
 type analyzeJob struct {
@@ -207,6 +221,7 @@ func New(cfg Config) *Registry {
 	r.evictions = r.met.Counter("registry.evictions")
 	r.restores = r.met.Counter("registry.restores")
 	r.analyzes = r.met.Counter("registry.analyzes")
+	r.driftAnalyzes = r.met.Counter("registry.drift_analyzes")
 	r.met.RegisterGaugeFunc("registry.models_resident", func() float64 {
 		return float64(r.Resident())
 	})
@@ -450,26 +465,55 @@ func (r *Registry) group(ent *entry) (*shard.Group, error) {
 	ent.mu.Lock()
 	g := ent.grp.Load()
 	if g == nil {
-		if len(ent.ckpts) == 0 {
-			ent.mu.Unlock()
-			return nil, fmt.Errorf("registry: model %v is not resident and has no checkpoint", ent.key)
-		}
-		cfg := ent.shardCfg
-		cfg.Metrics = r.met.WithPrefix(ent.key.MetricPrefix())
-		cfg.Pool = r.pool
 		var err error
-		g, err = shard.Restore(ent.ckpts[len(ent.ckpts)-1], ent.tab, cfg)
-		if err != nil {
+		if g, err = r.restoreGroupLocked(ent); err != nil {
 			ent.mu.Unlock()
-			return nil, fmt.Errorf("registry: restore %v: %w", ent.key, err)
+			return nil, err
 		}
-		ent.grp.Store(g)
-		ent.touch()
-		r.restores.Inc()
 	}
 	ent.mu.Unlock()
 	r.enforceResidency(ent.key)
 	return g, nil
+}
+
+// restoreGroupLocked rebuilds ent's shard group from its newest checkpoint
+// and, for a model with ingestion attached, re-attaches a bridge at the
+// restored cursor; caller holds ent.mu.
+func (r *Registry) restoreGroupLocked(ent *entry) (*shard.Group, error) {
+	if len(ent.ckpts) == 0 {
+		return nil, fmt.Errorf("registry: model %v is not resident and has no checkpoint", ent.key)
+	}
+	cfg := ent.shardCfg
+	cfg.Metrics = r.met.WithPrefix(ent.key.MetricPrefix())
+	cfg.Pool = r.pool
+	g, err := shard.Restore(ent.ckpts[len(ent.ckpts)-1], ent.tab, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("registry: restore %v: %w", ent.key, err)
+	}
+	ent.grp.Store(g)
+	ent.touch()
+	r.restores.Inc()
+	if ent.ingOn.Load() {
+		if err := r.attachIngestLocked(ent); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// residentLocked ensures ent has a live serving handle, restoring from the
+// newest checkpoint when needed; caller holds ent.mu.
+func (r *Registry) residentLocked(ent *entry) error {
+	if ent.resident() {
+		return nil
+	}
+	var err error
+	if ent.sharded {
+		_, err = r.restoreGroupLocked(ent)
+	} else {
+		_, err = r.restoreLocked(ent)
+	}
+	return err
 }
 
 // restoreLocked rebuilds ent's server from its newest checkpoint; caller
@@ -492,6 +536,11 @@ func (r *Registry) restoreLocked(ent *entry) (*core.Server, error) {
 	}
 	r.installLocked(ent, est, view)
 	r.restores.Inc()
+	if ent.ingOn.Load() {
+		if err := r.attachIngestLocked(ent); err != nil {
+			return nil, err
+		}
+	}
 	return ent.srv.Load(), nil
 }
 
@@ -569,6 +618,7 @@ func (r *Registry) Feedback(key Key, q query.Range, actual float64) error {
 	if err != nil {
 		return err
 	}
+	ent.recordFeedback(q, actual)
 	if ent.sharded {
 		g, err := r.group(ent)
 		if err != nil {
@@ -592,6 +642,9 @@ func (r *Registry) FeedbackBatch(key Key, fbs []query.Feedback) error {
 	ent, err := r.entryFor(key)
 	if err != nil {
 		return err
+	}
+	for _, fb := range fbs {
+		ent.recordFeedback(fb.Query, fb.Actual)
 	}
 	if ent.sharded {
 		g, err := r.group(ent)
@@ -741,6 +794,10 @@ func (r *Registry) Evict(key Key) error {
 func (r *Registry) evict(ent *entry) error {
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
+	// Flush the ingestion ring into the model before the checkpoint is cut:
+	// the frame must capture every buffered mutation and the matching feed
+	// cursor. Restore-on-demand re-attaches a fresh bridge at that cursor.
+	ent.closeIngestLocked()
 	if g := ent.grp.Load(); g != nil {
 		// Sharded: one multi-frame checkpoint covers every shard atomically,
 		// then the whole group (and its shard<i>.* sub-namespaces, nested
@@ -764,6 +821,7 @@ func (r *Registry) evict(ent *entry) error {
 		return fmt.Errorf("registry: evict %v: %w", ent.key, err)
 	}
 	ent.srv.Store(nil)
+	s.DetachFeed() // stop change-feed callbacks into the torn-down server
 	s.Close()
 	// Tear down the model's whole metric namespace: core.health,
 	// core.snapshot_age_seconds, bandwidth drift, the serve gauges — every
@@ -879,6 +937,11 @@ type ModelStatus struct {
 	Queries int
 	// Shards is the shard count of a sharded model (0 for unsharded).
 	Shards int
+	// Ingesting reports whether a continuous-ingestion bridge is attached.
+	Ingesting bool
+	// IngestLag is the bridge's buffered-but-unapplied mutation count,
+	// bounded by the configured ring size; 0 when not ingesting.
+	IngestLag int
 }
 
 // Status reports every admitted model's serving state, sorted by key, for
@@ -905,6 +968,10 @@ func (r *Registry) Status() []ModelStatus {
 			st.Resident = true
 			st.Health = s.Health()
 			st.Queries = s.Queries()
+		}
+		if br := ent.bridge.Load(); br != nil {
+			st.Ingesting = true
+			st.IngestLag = br.Depth()
 		}
 		out = append(out, st)
 	}
@@ -967,6 +1034,9 @@ func (r *Registry) Close() {
 
 	for _, ent := range ents {
 		ent.mu.Lock()
+		// Drain the ingestion ring into the model before the final
+		// checkpoint, exactly as eviction does.
+		ent.closeIngestLocked()
 		if g := ent.grp.Load(); g != nil {
 			if r.cfg.CheckpointDir != "" {
 				_ = r.checkpointLocked(ent, g)
@@ -979,6 +1049,7 @@ func (r *Registry) Close() {
 				_ = r.checkpointLocked(ent, s)
 			}
 			ent.srv.Store(nil)
+			s.DetachFeed()
 			s.Close()
 			r.met.UnregisterGaugeFuncsPrefix(ent.key.MetricPrefix())
 		}

@@ -33,6 +33,10 @@ type groupState struct {
 
 	PinScale []float32
 	PinOff   []float32
+
+	// IngestSeq is the change-feed cursor (see Group.IngestCursor). Gob
+	// omits zero values, so pre-ingestion frames restore with cursor 0.
+	IngestSeq uint64
 }
 
 // shardFrame is the gob payload of frames 1..K: one shard's row-major
@@ -53,17 +57,18 @@ func (g *Group) Checkpoint(path string) error {
 		return ErrClosed
 	}
 	st := groupState{
-		K:        g.k,
-		D:        g.d,
-		STotal:   g.sTotal,
-		Seed:     g.cfg.Seed,
-		H:        append([]float64(nil), g.h...),
-		Draws:    g.src.Draws(),
-		Learner:  g.learn.State(),
-		Karma:    g.karma.Scores(),
-		Analyzes: g.analyzes,
-		PinScale: g.pinScale,
-		PinOff:   g.pinOff,
+		K:         g.k,
+		D:         g.d,
+		STotal:    g.sTotal,
+		Seed:      g.cfg.Seed,
+		H:         append([]float64(nil), g.h...),
+		Draws:     g.src.Draws(),
+		Learner:   g.learn.State(),
+		Karma:     g.karma.Scores(),
+		Analyzes:  g.analyzes,
+		PinScale:  g.pinScale,
+		PinOff:    g.pinOff,
+		IngestSeq: g.ingestSeq,
 	}
 	if g.res != nil {
 		st.ResSeen = g.res.Seen()
@@ -121,19 +126,20 @@ func Restore(path string, tab *table.Table, cfg Config) (*Group, error) {
 	prec := mathx.Precision(meta & 0xff)
 
 	g := &Group{
-		cfg:      cfg,
-		tab:      tab,
-		d:        st.D,
-		k:        st.K,
-		lf:       cfg.loss(),
-		pool:     cfg.pool(),
-		faults:   cfg.Faults,
-		sTotal:   st.STotal,
-		h:        append([]float64(nil), st.H...),
-		prec:     prec,
-		pinScale: st.PinScale,
-		pinOff:   st.PinOff,
-		analyzes: st.Analyzes,
+		cfg:       cfg,
+		tab:       tab,
+		d:         st.D,
+		k:         st.K,
+		lf:        cfg.loss(),
+		pool:      cfg.pool(),
+		faults:    cfg.Faults,
+		sTotal:    st.STotal,
+		h:         append([]float64(nil), st.H...),
+		prec:      prec,
+		pinScale:  st.PinScale,
+		pinOff:    st.PinOff,
+		analyzes:  st.Analyzes,
+		ingestSeq: st.IngestSeq,
 	}
 	g.cfg.Seed = st.Seed
 	g.shards = make([]*shardState, st.K)

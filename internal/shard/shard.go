@@ -207,6 +207,9 @@ type Group struct {
 	pinOff   []float32
 	analyzes int // completed ANALYZE runs (seeds their optimizer RNG)
 	anNext   int // round-robin ANALYZE target
+	// ingestSeq is the change-feed cursor: the highest mutation sequence
+	// number applied through ApplyMutations (see internal/ingest).
+	ingestSeq uint64
 
 	health    atomic.Int32
 	evMu      sync.Mutex
@@ -217,15 +220,19 @@ type Group struct {
 }
 
 type groupMetrics struct {
-	reg           *metrics.Registry
-	gathers       *metrics.Counter
-	degraded      *metrics.Counter
-	feedbacks     *metrics.Counter
-	analyzes      *metrics.Counter
-	replacements  *metrics.Counter
-	gradRejected  *metrics.Counter
-	resAccepts    *metrics.Counter
-	invalidInputs *metrics.Counter
+	reg            *metrics.Registry
+	gathers        *metrics.Counter
+	degraded       *metrics.Counter
+	feedbacks      *metrics.Counter
+	analyzes       *metrics.Counter
+	replacements   *metrics.Counter
+	gradRejected   *metrics.Counter
+	resAccepts     *metrics.Counter
+	invalidInputs  *metrics.Counter
+	ignoredDeletes *metrics.Counter
+	ignoredUpdates *metrics.Counter
+	deleteEvicts   *metrics.Counter
+	updatePatches  *metrics.Counter
 }
 
 // Build constructs a K-shard group over tab. The global sample is drawn
@@ -349,6 +356,10 @@ func (g *Group) instrument(reg *metrics.Registry) {
 	g.met.gradRejected = reg.Counter("shard.grad_rejected")
 	g.met.resAccepts = reg.Counter("shard.res_accepts")
 	g.met.invalidInputs = reg.Counter("shard.invalid_inputs")
+	g.met.ignoredDeletes = reg.Counter("shard.ignored_deletes")
+	g.met.ignoredUpdates = reg.Counter("shard.ignored_updates")
+	g.met.deleteEvicts = reg.Counter("shard.delete_evictions")
+	g.met.updatePatches = reg.Counter("shard.update_patches")
 	reg.RegisterGaugeFunc("shard.shards", func() float64 { return float64(g.k) })
 	reg.RegisterGaugeFunc("shard.sample_size", func() float64 {
 		if vs := g.views.Load(); vs != nil {
@@ -497,6 +508,10 @@ func (g *Group) SetPrecision(p mathx.Precision) {
 // like core.Server.Close — so estimates racing an eviction finish normally
 // from a handle they already hold instead of failing mid-request.
 func (g *Group) Close() {
+	// Unsubscribe before taking g.mu: Table.Unsubscribe waits out in-flight
+	// callbacks, and those callbacks take g.mu — holding it here would
+	// deadlock. After Unsubscribe returns the feed can no longer reach g.
+	g.tab.Unsubscribe(g)
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.closed {
@@ -961,28 +976,200 @@ func (g *Group) AnalyzeShard(i int, fbs []query.Feedback) error {
 	return nil
 }
 
-// OnInsert implements table.Listener: reservoir sampling over the insert
-// stream (§4.2) against the GLOBAL reservoir, with the accepted slot
-// routed to its owning shard.
-func (g *Group) OnInsert(row []float64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.closed || g.res == nil {
-		return
+// findSlotLocked scans the global sample in global index order for an
+// exact match of row, returning -1 when absent. Global order — not
+// shard-by-shard — makes the chosen slot invariant in K even when the
+// sample holds duplicates, mirroring core.Estimator.findSampleSlot.
+// Caller holds g.mu.
+func (g *Group) findSlotLocked(row []float64) int {
+	flats := make([][]float64, g.k)
+	for k, sh := range g.shards {
+		if sh.est != nil {
+			flats[k] = sh.est.SampleFlat()
+		}
+	}
+	d := g.d
+slots:
+	for gi := 0; gi < g.sTotal; gi++ {
+		k, li := g.owner(gi)
+		flat := flats[k]
+		if flat == nil || (li+1)*d > len(flat) {
+			continue
+		}
+		p := flat[li*d : (li+1)*d]
+		for j, v := range row {
+			if p[j] != v {
+				continue slots
+			}
+		}
+		return gi
+	}
+	return -1
+}
+
+// applyInsertLocked runs reservoir sampling (§4.2) against the GLOBAL
+// reservoir, routing the accepted slot to its owning shard. Caller holds
+// g.mu; returns whether the sample changed.
+func (g *Group) applyInsertLocked(row []float64) bool {
+	if g.res == nil {
+		return false
 	}
 	slot, accept := g.res.Offer()
 	if !accept {
-		return
+		return false
 	}
 	g.met.resAccepts.Inc()
 	r := append([]float64(nil), row...)
 	g.replaceLocked(slot, r)
 	g.karma.Reset(slot)
-	g.publishLocked()
+	return true
 }
 
-// OnDelete implements table.Listener (insert-only reservoir: no action).
-func (g *Group) OnDelete([]float64) {}
+// applyDeleteLocked evicts a deleted tuple's sampled pre-image, replacing
+// it with a copy of a uniformly random surviving sample point (drawn from
+// the global counted rng, looked up in global index order, so the outcome
+// is invariant in K and bit-identical to the unsharded path). Like
+// core.Estimator.applyDelete it never touches the table: the apply path
+// runs while table writers may be parked on ring backpressure. Deletes of
+// unsampled tuples stay deferred to karma (shard.ignored_deletes). Caller
+// holds g.mu.
+func (g *Group) applyDeleteLocked(row []float64) bool {
+	if g.res == nil {
+		return false
+	}
+	slot := g.findSlotLocked(row)
+	if slot < 0 {
+		g.met.ignoredDeletes.Inc()
+		return false
+	}
+	if g.sTotal < 2 {
+		g.met.ignoredDeletes.Inc()
+		return false
+	}
+	j := g.rng.Intn(g.sTotal - 1)
+	if j >= slot {
+		j++
+	}
+	k, li := g.owner(j)
+	sh := g.shards[k]
+	if sh.est == nil {
+		g.met.ignoredDeletes.Inc()
+		return false
+	}
+	repl := append([]float64(nil), sh.est.SampleFlat()[li*g.d:(li+1)*g.d]...)
+	g.replaceLocked(slot, repl)
+	g.karma.Reset(slot)
+	g.met.deleteEvicts.Inc()
+	return true
+}
 
-// OnUpdate implements table.Listener (handled lazily via karma).
-func (g *Group) OnUpdate(_, _ []float64) {}
+// applyUpdateLocked patches an updated tuple's sampled pre-image in place
+// with the post-image and resets its karma; updates of unsampled tuples
+// stay deferred to karma (shard.ignored_updates). Caller holds g.mu.
+func (g *Group) applyUpdateLocked(pre, post []float64) bool {
+	if g.res == nil {
+		return false
+	}
+	slot := g.findSlotLocked(pre)
+	if slot < 0 {
+		g.met.ignoredUpdates.Inc()
+		return false
+	}
+	r := append([]float64(nil), post...)
+	g.replaceLocked(slot, r)
+	g.karma.Reset(slot)
+	g.met.updatePatches.Inc()
+	return true
+}
+
+// applyMutationLocked dispatches one change-feed event and advances the
+// ingest cursor. Caller holds g.mu.
+func (g *Group) applyMutationLocked(m *table.Mutation) bool {
+	var changed bool
+	switch m.Kind {
+	case table.MutInsert:
+		changed = g.applyInsertLocked(m.Row)
+	case table.MutDelete:
+		changed = g.applyDeleteLocked(m.Row)
+	case table.MutUpdate:
+		changed = g.applyUpdateLocked(m.Pre, m.Row)
+	}
+	if m.Seq > g.ingestSeq {
+		g.ingestSeq = m.Seq
+	}
+	return changed
+}
+
+// ApplyMutations applies a batch of change-feed events in sequence order
+// under g.mu with a single view-set republish at the end — the sharded
+// counterpart of core.Server.ApplyMutations, driven by the ingestion
+// bridge. Bit-identical to one-at-a-time apply at every K: only the
+// publish frequency differs.
+func (g *Group) ApplyMutations(ms []table.Mutation) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return ErrClosed
+	}
+	changed := false
+	for i := range ms {
+		if g.applyMutationLocked(&ms[i]) {
+			changed = true
+		}
+	}
+	if changed {
+		g.publishLocked()
+	}
+	return nil
+}
+
+// IngestCursor returns the highest change-feed sequence number applied so
+// far; it is captured in group checkpoints for exactly-once resume.
+func (g *Group) IngestCursor() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ingestSeq
+}
+
+// Detach removes the group's direct table subscription; a serving stack
+// then routes the feed through ApplyMutations via the ingestion bridge.
+func (g *Group) Detach() { g.tab.Unsubscribe(g) }
+
+// OnInsert implements table.Listener: the direct single-writer path.
+// Serving stacks detach it and route the feed through internal/ingest.
+func (g *Group) OnInsert(row []float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	if g.applyInsertLocked(row) {
+		g.publishLocked()
+	}
+}
+
+// OnDelete implements table.Listener (direct single-writer path); see
+// applyDeleteLocked for the evict-and-resample semantics.
+func (g *Group) OnDelete(row []float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	if g.applyDeleteLocked(row) {
+		g.publishLocked()
+	}
+}
+
+// OnUpdate implements table.Listener (direct single-writer path); see
+// applyUpdateLocked for the patch-in-place semantics.
+func (g *Group) OnUpdate(oldRow, newRow []float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	if g.applyUpdateLocked(oldRow, newRow) {
+		g.publishLocked()
+	}
+}

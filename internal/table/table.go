@@ -11,12 +11,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"kdesel/internal/query"
 )
 
-// Listener receives change notifications from a table. Implementations must
-// not retain the row slices they are handed; the table reuses storage.
+// Listener receives change notifications from a table. The row slices a
+// listener is handed are private copies; it may retain them. Callbacks are
+// delivered in mutation order, serialized with each other, and fire outside
+// the table's data lock — a listener may read the table (Count, RandomRow,
+// ...) but must not mutate it, or it deadlocks on the notification lock.
 type Listener interface {
 	// OnInsert fires after a row was appended.
 	OnInsert(row []float64)
@@ -26,15 +30,65 @@ type Listener interface {
 	OnUpdate(oldRow, newRow []float64)
 }
 
+// MutationKind discriminates the three change-feed event types.
+type MutationKind uint8
+
+const (
+	// MutInsert is an appended row.
+	MutInsert MutationKind = iota
+	// MutDelete is a removed row.
+	MutDelete
+	// MutUpdate is an in-place row change.
+	MutUpdate
+)
+
+func (k MutationKind) String() string {
+	switch k {
+	case MutInsert:
+		return "insert"
+	case MutDelete:
+		return "delete"
+	case MutUpdate:
+		return "update"
+	}
+	return fmt.Sprintf("MutationKind(%d)", uint8(k))
+}
+
+// Mutation is one change-feed event in a form that can be buffered and
+// applied later: the ingestion bridge records the feed as Mutations and the
+// model apply paths consume them in sequence order. Row and Pre are private
+// copies, safe to retain.
+type Mutation struct {
+	// Seq is the 1-based position of this event in the feed, assigned by
+	// whoever records the stream (the table itself assigns none). It is the
+	// unit of the ingest cursor captured in checkpoints.
+	Seq uint64
+	// Kind says what happened.
+	Kind MutationKind
+	// Row is the inserted row, the deleted row, or the update post-image.
+	Row []float64
+	// Pre is the update pre-image; nil for inserts and deletes.
+	Pre []float64
+}
+
 // Table is an in-memory relation with d real-valued attributes, stored
 // row-major. Deletion is by swap-remove, so row indices are not stable
 // across deletes; listeners receive row values, not indices.
 //
-// Table is not safe for concurrent use; the experiment drivers are
-// single-writer by construction, matching the feedback loop of the paper.
+// Table is safe for concurrent use: reads take a shared lock, mutations an
+// exclusive one. Listener callbacks fire after the data lock is released,
+// under a separate notification lock acquired before the data lock is
+// dropped, so concurrent mutators cannot reorder or interleave
+// notifications relative to the mutations that produced them.
 type Table struct {
-	d         int
-	data      []float64
+	d int
+
+	mu   sync.RWMutex
+	data []float64
+
+	// notifyMu serializes listener delivery and guards the listener list.
+	// Lock order: mu before notifyMu; never take mu while holding notifyMu.
+	notifyMu  sync.Mutex
 	listeners []Listener
 }
 
@@ -50,13 +104,43 @@ func New(d int) (*Table, error) {
 func (t *Table) Dims() int { return t.d }
 
 // Len returns the number of rows |R|.
-func (t *Table) Len() int { return len(t.data) / t.d }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.data) / t.d
+}
 
 // Subscribe registers a change listener.
-func (t *Table) Subscribe(l Listener) { t.listeners = append(t.listeners, l) }
+func (t *Table) Subscribe(l Listener) {
+	t.mu.Lock()
+	t.notifyMu.Lock()
+	t.listeners = append(t.listeners, l)
+	t.notifyMu.Unlock()
+	t.mu.Unlock()
+}
+
+// Unsubscribe removes a previously registered listener (compared by
+// identity); it is a no-op if l is not subscribed. After Unsubscribe
+// returns, no further callbacks are delivered to l — in-flight
+// notifications complete first, because removal takes the notification
+// lock.
+func (t *Table) Unsubscribe(l Listener) {
+	t.mu.Lock()
+	t.notifyMu.Lock()
+	for i, reg := range t.listeners {
+		if reg == l {
+			t.listeners = append(t.listeners[:i], t.listeners[i+1:]...)
+			break
+		}
+	}
+	t.notifyMu.Unlock()
+	t.mu.Unlock()
+}
 
 // Row returns the i-th row as a subslice of internal storage; callers must
-// not mutate or retain it across table modifications.
+// not mutate or retain it, and must provide their own synchronization
+// against concurrent mutators (single-writer experiment drivers; offline
+// builders over a quiescent table).
 func (t *Table) Row(i int) []float64 { return t.data[i*t.d : (i+1)*t.d] }
 
 func (t *Table) checkRow(row []float64) error {
@@ -71,76 +155,136 @@ func (t *Table) checkRow(row []float64) error {
 	return nil
 }
 
+// fire delivers evs in order. It must be called with t.mu held and
+// releases it: the notification lock is chained before the data lock is
+// dropped, so deliveries from concurrent mutators stay in mutation order,
+// while listeners run without blocking table readers.
+func (t *Table) fire(evs []Mutation) {
+	if len(t.listeners) == 0 {
+		t.mu.Unlock()
+		return
+	}
+	t.notifyMu.Lock()
+	t.mu.Unlock()
+	for _, ev := range evs {
+		for _, l := range t.listeners {
+			switch ev.Kind {
+			case MutInsert:
+				l.OnInsert(ev.Row)
+			case MutDelete:
+				l.OnDelete(ev.Row)
+			case MutUpdate:
+				l.OnUpdate(ev.Pre, ev.Row)
+			}
+		}
+	}
+	t.notifyMu.Unlock()
+}
+
+// hasListeners reports whether any listener is subscribed; callers must
+// hold t.mu.
+func (t *Table) hasListeners() bool { return len(t.listeners) > 0 }
+
 // Insert appends a row and notifies listeners.
 func (t *Table) Insert(row []float64) error {
 	if err := t.checkRow(row); err != nil {
 		return err
 	}
+	t.mu.Lock()
 	t.data = append(t.data, row...)
-	ins := t.data[len(t.data)-t.d:]
-	for _, l := range t.listeners {
-		l.OnInsert(ins)
+	var evs []Mutation
+	if t.hasListeners() {
+		ins := make([]float64, t.d)
+		copy(ins, t.data[len(t.data)-t.d:])
+		evs = []Mutation{{Kind: MutInsert, Row: ins}}
 	}
+	t.fire(evs)
 	return nil
 }
 
-// InsertMany appends all rows, notifying listeners per row.
+// InsertMany appends all rows under one lock acquisition, then notifies
+// listeners per row, in order.
 func (t *Table) InsertMany(rows [][]float64) error {
 	for i, r := range rows {
-		if err := t.Insert(r); err != nil {
+		if err := t.checkRow(r); err != nil {
 			return fmt.Errorf("table: row %d: %w", i, err)
 		}
 	}
+	t.mu.Lock()
+	var evs []Mutation
+	notify := t.hasListeners()
+	if notify {
+		evs = make([]Mutation, 0, len(rows))
+	}
+	for _, r := range rows {
+		t.data = append(t.data, r...)
+		if notify {
+			ins := make([]float64, t.d)
+			copy(ins, r)
+			evs = append(evs, Mutation{Kind: MutInsert, Row: ins})
+		}
+	}
+	t.fire(evs)
 	return nil
 }
 
-// Delete removes row i by swapping the final row into its place.
-func (t *Table) Delete(i int) error {
-	n := t.Len()
-	if i < 0 || i >= n {
-		return fmt.Errorf("table: delete index %d out of range [0,%d)", i, n)
-	}
+// deleteLocked removes row i by swapping the final row into its place and
+// returns the removed row; callers must hold t.mu and deliver the event.
+func (t *Table) deleteLocked(i int) []float64 {
 	removed := make([]float64, t.d)
 	copy(removed, t.Row(i))
-	last := n - 1
+	last := len(t.data)/t.d - 1
 	if i != last {
 		copy(t.Row(i), t.Row(last))
 	}
 	t.data = t.data[:last*t.d]
-	for _, l := range t.listeners {
-		l.OnDelete(removed)
+	return removed
+}
+
+// Delete removes row i by swapping the final row into its place.
+func (t *Table) Delete(i int) error {
+	t.mu.Lock()
+	n := len(t.data) / t.d
+	if i < 0 || i >= n {
+		t.mu.Unlock()
+		return fmt.Errorf("table: delete index %d out of range [0,%d)", i, n)
 	}
+	removed := t.deleteLocked(i)
+	var evs []Mutation
+	if t.hasListeners() {
+		evs = []Mutation{{Kind: MutDelete, Row: removed}}
+	}
+	t.fire(evs)
 	return nil
 }
 
 // Update overwrites row i with row and notifies listeners.
 func (t *Table) Update(i int, row []float64) error {
-	n := t.Len()
-	if i < 0 || i >= n {
-		return fmt.Errorf("table: update index %d out of range [0,%d)", i, n)
-	}
 	if err := t.checkRow(row); err != nil {
 		return err
 	}
-	old := make([]float64, t.d)
-	copy(old, t.Row(i))
-	copy(t.Row(i), row)
-	for _, l := range t.listeners {
-		l.OnUpdate(old, t.Row(i))
+	t.mu.Lock()
+	n := len(t.data) / t.d
+	if i < 0 || i >= n {
+		t.mu.Unlock()
+		return fmt.Errorf("table: update index %d out of range [0,%d)", i, n)
 	}
+	var evs []Mutation
+	if t.hasListeners() {
+		old := make([]float64, t.d)
+		copy(old, t.Row(i))
+		post := make([]float64, t.d)
+		copy(post, row)
+		evs = []Mutation{{Kind: MutUpdate, Row: post, Pre: old}}
+	}
+	copy(t.Row(i), row)
+	t.fire(evs)
 	return nil
 }
 
-// Count returns the number of tuples inside q — the exact computation the
-// database performs when it executes the range query.
-func (t *Table) Count(q query.Range) (int, error) {
-	if q.Dims() != t.d {
-		return 0, fmt.Errorf("table: query has %d dims, want %d", q.Dims(), t.d)
-	}
-	if err := q.Validate(); err != nil {
-		return 0, err
-	}
-	n := t.Len()
+// countLocked counts tuples inside q; callers must hold t.mu (any mode).
+func (t *Table) countLocked(q query.Range) int {
+	n := len(t.data) / t.d
 	count := 0
 rows:
 	for i := 0; i < n; i++ {
@@ -152,24 +296,44 @@ rows:
 		}
 		count++
 	}
-	return count, nil
+	return count
+}
+
+// Count returns the number of tuples inside q — the exact computation the
+// database performs when it executes the range query.
+func (t *Table) Count(q query.Range) (int, error) {
+	if q.Dims() != t.d {
+		return 0, fmt.Errorf("table: query has %d dims, want %d", q.Dims(), t.d)
+	}
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.countLocked(q), nil
 }
 
 // Selectivity returns the exact fraction |σ(R)|/|R| of rows inside q, the
 // quantity the estimators approximate. An empty table has selectivity 0.
 func (t *Table) Selectivity(q query.Range) (float64, error) {
-	n := t.Len()
+	if q.Dims() != t.d {
+		return 0, fmt.Errorf("table: query has %d dims, want %d", q.Dims(), t.d)
+	}
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := len(t.data) / t.d
 	if n == 0 {
 		return 0, nil
 	}
-	c, err := t.Count(q)
-	if err != nil {
-		return 0, err
-	}
-	return float64(c) / float64(n), nil
+	return float64(t.countLocked(q)) / float64(n), nil
 }
 
 // DeleteWhere removes every row inside q and returns how many were removed.
+// The scan and all removals happen under one lock acquisition; listeners
+// then see one OnDelete per removed row, in removal order.
 func (t *Table) DeleteWhere(q query.Range) (int, error) {
 	if q.Dims() != t.d {
 		return 0, fmt.Errorf("table: query has %d dims, want %d", q.Dims(), t.d)
@@ -177,17 +341,22 @@ func (t *Table) DeleteWhere(q query.Range) (int, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
+	t.mu.Lock()
+	notify := t.hasListeners()
+	var evs []Mutation
 	removed := 0
-	for i := 0; i < t.Len(); {
+	for i := 0; i < len(t.data)/t.d; {
 		if q.Contains(t.Row(i)) {
-			if err := t.Delete(i); err != nil {
-				return removed, err
-			}
+			r := t.deleteLocked(i)
 			removed++
+			if notify {
+				evs = append(evs, Mutation{Kind: MutDelete, Row: r})
+			}
 			continue // swapped row now occupies index i
 		}
 		i++
 	}
+	t.fire(evs)
 	return removed, nil
 }
 
@@ -199,7 +368,9 @@ func (t *Table) SampleRows(n int, rng *rand.Rand) ([][]float64, error) {
 	if rng == nil {
 		return nil, errors.New("table: nil random source")
 	}
-	total := t.Len()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	total := len(t.data) / t.d
 	if n > total {
 		n = total
 	}
@@ -236,8 +407,13 @@ func (t *Table) SampleFlat(n int, rng *rand.Rand) ([]float64, error) {
 // replacement points for the karma-based sample maintenance. It returns
 // false if the table is empty.
 func (t *Table) RandomRow(rng *rand.Rand) ([]float64, bool) {
-	n := t.Len()
-	if n == 0 || rng == nil {
+	if rng == nil {
+		return nil, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := len(t.data) / t.d
+	if n == 0 {
 		return nil, false
 	}
 	row := make([]float64, t.d)
@@ -247,13 +423,46 @@ func (t *Table) RandomRow(rng *rand.Rand) ([]float64, bool) {
 
 // Bounds returns the bounding box of all rows, or false for an empty table.
 func (t *Table) Bounds() (query.Range, bool) {
-	n := t.Len()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := len(t.data) / t.d
 	if n == 0 {
 		return query.Range{}, false
 	}
-	b := query.NewRange(t.Row(0), t.Row(0))
+	lo := make([]float64, t.d)
+	hi := make([]float64, t.d)
+	copy(lo, t.Row(0))
+	copy(hi, t.Row(0))
+	b := query.NewRange(lo, hi)
 	for i := 1; i < n; i++ {
 		b.ExpandToInclude(t.Row(i))
 	}
 	return b, true
+}
+
+// Moments returns the per-dimension mean and (population) standard
+// deviation over all rows, the baseline the ingest drift detector compares
+// the arriving stream against. It returns false for an empty table.
+func (t *Table) Moments() (mean, std []float64, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := len(t.data) / t.d
+	if n == 0 {
+		return nil, nil, false
+	}
+	mean = make([]float64, t.d)
+	m2 := make([]float64, t.d)
+	for i := 0; i < n; i++ {
+		row := t.data[i*t.d : (i+1)*t.d]
+		for j, v := range row {
+			delta := v - mean[j]
+			mean[j] += delta / float64(i+1)
+			m2[j] += delta * (v - mean[j])
+		}
+	}
+	std = make([]float64, t.d)
+	for j := range std {
+		std[j] = math.Sqrt(m2[j] / float64(n))
+	}
+	return mean, std, true
 }

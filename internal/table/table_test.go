@@ -3,7 +3,10 @@ package table
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"kdesel/internal/query"
 )
@@ -253,4 +256,92 @@ func TestBounds(t *testing.T) {
 	if !b.Equal(want) {
 		t.Errorf("Bounds = %v, want %v", b, want)
 	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	tab := mustTable(t, 1)
+	a := &recorder{}
+	b := &recorder{}
+	tab.Subscribe(a)
+	tab.Subscribe(b)
+	_ = tab.Insert([]float64{1})
+	tab.Unsubscribe(a)
+	_ = tab.Insert([]float64{2})
+	_ = tab.Update(0, []float64{3})
+	if a.inserts != 1 || a.updates != 0 {
+		t.Errorf("unsubscribed listener kept receiving: %+v", a)
+	}
+	if b.inserts != 2 || b.updates != 1 {
+		t.Errorf("remaining listener missed events: %+v", b)
+	}
+	// Unknown listener and double unsubscribe are no-ops.
+	tab.Unsubscribe(a)
+	tab.Unsubscribe(&recorder{})
+	_ = tab.Insert([]float64{4})
+	if b.inserts != 3 {
+		t.Errorf("listener set corrupted by no-op unsubscribes: %+v", b)
+	}
+}
+
+// atomicListener counts callbacks and fails the test if one arrives after
+// detached is set (the Unsubscribe postcondition).
+type atomicListener struct {
+	t        *testing.T
+	calls    atomic.Int64
+	detached atomic.Bool
+}
+
+func (l *atomicListener) note() {
+	if l.detached.Load() {
+		l.t.Error("callback after Unsubscribe returned")
+	}
+	l.calls.Add(1)
+}
+func (l *atomicListener) OnInsert(row []float64)            { l.note() }
+func (l *atomicListener) OnDelete(row []float64)            { l.note() }
+func (l *atomicListener) OnUpdate(oldRow, newRow []float64) { l.note() }
+
+// TestUnsubscribeConcurrentWithMutators churns subscribe/unsubscribe
+// against concurrent mutators; run under -race. After each Unsubscribe
+// returns, no further callback may be delivered to that listener.
+func TestUnsubscribeConcurrentWithMutators(t *testing.T) {
+	tab := mustTable(t, 2)
+	for i := 0; i < 64; i++ {
+		_ = tab.Insert([]float64{float64(i), 1})
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch rng.Intn(3) {
+				case 0:
+					_ = tab.Insert([]float64{rng.Float64(), rng.Float64()})
+				case 1:
+					_ = tab.Update(rng.Intn(tab.Len()), []float64{rng.Float64(), 0})
+				default:
+					if tab.Len() > 32 {
+						_ = tab.Delete(rng.Intn(tab.Len()))
+					}
+				}
+			}
+		}(int64(w))
+	}
+	for i := 0; i < 50; i++ {
+		l := &atomicListener{t: t}
+		tab.Subscribe(l)
+		time.Sleep(100 * time.Microsecond)
+		tab.Unsubscribe(l)
+		l.detached.Store(true)
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -27,6 +27,7 @@ import (
 	"kdesel/internal/gpu"
 	"kdesel/internal/httpclient"
 	"kdesel/internal/httpserve"
+	"kdesel/internal/ingest"
 	"kdesel/internal/join"
 	"kdesel/internal/kde"
 	"kdesel/internal/mathx"
@@ -323,3 +324,31 @@ var (
 	// ErrServerUnavailable: the server answered 503 (draining or closed).
 	ErrServerUnavailable = httpclient.ErrUnavailable
 )
+
+// Mutation is one change-feed event (insert, delete, or update) in
+// bufferable form; see table.Mutation.
+type Mutation = table.Mutation
+
+// IngestBridge is the bounded-lag ingestion pipe between a table's change
+// feed and a serving model: mutations buffer in a lock-free ring and apply
+// in batches under the model's writer lock, with backpressure, drift
+// detection, and a checkpointable feed cursor. See internal/ingest.
+type IngestBridge = ingest.Bridge
+
+// IngestConfig tunes an IngestBridge; see ingest.Config.
+type IngestConfig = ingest.Config
+
+// IngestStats is a snapshot of an IngestBridge's counters.
+type IngestStats = ingest.Stats
+
+// IngestOptions configures per-model continuous ingestion on a Registry;
+// see registry.IngestOptions and Registry.AttachIngest.
+type IngestOptions = registry.IngestOptions
+
+// AttachIngest subscribes a bridge to tab's change feed, applying
+// mutations to app in batches. Models managed by a Registry should use
+// Registry.AttachIngest instead, which also wires drift-triggered ANALYZE
+// and carries the bridge across evict/restore.
+func AttachIngest(tab *Table, app ingest.Applier, cfg IngestConfig) (*IngestBridge, error) {
+	return ingest.Attach(tab, app, cfg)
+}
